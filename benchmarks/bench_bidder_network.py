@@ -1,0 +1,32 @@
+"""Experiment E1 — Table 2 rows 1-4: the XMark bidder network (Figure 10).
+
+The paper reports, for growing document sizes, that Delta beats Naive by
+2.2-3.3x (MonetDB/XQuery) and 1.2-2.7x (Saxon) while feeding up to ~9x fewer
+nodes into the recursion body.  These benchmarks regenerate the comparison
+on the synthetic auction documents; the ``tiny``/``small`` sizes run here,
+the larger Table 2 rows through ``repro-table2 --preset paper``.
+"""
+
+import pytest
+
+from bench_utils import run_workload
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "delta"])
+def test_bidder_network_tiny_ifp(benchmark, harness, algorithm):
+    """Native IFP operator (MonetDB/XQuery role), tiny document."""
+    run_workload(harness, benchmark, "bidder-network", "tiny", "ifp", algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "delta"])
+def test_bidder_network_small_ifp(benchmark, harness, algorithm):
+    """Native IFP operator, small document (Table 2 row 'small')."""
+    result = run_workload(harness, benchmark, "bidder-network", "small", "ifp", algorithm,
+                          seed_limit=20)
+    assert result.recursion_depth >= 2
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "delta"])
+def test_bidder_network_tiny_udf(benchmark, harness, algorithm):
+    """Source-level fix()/delta() user-defined functions (Saxon role)."""
+    run_workload(harness, benchmark, "bidder-network", "tiny", "udf", algorithm)

@@ -1,0 +1,35 @@
+"""Experiment E3 — Table 2 rows 6-7: the curriculum consistency check.
+
+Find courses that are among their own prerequisites (Rule 5 of the xlinkit
+curriculum case study) via a transitive closure over ``fn:id`` links.  The
+paper's instances have 800 (medium) and 4,000 (large) courses with recursion
+depths 18 and 35; the larger the input, the better Delta pays off.
+"""
+
+import pytest
+
+from bench_utils import run_workload
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "delta"])
+def test_curriculum_tiny_ifp(benchmark, harness, algorithm):
+    run_workload(harness, benchmark, "curriculum", "tiny", "ifp", algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "delta"])
+def test_curriculum_medium_ifp(benchmark, harness, algorithm):
+    """The paper's medium instance (800 courses), limited seed set."""
+    result = run_workload(harness, benchmark, "curriculum", "medium", "ifp", algorithm,
+                          seed_limit=30)
+    assert result.recursion_depth >= 10
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "delta"])
+def test_curriculum_tiny_udf(benchmark, harness, algorithm):
+    run_workload(harness, benchmark, "curriculum", "tiny", "udf", algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "delta"])
+def test_curriculum_tiny_algebra(benchmark, harness, algorithm):
+    """The Relational XQuery backend: µ vs µ∆ on compiled plans."""
+    run_workload(harness, benchmark, "curriculum", "tiny", "algebra", algorithm)

@@ -1,0 +1,65 @@
+"""Experiments E7/E8 and the ablation benches: distributivity analysis cost.
+
+The distributivity check runs at query planning time, so its cost matters.
+These benches measure the syntactic ``ds_$x(·)`` rules (Figure 5) and the
+algebraic union push-up (Section 4.1) on the paper's recursion bodies, plus
+the ablation of Section 4.1's order/duplicate stripping (without it, the δ
+emitted after steps blocks the push-up and every body is rejected).
+"""
+
+import pytest
+
+from repro.algebra.distributivity import analyze_plan_distributivity
+from repro.datagen.curriculum import CurriculumConfig, generate_curriculum
+from repro.distributivity import analyze_distributivity
+from repro.xquery.parser import parse_expression
+
+BODIES = {
+    "q1": "$x/id (./prerequisites/pre_code)",
+    "q2": "if (count($x/self::a)) then $x/* else ()",
+    "bidder": (
+        "for $id in $x/@id "
+        'let $b := doc("auction.xml")//open_auction[seller/@person = $id]/bidder/personref '
+        'return doc("auction.xml")//people/person[@id = $b/@person]'
+    ),
+    "unfolded-id": (
+        'for $c in doc("curriculum.xml")/curriculum/course '
+        "where $c/@code = $x/prerequisites/pre_code return $c"
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def curriculum_document():
+    return generate_curriculum(CurriculumConfig.tiny())
+
+
+@pytest.mark.parametrize("body_name", sorted(BODIES))
+def test_syntactic_check(benchmark, body_name):
+    """Figure 5 rules over the recursion body ASTs."""
+    body = parse_expression(BODIES[body_name])
+    result = benchmark(lambda: analyze_distributivity(body, "x"))
+    benchmark.extra_info["distributive"] = result.safe
+
+
+@pytest.mark.parametrize("body_name", sorted(BODIES))
+def test_algebraic_check(benchmark, curriculum_document, body_name):
+    """Compile to a plan and push the union up (Section 4.1)."""
+    body = parse_expression(BODIES[body_name])
+    result = benchmark(
+        lambda: analyze_plan_distributivity(body, "x", document=curriculum_document)
+    )
+    benchmark.extra_info["distributive"] = result.distributive
+
+
+@pytest.mark.parametrize("strip", [True, False], ids=["strip-order", "keep-order"])
+def test_algebraic_check_order_strip_ablation(benchmark, curriculum_document, strip):
+    """Ablation: Section 4.1's removal of duplicate/order bookkeeping."""
+    body = parse_expression(BODIES["q1"])
+    result = benchmark(
+        lambda: analyze_plan_distributivity(
+            body, "x", document=curriculum_document,
+            ignore_order_and_duplicates=strip,
+        )
+    )
+    benchmark.extra_info["distributive"] = result.distributive

@@ -1,0 +1,28 @@
+"""Experiment E4 — Table 2 row 8: hospital hereditary-disease exploration.
+
+Vertical recursion from each patient into nested ``parent`` subtrees of
+depth at most 5.  The paper reports 99,381 (Naive) vs 50,000 (Delta) nodes
+fed back — a factor ~2 even for this computationally light query.
+"""
+
+import pytest
+
+from bench_utils import run_workload
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "delta"])
+def test_hospital_tiny_ifp(benchmark, harness, algorithm):
+    run_workload(harness, benchmark, "hospital", "tiny", "ifp", algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "delta"])
+def test_hospital_medium_ifp(benchmark, harness, algorithm):
+    """1,000 patient records (scaled-down default), depth <= 5."""
+    result = run_workload(harness, benchmark, "hospital", "medium", "ifp", algorithm,
+                          seed_limit=150)
+    assert result.recursion_depth <= 5
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "delta"])
+def test_hospital_tiny_udf(benchmark, harness, algorithm):
+    run_workload(harness, benchmark, "hospital", "tiny", "udf", algorithm)

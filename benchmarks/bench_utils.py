@@ -1,0 +1,36 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from repro.bench.harness import BenchmarkHarness
+
+
+def run_workload(harness: BenchmarkHarness, benchmark, workload: str, size: str,
+                 engine: str, algorithm: str, seed_limit=None):
+    """Benchmark one (workload, size, engine, algorithm) combination.
+
+    The document is prepared outside the measured function; the recorded
+    extra_info carries the Table 2 quantities (nodes fed back, depth) so the
+    ``--benchmark-only`` output doubles as the experiment log.
+    """
+    harness.prepare(workload, size)
+    result_holder = {}
+
+    def run():
+        result_holder["result"] = harness.run(
+            workload, size, engine=engine, algorithm=algorithm, seed_limit=seed_limit
+        )
+
+    benchmark(run)
+    result = result_holder["result"]
+    benchmark.extra_info.update({
+        "workload": workload,
+        "size": size,
+        "engine": engine,
+        "algorithm": algorithm,
+        "items": result.item_count,
+        "nodes_fed_back": result.nodes_fed_back,
+        "recursion_depth": result.recursion_depth,
+        "paper_row": result.paper_row,
+    })
+    return result

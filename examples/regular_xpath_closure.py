@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Regular XPath: transitive closure of location steps as IFPs (Section 2).
+
+Regular XPath extends XPath with a closure operator ``+``; the paper shows
+that ``s+`` is exactly ``with $x seeded by . recurse $x/s`` and therefore
+always eligible for Delta evaluation.  This example runs Regular XPath
+closures over the curriculum data and over an organisation chart, and shows
+the generated IFP expression.
+
+Run with:  python examples/regular_xpath_closure.py
+"""
+
+from repro import parse_xml
+from repro.datagen.curriculum import CurriculumConfig, generate_curriculum
+from repro.regularxpath import parse_regular_xpath, to_xquery_expr, evaluate_regular_xpath
+from repro.distributivity import is_distributivity_safe
+
+ORG_CHART = """
+<company>
+  <employee name="Ada">
+    <employee name="Grace">
+      <employee name="Alan"/>
+      <employee name="Edsger"/>
+    </employee>
+    <employee name="Barbara">
+      <employee name="Donald"/>
+    </employee>
+  </employee>
+</company>
+"""
+
+
+def main() -> None:
+    print("== Reports chain in an organisation chart ==")
+    org = parse_xml(ORG_CHART)
+    ada = org.document_element().children[0]
+    closure = evaluate_regular_xpath("(child::employee)+", [ada])
+    print("everyone reporting (directly or not) to Ada:",
+          [node.get_attribute("name").value for node in closure])
+
+    print("\n== The translation: closure becomes an IFP ==")
+    expression = parse_regular_xpath("(child::employee)+")
+    translated = to_xquery_expr(expression)
+    print("Regular XPath :", expression)
+    print("XQuery AST    :", type(translated).__name__,
+          f"(recursion variable ${translated.var}, algorithm {translated.algorithm!r})")
+    print("body distributive per Figure 5?",
+          is_distributivity_safe(translated.body, translated.var))
+
+    print("\n== Prerequisite closure over generated curriculum data ==")
+    curriculum = generate_curriculum(CurriculumConfig.tiny())
+    last_course = curriculum.document_element().children[-1]
+    print("course:", last_course.get_attribute("code").value)
+    # A prerequisite link is: prerequisites/pre_code, then jump to the course
+    # carrying that code.  Regular XPath has no value joins, so we follow the
+    # structural part here and use fn:id via the XQuery form for the rest.
+    codes = evaluate_regular_xpath("(child::prerequisites/child::pre_code)", [last_course])
+    print("direct prerequisite codes:", [node.string_value() for node in codes])
+
+    from repro import evaluate
+
+    closure = evaluate(
+        'with $x seeded by $course recurse $x/id(./prerequisites/pre_code)',
+        documents={"curriculum.xml": curriculum},
+        variables={"course": [last_course]},
+        context_item=curriculum,
+    )
+    print("all prerequisites (via IFP + fn:id):",
+          sorted(node.get_attribute("code").value for node in closure))
+
+
+if __name__ == "__main__":
+    main()

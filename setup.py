@@ -1,0 +1,13 @@
+"""Legacy setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that editable installs keep working on minimal/offline environments where
+pip cannot build PEP 660 editable wheels (no ``wheel`` package, no network
+for build isolation)::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

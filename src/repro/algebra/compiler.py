@@ -1,0 +1,647 @@
+"""Loop-lifting compiler: XQuery AST → relational algebra plans.
+
+The compiler follows the Relational XQuery translation scheme in spirit:
+every expression is compiled relative to a *loop* relation (one row per
+iteration of the enclosing FLWOR nesting) into a plan producing an
+``iter|pos|item`` table, and variables are looked up in a compile-time
+environment mapping names to plans.  Like the paper (Table 1), XPath steps,
+``fn:id`` and node construction are emitted as macro operators rather than
+expanded into textbook joins; and like Section 4.1, plans destined for the
+distributivity check omit duplicate-elimination and order bookkeeping, which
+the macros encapsulate anyway.
+
+Supported fragment
+------------------
+Literals, variables, the context item, sequence/union/except, paths and
+axis steps, predicates that are comparisons or boolean function calls,
+``for``/``let``/``where`` (as produced by the parser's FLWOR desugaring),
+``if``/``then``/``else``, general and value comparisons, arithmetic,
+``count``/``empty``/``exists``/``not``/``data``/``string``/``id``/``doc``/
+``root``, user-defined function inlining, node constructors (compile-time
+only — they mark the plan non-distributive) and the ``with … recurse`` form
+(compiled to µ/µ∆).  Positional predicates, ``order by`` and nested
+fixpoints under iteration raise :class:`~repro.errors.AlgebraError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import AlgebraError
+from repro.algebra.operators import (
+    Aggregate,
+    AtomizeValue,
+    Cross,
+    Difference,
+    Distinct,
+    DocumentRoot,
+    Fixpoint,
+    IdLookup,
+    Join,
+    LiteralTable,
+    NodeConstructor,
+    Operator,
+    Project,
+    RecursionInput,
+    RowTag,
+    ScalarOp,
+    Select,
+    StepJoin,
+    UnionAll,
+)
+from repro.algebra.table import Table
+from repro.xdm.comparison import atomic_equal, atomic_less_than
+from repro.xdm.items import UntypedAtomic, is_node, string_value_of_item, xs_double
+from repro.xdm.node import DocumentNode
+from repro.xquery import ast
+from repro.xquery.context import DocumentResolver
+
+
+SEQ_COLUMNS = ("iter", "pos", "item")
+
+
+@dataclass
+class CompilationContext:
+    """Compile-time state threaded through the translation."""
+
+    loop: Operator
+    environment: dict[str, Operator] = field(default_factory=dict)
+    focus: Optional[Operator] = None
+    loop_is_single: bool = True
+
+    def bind(self, name: str, plan: Operator) -> "CompilationContext":
+        environment = dict(self.environment)
+        environment[name] = plan
+        return replace(self, environment=environment)
+
+
+class AlgebraCompiler:
+    """Compiles the supported XQuery fragment into algebra plans."""
+
+    def __init__(self,
+                 documents: DocumentResolver | None = None,
+                 document: DocumentNode | None = None,
+                 functions: dict[tuple[str, int], ast.FunctionDecl] | None = None,
+                 analysis_only: bool = False):
+        """Create a compiler.
+
+        Parameters
+        ----------
+        documents:
+            Resolver consulted by ``fn:doc``.
+        document:
+            Default document used by ``fn:id`` (and by ``fn:doc`` when the
+            resolver does not know the URI in analysis mode).
+        functions:
+            User-defined functions, inlined at their call sites.
+        analysis_only:
+            When true the compiler is lenient about missing documents — the
+            resulting plan is only used for the distributivity check, never
+            executed.
+        """
+        self.documents = documents or DocumentResolver()
+        self.document = document
+        self.functions = functions or {}
+        self.analysis_only = analysis_only
+        self._inline_stack: list[tuple[str, int]] = []
+
+    # ------------------------------------------------------------------ entry points
+
+    def single_iteration_loop(self) -> Operator:
+        """The loop relation of a top-level expression: a single iteration."""
+        return LiteralTable(Table(("iter",), [(1,)]))
+
+    def initial_context(self, variables: dict[str, Operator] | None = None) -> CompilationContext:
+        return CompilationContext(loop=self.single_iteration_loop(),
+                                  environment=dict(variables or {}))
+
+    def compile(self, expr: ast.Expr, context: CompilationContext | None = None) -> Operator:
+        """Compile *expr* under *context* (top-level single-iteration default)."""
+        return self._compile(expr, context or self.initial_context())
+
+    def compile_recursion_body(self, body: ast.Expr, variable: str,
+                               extra_variables: tuple[str, ...] = ()) -> tuple[Operator, RecursionInput]:
+        """Compile a recursion body with its variable as a plan input.
+
+        Returns the body plan and the :class:`RecursionInput` leaf standing
+        for the recursion variable — the place where the distributivity
+        check introduces the symbolic ∪ (Figure 7a) and where µ/µ∆ feed the
+        intermediate result during evaluation.
+        """
+        recursion_input = RecursionInput(variable)
+        context = self.initial_context()
+        context = context.bind(variable, recursion_input)
+        for name in body.free_variables() - {variable}:
+            context = context.bind(name, self._empty_sequence_plan(context))
+        for name in extra_variables:
+            context = context.bind(name, self._empty_sequence_plan(context))
+        if self._uses_context_item(body):
+            context = replace(context, focus=self._empty_sequence_plan(context))
+        plan = self._compile(body, context)
+        return plan, recursion_input
+
+    # ------------------------------------------------------------------ dispatch
+
+    def _compile(self, expr: ast.Expr, context: CompilationContext) -> Operator:
+        handler = getattr(self, f"_compile_{type(expr).__name__}", None)
+        if handler is None:
+            raise AlgebraError(
+                f"the algebra compiler does not support {type(expr).__name__} expressions"
+            )
+        return handler(expr, context)
+
+    # ------------------------------------------------------------------ leaves
+
+    def _compile_Literal(self, expr: ast.Literal, context: CompilationContext) -> Operator:
+        return self._attach_constant(context.loop, expr.value)
+
+    def _compile_EmptySequence(self, expr: ast.EmptySequence, context: CompilationContext) -> Operator:
+        return self._empty_sequence_plan(context)
+
+    def _compile_VarRef(self, expr: ast.VarRef, context: CompilationContext) -> Operator:
+        plan = context.environment.get(expr.name)
+        if plan is None:
+            raise AlgebraError(f"unbound variable ${expr.name} during algebra compilation")
+        return plan
+
+    def _compile_ContextItem(self, expr: ast.ContextItem, context: CompilationContext) -> Operator:
+        if context.focus is None:
+            raise AlgebraError("the context item is undefined in this compilation context")
+        return context.focus
+
+    def _compile_RootExpr(self, expr: ast.RootExpr, context: CompilationContext) -> Operator:
+        focus = self._compile_ContextItem(ast.ContextItem(), context)
+        rooted = ScalarOp(focus, "item_root", ["item"],
+                          lambda node: node.root() if is_node(node) else node, name="root")
+        return Project(rooted, [("iter", "iter"), ("pos", "pos"), ("item", "item_root")])
+
+    # ------------------------------------------------------------------ sequence operators
+
+    def _compile_SequenceExpr(self, expr: ast.SequenceExpr, context: CompilationContext) -> Operator:
+        plans = [self._compile(item, context) for item in expr.items]
+        combined = plans[0]
+        for plan in plans[1:]:
+            combined = UnionAll([combined, plan])
+        return combined
+
+    def _compile_UnionExpr(self, expr: ast.UnionExpr, context: CompilationContext) -> Operator:
+        left = self._compile(expr.left, context)
+        right = self._compile(expr.right, context)
+        union = UnionAll([left, right])
+        deduplicated = Distinct([Project(union, [("iter", "iter"), ("item", "item")])])
+        return self._with_pos(deduplicated)
+
+    def _compile_IntersectExpr(self, expr: ast.IntersectExpr, context: CompilationContext) -> Operator:
+        left = Distinct([Project(self._compile(expr.left, context), [("iter", "iter"), ("item", "item")])])
+        right = Distinct([Project(self._compile(expr.right, context), [("iter", "iter"), ("item", "item")])])
+        joined = Join(left, Project(right, [("iter", "iter"), ("item_r", "item")]),
+                      [("iter", "iter"), ("item", "item_r")])
+        return self._with_pos(Project(joined, [("iter", "iter"), ("item", "item")]))
+
+    def _compile_ExceptExpr(self, expr: ast.ExceptExpr, context: CompilationContext) -> Operator:
+        left = Distinct([Project(self._compile(expr.left, context), [("iter", "iter"), ("item", "item")])])
+        right = Distinct([Project(self._compile(expr.right, context), [("iter", "iter"), ("item", "item")])])
+        return self._with_pos(Difference([left, right]))
+
+    # ------------------------------------------------------------------ paths
+
+    def _compile_PathExpr(self, expr: ast.PathExpr, context: CompilationContext) -> Operator:
+        left = self._compile(expr.left, context)
+        right = expr.right
+        if isinstance(right, ast.AxisStep):
+            step = StepJoin(left, right.axis, right.node_test.kind, right.node_test.name)
+            return self._apply_predicates(step, right.predicates, context)
+        # General right operand: iterate the right expression once per node
+        # delivered by the left operand (the loop-lifting "map" dance).
+        return self._map_over(left, right, context)
+
+    def _compile_AxisStep(self, expr: ast.AxisStep, context: CompilationContext) -> Operator:
+        focus = self._compile_ContextItem(ast.ContextItem(), context)
+        step = StepJoin(focus, expr.axis, expr.node_test.kind, expr.node_test.name)
+        return self._apply_predicates(step, expr.predicates, context)
+
+    def _compile_FilterExpr(self, expr: ast.FilterExpr, context: CompilationContext) -> Operator:
+        primary = self._compile(expr.primary, context)
+        return self._apply_predicates(primary, expr.predicates, context)
+
+    def _map_over(self, source: Operator, body: ast.Expr, context: CompilationContext,
+                  bind_variable: str | None = None, position_variable: str | None = None) -> Operator:
+        """Evaluate *body* once per row of *source* and map results back.
+
+        This is the shared machinery behind general path steps (the row is
+        the context item) and ``for`` iterations (the row is bound to a
+        variable).
+        """
+        tagged = RowTag(source, "inner")
+        inner_loop = Project(tagged, [("iter", "inner")])
+        item_plan = self._with_pos(Project(tagged, [("iter", "inner"), ("item", "item")]))
+
+        lifted_environment = {
+            name: self._lift_plan(plan, tagged)
+            for name, plan in context.environment.items()
+        }
+        inner_context = CompilationContext(
+            loop=inner_loop,
+            environment=lifted_environment,
+            focus=item_plan if bind_variable is None else (
+                self._lift_plan(context.focus, tagged) if context.focus is not None else None
+            ),
+            loop_is_single=False,
+        )
+        if bind_variable is not None:
+            inner_context = inner_context.bind(bind_variable, item_plan)
+            if position_variable is not None:
+                position_plan = self._with_pos(Project(tagged, [("iter", "inner"), ("item", "pos")]))
+                inner_context = inner_context.bind(position_variable, position_plan)
+
+        inner_result = self._compile(body, inner_context)
+        mapping = Project(tagged, [("inner2", "inner"), ("outer", "iter")])
+        joined = Join(inner_result, mapping, [("iter", "inner2")])
+        mapped = Project(joined, [("iter", "outer"), ("item", "item")])
+        return self._with_pos(Distinct([mapped]) if bind_variable is None else mapped)
+
+    def _lift_plan(self, plan: Operator, tagged: Operator) -> Operator:
+        """Re-address an outer-loop plan to the inner loop created by *tagged*."""
+        mapping = Project(tagged, [("outer_iter", "iter"), ("inner", "inner")])
+        joined = Join(plan, mapping, [("iter", "outer_iter")])
+        return Project(joined, [("iter", "inner"), ("pos", "pos"), ("item", "item")])
+
+    # ------------------------------------------------------------------ predicates and filters
+
+    def _apply_predicates(self, candidates: Operator, predicates: tuple[ast.Expr, ...],
+                          context: CompilationContext) -> Operator:
+        plan = candidates
+        for predicate in predicates:
+            plan = self._apply_predicate(plan, predicate, context)
+        return plan
+
+    def _apply_predicate(self, candidates: Operator, predicate: ast.Expr,
+                         context: CompilationContext) -> Operator:
+        if isinstance(predicate, ast.Literal) and isinstance(predicate.value, (int, float)):
+            raise AlgebraError("positional predicates are not supported by the algebra backend")
+        tagged = RowTag(candidates, "inner")
+        inner_loop = Project(tagged, [("iter", "inner")])
+        candidate_plan = self._with_pos(Project(tagged, [("iter", "inner"), ("item", "item")]))
+        lifted_environment = {
+            name: self._lift_plan(plan, tagged) for name, plan in context.environment.items()
+        }
+        inner_context = CompilationContext(
+            loop=inner_loop, environment=lifted_environment, focus=candidate_plan,
+            loop_is_single=False,
+        )
+        selected = self._selected_iterations(predicate, inner_context)
+        # keep candidate rows whose inner iteration survived the predicate
+        joined = Join(tagged, Project(selected, [("selected_iter", "iter")]),
+                      [("inner", "selected_iter")])
+        return Project(joined, [("iter", "iter"), ("pos", "pos"), ("item", "item")])
+
+    def _selected_iterations(self, condition: ast.Expr, context: CompilationContext) -> Operator:
+        """Compile *condition* into a plan of the iterations it selects.
+
+        General comparisons and exists-style conditions use the semijoin
+        shape (no aggregate on the data path); everything else goes through
+        a per-iteration boolean value.
+        """
+        if isinstance(condition, ast.GeneralComparison) and condition.op == "=":
+            return self._existential_join(condition, context)
+        if isinstance(condition, ast.FunctionCall) and condition.name in ("exists", "fn:exists") and condition.args:
+            inner = self._compile(condition.args[0], context)
+            return Distinct([Project(inner, [("iter", "iter")])])
+        if (isinstance(condition, ast.FunctionCall) and condition.name in ("not", "fn:not")
+                and condition.args and isinstance(condition.args[0], ast.FunctionCall)
+                and condition.args[0].name in ("empty", "fn:empty")):
+            inner = self._compile(condition.args[0].args[0], context)
+            return Distinct([Project(inner, [("iter", "iter")])])
+        if isinstance(condition, (ast.AxisStep, ast.PathExpr, ast.FilterExpr, ast.VarRef)):
+            # Node-sequence condition: non-empty means true.
+            inner = self._compile(condition, context)
+            return Distinct([Project(inner, [("iter", "iter")])])
+        boolean = self._compile(condition, context)
+        flagged = ScalarOp(boolean, "keep", ["item"], _effective_boolean, name="ebv")
+        return Distinct([Project(Select(flagged, "keep"), [("iter", "iter")])])
+
+    def _existential_join(self, comparison: ast.GeneralComparison,
+                          context: CompilationContext) -> Operator:
+        left = AtomizeValue([self._compile(comparison.left, context)])
+        right = AtomizeValue([self._compile(comparison.right, context)])
+        left_p = Project(left, [("iter", "iter"), ("item", "item")])
+        right_p = Project(right, [("iter", "iter"), ("item_r", "item")])
+        joined = Join(left_p, right_p, [("iter", "iter")])
+        compared = ScalarOp(joined, "cmp", ["item", "item_r"], _general_equal, name="=")
+        return Distinct([Project(Select(compared, "cmp"), [("iter", "iter")])])
+
+    # ------------------------------------------------------------------ FLWOR, conditionals
+
+    def _compile_ForExpr(self, expr: ast.ForExpr, context: CompilationContext) -> Operator:
+        source = self._compile(expr.sequence, context)
+        return self._map_over(source, expr.body, context,
+                              bind_variable=expr.var, position_variable=expr.position_var)
+
+    def _compile_LetExpr(self, expr: ast.LetExpr, context: CompilationContext) -> Operator:
+        value = self._compile(expr.value, context)
+        return self._compile(expr.body, context.bind(expr.var, value))
+
+    def _compile_IfExpr(self, expr: ast.IfExpr, context: CompilationContext) -> Operator:
+        then_plan = self._compile(expr.then_branch, context)
+        is_where_shape = isinstance(expr.else_branch, ast.EmptySequence)
+        if is_where_shape:
+            selected = self._selected_iterations(expr.condition, context)
+            joined = Join(then_plan, Project(selected, [("sel_iter", "iter")]), [("iter", "sel_iter")])
+            return Project(joined, [("iter", "iter"), ("pos", "pos"), ("item", "item")])
+        selected = self._selected_iterations(expr.condition, context)
+        loop_iters = Distinct([Project(context.loop, [("iter", "iter")])])
+        unselected = Difference([loop_iters, selected])
+        else_plan = self._compile(expr.else_branch, context)
+        then_part = Project(
+            Join(then_plan, Project(selected, [("sel_iter", "iter")]), [("iter", "sel_iter")]),
+            [("iter", "iter"), ("pos", "pos"), ("item", "item")],
+        )
+        else_part = Project(
+            Join(else_plan, Project(unselected, [("sel_iter", "iter")]), [("iter", "sel_iter")]),
+            [("iter", "iter"), ("pos", "pos"), ("item", "item")],
+        )
+        return UnionAll([then_part, else_part])
+
+    def _compile_QuantifiedExpr(self, expr: ast.QuantifiedExpr, context: CompilationContext) -> Operator:
+        raise AlgebraError("quantified expressions are not supported by the algebra backend")
+
+    def _compile_TypeswitchExpr(self, expr: ast.TypeswitchExpr, context: CompilationContext) -> Operator:
+        raise AlgebraError("typeswitch is not supported by the algebra backend")
+
+    # ------------------------------------------------------------------ comparisons, arithmetic
+
+    def _compile_GeneralComparison(self, expr: ast.GeneralComparison,
+                                   context: CompilationContext) -> Operator:
+        matched = self._existential_join_general(expr, context)
+        counted = Aggregate(matched, "count", ("iter",), "item", "matches", loop=context.loop)
+        boolean = ScalarOp(counted, "item", ["matches"], lambda n: n > 0, name="exists")
+        return self._with_pos(Project(boolean, [("iter", "iter"), ("item", "item")]))
+
+    def _existential_join_general(self, expr: ast.GeneralComparison,
+                                  context: CompilationContext) -> Operator:
+        left = AtomizeValue([self._compile(expr.left, context)])
+        right = AtomizeValue([self._compile(expr.right, context)])
+        left_p = Project(left, [("iter", "iter"), ("item", "item")])
+        right_p = Project(right, [("iter", "iter"), ("item_r", "item")])
+        joined = Join(left_p, right_p, [("iter", "iter")])
+        compare = _comparison_function(expr.op)
+        compared = ScalarOp(joined, "cmp", ["item", "item_r"], compare, name=expr.op)
+        return Project(Select(compared, "cmp"), [("iter", "iter"), ("item", "item")])
+
+    def _compile_ValueComparison(self, expr: ast.ValueComparison, context: CompilationContext) -> Operator:
+        return self._compile_GeneralComparison(
+            ast.GeneralComparison(expr.op, expr.left, expr.right), context
+        )
+
+    def _compile_ArithmeticExpr(self, expr: ast.ArithmeticExpr, context: CompilationContext) -> Operator:
+        left = AtomizeValue([self._compile(expr.left, context)])
+        right = AtomizeValue([self._compile(expr.right, context)])
+        left_p = Project(left, [("iter", "iter"), ("item", "item")])
+        right_p = Project(right, [("iter", "iter"), ("item_r", "item")])
+        joined = Join(left_p, right_p, [("iter", "iter")])
+        function = _arithmetic_function(expr.op)
+        computed = ScalarOp(joined, "result", ["item", "item_r"], function, name=expr.op)
+        return self._with_pos(Project(computed, [("iter", "iter"), ("item", "result")]))
+
+    # ------------------------------------------------------------------ functions
+
+    def _compile_FunctionCall(self, expr: ast.FunctionCall, context: CompilationContext) -> Operator:
+        name = expr.name.split(":")[-1] if expr.name.startswith("fn:") else expr.name
+        declaration = self.functions.get((expr.name, len(expr.args)))
+        if declaration is not None:
+            return self._inline_function(declaration, expr, context)
+
+        if name == "count" and len(expr.args) == 1:
+            inner = self._compile(expr.args[0], context)
+            counted = Aggregate(inner, "count", ("iter",), "item", "item", loop=context.loop)
+            return self._with_pos(Project(counted, [("iter", "iter"), ("item", "item")]))
+        if name in ("empty", "exists") and len(expr.args) == 1:
+            inner = self._compile(expr.args[0], context)
+            counted = Aggregate(inner, "count", ("iter",), "item", "n", loop=context.loop)
+            predicate = (lambda n: n == 0) if name == "empty" else (lambda n: n > 0)
+            boolean = ScalarOp(counted, "item", ["n"], predicate, name=name)
+            return self._with_pos(Project(boolean, [("iter", "iter"), ("item", "item")]))
+        if name == "not" and len(expr.args) == 1:
+            inner = self._compile(expr.args[0], context)
+            negated = ScalarOp(inner, "item_neg", ["item"], lambda v: not _effective_boolean(v), name="not")
+            return self._with_pos(Project(negated, [("iter", "iter"), ("item", "item_neg")]))
+        if name == "data" and len(expr.args) == 1:
+            return AtomizeValue([self._compile(expr.args[0], context)])
+        if name == "string" and len(expr.args) == 1:
+            inner = self._compile(expr.args[0], context)
+            stringified = ScalarOp(inner, "item_s", ["item"], string_value_of_item, name="string")
+            return self._with_pos(Project(stringified, [("iter", "iter"), ("item", "item_s")]))
+        if name == "id" and len(expr.args) in (1, 2):
+            inner = self._compile(expr.args[0], context)
+            document = self._require_document()
+            return IdLookup(AtomizeValue([inner]), document)
+        if name == "doc" and len(expr.args) == 1:
+            return self._compile_doc(expr.args[0], context)
+        if name == "root" and len(expr.args) <= 1:
+            target = (self._compile(expr.args[0], context) if expr.args
+                      else self._compile_ContextItem(ast.ContextItem(), context))
+            rooted = ScalarOp(target, "item_root", ["item"],
+                              lambda node: node.root() if is_node(node) else node, name="root")
+            return self._with_pos(Project(rooted, [("iter", "iter"), ("item", "item_root")]))
+        raise AlgebraError(f"built-in function {expr.name}() is not supported by the algebra compiler")
+
+    def _inline_function(self, declaration: ast.FunctionDecl, call: ast.FunctionCall,
+                         context: CompilationContext) -> Operator:
+        key = (declaration.name, declaration.arity)
+        if key in self._inline_stack:
+            raise AlgebraError(
+                f"recursive user-defined function {declaration.name}() cannot be inlined"
+            )
+        self._inline_stack.append(key)
+        try:
+            call_context = context
+            for parameter, argument in zip(declaration.params, call.args):
+                call_context = call_context.bind(parameter.name, self._compile(argument, context))
+            return self._compile(declaration.body, call_context)
+        finally:
+            self._inline_stack.pop()
+
+    def _compile_doc(self, uri_expr: ast.Expr, context: CompilationContext) -> Operator:
+        if not isinstance(uri_expr, ast.Literal) or not isinstance(uri_expr.value, str):
+            raise AlgebraError("fn:doc requires a string literal URI in the algebra compiler")
+        try:
+            document = self.documents.resolve(uri_expr.value)
+        except Exception:
+            if not self.analysis_only and self.document is None:
+                raise
+            document = self.document or DocumentNode()
+        return DocumentRoot(context.loop, document)
+
+    def _require_document(self) -> DocumentNode:
+        if self.document is not None:
+            return self.document
+        if self.analysis_only:
+            return DocumentNode()
+        raise AlgebraError("fn:id requires a default document (pass document= to the compiler)")
+
+    # ------------------------------------------------------------------ constructors
+
+    def _compile_DirectElementConstructor(self, expr: ast.DirectElementConstructor,
+                                          context: CompilationContext) -> Operator:
+        content_plans = [self._compile(part, context) for part in expr.content] or [
+            self._empty_sequence_plan(context)
+        ]
+        combined = content_plans[0]
+        for plan in content_plans[1:]:
+            combined = UnionAll([combined, plan])
+        return NodeConstructor(combined, "element", expr.name)
+
+    def _compile_ComputedConstructor(self, expr: ast.ComputedConstructor,
+                                     context: CompilationContext) -> Operator:
+        content = (self._compile(expr.content, context) if expr.content is not None
+                   else self._empty_sequence_plan(context))
+        name = None
+        if isinstance(expr.name, ast.Literal):
+            name = str(expr.name.value)
+        return NodeConstructor(content, expr.kind, name)
+
+    def _compile_OrderedExpr(self, expr: ast.OrderedExpr, context: CompilationContext) -> Operator:
+        return self._compile(expr.body, context)
+
+    # ------------------------------------------------------------------ the IFP form
+
+    def _compile_WithExpr(self, expr: ast.WithExpr, context: CompilationContext) -> Operator:
+        if not context.loop_is_single:
+            raise AlgebraError(
+                "with … seeded by … recurse under an enclosing iteration is not supported "
+                "by the algebra backend; evaluate the fixpoint per seed instead"
+            )
+        seed = self._compile(expr.seed, context)
+        recursion_input = RecursionInput(expr.var)
+        body_context = context.bind(expr.var, recursion_input)
+        body_plan = self._compile(expr.body, body_context)
+        variant = self._fixpoint_variant(expr, body_plan, recursion_input)
+        return Fixpoint(seed, body_plan, recursion_input, variant=variant)
+
+    def _fixpoint_variant(self, expr: ast.WithExpr, body_plan: Operator,
+                          recursion_input: RecursionInput) -> str:
+        if expr.algorithm == "naive":
+            return "mu"
+        if expr.algorithm == "delta":
+            return "mu_delta"
+        from repro.algebra.distributivity import plan_allows_union_pushup
+
+        return "mu_delta" if plan_allows_union_pushup(body_plan, recursion_input) else "mu"
+
+    # ------------------------------------------------------------------ helpers
+
+    def _attach_constant(self, loop: Operator, value) -> Operator:
+        with_pos = ScalarOp(loop, "pos", [], lambda: 1, name="pos")
+        with_item = ScalarOp(with_pos, "item", [], lambda: value, name="const")
+        return Project(with_item, [("iter", "iter"), ("pos", "pos"), ("item", "item")])
+
+    def _empty_sequence_plan(self, context: CompilationContext) -> Operator:
+        return LiteralTable(Table(SEQ_COLUMNS))
+
+    def _with_pos(self, plan: Operator) -> Operator:
+        """Attach a constant ``pos`` column and normalise the column order."""
+        with_pos = ScalarOp(plan, "pos_n", [], lambda: 1, name="pos")
+        return Project(with_pos, [("iter", "iter"), ("pos", "pos_n"), ("item", "item")])
+
+    def _uses_context_item(self, expr: ast.Expr) -> bool:
+        return any(isinstance(sub, (ast.ContextItem, ast.RootExpr))
+                   for sub in expr.iter_subexpressions())
+
+
+# ---------------------------------------------------------------------------
+# scalar helpers used inside ScalarOp
+# ---------------------------------------------------------------------------
+
+
+def _effective_boolean(value) -> bool:
+    if is_node(value):
+        return True
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0 and value == value
+    if isinstance(value, str):
+        return len(value) > 0
+    return value is not None
+
+
+def _general_equal(left, right) -> bool:
+    left, right = _promote(left, right)
+    return atomic_equal(left, right)
+
+
+def _promote(left, right):
+    if isinstance(left, UntypedAtomic) and isinstance(right, (int, float)) and not isinstance(right, bool):
+        return xs_double(left), right
+    if isinstance(right, UntypedAtomic) and isinstance(left, (int, float)) and not isinstance(left, bool):
+        return left, xs_double(right)
+    if isinstance(left, UntypedAtomic) or isinstance(right, UntypedAtomic):
+        return str(left), str(right)
+    return left, right
+
+
+def _comparison_function(op: str):
+    def compare(left, right) -> bool:
+        left_p, right_p = _promote(left, right)
+        if op in ("=", "eq"):
+            return atomic_equal(left_p, right_p)
+        if op in ("!=", "ne"):
+            return not atomic_equal(left_p, right_p)
+        if op in ("<", "lt"):
+            return atomic_less_than(left_p, right_p)
+        if op in ("<=", "le"):
+            return atomic_less_than(left_p, right_p) or atomic_equal(left_p, right_p)
+        if op in (">", "gt"):
+            return atomic_less_than(right_p, left_p)
+        if op in (">=", "ge"):
+            return atomic_less_than(right_p, left_p) or atomic_equal(left_p, right_p)
+        raise AlgebraError(f"unsupported comparison operator {op!r}")
+
+    return compare
+
+
+def _arithmetic_function(op: str):
+    def apply(left, right):
+        left_n = xs_double(left) if isinstance(left, (str, UntypedAtomic)) else left
+        right_n = xs_double(right) if isinstance(right, (str, UntypedAtomic)) else right
+        if op == "+":
+            return left_n + right_n
+        if op == "-":
+            return left_n - right_n
+        if op == "*":
+            return left_n * right_n
+        if op == "div":
+            return left_n / right_n
+        if op == "idiv":
+            return int(left_n // right_n)
+        if op == "mod":
+            return left_n - right_n * int(left_n / right_n)
+        raise AlgebraError(f"unsupported arithmetic operator {op!r}")
+
+    return apply
+
+
+# ---------------------------------------------------------------------------
+# module-level conveniences
+# ---------------------------------------------------------------------------
+
+
+def compile_expression(expr: ast.Expr,
+                       documents: DocumentResolver | None = None,
+                       document: DocumentNode | None = None,
+                       functions: dict[tuple[str, int], ast.FunctionDecl] | None = None) -> Operator:
+    """Compile a top-level expression with a fresh compiler."""
+    compiler = AlgebraCompiler(documents=documents, document=document, functions=functions)
+    return compiler.compile(expr)
+
+
+def compile_recursion_body(body: ast.Expr, variable: str,
+                           documents: DocumentResolver | None = None,
+                           document: DocumentNode | None = None,
+                           functions: dict[tuple[str, int], ast.FunctionDecl] | None = None,
+                           analysis_only: bool = True) -> tuple[Operator, RecursionInput]:
+    """Compile a recursion body for analysis or µ/µ∆ evaluation."""
+    compiler = AlgebraCompiler(documents=documents, document=document,
+                               functions=functions, analysis_only=analysis_only)
+    return compiler.compile_recursion_body(body, variable)

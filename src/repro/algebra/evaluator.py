@@ -1,0 +1,160 @@
+"""Interpreted evaluation of algebra plans, including µ and µ∆.
+
+The engine evaluates a plan DAG bottom-up with memoisation (shared subplans
+are computed once).  Fixpoint operators are handled by the engine itself:
+the body plan is re-evaluated once per iteration with the
+:class:`~repro.algebra.operators.RecursionInput` leaf rebound — to the whole
+accumulated result for µ (algorithm Naive) or to the per-round delta for µ∆
+(algorithm Delta).  The engine counts the rows fed into the body per
+iteration, which is the algebraic counterpart of Table 2's "total number of
+nodes fed back".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import AlgebraError
+from repro.algebra.operators import Fixpoint, Operator, RecursionInput
+from repro.algebra.table import Table
+from repro.fixpoint.stats import FixpointStatistics
+from repro.xdm.sequence import ddo
+
+
+@dataclass
+class AlgebraStatistics:
+    """Row-level statistics collected while evaluating a plan."""
+
+    operator_invocations: int = 0
+    fixpoint_runs: list[FixpointStatistics] = field(default_factory=list)
+
+    @property
+    def total_rows_fed_back(self) -> int:
+        return sum(run.total_nodes_fed_back for run in self.fixpoint_runs)
+
+    @property
+    def max_recursion_depth(self) -> int:
+        return max((run.recursion_depth for run in self.fixpoint_runs), default=0)
+
+
+class AlgebraEvaluator:
+    """Evaluates plan DAGs over ``iter|pos|item`` tables."""
+
+    def __init__(self, max_iterations: int = 100_000):
+        self.max_iterations = max_iterations
+        self.statistics = AlgebraStatistics()
+        self._recursion_binding: Optional[Table] = None
+
+    # -- engine protocol ------------------------------------------------------
+
+    def recursion_input(self) -> Table:
+        if self._recursion_binding is None:
+            raise AlgebraError("recursion input used outside a fixpoint evaluation")
+        return self._recursion_binding
+
+    def evaluate_plan(self, plan: Operator) -> Table:
+        """Evaluate *plan* and return its output table."""
+        return self._evaluate(plan, cache={})
+
+    # -- internals ---------------------------------------------------------------
+
+    def _evaluate(self, operator: Operator, cache: dict[int, Table]) -> Table:
+        if id(operator) in cache:
+            return cache[id(operator)]
+        if isinstance(operator, Fixpoint):
+            result = self._evaluate_fixpoint(operator, cache)
+        else:
+            inputs = [self._evaluate(child, cache) for child in operator.children]
+            self.statistics.operator_invocations += 1
+            result = operator.compute(inputs, self)
+        cache[id(operator)] = result
+        return result
+
+    def _evaluate_fixpoint(self, operator: Fixpoint, cache: dict[int, Table]) -> Table:
+        seed_table = self._evaluate(operator.seed_plan, cache)
+        statistics = FixpointStatistics(
+            algorithm="delta" if operator.variant == "mu_delta" else "naive"
+        )
+        if operator.variant == "mu_delta":
+            result = self._run_mu_delta(operator, seed_table, statistics)
+        else:
+            result = self._run_mu(operator, seed_table, statistics)
+        self.statistics.fixpoint_runs.append(statistics)
+        return result
+
+    def _apply_body(self, operator: Fixpoint, input_table: Table) -> Table:
+        """Evaluate the body plan with the recursion input bound to *input_table*."""
+        previous = self._recursion_binding
+        self._recursion_binding = input_table
+        try:
+            # The body must be re-evaluated from scratch each round: no cache
+            # entries may survive because the recursion input changed.
+            return self._evaluate(operator.body_plan, cache={})
+        finally:
+            self._recursion_binding = previous
+
+    def _run_mu(self, operator: Fixpoint, seed: Table, statistics: FixpointStatistics) -> Table:
+        fed = seed
+        produced = self._apply_body(operator, fed)
+        result = _distinct_items(produced)
+        statistics.record(0, len(fed), len(produced), len(result), len(result))
+        iteration = 0
+        while True:
+            iteration += 1
+            if iteration > self.max_iterations:
+                raise AlgebraError("µ did not reach a fixed point within the iteration bound")
+            fed = result
+            produced = self._apply_body(operator, fed)
+            combined = _union_items(result, produced)
+            new_rows = len(combined) - len(result)
+            statistics.record(iteration, len(fed), len(produced), new_rows, len(combined))
+            if new_rows == 0:
+                return combined
+            result = combined
+
+    def _run_mu_delta(self, operator: Fixpoint, seed: Table, statistics: FixpointStatistics) -> Table:
+        fed = seed
+        produced = self._apply_body(operator, fed)
+        result = _distinct_items(produced)
+        delta = result
+        statistics.record(0, len(fed), len(produced), len(result), len(result))
+        iteration = 0
+        while len(delta) > 0:
+            iteration += 1
+            if iteration > self.max_iterations:
+                raise AlgebraError("µ∆ did not reach a fixed point within the iteration bound")
+            fed = delta
+            produced = self._apply_body(operator, fed)
+            delta = _difference_items(produced, result)
+            result = _union_items(result, delta)
+            statistics.record(iteration, len(fed), len(produced), len(delta), len(result))
+        return result
+
+
+# ---------------------------------------------------------------------------
+# helpers over iter|pos|item tables (item identity = node identity)
+# ---------------------------------------------------------------------------
+
+
+def _items(table: Table) -> list:
+    index = table.column_index("item")
+    return [row[index] for row in table.rows]
+
+
+def _table_from_items(items: list) -> Table:
+    ordered = ddo(items)
+    return Table(("iter", "pos", "item"), [(1, position, node) for position, node in enumerate(ordered, start=1)])
+
+
+def _distinct_items(table: Table) -> Table:
+    return _table_from_items(_items(table))
+
+
+def _union_items(left: Table, right: Table) -> Table:
+    return _table_from_items(_items(left) + _items(right))
+
+
+def _difference_items(left: Table, right: Table) -> Table:
+    removed = {id(item) for item in _items(right)}
+    return _table_from_items([item for item in _items(left) if id(item) not in removed])

@@ -1,0 +1,648 @@
+"""The relational algebra dialect of Table 1.
+
+Every operator records whether a union may be pushed up through it
+(``union_pushable`` — the "Push?" column of Table 1) and knows how to
+compute its output table from its input tables.  Plans are DAGs of
+operators; sharing is by object identity and the evaluator memoises
+accordingly.
+
+Following the paper, the non-textbook operators (the XPath step join, the
+``fn:id`` lookup, node constructors and the fixpoint operators µ/µ∆) are
+"macros": single operators standing for micro-plans of standard relational
+operators.  Their ``union_pushable`` flags are those Table 1 assigns to the
+macro as a whole.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import AlgebraError
+from repro.algebra.table import Table
+from repro.xdm.items import is_node, string_value_of_item
+from repro.xdm.node import AttributeNode, CommentNode, DocumentNode, ElementNode, Node, TextNode
+from repro.xdm.sequence import ddo
+
+_operator_ids = itertools.count(1)
+
+_EVALUATOR_SINGLETON = None
+
+
+def _shared_evaluator():
+    """A lazily created XQuery evaluator reused by the step-join macro."""
+    global _EVALUATOR_SINGLETON
+    if _EVALUATOR_SINGLETON is None:
+        from repro.xquery.evaluator import Evaluator
+
+        _EVALUATOR_SINGLETON = Evaluator()
+    return _EVALUATOR_SINGLETON
+
+
+class Operator:
+    """Base class of all plan operators."""
+
+    #: Symbol used when rendering plans (Table 1 notation).
+    symbol: str = "?"
+    #: The "Push?" column of Table 1: may ∪ be pushed up through this operator?
+    union_pushable: bool = False
+    #: True for operators the checker may skip when duplicates/order are
+    #: irrelevant (Section 4.1): duplicate elimination and row numbering.
+    order_or_duplicates_only: bool = False
+
+    def __init__(self, children: Sequence["Operator"] = ()):  # noqa: D401
+        self.children: tuple[Operator, ...] = tuple(children)
+        self.operator_id: int = next(_operator_ids)
+        #: Optional template tag (plan fragments the checker can big-step over).
+        self.template: Optional[str] = None
+
+    # -- evaluation -----------------------------------------------------------
+
+    def compute(self, inputs: list[Table], engine: "AlgebraEngineProtocol") -> Table:
+        """Compute the operator's output from its children's outputs."""
+        raise NotImplementedError
+
+    # -- rendering -------------------------------------------------------------
+
+    def label(self) -> str:
+        return self.symbol
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} #{self.operator_id}>"
+
+    def iter_operators(self):
+        """Pre-order DAG iteration (each operator yielded once)."""
+        seen: set[int] = set()
+        stack = [self]
+        while stack:
+            operator = stack.pop()
+            if id(operator) in seen:
+                continue
+            seen.add(id(operator))
+            yield operator
+            stack.extend(operator.children)
+
+
+class AlgebraEngineProtocol:
+    """What operators may ask of the engine during evaluation."""
+
+    def recursion_input(self) -> Table:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+    def evaluate_plan(self, plan: Operator) -> Table:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# leaves
+# ---------------------------------------------------------------------------
+
+
+class LiteralTable(Operator):
+    """A constant table (used for literal frequencies, loop seeds, ...)."""
+
+    symbol = "table"
+    union_pushable = True
+
+    def __init__(self, table: Table):
+        super().__init__()
+        self.table = table
+
+    def compute(self, inputs, engine):
+        return self.table
+
+    def label(self):
+        return f"table({'|'.join(self.table.columns)}, {len(self.table)})"
+
+
+class DocumentRoot(Operator):
+    """The ``fn:doc`` leaf: one row per loop iteration carrying the doc node."""
+
+    symbol = "doc"
+    union_pushable = True
+
+    def __init__(self, loop: Operator, document: DocumentNode):
+        super().__init__([loop])
+        self.document = document
+
+    def compute(self, inputs, engine):
+        loop = inputs[0]
+        iter_index = loop.column_index("iter")
+        rows = [(row[iter_index], 1, self.document) for row in loop.rows]
+        return Table(("iter", "pos", "item"), rows)
+
+
+class RecursionInput(Operator):
+    """The recursion variable's input inside a fixpoint body plan.
+
+    During µ/µ∆ evaluation the engine rebinds this leaf to the current
+    (respectively delta) intermediate result; during the distributivity
+    check it is the place where the symbolic ∪ starts its way up the plan
+    (Figure 7a).
+    """
+
+    symbol = "$x"
+    union_pushable = True
+
+    def __init__(self, variable: str):
+        super().__init__()
+        self.variable = variable
+
+    def compute(self, inputs, engine):
+        return engine.recursion_input()
+
+    def label(self):
+        return f"${self.variable}"
+
+
+# ---------------------------------------------------------------------------
+# textbook operators
+# ---------------------------------------------------------------------------
+
+
+class Project(Operator):
+    """π — projection with renaming: ``mapping`` is (new, old) pairs."""
+
+    symbol = "π"
+    union_pushable = True
+
+    def __init__(self, child: Operator, mapping: Sequence[tuple[str, str]]):
+        super().__init__([child])
+        self.mapping = tuple(mapping)
+
+    def compute(self, inputs, engine):
+        return inputs[0].project(self.mapping)
+
+    def label(self):
+        parts = [new if new == old else f"{new}:{old}" for new, old in self.mapping]
+        return f"π_{{{','.join(parts)}}}"
+
+
+class Select(Operator):
+    """σ — keep rows whose boolean column is true."""
+
+    symbol = "σ"
+    union_pushable = True
+
+    def __init__(self, child: Operator, column: str):
+        super().__init__([child])
+        self.column = column
+
+    def compute(self, inputs, engine):
+        index = inputs[0].column_index(self.column)
+        return Table(inputs[0].columns, [row for row in inputs[0].rows if row[index]])
+
+    def label(self):
+        return f"σ_{self.column}"
+
+
+class Join(Operator):
+    """⋈ — equi-join on pairs of columns (left column, right column)."""
+
+    symbol = "⋈"
+    union_pushable = True
+
+    def __init__(self, left: Operator, right: Operator,
+                 conditions: Sequence[tuple[str, str]],
+                 comparison: Callable[[Any, Any], bool] | None = None):
+        super().__init__([left, right])
+        self.conditions = tuple(conditions)
+        self.comparison = comparison
+
+    def compute(self, inputs, engine):
+        left, right = inputs
+        out_columns = left.columns + tuple(c for c in right.columns if c not in left.columns)
+        right_keep = [i for i, c in enumerate(right.columns) if c not in left.columns]
+        left_indices = [left.column_index(l) for l, _r in self.conditions]
+        right_indices = [right.column_index(r) for _l, r in self.conditions]
+        compare = self.comparison or _default_equality
+
+        rows = []
+        if self.comparison is None and self.conditions:
+            # hash join on the (hashable-by-identity) key
+            from repro.algebra.table import _hashable
+
+            index: dict[tuple, list[tuple]] = {}
+            for row in right.rows:
+                key = tuple(_hashable(row[i]) for i in right_indices)
+                index.setdefault(key, []).append(row)
+            for row in left.rows:
+                key = tuple(_hashable(row[i]) for i in left_indices)
+                for match in index.get(key, ()):
+                    rows.append(row + tuple(match[i] for i in right_keep))
+            return Table(out_columns, rows)
+
+        for left_row in left.rows:
+            for right_row in right.rows:
+                if all(
+                    compare(left_row[li], right_row[ri])
+                    for li, ri in zip(left_indices, right_indices)
+                ):
+                    rows.append(left_row + tuple(right_row[i] for i in right_keep))
+        return Table(out_columns, rows)
+
+    def label(self):
+        condition = ",".join(f"{l}={r}" for l, r in self.conditions)
+        return f"⋈_{{{condition}}}"
+
+
+def _default_equality(left: Any, right: Any) -> bool:
+    if is_node(left) or is_node(right):
+        return left is right
+    from repro.xdm.comparison import atomic_equal
+
+    return atomic_equal(left, right)
+
+
+class Cross(Operator):
+    """× — Cartesian product."""
+
+    symbol = "×"
+    union_pushable = True
+
+    def compute(self, inputs, engine):
+        left, right = inputs
+        out_columns = left.columns + tuple(c for c in right.columns if c not in left.columns)
+        right_keep = [i for i, c in enumerate(right.columns) if c not in left.columns]
+        rows = [
+            l + tuple(r[i] for i in right_keep)
+            for l in left.rows
+            for r in right.rows
+        ]
+        return Table(out_columns, rows)
+
+
+class Distinct(Operator):
+    """δ — duplicate elimination.
+
+    Not union-pushable under the bag semantics of Table 1, but the
+    distributivity checker may skip it entirely because distributivity is
+    defined up to duplicates (Section 4.1) — hence
+    ``order_or_duplicates_only``.
+    """
+
+    symbol = "δ"
+    union_pushable = False
+    order_or_duplicates_only = True
+
+    def compute(self, inputs, engine):
+        return inputs[0].distinct()
+
+
+class UnionAll(Operator):
+    """∪ — union (bag union of union-compatible inputs)."""
+
+    symbol = "∪"
+    union_pushable = True
+
+    def compute(self, inputs, engine):
+        left, right = inputs
+        return left.union_all(right)
+
+
+class Difference(Operator):
+    """\\ — EXCEPT ALL.  Consumes both inputs entirely: not pushable."""
+
+    symbol = "\\"
+    union_pushable = False
+
+    def compute(self, inputs, engine):
+        left, right = inputs
+        return left.difference(right)
+
+
+class Aggregate(Operator):
+    """Grouping aggregate (count/sum/max/min) — blocks union push-up.
+
+    ``group_by`` names the grouping columns (typically ``iter``),
+    ``source`` the aggregated column, ``result`` the output column.
+    ``loop`` optionally supplies the iterations that must appear in the
+    output even when they have no input rows (count = 0 semantics).
+    """
+
+    symbol = "count"
+    union_pushable = False
+
+    def __init__(self, child: Operator, kind: str, group_by: Sequence[str],
+                 source: Optional[str], result: str, loop: Operator | None = None):
+        children = [child] + ([loop] if loop is not None else [])
+        super().__init__(children)
+        self.kind = kind
+        self.group_by = tuple(group_by)
+        self.source = source
+        self.result = result
+        self.has_loop = loop is not None
+
+    def compute(self, inputs, engine):
+        table = inputs[0]
+        groups: dict[tuple, list] = {}
+        group_indices = [table.column_index(c) for c in self.group_by]
+        source_index = table.column_index(self.source) if self.source else None
+        for row in table.rows:
+            key = tuple(row[i] for i in group_indices)
+            groups.setdefault(key, []).append(row[source_index] if source_index is not None else 1)
+        if self.has_loop:
+            loop = inputs[1]
+            loop_iter = loop.column_index("iter")
+            for row in loop.rows:
+                groups.setdefault((row[loop_iter],) if len(self.group_by) == 1 else tuple(), [])
+        rows = []
+        for key, values in groups.items():
+            rows.append(key + (self._aggregate(values),))
+        return Table(self.group_by + (self.result,), rows)
+
+    def _aggregate(self, values: list) -> Any:
+        if self.kind == "count":
+            return len(values)
+        if not values:
+            return None
+        if self.kind == "sum":
+            return sum(values)
+        if self.kind == "max":
+            return max(values)
+        if self.kind == "min":
+            return min(values)
+        raise AlgebraError(f"unknown aggregate kind '{self.kind}'")
+
+    def label(self):
+        return f"{self.kind}_{self.result}/{','.join(self.group_by)}"
+
+
+class ScalarOp(Operator):
+    """⊚ — n-ary arithmetic/comparison operator computing a new column."""
+
+    symbol = "⊚"
+    union_pushable = True
+
+    def __init__(self, child: Operator, result: str, sources: Sequence[str],
+                 function: Callable[..., Any], name: str = "fun"):
+        super().__init__([child])
+        self.result = result
+        self.sources = tuple(sources)
+        self.function = function
+        self.name = name
+
+    def compute(self, inputs, engine):
+        table = inputs[0]
+        indices = [table.column_index(c) for c in self.sources]
+        rows = [row + (self.function(*(row[i] for i in indices)),) for row in table.rows]
+        return Table(table.columns + (self.result,), rows)
+
+    def label(self):
+        return f"⊚{self.name}_{self.result}:<{','.join(self.sources)}>"
+
+
+class RowTag(Operator):
+    """# — attach a unique row identifier column."""
+
+    symbol = "#"
+    union_pushable = True
+
+    def __init__(self, child: Operator, result: str):
+        super().__init__([child])
+        self.result = result
+
+    def compute(self, inputs, engine):
+        table = inputs[0]
+        rows = [row + (f"r{self.operator_id}_{index}",) for index, row in enumerate(table.rows)]
+        return Table(table.columns + (self.result,), rows)
+
+    def label(self):
+        return f"#_{self.result}"
+
+
+class RowNumber(Operator):
+    """̺ — ordered row numbering; requires its whole input, blocks push-up."""
+
+    symbol = "̺"
+    union_pushable = False
+    order_or_duplicates_only = True
+
+    def __init__(self, child: Operator, result: str, order_by: Sequence[str],
+                 partition_by: Sequence[str] = ()):
+        super().__init__([child])
+        self.result = result
+        self.order_by = tuple(order_by)
+        self.partition_by = tuple(partition_by)
+
+    def compute(self, inputs, engine):
+        table = inputs[0].sort_by(self.partition_by + self.order_by)
+        partition_indices = [table.column_index(c) for c in self.partition_by]
+        counters: dict[tuple, int] = {}
+        rows = []
+        for row in table.rows:
+            key = tuple(row[i] for i in partition_indices)
+            counters[key] = counters.get(key, 0) + 1
+            rows.append(row + (counters[key],))
+        return Table(table.columns + (self.result,), rows)
+
+    def label(self):
+        return f"̺_{self.result}:<{','.join(self.order_by)}>"
+
+
+# ---------------------------------------------------------------------------
+# XQuery-specific macro operators
+# ---------------------------------------------------------------------------
+
+
+class StepJoin(Operator):
+    """ — the XPath location-step macro (axis ``α``, node test ``n``).
+
+    Input: ``iter|pos|item`` with node items (the context nodes).
+    Output: ``iter|pos|item`` containing the step results per iteration in
+    document order without duplicates (the ddo that the macro encapsulates).
+    """
+
+    symbol = "step"
+    union_pushable = True
+
+    def __init__(self, child: Operator, axis: str, node_test_kind: str,
+                 node_test_name: Optional[str] = None):
+        super().__init__([child])
+        self.axis = axis
+        self.node_test_kind = node_test_kind
+        self.node_test_name = node_test_name
+        self.template = "step"
+
+    def compute(self, inputs, engine):
+        table = inputs[0]
+        iter_index = table.column_index("iter")
+        item_index = table.column_index("item")
+        per_iteration: dict[Any, list[Node]] = {}
+        iteration_order: list[Any] = []
+        for row in table.rows:
+            iteration = row[iter_index]
+            node = row[item_index]
+            if not is_node(node):
+                raise AlgebraError("step join applied to a non-node item")
+            if iteration not in per_iteration:
+                per_iteration[iteration] = []
+                iteration_order.append(iteration)
+            per_iteration[iteration].extend(self._step(node))
+        rows = []
+        for iteration in iteration_order:
+            for position, node in enumerate(ddo(per_iteration[iteration]), start=1):
+                rows.append((iteration, position, node))
+        return Table(("iter", "pos", "item"), rows)
+
+    def _step(self, node: Node) -> list[Node]:
+        from repro.xquery import ast as xq_ast
+
+        evaluator = _shared_evaluator()
+        axis_nodes = evaluator._axis_nodes(node, self.axis)
+        test = xq_ast.NodeTest(self.node_test_kind, self.node_test_name)
+        return [candidate for candidate in axis_nodes
+                if evaluator._node_test(candidate, test, self.axis)]
+
+    def label(self):
+        if self.node_test_kind == "name":
+            test = self.node_test_name or "*"
+        else:
+            test = f"{self.node_test_kind}({self.node_test_name or ''})"
+        return f"{self.axis}::{test}"
+
+
+class IdLookup(Operator):
+    """The ``fn:id`` macro: resolve ID strings to elements of a document."""
+
+    symbol = "id"
+    union_pushable = True
+
+    def __init__(self, child: Operator, document: DocumentNode):
+        super().__init__([child])
+        self.document = document
+        self.template = "id"
+
+    def compute(self, inputs, engine):
+        table = inputs[0]
+        iter_index = table.column_index("iter")
+        item_index = table.column_index("item")
+        per_iteration: dict[Any, list[Node]] = {}
+        order: list[Any] = []
+        for row in table.rows:
+            iteration = row[iter_index]
+            if iteration not in per_iteration:
+                per_iteration[iteration] = []
+                order.append(iteration)
+            value = row[item_index]
+            text = string_value_of_item(value)
+            for token in text.split():
+                element = self.document.lookup_id(token)
+                if element is not None:
+                    per_iteration[iteration].append(element)
+        rows = []
+        for iteration in order:
+            for position, node in enumerate(ddo(per_iteration[iteration]), start=1):
+                rows.append((iteration, position, node))
+        return Table(("iter", "pos", "item"), rows)
+
+
+class AtomizeValue(Operator):
+    """Itemwise atomization (typed value of nodes) — pushable."""
+
+    symbol = "data"
+    union_pushable = True
+
+    def compute(self, inputs, engine):
+        table = inputs[0]
+        item_index = table.column_index("item")
+        rows = []
+        for row in table.rows:
+            value = row[item_index]
+            atomized = value.typed_value() if is_node(value) else value
+            rows.append(row[:item_index] + (atomized,) + row[item_index + 1:])
+        return Table(table.columns, rows)
+
+
+class NodeConstructor(Operator):
+    """ε — node construction; creates fresh identities, never pushable."""
+
+    symbol = "ε"
+    union_pushable = False
+
+    def __init__(self, child: Operator, kind: str, name: Optional[str] = None):
+        super().__init__([child])
+        self.kind = kind
+        self.name = name
+
+    def compute(self, inputs, engine):
+        table = inputs[0]
+        iter_index = table.column_index("iter")
+        item_index = table.column_index("item")
+        per_iteration: dict[Any, list] = {}
+        order = []
+        for row in table.rows:
+            iteration = row[iter_index]
+            if iteration not in per_iteration:
+                per_iteration[iteration] = []
+                order.append(iteration)
+            per_iteration[iteration].append(row[item_index])
+        rows = []
+        for iteration in order:
+            rows.append((iteration, 1, self._construct(per_iteration[iteration])))
+        return Table(("iter", "pos", "item"), rows)
+
+    def _construct(self, items: list):
+        text = " ".join(string_value_of_item(item) for item in items)
+        if self.kind == "text":
+            return TextNode(text)
+        if self.kind == "comment":
+            return CommentNode(text)
+        if self.kind == "attribute":
+            return AttributeNode(self.name or "value", text)
+        element = ElementNode(self.name or "element")
+        for item in items:
+            if is_node(item):
+                from repro.xdm.document import copy_node
+
+                if isinstance(item, AttributeNode):
+                    element.add_attribute(AttributeNode(item.name, item.value))
+                else:
+                    element.append_child(copy_node(item))
+            else:
+                element.append_child(TextNode(string_value_of_item(item)))
+        return element
+
+    def label(self):
+        return f"ε_{self.kind}({self.name or ''})"
+
+
+# ---------------------------------------------------------------------------
+# fixpoint operators
+# ---------------------------------------------------------------------------
+
+
+class Fixpoint(Operator):
+    """µ / µ∆ — the algebraic fixpoint operators (Section 4.1).
+
+    ``children[0]`` is the seed plan, ``body`` is the recursion body plan
+    containing exactly one :class:`RecursionInput` leaf.  ``variant`` is
+    ``"mu"`` (Naive) or ``"mu_delta"`` (Delta).  The operator is evaluated by
+    the algebra engine, which iterates the body plan and rebinds the
+    recursion input between rounds; it is itself union-pushable (Table 1).
+    """
+
+    symbol = "µ"
+    union_pushable = True
+
+    def __init__(self, seed: Operator, body: Operator, recursion_input: RecursionInput,
+                 variant: str = "mu"):
+        super().__init__([seed, body])
+        self.recursion_input = recursion_input
+        self.variant = variant
+
+    @property
+    def seed_plan(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def body_plan(self) -> Operator:
+        return self.children[1]
+
+    def compute(self, inputs, engine):
+        raise AlgebraError(
+            "fixpoint operators are evaluated by the algebra engine, not standalone"
+        )
+
+    def label(self):
+        return "µ∆" if self.variant == "mu_delta" else "µ"

@@ -1,0 +1,275 @@
+"""Convenience API: the entry points a downstream user starts from.
+
+The lower-level packages (``repro.xquery``, ``repro.fixpoint``,
+``repro.distributivity``, ``repro.algebra``) remain fully usable on their
+own; this module wires them together behind a handful of functions:
+
+>>> from repro import parse_xml, evaluate
+>>> doc = parse_xml('<r><a code="a1"/><a code="a2"/></r>', id_attributes=("code",))
+>>> result = evaluate('count(//a)', documents={"doc.xml": doc}, context_item=doc)
+>>> result.items
+[2]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.fixpoint.engine import FixpointEngine, FixpointResult
+from repro.fixpoint.stats import StatisticsCollector
+from repro.xdm.node import DocumentNode, Node
+from repro.xmlio.parser import parse_xml, parse_xml_file
+from repro.xquery import ast
+from repro.xquery.context import (
+    DocumentResolver,
+    DynamicContext,
+    EvaluationOptions,
+    StaticContext,
+)
+from repro.xquery.evaluator import Evaluator
+from repro.xquery.optimizer import optimize_module
+from repro.xquery.parser import parse_expression, parse_query
+
+
+class Engine(str, Enum):
+    """Which execution backend evaluates a query."""
+
+    #: The tree-walking interpreter with the native IFP operator.
+    INTERPRETER = "interpreter"
+    #: The Relational XQuery backend (compile to algebra, evaluate plans).
+    ALGEBRA = "algebra"
+
+
+@dataclass
+class QueryResult:
+    """The outcome of :func:`evaluate` / :func:`evaluate_query`."""
+
+    items: list
+    statistics: StatisticsCollector = field(default_factory=StatisticsCollector)
+
+    @property
+    def nodes_fed_back(self) -> int:
+        """Total nodes fed into recursion bodies across all IFPs in the query."""
+        return self.statistics.total_nodes_fed_back
+
+    @property
+    def recursion_depth(self) -> int:
+        return self.statistics.max_recursion_depth
+
+    def string_values(self) -> list[str]:
+        from repro.xdm.items import string_value_of_item
+
+        return [string_value_of_item(item) for item in self.items]
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def parse_query_text(text: str) -> ast.Module:
+    """Parse a query (prolog + body) without evaluating it.
+
+    ``repro.parse_query`` (re-exported from :mod:`repro.xquery.parser`) is an
+    alias of the same operation; this wrapper exists for symmetry with
+    :func:`evaluate_query`.
+    """
+    return parse_query(text)
+
+
+def _build_resolver(documents: Mapping[str, DocumentNode | str] | DocumentResolver | None,
+                    id_attributes: Iterable[str]) -> DocumentResolver:
+    if isinstance(documents, DocumentResolver):
+        return documents
+    resolver = DocumentResolver()
+    for uri, doc in (documents or {}).items():
+        if isinstance(doc, str):
+            doc = parse_xml(doc, id_attributes=id_attributes)
+        resolver.register(uri, doc)
+    return resolver
+
+
+def evaluate(query: str,
+             documents: Mapping[str, DocumentNode | str] | DocumentResolver | None = None,
+             variables: Mapping[str, Sequence[Any] | Any] | None = None,
+             context_item: Any = None,
+             ifp_algorithm: str = "auto",
+             distributivity_checker: str = "syntactic",
+             engine: Engine | str = Engine.INTERPRETER,
+             optimize: bool = True,
+             id_attributes: Iterable[str] = ("id", "xml:id")) -> QueryResult:
+    """Parse and evaluate an XQuery query.
+
+    Parameters
+    ----------
+    query:
+        The query text (LiXQuery-style subset plus ``with … recurse``).
+    documents:
+        Documents available to ``fn:doc``: a mapping from URI to a parsed
+        document or XML text, or a pre-built resolver.
+    variables:
+        External variable bindings (``declare variable $x external``).
+    context_item:
+        Initial context item (usually a document or element node).
+    ifp_algorithm:
+        ``"auto"`` (choose Delta when the distributivity check allows),
+        ``"naive"`` or ``"delta"``.
+    distributivity_checker:
+        ``"syntactic"`` (Figure 5), ``"algebraic"`` (Section 4) or ``"never"``.
+    engine:
+        :class:`Engine.INTERPRETER` (default) or :class:`Engine.ALGEBRA`.
+    optimize:
+        Apply the AST-level rewrites of :mod:`repro.xquery.optimizer`.
+    id_attributes:
+        Attribute names treated as IDs when XML text is parsed here.
+    """
+    module = parse_query(query)
+    return evaluate_query(
+        module, documents=documents, variables=variables, context_item=context_item,
+        ifp_algorithm=ifp_algorithm, distributivity_checker=distributivity_checker,
+        engine=engine, optimize=optimize, id_attributes=id_attributes,
+    )
+
+
+def evaluate_query(module: ast.Module,
+                   documents: Mapping[str, DocumentNode | str] | DocumentResolver | None = None,
+                   variables: Mapping[str, Sequence[Any] | Any] | None = None,
+                   context_item: Any = None,
+                   ifp_algorithm: str = "auto",
+                   distributivity_checker: str = "syntactic",
+                   engine: Engine | str = Engine.INTERPRETER,
+                   optimize: bool = True,
+                   id_attributes: Iterable[str] = ("id", "xml:id")) -> QueryResult:
+    """Evaluate an already-parsed query module (see :func:`evaluate`)."""
+    engine = Engine(engine)
+    if optimize:
+        module = optimize_module(module)
+    resolver = _build_resolver(documents, id_attributes)
+    statistics = StatisticsCollector()
+    options = EvaluationOptions(
+        ifp_algorithm=ifp_algorithm,
+        distributivity_checker=distributivity_checker,
+    )
+    context = DynamicContext(
+        static=StaticContext(options=options),
+        documents=resolver,
+        statistics=statistics,
+    )
+    for name, value in (variables or {}).items():
+        context = context.bind(name, list(value) if isinstance(value, (list, tuple)) else [value])
+    if context_item is not None:
+        context = context.with_focus(context_item, 1, 1)
+
+    if engine is Engine.INTERPRETER:
+        evaluator = Evaluator()
+        items = evaluator.evaluate_module(module, context)
+        return QueryResult(items=items, statistics=statistics)
+
+    # Algebra backend: compile the body (prolog functions are inlined).
+    from repro.algebra.compiler import AlgebraCompiler
+    from repro.algebra.evaluator import AlgebraEvaluator
+
+    default_document = None
+    known = resolver.known_uris()
+    if known:
+        default_document = resolver.resolve(known[0])
+    compiler = AlgebraCompiler(documents=resolver, document=default_document,
+                               functions=module.function_map())
+    evaluator = Evaluator()
+    compile_context = compiler.initial_context()
+    for declaration in module.variables:
+        if declaration.value is None:
+            continue
+        value = evaluator.evaluate(declaration.value, DynamicContext(documents=resolver))
+        from repro.algebra.operators import LiteralTable
+        from repro.algebra.table import Table
+
+        rows = [(1, position, item) for position, item in enumerate(value, start=1)]
+        compile_context = compile_context.bind(declaration.name,
+                                               LiteralTable(Table(("iter", "pos", "item"), rows)))
+    plan = compiler.compile(module.body, compile_context)
+    algebra_engine = AlgebraEvaluator()
+    table = algebra_engine.evaluate_plan(plan)
+    item_index = table.column_index("item") if "item" in table.columns else len(table.columns) - 1
+    items = [row[item_index] for row in table.rows]
+    result = QueryResult(items=items, statistics=statistics)
+    result.statistics.runs.extend(algebra_engine.statistics.fixpoint_runs)
+    return result
+
+
+def ifp(body: Callable[[list], list] | str,
+        seed: Sequence[Node] | Node,
+        algorithm: str = "delta",
+        variable: str = "x",
+        documents: Mapping[str, DocumentNode] | DocumentResolver | None = None,
+        max_iterations: int = 100_000,
+        seed_is_initial_result: bool = False) -> FixpointResult:
+    """Compute an inflationary fixed point directly from Python.
+
+    ``body`` is either a Python callable over node lists or an XQuery
+    expression text with the recursion variable free (default ``$x``).
+    """
+    seeds = list(seed) if isinstance(seed, (list, tuple)) else [seed]
+    if isinstance(body, str):
+        expression = parse_expression(body)
+        resolver = _build_resolver(documents, ("id", "xml:id"))
+        evaluator = Evaluator()
+        base_context = DynamicContext(documents=resolver)
+
+        def body_function(nodes: list) -> list:
+            return evaluator.evaluate(expression, base_context.bind(variable, nodes))
+    else:
+        body_function = body
+    engine = FixpointEngine(max_iterations=max_iterations)
+    return engine.run(body_function, seeds, algorithm=algorithm,
+                      seed_is_initial_result=seed_is_initial_result)
+
+
+def transitive_closure(path: str, context_nodes: Sequence[Node] | Node,
+                       algorithm: str = "auto") -> list[Node]:
+    """Evaluate a Regular XPath expression (with ``+``/``*`` closures).
+
+    ``path`` uses the Regular XPath syntax of
+    :mod:`repro.regularxpath.parser`, e.g.
+    ``"(child::prerequisites/child::pre_code)+"``.
+    """
+    from repro.regularxpath import evaluate_regular_xpath
+
+    nodes = list(context_nodes) if isinstance(context_nodes, (list, tuple)) else [context_nodes]
+    return evaluate_regular_xpath(path, nodes, algorithm=algorithm)
+
+
+def is_distributive_syntactic(body: str | ast.Expr, variable: str = "x",
+                              functions: Iterable[ast.FunctionDecl] | None = None) -> bool:
+    """Figure 5's syntactic distributivity check on a recursion body."""
+    from repro.distributivity import is_distributivity_safe
+
+    expression = parse_expression(body) if isinstance(body, str) else body
+    return is_distributivity_safe(expression, variable, functions=functions)
+
+
+def is_distributive_algebraic(body: str | ast.Expr, variable: str = "x",
+                              functions: Iterable[ast.FunctionDecl] | None = None,
+                              documents: Mapping[str, DocumentNode] | DocumentResolver | None = None,
+                              document: DocumentNode | None = None,
+                              strict: bool = False) -> bool:
+    """Section 4's algebraic distributivity check (union push-up on the plan)."""
+    from repro.algebra.distributivity import is_distributive_algebraic as _check
+
+    expression = parse_expression(body) if isinstance(body, str) else body
+    resolver = _build_resolver(documents, ("id", "xml:id"))
+    return _check(expression, variable, functions=functions, documents=resolver,
+                  document=document, strict=strict)
+
+
+def load_documents(paths: Mapping[str, str],
+                   id_attributes: Iterable[str] = ("id", "xml:id")) -> DocumentResolver:
+    """Parse XML files from disk into a resolver (URI → file path mapping)."""
+    resolver = DocumentResolver()
+    for uri, path in paths.items():
+        resolver.register(uri, parse_xml_file(path, id_attributes=id_attributes))
+    return resolver

@@ -1,0 +1,290 @@
+"""Measurement harness for the Table 2 experiments.
+
+A :class:`BenchmarkHarness` builds (and caches) the workload documents, runs
+a workload query under a chosen engine/algorithm combination, and reports
+wall-clock time plus the iteration statistics the paper's Table 2 lists
+(total number of nodes fed back into the recursion body, recursion depth).
+
+Engines
+-------
+``ifp``
+    The native fixed point operator of the engine (``with … recurse``
+    evaluated by :mod:`repro.fixpoint`) — the MonetDB/XQuery µ/µ∆ role.
+``udf``
+    The source-level recursive user-defined functions ``fix``/``delta`` of
+    Figures 2 and 4 — the Saxon role.  Iteration statistics are not
+    observable from outside the functions, so only times are reported.
+``algebra``
+    The Relational XQuery backend: the query's fixpoint is compiled to µ/µ∆
+    and evaluated by the interpreted algebra engine.  Practical for the
+    smaller documents; included to mirror the paper's algebraic account.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.fixpoint.stats import StatisticsCollector
+from repro.xdm.items import is_node, string_value_of_item
+from repro.xdm.node import DocumentNode
+from repro.xquery.context import DocumentResolver, DynamicContext, EvaluationOptions, StaticContext
+from repro.xquery.evaluator import Evaluator
+from repro.xquery.optimizer import optimize_module
+from repro.xquery.parser import parse_query
+from repro.bench.queries import Workload, get_workload
+
+
+@dataclass
+class RunResult:
+    """Outcome of one benchmark run."""
+
+    workload: str
+    size: str
+    engine: str
+    algorithm: str
+    seconds: float
+    item_count: int
+    result_digest: str
+    nodes_fed_back: Optional[int] = None
+    recursion_depth: Optional[int] = None
+    ifp_evaluations: Optional[int] = None
+    seed_limit: Optional[int] = None
+    paper_row: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "size": self.size,
+            "engine": self.engine,
+            "algorithm": self.algorithm,
+            "seconds": round(self.seconds, 4),
+            "items": self.item_count,
+            "nodes_fed_back": self.nodes_fed_back,
+            "recursion_depth": self.recursion_depth,
+            "ifp_evaluations": self.ifp_evaluations,
+            "seed_limit": self.seed_limit,
+            "paper_row": self.paper_row,
+        }
+
+
+@dataclass
+class _PreparedWorkload:
+    workload: Workload
+    size_label: str
+    document: DocumentNode
+    resolver: DocumentResolver
+    modules: dict = field(default_factory=dict)
+
+
+class BenchmarkHarness:
+    """Builds workload documents once and runs measured query evaluations."""
+
+    def __init__(self, optimize_queries: bool = True):
+        self.optimize_queries = optimize_queries
+        self._prepared: dict[tuple[str, str], _PreparedWorkload] = {}
+
+    # -- preparation ---------------------------------------------------------
+
+    def prepare(self, workload_name: str, size_label: str) -> _PreparedWorkload:
+        """Build (or fetch the cached) document for a workload size."""
+        key = (workload_name, size_label)
+        if key not in self._prepared:
+            workload = get_workload(workload_name)
+            size = workload.size(size_label)
+            document = size.build_document()
+            resolver = DocumentResolver()
+            resolver.register(workload.document_uri, document)
+            self._prepared[key] = _PreparedWorkload(workload, size_label, document, resolver)
+        return self._prepared[key]
+
+    # -- running -------------------------------------------------------------------
+
+    def run(self, workload_name: str, size_label: str, engine: str = "ifp",
+            algorithm: str = "delta", seed_limit: Optional[int] = None) -> RunResult:
+        """Run one (workload, size, engine, algorithm) combination."""
+        prepared = self.prepare(workload_name, size_label)
+        workload = prepared.workload
+        size = workload.size(size_label)
+        limit = seed_limit if seed_limit is not None else size.default_seed_limit
+
+        if engine == "ifp":
+            return self._run_ifp(prepared, algorithm, limit, size.paper_row)
+        if engine == "udf":
+            return self._run_udf(prepared, algorithm, limit, size.paper_row)
+        if engine == "algebra":
+            return self._run_algebra(prepared, algorithm, limit, size.paper_row)
+        raise ReproError(f"unknown engine '{engine}' (expected ifp, udf or algebra)")
+
+    def compare(self, workload_name: str, size_label: str,
+                engines: tuple[str, ...] = ("ifp", "udf"),
+                algorithms: tuple[str, ...] = ("naive", "delta"),
+                seed_limit: Optional[int] = None) -> list[RunResult]:
+        """Run the full Naive-vs-Delta comparison for one workload size."""
+        return [
+            self.run(workload_name, size_label, engine=engine, algorithm=algorithm,
+                     seed_limit=seed_limit)
+            for engine in engines
+            for algorithm in algorithms
+        ]
+
+    # -- engines ------------------------------------------------------------------------
+
+    def _run_ifp(self, prepared: _PreparedWorkload, algorithm: str,
+                 limit: Optional[int], paper_row: Optional[str]) -> RunResult:
+        query = prepared.workload.ifp_query(algorithm=algorithm, seed_limit=limit)
+        module = self._module(prepared, ("ifp", algorithm, limit), query)
+        statistics = StatisticsCollector()
+        context = DynamicContext(
+            static=StaticContext(options=EvaluationOptions(collect_statistics=True)),
+            documents=prepared.resolver,
+            statistics=statistics,
+        )
+        evaluator = Evaluator()
+        started = time.perf_counter()
+        result = evaluator.evaluate_module(module, context)
+        elapsed = time.perf_counter() - started
+        return RunResult(
+            workload=prepared.workload.name,
+            size=prepared.size_label,
+            engine="ifp",
+            algorithm=algorithm,
+            seconds=elapsed,
+            item_count=len(result),
+            result_digest=result_digest(result),
+            nodes_fed_back=statistics.total_nodes_fed_back,
+            recursion_depth=statistics.max_recursion_depth,
+            ifp_evaluations=statistics.ifp_evaluations,
+            seed_limit=limit,
+            paper_row=paper_row,
+        )
+
+    def _run_udf(self, prepared: _PreparedWorkload, algorithm: str,
+                 limit: Optional[int], paper_row: Optional[str]) -> RunResult:
+        variant = "delta" if algorithm == "delta" else "fix"
+        query = prepared.workload.udf_query(variant=variant, seed_limit=limit)
+        module = self._module(prepared, ("udf", variant, limit), query)
+        context = DynamicContext(documents=prepared.resolver)
+        evaluator = Evaluator()
+        started = time.perf_counter()
+        result = evaluator.evaluate_module(module, context)
+        elapsed = time.perf_counter() - started
+        return RunResult(
+            workload=prepared.workload.name,
+            size=prepared.size_label,
+            engine="udf",
+            algorithm=algorithm,
+            seconds=elapsed,
+            item_count=len(result),
+            result_digest=result_digest(result),
+            seed_limit=limit,
+            paper_row=paper_row,
+        )
+
+    def _run_algebra(self, prepared: _PreparedWorkload, algorithm: str,
+                     limit: Optional[int], paper_row: Optional[str]) -> RunResult:
+        from repro.algebra.compiler import AlgebraCompiler
+        from repro.algebra.evaluator import AlgebraEvaluator
+        from repro.xquery.parser import parse_expression
+
+        workload = prepared.workload
+        # The algebra backend evaluates the fixpoint per seed (µ/µ∆ at the
+        # top level of a plan); seeds are enumerated with the interpreter.
+        seeds_query = workload.seeds_expression
+        if limit is not None:
+            seeds_query = f"subsequence({seeds_query}, 1, {limit})"
+        prolog_module = parse_query(workload.ifp_query(algorithm="naive", seed_limit=1))
+        functions = prolog_module.function_map()
+        evaluator = Evaluator()
+        context = DynamicContext(documents=prepared.resolver)
+        for function in prolog_module.functions:
+            context.static.functions[(function.name, function.arity)] = function
+        for declaration in prolog_module.variables:
+            if declaration.value is not None:
+                context = context.bind(declaration.name, evaluator.evaluate(declaration.value, context))
+        seeds = evaluator.evaluate(parse_expression(seeds_query), context)
+
+        variant = "delta" if algorithm == "delta" else "naive"
+        body_expr = parse_expression(workload.recursion_body)
+        compiler = AlgebraCompiler(documents=prepared.resolver, document=prepared.document,
+                                   functions=functions)
+        algebra_engine = AlgebraEvaluator()
+        total_items = 0
+        digest_parts: list[str] = []
+        started = time.perf_counter()
+        for seed in seeds:
+            from repro.algebra.operators import DocumentRoot
+
+            base_context = compiler.initial_context(
+                variables={"s": _constant_sequence_plan(compiler, [seed])}
+            )
+            base_context = base_context.bind(
+                "doc", DocumentRoot(base_context.loop, prepared.document)
+            )
+            seed_expr = _seed_with_expression(workload, variant)
+            plan = compiler.compile(seed_expr, base_context)
+            table = algebra_engine.evaluate_plan(plan)
+            total_items += len(table)
+            digest_parts.extend(sorted(string_value_of_item(row[2]) for row in table.rows))
+        elapsed = time.perf_counter() - started
+        return RunResult(
+            workload=workload.name,
+            size=prepared.size_label,
+            engine="algebra",
+            algorithm=algorithm,
+            seconds=elapsed,
+            item_count=total_items,
+            result_digest=_digest_strings(digest_parts),
+            nodes_fed_back=algebra_engine.statistics.total_rows_fed_back,
+            recursion_depth=algebra_engine.statistics.max_recursion_depth,
+            ifp_evaluations=len(algebra_engine.statistics.fixpoint_runs),
+            seed_limit=limit,
+            paper_row=paper_row,
+        )
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _module(self, prepared: _PreparedWorkload, key: tuple, query: str):
+        if key not in prepared.modules:
+            module = parse_query(query)
+            if self.optimize_queries:
+                module = optimize_module(module)
+            prepared.modules[key] = module
+        return prepared.modules[key]
+
+
+def _seed_with_expression(workload: Workload, algorithm: str):
+    from repro.xquery.parser import parse_expression
+
+    return parse_expression(workload.closure_expression(algorithm))
+
+
+def _constant_sequence_plan(compiler, items):
+    from repro.algebra.operators import LiteralTable
+    from repro.algebra.table import Table
+
+    rows = [(1, position, item) for position, item in enumerate(items, start=1)]
+    return LiteralTable(Table(("iter", "pos", "item"), rows))
+
+
+def result_digest(result: list) -> str:
+    """A stable digest of a query result for Naive-vs-Delta equality checks.
+
+    Constructed nodes differ in identity between runs, so the digest hashes
+    the sorted string values of the result items instead.
+    """
+    return _digest_strings(sorted(
+        string_value_of_item(item) if is_node(item) else string_value_of_item(item)
+        for item in result
+    ))
+
+
+def _digest_strings(parts: list[str]) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]

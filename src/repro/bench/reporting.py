@@ -1,0 +1,104 @@
+"""Rendering of benchmark results as text tables and CSV."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Sequence
+
+from repro.bench.harness import RunResult
+
+
+def format_milliseconds(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    milliseconds = seconds * 1000.0
+    if milliseconds >= 60_000:
+        minutes = int(milliseconds // 60_000)
+        rest = (milliseconds - minutes * 60_000) / 1000.0
+        return f"{minutes} m {rest:04.1f} s"
+    return f"{milliseconds:,.0f} ms"
+
+
+def format_count(value: int | None) -> str:
+    return f"{value:,}" if value is not None else "-"
+
+
+def results_to_csv(results: Iterable[RunResult]) -> str:
+    """Serialize raw results to CSV (one row per run)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=[
+        "workload", "size", "engine", "algorithm", "seconds", "items",
+        "nodes_fed_back", "recursion_depth", "ifp_evaluations", "seed_limit", "paper_row",
+    ])
+    writer.writeheader()
+    for result in results:
+        writer.writerow(result.as_dict())
+    return buffer.getvalue()
+
+
+def render_table2(results: Sequence[RunResult]) -> str:
+    """Render results in the layout of the paper's Table 2.
+
+    One output row per (workload, size); the columns pair Naive/Delta times
+    for the native-IFP engine (MonetDB/XQuery role) and the source-level UDF
+    engine (Saxon role), followed by the nodes-fed-back counts and the
+    recursion depth observed by the native engine.
+    """
+    by_row: dict[tuple[str, str], dict[tuple[str, str], RunResult]] = {}
+    labels: dict[tuple[str, str], str] = {}
+    for result in results:
+        key = (result.workload, result.size)
+        by_row.setdefault(key, {})[(result.engine, result.algorithm)] = result
+        labels[key] = result.paper_row or f"{result.workload} ({result.size})"
+
+    header = (
+        f"{'Query':<28} {'IFP Naive':>12} {'IFP Delta':>12} "
+        f"{'UDF Naive':>12} {'UDF Delta':>12} "
+        f"{'Fed (Naive)':>12} {'Fed (Delta)':>12} {'Depth':>6}"
+    )
+    separator = "-" * len(header)
+    lines = [header, separator]
+    for key, cells in by_row.items():
+        ifp_naive = cells.get(("ifp", "naive"))
+        ifp_delta = cells.get(("ifp", "delta"))
+        udf_naive = cells.get(("udf", "naive"))
+        udf_delta = cells.get(("udf", "delta"))
+        depth = None
+        for candidate in (ifp_naive, ifp_delta):
+            if candidate is not None and candidate.recursion_depth is not None:
+                depth = max(depth or 0, candidate.recursion_depth)
+        lines.append(
+            f"{labels[key]:<28} "
+            f"{format_milliseconds(ifp_naive.seconds if ifp_naive else None):>12} "
+            f"{format_milliseconds(ifp_delta.seconds if ifp_delta else None):>12} "
+            f"{format_milliseconds(udf_naive.seconds if udf_naive else None):>12} "
+            f"{format_milliseconds(udf_delta.seconds if udf_delta else None):>12} "
+            f"{format_count(ifp_naive.nodes_fed_back if ifp_naive else None):>12} "
+            f"{format_count(ifp_delta.nodes_fed_back if ifp_delta else None):>12} "
+            f"{depth if depth is not None else '-':>6}"
+        )
+    return "\n".join(lines)
+
+
+def render_speedups(results: Sequence[RunResult]) -> str:
+    """Summarize Naive/Delta speed-up factors per engine and workload size."""
+    by_row: dict[tuple[str, str, str], dict[str, RunResult]] = {}
+    for result in results:
+        key = (result.workload, result.size, result.engine)
+        by_row.setdefault(key, {})[result.algorithm] = result
+    lines = [f"{'Workload':<20} {'Size':<9} {'Engine':<8} {'Naive/Delta time':>17} {'Naive/Delta fed':>16}"]
+    lines.append("-" * len(lines[0]))
+    for (workload, size, engine), cells in sorted(by_row.items()):
+        naive, delta = cells.get("naive"), cells.get("delta")
+        if naive is None or delta is None:
+            continue
+        time_factor = naive.seconds / delta.seconds if delta.seconds else float("inf")
+        if naive.nodes_fed_back and delta.nodes_fed_back:
+            fed_factor = f"{naive.nodes_fed_back / delta.nodes_fed_back:6.2f}x"
+        else:
+            fed_factor = "-"
+        lines.append(
+            f"{workload:<20} {size:<9} {engine:<8} {time_factor:16.2f}x {fed_factor:>16}"
+        )
+    return "\n".join(lines)

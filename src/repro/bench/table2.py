@@ -1,0 +1,115 @@
+"""Regenerate the paper's Table 2 (``python -m repro.bench.table2``).
+
+Runs the four workloads under the native IFP engine (µ/µ∆ role) and the
+source-level ``fix``/``delta`` user-defined functions (Saxon role), under
+both the Naive and the Delta algorithm, and prints evaluation times, the
+total number of nodes fed back into the recursion body and the recursion
+depth — the quantities Table 2 reports.
+
+Presets
+-------
+``--preset quick``
+    Tiny/small documents and modest seed limits; finishes in well under a
+    minute and is what CI and the quickstart run.
+``--preset paper``
+    The size labels corresponding to the paper's rows (small…huge bidder
+    networks, the full play, medium/large curricula, the hospital corpus)
+    with the default seed limits.  Expect several minutes on a laptop: the
+    substrate is a pure-Python interpreter, not a compiled engine, so
+    absolute times are not comparable to the paper's — the Naive/Delta
+    ratios and node counts are.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable
+
+from repro.bench.harness import BenchmarkHarness, RunResult
+from repro.bench.reporting import render_speedups, render_table2, results_to_csv
+
+#: (workload, size) combinations per preset.
+PRESETS: dict[str, list[tuple[str, str]]] = {
+    "quick": [
+        ("bidder-network", "tiny"),
+        ("bidder-network", "small"),
+        ("dialogs", "tiny"),
+        ("curriculum", "tiny"),
+        ("hospital", "tiny"),
+    ],
+    "default": [
+        ("bidder-network", "small"),
+        ("bidder-network", "medium"),
+        ("dialogs", "default"),
+        ("curriculum", "medium"),
+        ("hospital", "medium"),
+    ],
+    "paper": [
+        ("bidder-network", "small"),
+        ("bidder-network", "medium"),
+        ("bidder-network", "large"),
+        ("bidder-network", "huge"),
+        ("dialogs", "default"),
+        ("curriculum", "medium"),
+        ("curriculum", "large"),
+        ("hospital", "medium"),
+    ],
+}
+
+
+def run_preset(preset: str, engines: tuple[str, ...] = ("ifp", "udf"),
+               seed_limit: int | None = None,
+               workloads: Iterable[str] | None = None) -> list[RunResult]:
+    """Run all rows of a preset and return the raw results."""
+    harness = BenchmarkHarness()
+    selected = PRESETS[preset]
+    if workloads:
+        wanted = set(workloads)
+        selected = [row for row in selected if row[0] in wanted]
+    results: list[RunResult] = []
+    for workload, size in selected:
+        results.extend(
+            harness.compare(workload, size, engines=engines, seed_limit=seed_limit)
+        )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-table2",
+        description="Regenerate Table 2 of 'An Inflationary Fixed Point Operator in XQuery'",
+    )
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="quick",
+                        help="which document sizes to run (default: quick)")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="restrict to the given workloads "
+                             "(bidder-network, dialogs, curriculum, hospital)")
+    parser.add_argument("--engines", nargs="*", default=["ifp", "udf"],
+                        choices=["ifp", "udf", "algebra"],
+                        help="engines to compare (default: ifp udf)")
+    parser.add_argument("--seed-limit", type=int, default=None,
+                        help="override the per-size default number of seeds")
+    parser.add_argument("--csv", action="store_true", help="also print raw results as CSV")
+    parser.add_argument("--report", action="store_true",
+                        help="also print Naive/Delta speed-up factors")
+    arguments = parser.parse_args(argv)
+
+    results = run_preset(
+        arguments.preset,
+        engines=tuple(arguments.engines),
+        seed_limit=arguments.seed_limit,
+        workloads=arguments.workloads,
+    )
+    print(render_table2(results))
+    if arguments.report:
+        print()
+        print(render_speedups(results))
+    if arguments.csv:
+        print()
+        print(results_to_csv(results), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Synthetic workload generators for the paper's four benchmark datasets.
+
+The paper evaluates on XMark auction data, Shakespeare's Romeo and Juliet,
+ToXgene-generated curriculum instances and a hospital patient-record
+corpus.  None of those exact instances are redistributable or generatable
+offline here, so this package provides deterministic generators that
+reproduce the *structural properties the queries depend on*:
+
+* :mod:`repro.datagen.xmark` — an auction site with ``people/person`` and
+  ``open_auctions/open_auction/{seller,bidder/personref}``; the seller →
+  bidder graph grows super-linearly with the scale factor so the bidder
+  network shows the same quadratic blow-up the paper reports.
+* :mod:`repro.datagen.plays` — play markup (ACT/SCENE/SPEECH/SPEAKER/LINE)
+  with alternating-speaker dialog runs for the horizontal recursion query.
+* :mod:`repro.datagen.curriculum` — the Figure 1 DTD: courses with
+  prerequisite code lists, including cycles so the consistency check finds
+  violations.
+* :mod:`repro.datagen.hospital` — patient records nested parent trees of
+  bounded depth carrying a hereditary-disease flag.
+
+All generators are seeded (``random.Random(seed)``) and therefore fully
+reproducible; they can emit either XDM documents directly or XML text.
+"""
+
+from repro.datagen.curriculum import generate_curriculum, CurriculumConfig
+from repro.datagen.xmark import generate_auction_site, XMarkConfig
+from repro.datagen.plays import generate_play, PlayConfig
+from repro.datagen.hospital import generate_hospital, HospitalConfig
+
+__all__ = [
+    "generate_curriculum",
+    "CurriculumConfig",
+    "generate_auction_site",
+    "XMarkConfig",
+    "generate_play",
+    "PlayConfig",
+    "generate_hospital",
+    "HospitalConfig",
+]

@@ -1,0 +1,167 @@
+"""Curriculum data generator (Figure 1 DTD, ToXgene-style instances).
+
+The paper's curriculum experiment (Table 2, rows "Curriculum (medium)" with
+800 courses and "Curriculum (large)" with 4,000 courses) runs a consistency
+check — find courses that are among their own prerequisites, i.e. courses on
+a prerequisite cycle — as a transitive closure over ``fn:id`` links.
+
+The generator produces a course catalogue whose prerequisite graph mixes:
+
+* a layered DAG backbone (courses mostly require lower-numbered courses),
+  which drives the recursion depth, and
+* a configurable number of intentional cycles, so the consistency check has
+  violations to report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xdm.document import attribute, document, element, text
+from repro.xdm.node import DocumentNode
+from repro.xmlio.serializer import serialize
+
+
+@dataclass(frozen=True)
+class CurriculumConfig:
+    """Parameters of a synthetic curriculum instance.
+
+    The prerequisite graph is layered: every course sits on one of
+    ``levels`` levels and draws its prerequisites from nearby courses on the
+    level directly below.  The level count therefore controls the recursion
+    depth of the transitive closure (the paper reports depth 18 for the
+    medium and 35 for the large instance), while ``max_prerequisites`` and
+    ``band_width`` control its fan-out.
+    """
+
+    courses: int = 800
+    levels: int = 18
+    max_prerequisites: int = 3
+    #: How far sideways (in course positions on the level below) a
+    #: prerequisite may reach; small bands keep closures narrow.
+    band_width: int = 4
+    #: Number of intentional prerequisite cycles injected into the graph.
+    cycles: int = 4
+    #: Length of each injected cycle (in courses).
+    cycle_length: int = 4
+    seed: int = 42
+
+    @classmethod
+    def medium(cls) -> "CurriculumConfig":
+        """The paper's medium instance: 800 courses, recursion depth ~18."""
+        return cls(courses=800, levels=18)
+
+    @classmethod
+    def large(cls) -> "CurriculumConfig":
+        """The paper's large instance: 4,000 courses, recursion depth ~35."""
+        return cls(courses=4000, levels=35, cycles=8)
+
+    @classmethod
+    def tiny(cls) -> "CurriculumConfig":
+        """A small instance for unit tests and the quickstart example."""
+        return cls(courses=40, levels=8, cycles=2, cycle_length=3)
+
+
+def course_code(index: int) -> str:
+    """The ID value of the *index*-th course (1-based)."""
+    return f"c{index}"
+
+
+def generate_curriculum(config: CurriculumConfig = CurriculumConfig()) -> DocumentNode:
+    """Generate a curriculum document following the Figure 1 DTD."""
+    rng = random.Random(config.seed)
+    prerequisites = _prerequisite_graph(config, rng)
+
+    course_elements = []
+    for index in range(1, config.courses + 1):
+        pre_elements = [element("pre_code", text(course_code(p))) for p in prerequisites[index]]
+        course_elements.append(
+            element(
+                "course",
+                attribute("code", course_code(index), is_id=True),
+                element("prerequisites", *pre_elements),
+            )
+        )
+    return document(element("curriculum", *course_elements))
+
+
+def generate_curriculum_xml(config: CurriculumConfig = CurriculumConfig()) -> str:
+    """Generate the same instance as XML text (useful for files on disk)."""
+    return serialize(generate_curriculum(config))
+
+
+def _course_level(index: int, config: CurriculumConfig) -> int:
+    """The level (0-based, 0 = foundational) of the *index*-th course."""
+    per_level = max(1, config.courses // config.levels)
+    return min((index - 1) // per_level, config.levels - 1)
+
+
+def _prerequisite_graph(config: CurriculumConfig, rng: random.Random) -> dict[int, list[int]]:
+    """Build the prerequisite adjacency lists (course index → prerequisites)."""
+    prerequisites: dict[int, list[int]] = {index: [] for index in range(1, config.courses + 1)}
+    per_level = max(1, config.courses // config.levels)
+
+    for index in range(1, config.courses + 1):
+        level = _course_level(index, config)
+        if level == 0:
+            continue
+        position_in_level = (index - 1) % per_level
+        below_start = (level - 1) * per_level + 1
+        below_end = min(level * per_level, config.courses)
+        low = max(below_start, below_start + position_in_level - config.band_width)
+        high = min(below_end, below_start + position_in_level + config.band_width)
+        candidates = list(range(low, high + 1))
+        rng.shuffle(candidates)
+        count = rng.randint(1, config.max_prerequisites)
+        prerequisites[index] = sorted(candidates[:count])
+
+    # Inject cycles: walk an existing prerequisite chain downwards for
+    # cycle_length - 1 steps and close it with a back edge, so every course
+    # on the chain becomes (transitively) its own prerequisite.
+    injected = 0
+    attempts = 0
+    while injected < config.cycles and attempts < config.cycles * 20:
+        attempts += 1
+        # Bias cycles towards the advanced end of the catalogue so that the
+        # consistency check (which seeds from the advanced courses) finds
+        # violations without having to scan the whole catalogue.
+        low_bound = max(per_level + 1, config.courses - 2 * per_level)
+        start = rng.randint(low_bound, config.courses)
+        chain = [start]
+        current = start
+        for _ in range(config.cycle_length - 1):
+            if not prerequisites[current]:
+                break
+            current = rng.choice(prerequisites[current])
+            chain.append(current)
+        if len(chain) < 2:
+            continue
+        bottom = chain[-1]
+        if start not in prerequisites[bottom]:
+            prerequisites[bottom].append(start)
+        injected += 1
+    return prerequisites
+
+
+def expected_cyclic_courses(config: CurriculumConfig) -> set[str]:
+    """The codes of courses placed on an injected cycle (ground truth for tests).
+
+    Note that random backbone edges may create additional cycles; the
+    returned set is therefore a subset of all courses that are among their
+    own prerequisites.
+    """
+    rng = random.Random(config.seed)
+    prerequisites = _prerequisite_graph(config, rng)
+    # Recompute which courses can reach themselves (exact ground truth).
+    cyclic: set[str] = set()
+    for start in prerequisites:
+        seen: set[int] = set()
+        frontier = set(prerequisites[start])
+        while frontier:
+            if start in frontier:
+                cyclic.add(course_code(start))
+                break
+            seen |= frontier
+            frontier = {p for member in frontier for p in prerequisites[member]} - seen
+    return cyclic

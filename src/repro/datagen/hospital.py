@@ -1,0 +1,91 @@
+"""Hospital patient-record generator (hereditary-disease workload).
+
+The paper's last experiment explores 50,000 hospital patient records to
+investigate a hereditary disease: the recursion follows the hierarchical
+structure of the XML input, descending from a patient into nested ``parent``
+subtrees of maximum depth 5 (Table 2 reports recursion depth 5).
+
+The generator emits::
+
+    hospital
+    └── patient @id [@diagnosed]
+        ├── name
+        └── parent ...      (nested ancestors, up to max_depth levels)
+
+where each nested ``parent`` element is itself structured like a patient and
+carries the hereditary-disease flag with a configurable probability.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xdm.document import attribute, document, element, text
+from repro.xdm.node import DocumentNode
+from repro.xmlio.serializer import serialize
+
+
+@dataclass(frozen=True)
+class HospitalConfig:
+    """Parameters of a synthetic hospital-records instance."""
+
+    patients: int = 1000
+    max_depth: int = 5
+    #: Probability that a patient/ancestor node carries the disease flag.
+    diagnosis_probability: float = 0.15
+    #: Probability that an ancestor level actually exists (controls how many
+    #: records reach the maximum depth).
+    parent_probability: float = 0.85
+    seed: int = 11
+
+    @classmethod
+    def paper(cls) -> "HospitalConfig":
+        """The paper's instance size (50,000 patients)."""
+        return cls(patients=50_000)
+
+    @classmethod
+    def medium(cls) -> "HospitalConfig":
+        """A scaled-down default that keeps the pure-Python run short."""
+        return cls(patients=1000)
+
+    @classmethod
+    def tiny(cls) -> "HospitalConfig":
+        return cls(patients=25)
+
+
+def generate_hospital(config: HospitalConfig = HospitalConfig()) -> DocumentNode:
+    """Generate a hospital-records document."""
+    rng = random.Random(config.seed)
+    patients = [
+        _patient(config, rng, index, depth=config.max_depth, tag="patient")
+        for index in range(config.patients)
+    ]
+    return document(element("hospital", *patients))
+
+
+def generate_hospital_xml(config: HospitalConfig = HospitalConfig()) -> str:
+    return serialize(generate_hospital(config))
+
+
+def _patient(config: HospitalConfig, rng: random.Random, index: int, depth: int, tag: str):
+    children = [element("name", text(f"Patient {index}" if tag == "patient" else "Ancestor"))]
+    if depth > 1:
+        for _ in range(2):  # two parents
+            if rng.random() < config.parent_probability:
+                children.append(_patient(config, rng, index, depth - 1, tag="parent"))
+    attrs = [attribute("id", f"{tag}{index}_{depth}_{rng.randrange(1_000_000)}")]
+    if rng.random() < config.diagnosis_probability:
+        attrs.append(attribute("diagnosed", "yes"))
+    return element(tag, *attrs, *children)
+
+
+def diseased_ancestor_count(doc: DocumentNode) -> int:
+    """Ground truth: number of ``parent`` elements flagged as diagnosed."""
+    count = 0
+    for node in doc.document_element().iter_tree():
+        if getattr(node, "name", None) == "parent":
+            flag = node.get_attribute("diagnosed")
+            if flag is not None and flag.value == "yes":
+                count += 1
+    return count

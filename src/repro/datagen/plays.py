@@ -1,0 +1,141 @@
+"""Play markup generator (Romeo-and-Juliet dialog workload).
+
+The paper's "Romeo and Juliet" experiment measures a horizontal structural
+recursion: starting from ``SPEECH`` elements, each recursion level extends
+the current dialog sequences by one more ``SPEECH`` along the
+``following-sibling`` axis, provided the speakers alternate.  The reported
+maximum recursion depth (33) equals the length of the longest uninterrupted
+alternating dialog.
+
+The generator emits Shakespeare-style markup (PLAY/ACT/SCENE/SPEECH/SPEAKER/
+LINE) whose scenes contain alternating two-speaker dialog runs of
+configurable length, interleaved with crowd scenes that break the runs — so
+the recursion depth is controlled by configuration rather than luck.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xdm.document import document, element, text
+from repro.xdm.node import DocumentNode
+from repro.xmlio.serializer import serialize
+
+_CHARACTERS = [
+    "ROMEO", "JULIET", "MERCUTIO", "BENVOLIO", "TYBALT", "NURSE",
+    "FRIAR LAURENCE", "CAPULET", "LADY CAPULET", "MONTAGUE", "PARIS", "PRINCE",
+]
+
+
+@dataclass(frozen=True)
+class PlayConfig:
+    """Parameters of a synthetic play."""
+
+    acts: int = 5
+    scenes_per_act: int = 5
+    speeches_per_scene: int = 40
+    #: Length of the longest alternating two-speaker dialog (the recursion depth).
+    longest_dialog: int = 33
+    #: Average length of ordinary alternating dialog runs.
+    typical_dialog: int = 6
+    lines_per_speech: int = 3
+    seed: int = 3
+
+    @classmethod
+    def romeo_and_juliet(cls) -> "PlayConfig":
+        """A play sized like Romeo and Juliet (about 840 speeches, depth 33)."""
+        return cls()
+
+    @classmethod
+    def tiny(cls) -> "PlayConfig":
+        return cls(acts=1, scenes_per_act=2, speeches_per_scene=12,
+                   longest_dialog=5, typical_dialog=3)
+
+
+def generate_play(config: PlayConfig = PlayConfig()) -> DocumentNode:
+    """Generate a play document with controlled dialog-run lengths."""
+    rng = random.Random(config.seed)
+    act_elements = []
+    longest_placed = False
+    for act_index in range(1, config.acts + 1):
+        scene_elements = []
+        for scene_index in range(1, config.scenes_per_act + 1):
+            place_longest = (not longest_placed
+                             and act_index == config.acts
+                             and scene_index == config.scenes_per_act)
+            scene_elements.append(_generate_scene(config, rng, scene_index, place_longest))
+            if place_longest:
+                longest_placed = True
+        act_elements.append(
+            element("ACT", element("TITLE", text(f"ACT {act_index}")), *scene_elements)
+        )
+    play = element("PLAY", element("TITLE", text("The Tragedy of Romeo and Juliet (synthetic)")), *act_elements)
+    return document(play)
+
+
+def generate_play_xml(config: PlayConfig = PlayConfig()) -> str:
+    return serialize(generate_play(config))
+
+
+def _generate_scene(config: PlayConfig, rng: random.Random, scene_index: int,
+                    place_longest: bool) -> object:
+    speeches = []
+    remaining = config.speeches_per_scene
+    if place_longest:
+        speeches.extend(_dialog_run(config, rng, config.longest_dialog))
+        remaining -= config.longest_dialog
+    while remaining > 0:
+        run_length = min(remaining, max(2, int(rng.gauss(config.typical_dialog, 1.5))))
+        speeches.extend(_dialog_run(config, rng, run_length))
+        remaining -= run_length
+        if remaining > 0:
+            # A crowd interjection breaks the alternation (three speakers in
+            # a row from different characters would still alternate, so the
+            # breaker repeats the previous speaker).
+            speeches.append(_speech(config, rng, speaker=_last_speaker(speeches)))
+            remaining -= 1
+    return element("SCENE", element("TITLE", text(f"SCENE {scene_index}")), *speeches)
+
+
+def _dialog_run(config: PlayConfig, rng: random.Random, length: int) -> list:
+    first, second = rng.sample(_CHARACTERS, 2)
+    return [
+        _speech(config, rng, speaker=first if index % 2 == 0 else second)
+        for index in range(length)
+    ]
+
+
+def _speech(config: PlayConfig, rng: random.Random, speaker: str) -> object:
+    lines = [
+        element("LINE", text(f"Line {rng.randrange(10_000)} of {speaker.title()}."))
+        for _ in range(config.lines_per_speech)
+    ]
+    return element("SPEECH", element("SPEAKER", text(speaker)), *lines)
+
+
+def _last_speaker(speeches: list) -> str:
+    for speech in reversed(speeches):
+        for child in speech.children:
+            if child.name == "SPEAKER":
+                return child.string_value()
+    return _CHARACTERS[0]
+
+
+def longest_alternating_run(doc: DocumentNode) -> int:
+    """Ground truth: the longest alternating-speaker SPEECH run in the document."""
+    longest = 0
+    for scene in doc.document_element().iter_tree():
+        if getattr(scene, "name", None) != "SCENE":
+            continue
+        speeches = [child for child in scene.children if child.name == "SPEECH"]
+        speakers = [next((c.string_value() for c in s.children if c.name == "SPEAKER"), "") for s in speeches]
+        run = 1 if speakers else 0
+        for previous, current in zip(speakers, speakers[1:]):
+            if current != previous:
+                run += 1
+            else:
+                run = 1
+            longest = max(longest, run)
+        longest = max(longest, run if speakers else 0)
+    return longest

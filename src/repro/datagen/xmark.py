@@ -1,0 +1,167 @@
+"""XMark-style auction data generator (bidder network workload).
+
+The paper's scalability experiment computes a *bidder network* over XMark
+documents: starting from a person, recursively connect the sellers of
+auctions to the bidders of those auctions (Figure 10).  The query touches
+only a small part of the XMark schema::
+
+    site
+    ├── people
+    │   └── person @id
+    │       └── name
+    └── open_auctions
+        └── open_auction @id
+            ├── seller  @person      (IDREF to a person)
+            └── bidder
+                └── personref @person
+
+The generator reproduces that sub-schema and, crucially, the *growth
+behaviour* the paper reports: the number of edges in the seller→bidder graph
+grows super-linearly with the scale factor, so the transitive network blows
+up quadratically and Delta's advantage widens with document size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xdm.document import attribute, document, element, text
+from repro.xdm.node import DocumentNode
+from repro.xmlio.serializer import serialize
+
+
+@dataclass(frozen=True)
+class XMarkConfig:
+    """Parameters of a synthetic auction-site instance.
+
+    The named constructors mirror the paper's four scale factors.  The
+    absolute sizes are scaled down relative to the original XMark documents
+    so that a pure-Python engine explores the same Naive/Delta behaviour in
+    sensible wall-clock time; the *ratios* between the sizes follow the
+    paper (0.01 / 0.05 / 0.15 / 0.33 ≈ 1 : 5 : 15 : 33).
+    """
+
+    persons: int = 120
+    auctions_per_person: float = 1.5
+    bidders_per_auction: int = 3
+    #: Persons are grouped into communities; sellers and bidders are mostly
+    #: drawn from the same community, which makes the bidder network dense
+    #: inside a community (quadratic growth) yet keeps recursion depths in
+    #: the two-digit range like the paper's.
+    community_size: int = 40
+    #: Probability that a bidder is drawn from outside the seller's community.
+    cross_community_probability: float = 0.02
+    seed: int = 7
+
+    @classmethod
+    def small(cls) -> "XMarkConfig":
+        return cls(persons=60, community_size=20)
+
+    @classmethod
+    def medium(cls) -> "XMarkConfig":
+        return cls(persons=300, community_size=60)
+
+    @classmethod
+    def large(cls) -> "XMarkConfig":
+        return cls(persons=900, community_size=120)
+
+    @classmethod
+    def huge(cls) -> "XMarkConfig":
+        return cls(persons=1980, community_size=180)
+
+    @classmethod
+    def tiny(cls) -> "XMarkConfig":
+        """A very small instance for unit tests."""
+        return cls(persons=16, community_size=8, auctions_per_person=1.0)
+
+
+def person_id(index: int) -> str:
+    return f"person{index}"
+
+
+def generate_auction_site(config: XMarkConfig = XMarkConfig()) -> DocumentNode:
+    """Generate an auction-site document for the bidder-network query."""
+    rng = random.Random(config.seed)
+
+    person_elements = [
+        element(
+            "person",
+            attribute("id", person_id(index), is_id=True),
+            element("name", text(f"Person {index}")),
+        )
+        for index in range(config.persons)
+    ]
+
+    auction_elements = []
+    auction_count = int(config.persons * config.auctions_per_person)
+    for auction_index in range(auction_count):
+        seller = rng.randrange(config.persons)
+        bidders = _pick_bidders(seller, config, rng)
+        bidder_elements = [
+            element("bidder", element("personref", attribute("person", person_id(bidder))))
+            for bidder in bidders
+        ]
+        auction_elements.append(
+            element(
+                "open_auction",
+                attribute("id", f"open_auction{auction_index}", is_id=True),
+                element("seller", attribute("person", person_id(seller))),
+                *bidder_elements,
+            )
+        )
+
+    site = element(
+        "site",
+        element("people", *person_elements),
+        element("open_auctions", *auction_elements),
+    )
+    return document(site)
+
+
+def generate_auction_site_xml(config: XMarkConfig = XMarkConfig()) -> str:
+    """Generate the same instance as XML text."""
+    return serialize(generate_auction_site(config))
+
+
+def _pick_bidders(seller: int, config: XMarkConfig, rng: random.Random) -> list[int]:
+    community = seller // config.community_size
+    community_low = community * config.community_size
+    community_high = min(config.persons, community_low + config.community_size)
+    bidders: list[int] = []
+    for _ in range(config.bidders_per_auction):
+        if rng.random() < config.cross_community_probability:
+            bidders.append(rng.randrange(config.persons))
+        else:
+            bidders.append(rng.randrange(community_low, community_high))
+    return bidders
+
+
+def seller_to_bidder_edges(doc: DocumentNode) -> dict[str, set[str]]:
+    """Extract the seller → bidder edges (ground truth for tests).
+
+    The bidder-network query connects a person ``p`` to every person who bid
+    in an auction sold by ``p``; this helper recomputes those edges directly
+    from the document structure.
+    """
+    edges: dict[str, set[str]] = {}
+    site = doc.document_element()
+    for auction in site.iter_tree():
+        if getattr(auction, "name", None) != "open_auction":
+            continue
+        seller_ref = None
+        bidder_refs = []
+        for child in auction.children:
+            if child.name == "seller":
+                seller_attr = child.get_attribute("person")
+                seller_ref = seller_attr.value if seller_attr else None
+            elif child.name == "bidder":
+                for personref in child.children:
+                    if personref.name == "personref":
+                        ref = personref.get_attribute("person")
+                        if ref is not None:
+                            bidder_refs.append(ref.value)
+        if seller_ref is None:
+            continue
+        edges.setdefault(seller_ref, set()).update(bidder_refs)
+    return edges

@@ -1,0 +1,53 @@
+"""Distributivity hints (Section 3.2).
+
+Every distributive expression ``e($x)`` is set-equal to
+``for $y in $x return e($y)``, and for the rewritten form the Figure 5 rules
+always succeed (via FOR2).  Authors of recursive queries can therefore
+"hint" distributivity to the processor by reformulating the recursion body —
+at the price of asserting the property themselves, since the rewriting is
+only an equivalence when the original body really is distributive.
+
+:func:`apply_distributivity_hint` performs the rewriting mechanically so
+that examples, tests and benchmarks can switch a body into hinted form, and
+:func:`has_distributivity_hint` recognises bodies already written that way.
+"""
+
+from __future__ import annotations
+
+from repro.xquery import ast
+from repro.xquery.ast import fresh_variable, substitute_variable
+
+
+def apply_distributivity_hint(body: ast.Expr, variable: str,
+                              hint_variable: str | None = None) -> ast.ForExpr:
+    """Rewrite ``e($x)`` into ``for $y in $x return e($y)``.
+
+    Parameters
+    ----------
+    body:
+        The recursion body ``e`` with ``$variable`` free.
+    variable:
+        The recursion variable ``$x``.
+    hint_variable:
+        The fresh iteration variable; generated automatically when omitted.
+    """
+    taken = sorted(body.free_variables() | {variable})
+    fresh = hint_variable or fresh_variable("y", taken)
+    rewritten = substitute_variable(body, variable, ast.VarRef(fresh))
+    return ast.ForExpr(var=fresh, sequence=ast.VarRef(variable), body=rewritten)
+
+
+def has_distributivity_hint(body: ast.Expr, variable: str) -> bool:
+    """True if *body* is already of the hinted shape ``for $y in $x return e``.
+
+    The check is purely structural: the outermost expression iterates a
+    fresh variable directly over the recursion variable and the recursion
+    variable does not occur free in the iteration body.
+    """
+    if not isinstance(body, ast.ForExpr):
+        return False
+    if not isinstance(body.sequence, ast.VarRef) or body.sequence.name != variable:
+        return False
+    if body.position_var is not None:
+        return False
+    return variable not in body.body.free_variables()

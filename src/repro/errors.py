@@ -1,0 +1,97 @@
+"""Exception hierarchy for the ``repro`` XQuery/IFP engine.
+
+The hierarchy mirrors the places errors can arise in the pipeline:
+
+* :class:`XMLSyntaxError` — the hand-written XML parser rejected a document.
+* :class:`XQuerySyntaxError` — the XQuery lexer/parser rejected a query.
+* :class:`XQueryStaticError` — the query is syntactically well-formed but
+  statically wrong (unknown variable, unknown function, wrong arity, ...).
+* :class:`XQueryDynamicError` — a runtime error during evaluation (bad
+  argument types, division by zero, undefined fixed point, ...).
+* :class:`XQueryTypeError` — a dynamic type error (e.g. atomizing a
+  function item, comparing incomparable values).
+* :class:`FixpointError` — IFP-specific failures such as exceeding the
+  iteration bound (a stand-in for the "IFP is undefined" case of
+  Definition 2.1).
+* :class:`AlgebraError` — problems while compiling to or evaluating the
+  relational algebra backend.
+
+All of these derive from :class:`ReproError` so callers can install a single
+``except`` clause around the whole engine.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class XMLSyntaxError(ReproError):
+    """Raised by :mod:`repro.xmlio` when an XML document is not well-formed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class XQueryError(ReproError):
+    """Common base for all XQuery processing errors.
+
+    Each error carries an ``err_code`` loosely modelled on the W3C error
+    codes (``XPST0003`` and friends) so tests can assert on the class of
+    failure rather than on message text.
+    """
+
+    default_code = "FORG0001"
+
+    def __init__(self, message: str, code: str | None = None):
+        self.code = code or self.default_code
+        super().__init__(f"[{self.code}] {message}")
+
+
+class XQuerySyntaxError(XQueryError):
+    """A query could not be tokenized or parsed."""
+
+    default_code = "XPST0003"
+
+
+class XQueryStaticError(XQueryError):
+    """A query refers to an unknown variable/function or misuses syntax."""
+
+    default_code = "XPST0008"
+
+
+class XQueryDynamicError(XQueryError):
+    """A runtime error raised while evaluating a query."""
+
+    default_code = "FORG0001"
+
+
+class XQueryTypeError(XQueryDynamicError):
+    """A dynamic type error (XPTY-style)."""
+
+    default_code = "XPTY0004"
+
+
+class FixpointError(XQueryDynamicError):
+    """The inflationary fixed point is undefined or diverged.
+
+    Definition 2.1 leaves the IFP undefined when the iteration never reaches
+    a fixed point (possible when the recursion body constructs new nodes).
+    The engine converts that situation into this error once the configured
+    iteration bound is exceeded.
+    """
+
+    default_code = "REPR0001"
+
+
+class AlgebraError(ReproError):
+    """Raised by the relational algebra backend (compiler or evaluator)."""
+
+
+class DistributivityError(ReproError):
+    """Raised when a distributivity analysis cannot be performed."""

@@ -1,0 +1,80 @@
+"""Fixed point engine: one entry point over the Naive and Delta algorithms.
+
+The engine is deliberately independent of the XQuery evaluator — the
+recursion body is just a callable over node sequences — so the same code
+path serves the XQuery ``with … recurse`` form, the Regular XPath
+translation, the relational algebra µ/µ∆ operators and direct library use
+from Python (see ``examples/``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import FixpointError
+from repro.fixpoint.delta import delta_fixpoint
+from repro.fixpoint.naive import naive_fixpoint
+from repro.fixpoint.stats import FixpointStatistics
+
+#: Algorithms the engine knows about.
+ALGORITHMS = ("naive", "delta")
+
+
+@dataclass
+class FixpointResult:
+    """Value plus statistics of one IFP evaluation."""
+
+    value: list
+    statistics: FixpointStatistics
+
+    @property
+    def algorithm(self) -> str:
+        return self.statistics.algorithm
+
+
+class FixpointEngine:
+    """Evaluates inflationary fixed points with a selectable algorithm.
+
+    Parameters
+    ----------
+    max_iterations:
+        Iteration bound standing in for "the IFP is undefined"
+        (Definition 2.1).
+    collect_statistics:
+        Whether to record the per-iteration measurements of Table 2.
+    """
+
+    def __init__(self, max_iterations: int = 100_000, collect_statistics: bool = True):
+        self.max_iterations = max_iterations
+        self.collect_statistics = collect_statistics
+
+    def run(self, body: Callable[[list], list], seed: Sequence,
+            algorithm: str = "naive", seed_is_initial_result: bool = False) -> FixpointResult:
+        """Compute the IFP of *body* seeded by *seed*.
+
+        ``algorithm`` must be ``"naive"`` or ``"delta"``; deciding *which*
+        one is legal is the caller's job (the XQuery evaluator consults the
+        distributivity analyses, benchmarks pin it explicitly).
+        ``seed_is_initial_result`` selects the Example 2.4 reading where the
+        seed itself is ``res_0`` (see :func:`~repro.fixpoint.naive.naive_fixpoint`).
+        """
+        if algorithm not in ALGORITHMS:
+            raise FixpointError(f"unknown fixed point algorithm '{algorithm}'")
+        statistics = FixpointStatistics(algorithm=algorithm) if self.collect_statistics else None
+        if algorithm == "delta":
+            value = delta_fixpoint(body, seed, self.max_iterations, statistics,
+                                   seed_is_initial_result=seed_is_initial_result)
+        else:
+            value = naive_fixpoint(body, seed, self.max_iterations, statistics,
+                                   seed_is_initial_result=seed_is_initial_result)
+        return FixpointResult(value=value, statistics=statistics or FixpointStatistics(algorithm=algorithm))
+
+    def run_both(self, body: Callable[[list], list], seed: Sequence,
+                 seed_is_initial_result: bool = False) -> dict[str, FixpointResult]:
+        """Run Naive and Delta on the same input (used by tests/benchmarks)."""
+        return {
+            name: self.run(body, seed, algorithm=name,
+                           seed_is_initial_result=seed_is_initial_result)
+            for name in ALGORITHMS
+        }

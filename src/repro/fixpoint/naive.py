@@ -1,0 +1,85 @@
+"""Algorithm *Naive* (Figure 3a of the paper).
+
+::
+
+    res <- e_rec(e_seed);
+    do
+        res <- e_rec(res) union res;
+    while res grows;
+
+The whole accumulated result is fed back into the recursion body on every
+round, so nodes discovered early are re-processed again and again — the
+redundant work that motivates the Delta variant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import FixpointError
+from repro.xdm.sequence import ensure_node_sequence, node_union
+from repro.fixpoint.stats import FixpointStatistics
+
+
+def naive_fixpoint(body: Callable[[list], list], seed: Sequence,
+                   max_iterations: int = 100_000,
+                   statistics: FixpointStatistics | None = None,
+                   seed_is_initial_result: bool = False) -> list:
+    """Compute the IFP of *body* seeded by *seed* with algorithm Naive.
+
+    Parameters
+    ----------
+    body:
+        The recursion body ``e_rec`` as a callable from a node sequence to a
+        node sequence (the evaluator closes over the recursion variable).
+    seed:
+        The seed sequence ``e_seed`` (must contain only nodes).
+    max_iterations:
+        Bound standing in for Definition 2.1's "the IFP is undefined":
+        exceeded only if the body keeps producing fresh nodes forever.
+    statistics:
+        Optional collector for the per-iteration measurements of Table 2.
+    seed_is_initial_result:
+        Definition 2.1 starts from ``res_0 = e_rec(e_seed)``.  The iteration
+        table of Example 2.4, however, treats the seed itself as ``res_0``.
+        Setting this flag selects the latter reading: the seed is taken as
+        the initial result (and is therefore always contained in the IFP).
+
+    Returns
+    -------
+    list
+        The fixed point ``res_k`` in document order.
+    """
+    seed_nodes = ensure_node_sequence(list(seed), "inflationary fixed point seed")
+
+    if seed_is_initial_result:
+        result = node_union(seed_nodes, [])
+        if statistics is not None:
+            statistics.algorithm = "naive"
+            statistics.record(0, 0, len(seed_nodes), len(result), len(result))
+    else:
+        fed = seed_nodes
+        produced = body(list(fed))
+        result = ensure_node_sequence(produced, "inflationary fixed point body result")
+        result = node_union(result, [])  # normalise: distinct, document order
+        if statistics is not None:
+            statistics.algorithm = "naive"
+            statistics.record(0, len(fed), len(produced), len(result), len(result))
+
+    iteration = 0
+    while True:
+        iteration += 1
+        if iteration > max_iterations:
+            raise FixpointError(
+                f"inflationary fixed point did not converge within {max_iterations} iterations"
+            )
+        fed = result
+        produced = body(list(fed))
+        ensure_node_sequence(produced, "inflationary fixed point body result")
+        combined = node_union(produced, result)
+        new_nodes = len(combined) - len(result)
+        if statistics is not None:
+            statistics.record(iteration, len(fed), len(produced), new_nodes, len(combined))
+        if new_nodes == 0:
+            return combined
+        result = combined

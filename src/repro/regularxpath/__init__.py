@@ -1,0 +1,41 @@
+"""Regular XPath: XPath location paths closed under transitive closure.
+
+Regular XPath [ten Cate, PODS 2006] extends XPath location paths with a
+transitive closure operator ``+`` (and its reflexive variant ``*``).  The
+paper uses it as the flagship application of the IFP form: any Regular XPath
+step expression ``s`` satisfies the syntactic distributivity conditions of
+Section 3.1, and ``s+`` is equivalent to::
+
+    with $x seeded by . recurse $x/s
+
+so Theorem 3.2 licences Delta-based evaluation for every Regular XPath
+closure.
+
+This package provides a small parser for Regular XPath path expressions
+(:mod:`repro.regularxpath.parser`), their translation into the engine's
+XQuery AST with closures expressed as IFPs (:mod:`repro.regularxpath.translate`)
+and a convenience evaluator (:func:`evaluate_regular_xpath`).
+"""
+
+from repro.regularxpath.rpast import (
+    RPStep,
+    RPSequence,
+    RPUnion,
+    RPClosure,
+    RPFilter,
+    RPExpr,
+)
+from repro.regularxpath.parser import parse_regular_xpath
+from repro.regularxpath.translate import to_xquery_expr, evaluate_regular_xpath
+
+__all__ = [
+    "RPExpr",
+    "RPStep",
+    "RPSequence",
+    "RPUnion",
+    "RPClosure",
+    "RPFilter",
+    "parse_regular_xpath",
+    "to_xquery_expr",
+    "evaluate_regular_xpath",
+]

@@ -1,0 +1,147 @@
+"""Parser for Regular XPath path expressions.
+
+Grammar (precedence low to high)::
+
+    path     ::= sequence ("union" sequence | "|" sequence)*
+    sequence ::= closed ("/" closed)*
+    closed   ::= atom ("+" | "*")* ("[" path "]")*
+    atom     ::= step | "(" path ")"
+    step     ::= (axis "::")? nodetest
+    nodetest ::= NCName | "*" | "node()" | "text()"
+
+Examples::
+
+    (child::prerequisites/child::pre_code)+
+    (descendant::course | child::module)+
+    (following-sibling::SPEECH)+[child::SPEAKER]
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import XQuerySyntaxError
+from repro.regularxpath.rpast import RPClosure, RPExpr, RPFilter, RPSequence, RPStep, RPUnion
+
+_AXES = {
+    "child", "descendant", "descendant-or-self", "self", "attribute",
+    "parent", "ancestor", "ancestor-or-self",
+    "following-sibling", "preceding-sibling", "following", "preceding",
+}
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<dcolon>::)|(?P<symbol>[()\[\]/|+*])|(?P<name>[A-Za-z_][\w.-]*(\(\))?)|(?P<union>union))"
+)
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.tokens: list[str] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                remaining = text[position:].strip()
+                if not remaining:
+                    break
+                raise XQuerySyntaxError(f"cannot tokenize Regular XPath near {remaining[:20]!r}")
+            token = match.group().strip()
+            if token:
+                self.tokens.append(token)
+            position = match.end()
+        self.index = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise XQuerySyntaxError("unexpected end of Regular XPath expression")
+        self.index += 1
+        return token
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self.index += 1
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        found = self.next()
+        if found != token:
+            raise XQuerySyntaxError(f"expected {token!r} in Regular XPath, found {found!r}")
+
+
+def parse_regular_xpath(text: str) -> RPExpr:
+    """Parse a Regular XPath path expression into an :class:`RPExpr`."""
+    tokens = _Tokens(text)
+    expr = _parse_union(tokens)
+    if tokens.peek() is not None:
+        raise XQuerySyntaxError(f"unexpected trailing token {tokens.peek()!r} in Regular XPath")
+    return expr
+
+
+def _parse_union(tokens: _Tokens) -> RPExpr:
+    left = _parse_sequence(tokens)
+    while tokens.peek() in ("union", "|"):
+        tokens.next()
+        left = RPUnion(left, _parse_sequence(tokens))
+    return left
+
+
+def _parse_sequence(tokens: _Tokens) -> RPExpr:
+    left = _parse_closed(tokens)
+    while tokens.accept("/"):
+        left = RPSequence(left, _parse_closed(tokens))
+    return left
+
+
+def _parse_closed(tokens: _Tokens) -> RPExpr:
+    expr = _parse_atom(tokens)
+    while True:
+        token = tokens.peek()
+        if token == "+":
+            tokens.next()
+            expr = RPClosure(expr, reflexive=False)
+        elif token == "*" and _star_is_closure(expr):
+            tokens.next()
+            expr = RPClosure(expr, reflexive=True)
+        elif token == "[":
+            tokens.next()
+            filter_expr = _parse_union(tokens)
+            tokens.expect("]")
+            expr = RPFilter(expr, filter_expr)
+        else:
+            return expr
+
+
+def _star_is_closure(expr: RPExpr) -> bool:
+    # ``*`` directly after an atom is a closure marker; a lone ``*`` step is
+    # produced by _parse_atom, so reaching here always means closure.
+    return expr is not None
+
+
+def _parse_atom(tokens: _Tokens) -> RPExpr:
+    token = tokens.peek()
+    if token == "(":
+        tokens.next()
+        expr = _parse_union(tokens)
+        tokens.expect(")")
+        return expr
+    name = tokens.next()
+    if name in ("*",):
+        return RPStep("child", "*")
+    if not re.match(r"[A-Za-z_]", name):
+        raise XQuerySyntaxError(f"unexpected token {name!r} in Regular XPath step")
+    axis = "child"
+    node_test = name
+    if tokens.peek() == "::":
+        if name not in _AXES:
+            raise XQuerySyntaxError(f"unknown Regular XPath axis {name!r}")
+        tokens.next()
+        axis = name
+        node_test = tokens.next()
+        if node_test == "(":  # pragma: no cover - defensive
+            raise XQuerySyntaxError("expected a node test after '::'")
+    return RPStep(axis, node_test)

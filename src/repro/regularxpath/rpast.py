@@ -1,0 +1,73 @@
+"""AST for Regular XPath path expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class RPExpr:
+    """Base class of Regular XPath path expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class RPStep(RPExpr):
+    """A single location step ``axis::nodetest``.
+
+    ``axis`` defaults to ``child``; ``node_test`` is an element name, ``*``,
+    or one of the kind tests ``node()``/``text()``.
+    """
+
+    axis: str
+    node_test: str
+
+    def __str__(self) -> str:
+        return f"{self.axis}::{self.node_test}"
+
+
+@dataclass(frozen=True)
+class RPSequence(RPExpr):
+    """Path composition ``left/right``."""
+
+    left: RPExpr
+    right: RPExpr
+
+    def __str__(self) -> str:
+        return f"{self.left}/{self.right}"
+
+
+@dataclass(frozen=True)
+class RPUnion(RPExpr):
+    """Path union ``left union right``."""
+
+    left: RPExpr
+    right: RPExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} union {self.right})"
+
+
+@dataclass(frozen=True)
+class RPClosure(RPExpr):
+    """Transitive closure ``operand+`` (or reflexive-transitive ``operand*``)."""
+
+    operand: RPExpr
+    reflexive: bool = False
+
+    def __str__(self) -> str:
+        suffix = "*" if self.reflexive else "+"
+        return f"({self.operand}){suffix}"
+
+
+@dataclass(frozen=True)
+class RPFilter(RPExpr):
+    """A filtered path ``operand[filter]`` (existence test on the filter path)."""
+
+    operand: RPExpr
+    filter: RPExpr
+    name_filter: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.operand}[{self.filter}]"

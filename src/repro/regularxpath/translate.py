@@ -1,0 +1,104 @@
+"""Translation of Regular XPath into the engine's XQuery AST.
+
+The key equation is the paper's Section 2 observation: the transitive
+closure ``s+`` of a step expression ``s`` is::
+
+    with $x seeded by . recurse $x/s
+
+Because every Regular XPath step satisfies the distributivity conditions of
+Section 3.1 (no free recursion variable, no positional functions, no node
+constructors), the translated IFPs are always eligible for Delta-based
+evaluation; the translation marks them ``using auto`` so the engine's
+distributivity check makes that call, or the caller may force an algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import XQueryStaticError
+from repro.xdm.node import Node
+from repro.xdm.sequence import ddo
+from repro.xquery import ast
+from repro.xquery.context import DynamicContext
+from repro.xquery.evaluator import Evaluator
+from repro.regularxpath.parser import parse_regular_xpath
+from repro.regularxpath.rpast import RPClosure, RPExpr, RPFilter, RPSequence, RPStep, RPUnion
+
+#: Variable name used by generated closure IFPs (kept out of user namespaces).
+CLOSURE_VARIABLE = "rxp_closure"
+
+
+def to_xquery_expr(expr: RPExpr | str, algorithm: str = "auto") -> ast.Expr:
+    """Translate a Regular XPath expression into an XQuery AST expression.
+
+    The resulting expression is evaluated relative to the context item (it
+    navigates *from* the focus node), exactly like an XPath relative path.
+    ``algorithm`` is attached to every generated IFP (``auto``/``naive``/
+    ``delta``).
+    """
+    if isinstance(expr, str):
+        expr = parse_regular_xpath(expr)
+    return _translate(expr, algorithm)
+
+
+def _translate(expr: RPExpr, algorithm: str) -> ast.Expr:
+    if isinstance(expr, RPStep):
+        return _translate_step(expr)
+    if isinstance(expr, RPSequence):
+        return ast.PathExpr(_translate(expr.left, algorithm), _translate(expr.right, algorithm))
+    if isinstance(expr, RPUnion):
+        return ast.UnionExpr(_translate(expr.left, algorithm), _translate(expr.right, algorithm))
+    if isinstance(expr, RPClosure):
+        return _translate_closure(expr, algorithm)
+    if isinstance(expr, RPFilter):
+        inner = _translate(expr.operand, algorithm)
+        predicate = _translate(expr.filter, algorithm)
+        return ast.FilterExpr(inner, (predicate,))
+    raise XQueryStaticError(f"cannot translate Regular XPath node {type(expr).__name__}")
+
+
+def _translate_step(step: RPStep) -> ast.Expr:
+    if step.node_test == "*":
+        node_test = ast.NodeTest("name", "*")
+    elif step.node_test == "node()":
+        node_test = ast.NodeTest("node")
+    elif step.node_test == "text()":
+        node_test = ast.NodeTest("text")
+    else:
+        node_test = ast.NodeTest("name", step.node_test)
+    return ast.AxisStep(step.axis, node_test)
+
+
+def _translate_closure(closure: RPClosure, algorithm: str) -> ast.Expr:
+    inner = _translate(closure.operand, algorithm)
+    ifp = ast.WithExpr(
+        var=CLOSURE_VARIABLE,
+        seed=ast.ContextItem(),
+        body=ast.PathExpr(ast.VarRef(CLOSURE_VARIABLE), inner),
+        algorithm=algorithm,
+    )
+    if not closure.reflexive:
+        return ifp
+    # Reflexive closure: the context node itself joins the result.
+    return ast.UnionExpr(ast.AxisStep("self", ast.NodeTest("node")), ifp)
+
+
+def evaluate_regular_xpath(expr: RPExpr | str, context_nodes: Sequence[Node],
+                           algorithm: str = "auto",
+                           context: DynamicContext | None = None) -> list[Node]:
+    """Evaluate a Regular XPath expression from the given context nodes.
+
+    The result is the union over all context nodes, in document order —
+    i.e. the usual XPath semantics of applying a relative path to a node
+    sequence.
+    """
+    translated = to_xquery_expr(expr, algorithm=algorithm)
+    evaluator = Evaluator()
+    base_context = context or DynamicContext()
+    results: list[Node] = []
+    size = len(context_nodes)
+    for position, node in enumerate(context_nodes, start=1):
+        focused = base_context.with_focus(node, position, size)
+        results.extend(evaluator.evaluate(translated, focused))
+    return ddo(results)

@@ -1,0 +1,15 @@
+"""A minimal relational WITH RECURSIVE evaluator (Section 2's SQL:1999 sidebar).
+
+The paper relates the XQuery IFP form to SQL:1999's ``WITH RECURSIVE``
+clause and to the linearity restriction SQL imposes on the recursive
+fullselect.  This package provides just enough of a relational substrate to
+make that comparison executable: named relations of tuples, a
+``WithRecursive`` specification (seed query + linear recursive step), and
+Naive/Delta evaluation over it — mirroring the curriculum example of
+Section 2.
+"""
+
+from repro.sqlgen.relation import Relation
+from repro.sqlgen.with_recursive import WithRecursive, curriculum_prerequisites
+
+__all__ = ["Relation", "WithRecursive", "curriculum_prerequisites"]

@@ -1,0 +1,69 @@
+"""Named relations of tuples (set semantics) for the WITH RECURSIVE sidebar."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Relation:
+    """An immutable relation: a named schema plus a set of tuples."""
+
+    __slots__ = ("name", "columns", "tuples")
+
+    def __init__(self, name: str, columns: Iterable[str], tuples: Iterable[tuple] = ()):
+        self.name = name
+        self.columns = tuple(columns)
+        self.tuples: frozenset[tuple] = frozenset(tuple(row) for row in tuples)
+        for row in self.tuples:
+            if len(row) != len(self.columns):
+                raise ValueError(f"tuple {row!r} does not match schema {self.columns!r}")
+
+    # -- basic relational operations ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(sorted(self.tuples))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.columns == other.columns and self.tuples == other.tuples
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key in practice
+        return hash((self.columns, self.tuples))
+
+    def project(self, columns: Iterable[str], name: str | None = None) -> "Relation":
+        columns = tuple(columns)
+        indices = [self.columns.index(c) for c in columns]
+        return Relation(name or self.name, columns,
+                        {tuple(row[i] for i in indices) for row in self.tuples})
+
+    def select(self, predicate) -> "Relation":
+        return Relation(self.name, self.columns,
+                        {row for row in self.tuples if predicate(dict(zip(self.columns, row)))})
+
+    def join(self, other: "Relation", left_column: str, right_column: str,
+             name: str = "join") -> "Relation":
+        left_index = self.columns.index(left_column)
+        right_index = other.columns.index(right_column)
+        out_columns = self.columns + tuple(f"{other.name}.{c}" for c in other.columns)
+        rows = {
+            left + right
+            for left in self.tuples
+            for right in other.tuples
+            if left[left_index] == right[right_index]
+        }
+        return Relation(name, out_columns, rows)
+
+    def union(self, other: "Relation", name: str | None = None) -> "Relation":
+        if len(self.columns) != len(other.columns):
+            raise ValueError("union over relations of different arity")
+        return Relation(name or self.name, self.columns, self.tuples | other.tuples)
+
+    def difference(self, other: "Relation", name: str | None = None) -> "Relation":
+        return Relation(name or self.name, self.columns, self.tuples - other.tuples)
+
+    def rename(self, name: str) -> "Relation":
+        return Relation(name, self.columns, self.tuples)

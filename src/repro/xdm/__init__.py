@@ -1,0 +1,107 @@
+"""XQuery Data Model (XDM) substrate.
+
+This package provides the data model everything else in :mod:`repro` is
+built on: XML nodes with identity and document order, atomic values,
+sequences, and the sequence-level operations the paper's definitions are
+stated in terms of (``fs:ddo``, node-set ``union``/``except``/``intersect``,
+set-equality, deep-equal, atomization and effective boolean value).
+
+The important design decisions:
+
+* **Node identity** is object identity plus a globally unique, monotonically
+  increasing ``order_key`` assigned at construction time.  Because both the
+  XML parser and the node constructors materialise nodes in document
+  (pre-)order, the ``order_key`` doubles as the document-order sort key, also
+  across separately constructed trees (XQuery leaves inter-tree order
+  implementation defined but requires it to be stable).
+* **Sequences** are plain Python lists of items (nodes or atomic values).
+  Helper functions in :mod:`repro.xdm.sequence` implement the operations the
+  W3C Formal Semantics defines on them.
+"""
+
+from repro.xdm.items import (
+    UntypedAtomic,
+    QName,
+    is_atomic,
+    is_node,
+    is_numeric,
+    atomize_item,
+    string_value_of_item,
+    xs_boolean,
+    xs_double,
+    xs_integer,
+    xs_string,
+)
+from repro.xdm.node import (
+    Node,
+    DocumentNode,
+    ElementNode,
+    AttributeNode,
+    TextNode,
+    CommentNode,
+    ProcessingInstructionNode,
+    NodeKind,
+    reset_node_counter,
+)
+from repro.xdm.document import (
+    document,
+    element,
+    attribute,
+    text,
+    comment,
+    processing_instruction,
+    copy_node,
+)
+from repro.xdm.sequence import (
+    ddo,
+    node_union,
+    node_except,
+    node_intersect,
+    set_equal,
+    atomize,
+    effective_boolean_value,
+    nodes_only,
+    ensure_node_sequence,
+)
+from repro.xdm.comparison import deep_equal, atomic_equal
+
+__all__ = [
+    "UntypedAtomic",
+    "QName",
+    "is_atomic",
+    "is_node",
+    "is_numeric",
+    "atomize_item",
+    "string_value_of_item",
+    "xs_boolean",
+    "xs_double",
+    "xs_integer",
+    "xs_string",
+    "Node",
+    "DocumentNode",
+    "ElementNode",
+    "AttributeNode",
+    "TextNode",
+    "CommentNode",
+    "ProcessingInstructionNode",
+    "NodeKind",
+    "reset_node_counter",
+    "document",
+    "element",
+    "attribute",
+    "text",
+    "comment",
+    "processing_instruction",
+    "copy_node",
+    "ddo",
+    "node_union",
+    "node_except",
+    "node_intersect",
+    "set_equal",
+    "atomize",
+    "effective_boolean_value",
+    "nodes_only",
+    "ensure_node_sequence",
+    "deep_equal",
+    "atomic_equal",
+]

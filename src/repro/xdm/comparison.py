@@ -1,0 +1,122 @@
+"""Value and deep equality for XDM items and sequences.
+
+``fn:deep-equal`` is needed both by the built-in function library and by the
+paper's undecidability argument in Section 3.2 (footnote 2); atomic equality
+with untyped promotion underlies general comparisons, which drive the
+value-based joins of the benchmark queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.xdm.items import UntypedAtomic, is_node, is_numeric, xs_double
+from repro.xdm.node import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    ProcessingInstructionNode,
+    TextNode,
+)
+
+
+def atomic_equal(left: Any, right: Any) -> bool:
+    """Equality of two atomic values with untyped/numeric promotion.
+
+    * untyped vs numeric — untyped is cast to ``xs:double``;
+    * untyped vs string/untyped — compared as strings;
+    * numeric vs numeric — numeric comparison;
+    * otherwise — equality of equal types only.
+    """
+    if isinstance(left, UntypedAtomic) and is_numeric(right):
+        try:
+            return xs_double(left) == right
+        except Exception:
+            return False
+    if isinstance(right, UntypedAtomic) and is_numeric(left):
+        try:
+            return left == xs_double(right)
+        except Exception:
+            return False
+    if isinstance(left, UntypedAtomic) or isinstance(right, UntypedAtomic):
+        return str(left) == str(right)
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool) and left == right
+    if is_numeric(left) and is_numeric(right):
+        return left == right
+    if isinstance(left, str) and isinstance(right, str):
+        return left == right
+    return type(left) is type(right) and left == right
+
+
+def atomic_less_than(left: Any, right: Any) -> bool:
+    """Ordering of two atomic values with untyped/numeric promotion."""
+    if isinstance(left, UntypedAtomic) and is_numeric(right):
+        return xs_double(left) < right
+    if isinstance(right, UntypedAtomic) and is_numeric(left):
+        return left < xs_double(right)
+    if isinstance(left, UntypedAtomic) or isinstance(right, UntypedAtomic):
+        return str(left) < str(right)
+    if is_numeric(left) and is_numeric(right):
+        return left < right
+    if isinstance(left, str) and isinstance(right, str):
+        return left < right
+    from repro.errors import XQueryTypeError
+
+    raise XQueryTypeError(
+        f"cannot order values of types {type(left).__name__} and {type(right).__name__}"
+    )
+
+
+def deep_equal(left: Sequence[Any], right: Sequence[Any]) -> bool:
+    """``fn:deep-equal`` over two sequences."""
+    left_items = list(left)
+    right_items = list(right)
+    if len(left_items) != len(right_items):
+        return False
+    return all(_deep_equal_item(a, b) for a, b in zip(left_items, right_items))
+
+
+def _deep_equal_item(left: Any, right: Any) -> bool:
+    if is_node(left) != is_node(right):
+        return False
+    if not is_node(left):
+        try:
+            return atomic_equal(left, right)
+        except Exception:
+            return False
+    return _deep_equal_node(left, right)
+
+
+def _deep_equal_node(left: Node, right: Node) -> bool:
+    if type(left) is not type(right):
+        return False
+    if isinstance(left, (TextNode, CommentNode)):
+        return left.string_value() == right.string_value()
+    if isinstance(left, AttributeNode):
+        return left.name == right.name and left.value == right.value  # type: ignore[union-attr]
+    if isinstance(left, ProcessingInstructionNode):
+        return left.name == right.name and left.content == right.content  # type: ignore[union-attr]
+    if isinstance(left, ElementNode):
+        right_element: ElementNode = right  # type: ignore[assignment]
+        if left.name != right_element.name:
+            return False
+        left_attrs = {attr.name: attr.value for attr in left.attributes}
+        right_attrs = {attr.name: attr.value for attr in right_element.attributes}
+        if left_attrs != right_attrs:
+            return False
+        return _deep_equal_content(left.children, right_element.children)
+    if isinstance(left, DocumentNode):
+        return _deep_equal_content(left.children, right.children)
+    return False  # pragma: no cover - all kinds handled above
+
+
+def _deep_equal_content(left: Sequence[Node], right: Sequence[Node]) -> bool:
+    """Compare element/document content, ignoring comments and PIs."""
+    left_relevant = [n for n in left if not isinstance(n, (CommentNode, ProcessingInstructionNode))]
+    right_relevant = [n for n in right if not isinstance(n, (CommentNode, ProcessingInstructionNode))]
+    if len(left_relevant) != len(right_relevant):
+        return False
+    return all(_deep_equal_node(a, b) for a, b in zip(left_relevant, right_relevant))

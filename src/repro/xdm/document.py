@@ -1,0 +1,192 @@
+"""Programmatic construction of XDM trees.
+
+These helpers are the node constructors of the engine: the XQuery evaluator
+uses them to implement direct and computed constructors, the data generators
+use them to synthesise benchmark documents, and tests use them to build
+small fixtures without going through XML text.
+
+Construction happens in document (pre-)order so that the global
+``order_key`` counter yields correct document order (see
+:mod:`repro.xdm.node`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.errors import XQueryTypeError
+from repro.xdm.node import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    ProcessingInstructionNode,
+    TextNode,
+)
+
+#: Things accepted as element content by :func:`element`.
+Content = Union[Node, str, int, float, bool, "Iterable[object]"]
+
+
+def document(*children: Content, base_uri: str | None = None) -> DocumentNode:
+    """Build a document node with the given children.
+
+    String/number content becomes text nodes; element IDs are registered from
+    attributes flagged ``is_id``.
+    """
+    doc = DocumentNode(base_uri=base_uri)
+    for child in _flatten(children):
+        doc.append_child(_as_content_node(child))
+    _renumber_subtree(doc)
+    _register_ids(doc)
+    return doc
+
+
+def element(name: str, *content: Content, attrs: dict[str, str] | None = None) -> ElementNode:
+    """Build an element node.
+
+    Parameters
+    ----------
+    name:
+        The element name.
+    content:
+        Child content: nodes, strings/numbers (turned into text nodes),
+        attribute nodes, or (possibly nested) iterables of these.
+    attrs:
+        Convenience mapping of attribute name to value.
+    """
+    node = ElementNode(name)
+    if attrs:
+        for attr_name, attr_value in attrs.items():
+            node.add_attribute(AttributeNode(attr_name, str(attr_value)))
+    for item in _flatten(content):
+        if isinstance(item, AttributeNode):
+            node.add_attribute(item)
+        elif isinstance(item, dict):
+            for attr_name, attr_value in item.items():
+                node.add_attribute(AttributeNode(attr_name, _stringify(attr_value)))
+        else:
+            node.append_child(_as_content_node(item))
+    _renumber_subtree(node)
+    return node
+
+
+def _renumber_subtree(root: Node) -> None:
+    """Re-assign document-order keys over a freshly assembled subtree.
+
+    The builder functions receive their children as already-constructed
+    nodes (Python evaluates arguments innermost first), so construction
+    order is bottom-up and the order keys handed out at ``__init__`` time
+    would put descendants *before* their ancestors.  Re-numbering the whole
+    subtree in pre-order — element, then its attributes, then its children —
+    restores the document-order invariant while keeping keys globally unique
+    and monotone across separately built trees.
+    """
+    from repro.xdm.node import _next_order_key
+
+    def visit(node: Node) -> None:
+        node.order_key = _next_order_key()
+        if isinstance(node, ElementNode):
+            for attr in node.attributes:
+                attr.order_key = _next_order_key()
+        for child in node.children:
+            visit(child)
+
+    visit(root)
+
+
+def attribute(name: str, value: object, is_id: bool = False) -> AttributeNode:
+    """Build an attribute node."""
+    return AttributeNode(name, _stringify(value), is_id=is_id)
+
+
+def text(content: object) -> TextNode:
+    """Build a text node."""
+    return TextNode(_stringify(content))
+
+
+def comment(content: str) -> CommentNode:
+    """Build a comment node."""
+    return CommentNode(content)
+
+
+def processing_instruction(target: str, content: str) -> ProcessingInstructionNode:
+    """Build a processing-instruction node."""
+    return ProcessingInstructionNode(target, content)
+
+
+def copy_node(node: Node) -> Node:
+    """Deep-copy a node, assigning fresh identities throughout.
+
+    This is what XQuery's element constructors do when they embed existing
+    nodes: the copies are new nodes with new identity, in document order.
+    """
+    if isinstance(node, DocumentNode):
+        doc = DocumentNode(base_uri=node.base_uri)
+        for child in node.children:
+            doc.append_child(copy_node(child))
+        _register_ids(doc)
+        return doc
+    if isinstance(node, ElementNode):
+        copy = ElementNode(node.name)
+        for attr in node.attributes:
+            copy.add_attribute(AttributeNode(attr.name, attr.value, is_id=attr.is_id))
+        for child in node.children:
+            copy.append_child(copy_node(child))
+        return copy
+    if isinstance(node, AttributeNode):
+        return AttributeNode(node.name, node.value, is_id=node.is_id)
+    if isinstance(node, TextNode):
+        return TextNode(node.content)
+    if isinstance(node, CommentNode):
+        return CommentNode(node.content)
+    if isinstance(node, ProcessingInstructionNode):
+        return ProcessingInstructionNode(node.name, node.content)
+    raise XQueryTypeError(f"cannot copy node of kind {type(node).__name__}")
+
+
+def register_ids(doc: DocumentNode, id_attribute_names: Iterable[str] = ()) -> None:
+    """(Re)build the document's ID map.
+
+    Attributes whose ``is_id`` flag is set are always registered; in addition
+    any attribute whose name appears in *id_attribute_names* is treated as an
+    ID attribute.  This mirrors how the paper's curriculum DTD declares
+    ``course/@code`` as ``ID`` — callers that parse documents without a DTD
+    can still opt attribute names in.
+    """
+    names = set(id_attribute_names)
+    for node in doc.iter_tree():
+        if isinstance(node, ElementNode):
+            for attr in node.attributes:
+                if attr.is_id or attr.name in names:
+                    attr.is_id = True
+                    doc.register_id(attr.value, node)
+
+
+def _register_ids(doc: DocumentNode) -> None:
+    register_ids(doc)
+
+
+def _flatten(content: Iterable[object]):
+    for item in content:
+        if isinstance(item, (list, tuple)):
+            yield from _flatten(item)
+        else:
+            yield item
+
+
+def _as_content_node(item: object) -> Node:
+    if isinstance(item, Node):
+        return item
+    if isinstance(item, (str, int, float, bool)):
+        return TextNode(_stringify(item))
+    raise XQueryTypeError(f"cannot use {type(item).__name__} as element content")
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,14 @@
+"""XML parsing and serialization for the ``repro`` engine.
+
+A deliberately small, hand-written, dependency-free XML 1.0 parser that
+covers what the paper's documents need: elements, attributes, character
+data, entity references, CDATA sections, comments, processing instructions,
+and an internal-DTD scan that picks up ``<!ATTLIST ... ID ...>`` declarations
+so that ``fn:id`` works on documents such as the curriculum data of
+Figure 1 (where ``course/@code`` is declared ``ID``).
+"""
+
+from repro.xmlio.parser import parse_xml, parse_xml_file, XMLParser
+from repro.xmlio.serializer import serialize, serialize_sequence
+
+__all__ = ["parse_xml", "parse_xml_file", "XMLParser", "serialize", "serialize_sequence"]

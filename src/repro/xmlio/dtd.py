@@ -1,0 +1,59 @@
+"""Minimal internal-DTD handling.
+
+The engine does not validate against DTDs.  The only information it extracts
+is which attributes are declared with type ``ID`` — exactly what ``fn:id``
+(and therefore the paper's curriculum queries, Example 1.1 / Query Q1) needs.
+
+``<!ATTLIST course code ID #REQUIRED>`` therefore registers ``code`` as an
+ID attribute of ``course`` elements.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+_ATTLIST_RE = re.compile(r"<!ATTLIST\s+(?P<element>[^\s>]+)\s+(?P<rest>[^>]*)>", re.DOTALL)
+_ATTDEF_RE = re.compile(
+    r"(?P<name>[^\s]+)\s+(?P<type>ID|IDREFS|IDREF|CDATA|NMTOKENS|NMTOKEN|ENTITIES|ENTITY|NOTATION|\([^)]*\))\s+"
+    r"(?P<default>#REQUIRED|#IMPLIED|(#FIXED\s+)?(\"[^\"]*\"|'[^']*'))",
+    re.DOTALL,
+)
+_ENTITY_RE = re.compile(
+    r"<!ENTITY\s+(?P<name>[^\s%][^\s]*)\s+(\"(?P<dq>[^\"]*)\"|'(?P<sq>[^']*)')\s*>", re.DOTALL
+)
+
+
+@dataclass
+class DTDInfo:
+    """What the engine remembers from an internal DTD subset."""
+
+    #: Maps element name -> set of attribute names declared with type ID.
+    id_attributes: dict[str, set[str]] = field(default_factory=dict)
+    #: Internal general entity declarations (name -> replacement text).
+    entities: dict[str, str] = field(default_factory=dict)
+
+    def is_id_attribute(self, element_name: str, attribute_name: str) -> bool:
+        """True if *attribute_name* was declared ``ID`` for *element_name*."""
+        return attribute_name in self.id_attributes.get(element_name, set())
+
+
+def parse_internal_dtd(dtd_text: str) -> DTDInfo:
+    """Extract ID attribute declarations and entities from an internal subset.
+
+    The function is intentionally forgiving: it scans for ``ATTLIST`` and
+    ``ENTITY`` declarations and ignores everything else (element and notation
+    declarations, conditional sections, parameter entities).
+    """
+    info = DTDInfo()
+    for match in _ATTLIST_RE.finditer(dtd_text):
+        element_name = match.group("element")
+        rest = match.group("rest")
+        for attdef in _ATTDEF_RE.finditer(rest):
+            if attdef.group("type") == "ID":
+                info.id_attributes.setdefault(element_name, set()).add(attdef.group("name"))
+    for match in _ENTITY_RE.finditer(dtd_text):
+        replacement = match.group("dq") if match.group("dq") is not None else match.group("sq")
+        info.entities[match.group("name")] = replacement or ""
+    return info

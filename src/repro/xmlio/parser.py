@@ -1,0 +1,352 @@
+"""A hand-written, dependency-free XML 1.0 parser producing XDM trees.
+
+Supported constructs
+--------------------
+* elements with attributes (quoted with ``"`` or ``'``)
+* character data with the five predefined entities plus character references
+* CDATA sections
+* comments and processing instructions
+* an XML declaration (``<?xml ...?>``), which is skipped
+* an internal DTD subset (``<!DOCTYPE root [ ... ]>``) from which ID
+  attribute declarations and internal general entities are extracted (see
+  :mod:`repro.xmlio.dtd`)
+
+Namespaces are treated literally (``xmlns`` attributes are ordinary
+attributes and prefixed names are just names containing ``:``), which is
+all the paper's workloads need.
+
+Well-formedness violations raise :class:`~repro.errors.XMLSyntaxError` with
+line/column information.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import XMLSyntaxError
+from repro.xdm.document import register_ids
+from repro.xdm.node import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    ProcessingInstructionNode,
+    TextNode,
+)
+from repro.xmlio.dtd import DTDInfo, parse_internal_dtd
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:-.")
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char in _NAME_START_EXTRA
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in _NAME_EXTRA
+
+
+class XMLParser:
+    """Recursive-descent XML parser.
+
+    Parameters
+    ----------
+    id_attributes:
+        Extra attribute names to treat as ID-typed regardless of the DTD
+        (e.g. ``{"id"}`` so ``fn:id`` works on DTD-less documents).
+    strip_whitespace_text:
+        When true (the default), text nodes consisting exclusively of
+        whitespace between elements are dropped.  Pretty-printed benchmark
+        documents otherwise drown queries in irrelevant text nodes.
+    """
+
+    def __init__(self, id_attributes: Iterable[str] = ("id", "xml:id"),
+                 strip_whitespace_text: bool = True):
+        self.id_attribute_names = set(id_attributes)
+        self.strip_whitespace_text = strip_whitespace_text
+        self._text = ""
+        self._pos = 0
+        self._dtd = DTDInfo()
+
+    # -- public entry points -------------------------------------------------
+
+    def parse(self, text: str, base_uri: str | None = None) -> DocumentNode:
+        """Parse *text* into a :class:`~repro.xdm.node.DocumentNode`."""
+        self._text = text
+        self._pos = 0
+        self._dtd = DTDInfo()
+        doc = DocumentNode(base_uri=base_uri)
+        self._skip_prolog(doc)
+        root = self._parse_element()
+        doc.append_child(root)
+        self._skip_misc()
+        if self._pos < len(self._text):
+            self._error("content after document element")
+        register_ids(doc, self.id_attribute_names)
+        return doc
+
+    # -- prolog ---------------------------------------------------------------
+
+    def _skip_prolog(self, doc: DocumentNode) -> None:
+        while True:
+            self._skip_whitespace()
+            if self._peek(5) == "<?xml" and self._text[self._pos + 5:self._pos + 6] in (" ", "?"):
+                self._consume_until("?>")
+            elif self._peek(4) == "<!--":
+                doc.append_child(self._parse_comment())
+            elif self._peek(2) == "<?":
+                doc.append_child(self._parse_pi())
+            elif self._peek(9) == "<!DOCTYPE":
+                self._parse_doctype()
+            else:
+                break
+
+    def _skip_misc(self) -> None:
+        while True:
+            self._skip_whitespace()
+            if self._peek(4) == "<!--":
+                self._parse_comment()
+            elif self._peek(2) == "<?":
+                self._parse_pi()
+            else:
+                break
+
+    def _parse_doctype(self) -> None:
+        start = self._pos
+        self._pos += len("<!DOCTYPE")
+        depth = 0
+        internal_start = None
+        while self._pos < len(self._text):
+            char = self._text[self._pos]
+            if char == "[":
+                if depth == 0:
+                    internal_start = self._pos + 1
+                depth += 1
+            elif char == "]":
+                depth -= 1
+                if depth == 0 and internal_start is not None:
+                    self._dtd = parse_internal_dtd(self._text[internal_start:self._pos])
+            elif char == ">" and depth == 0:
+                self._pos += 1
+                return
+            self._pos += 1
+        self._pos = start
+        self._error("unterminated DOCTYPE declaration")
+
+    # -- elements -------------------------------------------------------------
+
+    def _parse_element(self) -> ElementNode:
+        if not self._match("<"):
+            self._error("expected element start tag")
+        name = self._parse_name()
+        element = ElementNode(name)
+        self._parse_attributes(element, name)
+        self._skip_whitespace()
+        if self._match("/>"):
+            return element
+        if not self._match(">"):
+            self._error(f"malformed start tag for element '{name}'")
+        self._parse_content(element)
+        if not self._match("</"):
+            self._error(f"expected end tag for element '{name}'")
+        end_name = self._parse_name()
+        if end_name != name:
+            self._error(f"mismatched end tag: expected '</{name}>', got '</{end_name}>'")
+        self._skip_whitespace()
+        if not self._match(">"):
+            self._error(f"malformed end tag for element '{name}'")
+        return element
+
+    def _parse_attributes(self, element: ElementNode, element_name: str) -> None:
+        seen: set[str] = set()
+        while True:
+            self._skip_whitespace()
+            char = self._peek(1)
+            if char in (">", "/") or not char:
+                return
+            attr_name = self._parse_name()
+            if attr_name in seen:
+                self._error(f"duplicate attribute '{attr_name}'")
+            seen.add(attr_name)
+            self._skip_whitespace()
+            if not self._match("="):
+                self._error(f"expected '=' after attribute name '{attr_name}'")
+            self._skip_whitespace()
+            value = self._parse_attribute_value()
+            is_id = (
+                self._dtd.is_id_attribute(element_name, attr_name)
+                or attr_name in self.id_attribute_names
+            )
+            element.add_attribute(AttributeNode(attr_name, value, is_id=is_id))
+
+    def _parse_attribute_value(self) -> str:
+        quote = self._peek(1)
+        if quote not in ('"', "'"):
+            self._error("attribute value must be quoted")
+        self._pos += 1
+        start = self._pos
+        while self._pos < len(self._text) and self._text[self._pos] != quote:
+            if self._text[self._pos] == "<":
+                self._error("'<' not allowed in attribute value")
+            self._pos += 1
+        if self._pos >= len(self._text):
+            self._error("unterminated attribute value")
+        raw = self._text[start:self._pos]
+        self._pos += 1
+        return self._expand_entities(raw)
+
+    def _parse_content(self, element: ElementNode) -> None:
+        buffer: list[str] = []
+
+        def flush_text() -> None:
+            if not buffer:
+                return
+            content = "".join(buffer)
+            buffer.clear()
+            if self.strip_whitespace_text and not content.strip():
+                return
+            element.append_child(TextNode(content))
+
+        while self._pos < len(self._text):
+            if self._peek(2) == "</":
+                flush_text()
+                return
+            if self._peek(4) == "<!--":
+                flush_text()
+                element.append_child(self._parse_comment())
+            elif self._peek(9) == "<![CDATA[":
+                buffer.append(self._parse_cdata())
+            elif self._peek(2) == "<?":
+                flush_text()
+                element.append_child(self._parse_pi())
+            elif self._peek(1) == "<":
+                flush_text()
+                element.append_child(self._parse_element())
+            else:
+                start = self._pos
+                while self._pos < len(self._text) and self._text[self._pos] not in "<":
+                    self._pos += 1
+                buffer.append(self._expand_entities(self._text[start:self._pos]))
+        self._error("unexpected end of document inside element content")
+
+    def _parse_comment(self) -> CommentNode:
+        if not self._match("<!--"):
+            self._error("expected comment")
+        end = self._text.find("-->", self._pos)
+        if end < 0:
+            self._error("unterminated comment")
+        content = self._text[self._pos:end]
+        if "--" in content:
+            self._error("'--' not allowed inside comment")
+        self._pos = end + 3
+        return CommentNode(content)
+
+    def _parse_cdata(self) -> str:
+        if not self._match("<![CDATA["):
+            self._error("expected CDATA section")
+        end = self._text.find("]]>", self._pos)
+        if end < 0:
+            self._error("unterminated CDATA section")
+        content = self._text[self._pos:end]
+        self._pos = end + 3
+        return content
+
+    def _parse_pi(self) -> ProcessingInstructionNode:
+        if not self._match("<?"):
+            self._error("expected processing instruction")
+        target = self._parse_name()
+        end = self._text.find("?>", self._pos)
+        if end < 0:
+            self._error("unterminated processing instruction")
+        content = self._text[self._pos:end].strip()
+        self._pos = end + 2
+        return ProcessingInstructionNode(target, content)
+
+    # -- lexical helpers -------------------------------------------------------
+
+    def _parse_name(self) -> str:
+        start = self._pos
+        if self._pos >= len(self._text) or not _is_name_start(self._text[self._pos]):
+            self._error("expected a name")
+        self._pos += 1
+        while self._pos < len(self._text) and _is_name_char(self._text[self._pos]):
+            self._pos += 1
+        return self._text[start:self._pos]
+
+    def _expand_entities(self, raw: str) -> str:
+        if "&" not in raw:
+            return raw
+        result: list[str] = []
+        index = 0
+        while index < len(raw):
+            char = raw[index]
+            if char != "&":
+                result.append(char)
+                index += 1
+                continue
+            end = raw.find(";", index)
+            if end < 0:
+                self._error("unterminated entity reference")
+            entity = raw[index + 1:end]
+            if entity.startswith("#x") or entity.startswith("#X"):
+                result.append(chr(int(entity[2:], 16)))
+            elif entity.startswith("#"):
+                result.append(chr(int(entity[1:])))
+            elif entity in _PREDEFINED_ENTITIES:
+                result.append(_PREDEFINED_ENTITIES[entity])
+            elif entity in self._dtd.entities:
+                result.append(self._dtd.entities[entity])
+            else:
+                self._error(f"unknown entity reference '&{entity};'")
+            index = end + 1
+        return "".join(result)
+
+    def _skip_whitespace(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos] in " \t\r\n":
+            self._pos += 1
+
+    def _peek(self, length: int) -> str:
+        return self._text[self._pos:self._pos + length]
+
+    def _match(self, token: str) -> bool:
+        if self._text.startswith(token, self._pos):
+            self._pos += len(token)
+            return True
+        return False
+
+    def _consume_until(self, token: str) -> None:
+        end = self._text.find(token, self._pos)
+        if end < 0:
+            self._error(f"expected '{token}'")
+        self._pos = end + len(token)
+
+    def _error(self, message: str) -> None:
+        line = self._text.count("\n", 0, self._pos) + 1
+        last_newline = self._text.rfind("\n", 0, self._pos)
+        column = self._pos - last_newline
+        raise XMLSyntaxError(message, line=line, column=column)
+
+
+def parse_xml(text: str, id_attributes: Iterable[str] = ("id", "xml:id"),
+              base_uri: str | None = None, strip_whitespace_text: bool = True) -> DocumentNode:
+    """Parse an XML string into an XDM document node."""
+    parser = XMLParser(id_attributes=id_attributes, strip_whitespace_text=strip_whitespace_text)
+    return parser.parse(text, base_uri=base_uri)
+
+
+def parse_xml_file(path: str, id_attributes: Iterable[str] = ("id", "xml:id"),
+                   strip_whitespace_text: bool = True) -> DocumentNode:
+    """Parse an XML file into an XDM document node."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_xml(text, id_attributes=id_attributes, base_uri=path,
+                     strip_whitespace_text=strip_whitespace_text)

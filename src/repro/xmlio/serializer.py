@@ -1,0 +1,86 @@
+"""Serialization of XDM nodes and sequences back to XML text."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.xdm.items import format_atomic, is_node
+from repro.xdm.node import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    ProcessingInstructionNode,
+    TextNode,
+)
+
+
+def _escape_text(value: str) -> str:
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attribute(value: str) -> str:
+    return _escape_text(value).replace('"', "&quot;")
+
+
+def serialize(node: Node, indent: int | None = None) -> str:
+    """Serialize a single node to XML text.
+
+    ``indent`` enables pretty printing with the given indentation width;
+    by default output is compact (no insignificant whitespace is added).
+    """
+    parts: list[str] = []
+    _serialize_node(node, parts, indent, 0)
+    return "".join(parts)
+
+
+def serialize_sequence(sequence: Sequence[Any], indent: int | None = None) -> str:
+    """Serialize an item sequence (nodes as XML, atomic values space-joined)."""
+    parts: list[str] = []
+    pending_atomics: list[str] = []
+    for item in sequence:
+        if is_node(item):
+            if pending_atomics:
+                parts.append(" ".join(pending_atomics))
+                pending_atomics = []
+            parts.append(serialize(item, indent=indent))
+        else:
+            pending_atomics.append(format_atomic(item))
+    if pending_atomics:
+        parts.append(" ".join(pending_atomics))
+    return " ".join(part for part in parts if part)
+
+
+def _serialize_node(node: Node, parts: list[str], indent: int | None, depth: int) -> None:
+    pad = "" if indent is None else "\n" + " " * (indent * depth) if depth or parts else " " * (indent * depth)
+    if isinstance(node, DocumentNode):
+        for child in node.children:
+            _serialize_node(child, parts, indent, depth)
+        return
+    if isinstance(node, TextNode):
+        parts.append(_escape_text(node.content))
+        return
+    if isinstance(node, CommentNode):
+        parts.append(f"{pad}<!--{node.content}-->")
+        return
+    if isinstance(node, ProcessingInstructionNode):
+        parts.append(f"{pad}<?{node.name} {node.content}?>")
+        return
+    if isinstance(node, AttributeNode):
+        parts.append(f'{node.name}="{_escape_attribute(node.value)}"')
+        return
+    if isinstance(node, ElementNode):
+        attrs = "".join(f' {a.name}="{_escape_attribute(a.value)}"' for a in node.attributes)
+        if not node.children:
+            parts.append(f"{pad}<{node.name}{attrs}/>")
+            return
+        parts.append(f"{pad}<{node.name}{attrs}>")
+        only_text = all(isinstance(child, TextNode) for child in node.children)
+        for child in node.children:
+            _serialize_node(child, parts, None if only_text else indent, depth + 1)
+        if indent is not None and not only_text:
+            parts.append("\n" + " " * (indent * depth))
+        parts.append(f"</{node.name}>")
+        return
+    raise TypeError(f"cannot serialize {type(node).__name__}")  # pragma: no cover

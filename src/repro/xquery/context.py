@@ -1,0 +1,181 @@
+"""Static and dynamic evaluation contexts.
+
+The split follows the XQuery processing model: the *static context* holds
+what is known after parsing (declared functions, options), the *dynamic
+context* holds what changes during evaluation (variable bindings, the focus,
+available documents) plus engine options and statistics hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import XQueryDynamicError
+from repro.xquery.ast import FunctionDecl
+
+
+@dataclass
+class EvaluationOptions:
+    """Engine knobs.
+
+    Attributes
+    ----------
+    ifp_algorithm:
+        Global policy for evaluating ``with … seeded by … recurse``:
+        ``"auto"`` (use Delta iff the distributivity analysis approves),
+        ``"naive"`` or ``"delta"`` (force an algorithm).  A per-expression
+        ``using`` clause overrides this.
+    distributivity_checker:
+        Which analysis the ``auto`` policy consults: ``"syntactic"``
+        (Figure 5 rules), ``"algebraic"`` (union push-up over the compiled
+        plan, Section 4) or ``"never"`` (always fall back to Naive).
+    max_ifp_iterations:
+        Safety bound standing in for "the IFP is undefined" — exceeded only
+        when the recursion body keeps generating fresh nodes
+        (Definition 2.1's caveat about node constructors).
+    max_recursion_depth:
+        Bound on user-defined function recursion depth.
+    """
+
+    ifp_algorithm: str = "auto"
+    distributivity_checker: str = "syntactic"
+    max_ifp_iterations: int = 100_000
+    max_recursion_depth: int = 500
+    collect_statistics: bool = True
+
+
+@dataclass
+class StaticContext:
+    """What is known about a query before evaluation starts."""
+
+    functions: dict[tuple[str, int], FunctionDecl] = field(default_factory=dict)
+    options: EvaluationOptions = field(default_factory=EvaluationOptions)
+
+    def lookup_function(self, name: str, arity: int) -> Optional[FunctionDecl]:
+        return self.functions.get((name, arity))
+
+
+class DocumentResolver:
+    """Maps URIs passed to ``fn:doc`` onto XDM document nodes.
+
+    Documents can be registered eagerly (:meth:`register`) or produced on
+    demand by a loader callable (e.g. one that reads from disk or from a
+    data generator).  Results are cached so that repeated ``doc("u")`` calls
+    return the *same* node identities, as XQuery requires.
+    """
+
+    def __init__(self, loader: Optional[Callable[[str], Any]] = None):
+        self._documents: dict[str, Any] = {}
+        self._loader = loader
+
+    def register(self, uri: str, document: Any) -> None:
+        """Register *document* under *uri*."""
+        self._documents[uri] = document
+
+    def resolve(self, uri: str) -> Any:
+        if uri in self._documents:
+            return self._documents[uri]
+        if self._loader is not None:
+            document = self._loader(uri)
+            if document is not None:
+                self._documents[uri] = document
+                return document
+        raise XQueryDynamicError(f"document '{uri}' is not available", code="FODC0002")
+
+    def known_uris(self) -> list[str]:
+        return sorted(self._documents)
+
+
+@dataclass
+class Focus:
+    """The dynamic focus: context item, position and size."""
+
+    item: Any = None
+    position: int = 0
+    size: int = 0
+
+    @property
+    def defined(self) -> bool:
+        return self.item is not None
+
+
+class DynamicContext:
+    """Variable bindings, focus and evaluation services.
+
+    Contexts are persistent: ``bind``/``with_focus`` return new contexts that
+    share unmodified state with their parent, so the evaluator can freely
+    thread them through recursive calls.
+    """
+
+    __slots__ = ("variables", "focus", "static", "documents", "statistics", "depth")
+
+    def __init__(self, static: StaticContext | None = None,
+                 documents: DocumentResolver | None = None,
+                 variables: dict[str, list] | None = None,
+                 focus: Focus | None = None,
+                 statistics: Any = None,
+                 depth: int = 0):
+        self.static = static or StaticContext()
+        self.documents = documents or DocumentResolver()
+        self.variables = variables or {}
+        self.focus = focus or Focus()
+        self.statistics = statistics
+        self.depth = depth
+
+    # -- derivation ----------------------------------------------------------
+
+    def bind(self, name: str, value: list) -> "DynamicContext":
+        """Return a new context with ``$name`` bound to *value*."""
+        variables = dict(self.variables)
+        variables[name] = value
+        return self._derive(variables=variables)
+
+    def bind_many(self, bindings: dict[str, list]) -> "DynamicContext":
+        variables = dict(self.variables)
+        variables.update(bindings)
+        return self._derive(variables=variables)
+
+    def with_focus(self, item: Any, position: int, size: int) -> "DynamicContext":
+        """Return a new context with the given focus."""
+        return self._derive(focus=Focus(item, position, size))
+
+    def without_focus(self) -> "DynamicContext":
+        return self._derive(focus=Focus())
+
+    def enter_function(self) -> "DynamicContext":
+        """Track user-defined function recursion depth."""
+        if self.depth + 1 > self.static.options.max_recursion_depth:
+            raise XQueryDynamicError(
+                "user-defined function recursion too deep", code="REPR0002"
+            )
+        return self._derive(depth=self.depth + 1)
+
+    def _derive(self, variables: dict[str, list] | None = None,
+                focus: Focus | None = None,
+                depth: int | None = None) -> "DynamicContext":
+        return DynamicContext(
+            static=self.static,
+            documents=self.documents,
+            variables=self.variables if variables is None else variables,
+            focus=self.focus if focus is None else focus,
+            statistics=self.statistics,
+            depth=self.depth if depth is None else depth,
+        )
+
+    # -- lookups ---------------------------------------------------------------
+
+    def variable(self, name: str) -> list:
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise XQueryDynamicError(f"variable ${name} is not bound", code="XPDY0002") from None
+
+    def context_item(self) -> Any:
+        if not self.focus.defined:
+            raise XQueryDynamicError("the context item is undefined", code="XPDY0002")
+        return self.focus.item
+
+    @property
+    def options(self) -> EvaluationOptions:
+        return self.static.options

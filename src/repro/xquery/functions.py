@@ -1,0 +1,651 @@
+"""Built-in function library.
+
+Each built-in is registered as a :class:`Builtin` with an arity range and an
+implementation that receives the dynamic context and the already-evaluated
+argument sequences.  The library covers the ``fn:`` functions used by the
+paper and its benchmark queries plus the everyday core (string, numeric,
+sequence and node functions).  Functions may be called with or without the
+``fn:`` prefix; the ``xs:`` constructor functions for the basic atomic types
+are included as well.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import XQueryDynamicError, XQueryTypeError
+from repro.xdm.comparison import atomic_equal, deep_equal
+from repro.xdm.items import (
+    UntypedAtomic,
+    format_atomic,
+    is_node,
+    is_numeric,
+    string_value_of_item,
+    xs_boolean,
+    xs_double,
+    xs_integer,
+    xs_string,
+)
+from repro.xdm.node import AttributeNode, DocumentNode, ElementNode, Node
+from repro.xdm.sequence import atomize, ddo, effective_boolean_value
+
+Sequence = list  # an XDM sequence is a Python list of items
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """A built-in function: its arity range and implementation."""
+
+    name: str
+    min_arity: int
+    max_arity: int
+    implementation: Callable[..., Sequence]
+
+    def accepts_arity(self, arity: int) -> bool:
+        return self.min_arity <= arity <= self.max_arity
+
+
+_REGISTRY: dict[str, Builtin] = {}
+
+
+def register(name: str, min_arity: int, max_arity: int | None = None):
+    """Decorator registering a built-in under *name* (and ``fn:name``)."""
+
+    def decorator(func: Callable[..., Sequence]) -> Callable[..., Sequence]:
+        builtin = Builtin(name, min_arity, max_arity if max_arity is not None else min_arity, func)
+        _REGISTRY[name] = builtin
+        return func
+
+    return decorator
+
+
+def lookup_builtin(name: str, arity: int) -> Optional[Builtin]:
+    """Find a built-in by (possibly prefixed) name and arity."""
+    local = name
+    if ":" in name:
+        prefix, local = name.split(":", 1)
+        if prefix not in ("fn", "xs", "fs"):
+            return None
+        if prefix in ("xs", "fs"):
+            local = name  # xs:/fs: functions are registered with their prefix
+    builtin = _REGISTRY.get(local)
+    if builtin is not None and builtin.accepts_arity(arity):
+        return builtin
+    return None
+
+
+def builtin_names() -> list[str]:
+    """All registered built-in names (for documentation and tests)."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _single_string(sequence: Sequence, default: str = "") -> str:
+    if not sequence:
+        return default
+    if len(sequence) > 1:
+        raise XQueryTypeError("expected at most one item", code="XPTY0004")
+    return string_value_of_item(sequence[0])
+
+
+def _single_node(sequence: Sequence, function: str) -> Node:
+    if len(sequence) != 1 or not is_node(sequence[0]):
+        raise XQueryTypeError(f"{function} expects exactly one node", code="XPTY0004")
+    return sequence[0]
+
+
+def _optional_numeric(sequence: Sequence) -> Optional[float]:
+    if not sequence:
+        return None
+    if len(sequence) > 1:
+        raise XQueryTypeError("expected at most one numeric item", code="XPTY0004")
+    value = sequence[0]
+    if is_node(value):
+        value = value.typed_value()
+    if isinstance(value, (UntypedAtomic, str)):
+        return xs_double(value)
+    if is_numeric(value):
+        return value
+    raise XQueryTypeError(f"expected a number, got {type(value).__name__}")
+
+
+def _numeric_values(sequence: Sequence, function: str) -> list[float]:
+    values = []
+    for item in atomize(sequence):
+        if isinstance(item, (UntypedAtomic, str)):
+            values.append(xs_double(item))
+        elif is_numeric(item):
+            values.append(item)
+        else:
+            raise XQueryTypeError(f"{function} expects numeric values")
+    return values
+
+
+def _context_node(ctx) -> Node:
+    item = ctx.context_item()
+    if not is_node(item):
+        raise XQueryTypeError("the context item is not a node", code="XPTY0004")
+    return item
+
+
+# ---------------------------------------------------------------------------
+# documents and node identity
+# ---------------------------------------------------------------------------
+
+
+@register("doc", 1)
+def fn_doc(ctx, uri: Sequence) -> Sequence:
+    """``fn:doc($uri)`` — resolve a document through the context's resolver."""
+    if not uri:
+        return []
+    return [ctx.documents.resolve(_single_string(uri))]
+
+
+@register("doc-available", 1)
+def fn_doc_available(ctx, uri: Sequence) -> Sequence:
+    if not uri:
+        return [False]
+    try:
+        ctx.documents.resolve(_single_string(uri))
+        return [True]
+    except XQueryDynamicError:
+        return [False]
+
+
+@register("root", 0, 1)
+def fn_root(ctx, node: Sequence | None = None) -> Sequence:
+    target = _context_node(ctx) if node is None else (_single_node(node, "fn:root") if node else None)
+    if target is None:
+        return []
+    return [target.root()]
+
+
+@register("id", 1, 2)
+def fn_id(ctx, values: Sequence, node: Sequence | None = None) -> Sequence:
+    """``fn:id($values [, $node])`` — elements with matching ID attributes.
+
+    The candidate ID values are the space-tokenized string values of
+    ``$values``; the search happens in the document containing ``$node``
+    (default: the context node).  This is the lookup driving the curriculum
+    queries (Example 1.1 / Query Q1).
+    """
+    if node is not None and node:
+        anchor = _single_node(node, "fn:id")
+    else:
+        anchor = _context_node(ctx)
+    doc = anchor.document()
+    if doc is None:
+        return []
+    tokens: list[str] = []
+    for item in values:
+        tokens.extend(string_value_of_item(item).split())
+    found: list[Node] = []
+    for token in tokens:
+        element = doc.lookup_id(token)
+        if element is not None:
+            found.append(element)
+    return ddo(found)
+
+
+@register("idref", 1, 2)
+def fn_idref(ctx, values: Sequence, node: Sequence | None = None) -> Sequence:
+    """Reverse ID lookup: elements/attributes that refer to the given IDs."""
+    if node is not None and node:
+        anchor = _single_node(node, "fn:idref")
+    else:
+        anchor = _context_node(ctx)
+    doc = anchor.document()
+    if doc is None:
+        return []
+    wanted = set()
+    for item in values:
+        wanted.update(string_value_of_item(item).split())
+    result: list[Node] = []
+    for candidate in doc.iter_tree():
+        if isinstance(candidate, ElementNode):
+            for attr in candidate.attributes:
+                if not attr.is_id and any(token in wanted for token in attr.value.split()):
+                    result.append(attr)
+    return ddo(result)
+
+
+# ---------------------------------------------------------------------------
+# focus
+# ---------------------------------------------------------------------------
+
+
+@register("position", 0)
+def fn_position(ctx) -> Sequence:
+    if not ctx.focus.defined:
+        raise XQueryDynamicError("fn:position() requires a focus", code="XPDY0002")
+    return [ctx.focus.position]
+
+
+@register("last", 0)
+def fn_last(ctx) -> Sequence:
+    if not ctx.focus.defined:
+        raise XQueryDynamicError("fn:last() requires a focus", code="XPDY0002")
+    return [ctx.focus.size]
+
+
+# ---------------------------------------------------------------------------
+# booleans and cardinality
+# ---------------------------------------------------------------------------
+
+
+@register("true", 0)
+def fn_true(ctx) -> Sequence:
+    return [True]
+
+
+@register("false", 0)
+def fn_false(ctx) -> Sequence:
+    return [False]
+
+
+@register("boolean", 1)
+def fn_boolean(ctx, sequence: Sequence) -> Sequence:
+    return [effective_boolean_value(sequence)]
+
+
+@register("not", 1)
+def fn_not(ctx, sequence: Sequence) -> Sequence:
+    return [not effective_boolean_value(sequence)]
+
+
+@register("count", 1)
+def fn_count(ctx, sequence: Sequence) -> Sequence:
+    return [len(sequence)]
+
+
+@register("empty", 1)
+def fn_empty(ctx, sequence: Sequence) -> Sequence:
+    return [len(sequence) == 0]
+
+
+@register("exists", 1)
+def fn_exists(ctx, sequence: Sequence) -> Sequence:
+    return [len(sequence) > 0]
+
+
+@register("zero-or-one", 1)
+def fn_zero_or_one(ctx, sequence: Sequence) -> Sequence:
+    if len(sequence) > 1:
+        raise XQueryDynamicError("fn:zero-or-one called with more than one item", code="FORG0003")
+    return list(sequence)
+
+
+@register("one-or-more", 1)
+def fn_one_or_more(ctx, sequence: Sequence) -> Sequence:
+    if not sequence:
+        raise XQueryDynamicError("fn:one-or-more called with an empty sequence", code="FORG0004")
+    return list(sequence)
+
+
+@register("exactly-one", 1)
+def fn_exactly_one(ctx, sequence: Sequence) -> Sequence:
+    if len(sequence) != 1:
+        raise XQueryDynamicError("fn:exactly-one requires exactly one item", code="FORG0005")
+    return list(sequence)
+
+
+# ---------------------------------------------------------------------------
+# atomization, strings
+# ---------------------------------------------------------------------------
+
+
+@register("data", 1)
+def fn_data(ctx, sequence: Sequence) -> Sequence:
+    return atomize(sequence)
+
+
+@register("string", 0, 1)
+def fn_string(ctx, sequence: Sequence | None = None) -> Sequence:
+    if sequence is None:
+        return [string_value_of_item(ctx.context_item())]
+    if not sequence:
+        return [""]
+    return [_single_string(sequence)]
+
+
+@register("string-length", 0, 1)
+def fn_string_length(ctx, sequence: Sequence | None = None) -> Sequence:
+    if sequence is None:
+        return [len(string_value_of_item(ctx.context_item()))]
+    return [len(_single_string(sequence))]
+
+
+@register("normalize-space", 0, 1)
+def fn_normalize_space(ctx, sequence: Sequence | None = None) -> Sequence:
+    value = string_value_of_item(ctx.context_item()) if sequence is None else _single_string(sequence)
+    return [" ".join(value.split())]
+
+
+@register("concat", 2, 64)
+def fn_concat(ctx, *args: Sequence) -> Sequence:
+    return ["".join(_single_string(arg) for arg in args)]
+
+
+@register("string-join", 1, 2)
+def fn_string_join(ctx, sequence: Sequence, separator: Sequence | None = None) -> Sequence:
+    sep = _single_string(separator) if separator is not None else ""
+    return [sep.join(string_value_of_item(item) for item in sequence)]
+
+
+@register("contains", 2)
+def fn_contains(ctx, haystack: Sequence, needle: Sequence) -> Sequence:
+    return [_single_string(needle) in _single_string(haystack)]
+
+
+@register("starts-with", 2)
+def fn_starts_with(ctx, haystack: Sequence, needle: Sequence) -> Sequence:
+    return [_single_string(haystack).startswith(_single_string(needle))]
+
+
+@register("ends-with", 2)
+def fn_ends_with(ctx, haystack: Sequence, needle: Sequence) -> Sequence:
+    return [_single_string(haystack).endswith(_single_string(needle))]
+
+
+@register("substring", 2, 3)
+def fn_substring(ctx, source: Sequence, start: Sequence, length: Sequence | None = None) -> Sequence:
+    text = _single_string(source)
+    start_value = _optional_numeric(start)
+    if start_value is None:
+        return [""]
+    begin = int(round(start_value)) - 1
+    if length is not None:
+        length_value = _optional_numeric(length) or 0
+        end = begin + int(round(length_value))
+        begin = max(begin, 0)
+        return [text[begin:max(end, begin)]]
+    return [text[max(begin, 0):]]
+
+
+@register("substring-before", 2)
+def fn_substring_before(ctx, source: Sequence, needle: Sequence) -> Sequence:
+    text, sep = _single_string(source), _single_string(needle)
+    index = text.find(sep) if sep else -1
+    return [text[:index] if index >= 0 else ""]
+
+
+@register("substring-after", 2)
+def fn_substring_after(ctx, source: Sequence, needle: Sequence) -> Sequence:
+    text, sep = _single_string(source), _single_string(needle)
+    index = text.find(sep) if sep else -1
+    return [text[index + len(sep):] if index >= 0 else ""]
+
+
+@register("upper-case", 1)
+def fn_upper_case(ctx, sequence: Sequence) -> Sequence:
+    return [_single_string(sequence).upper()]
+
+
+@register("lower-case", 1)
+def fn_lower_case(ctx, sequence: Sequence) -> Sequence:
+    return [_single_string(sequence).lower()]
+
+
+@register("translate", 3)
+def fn_translate(ctx, source: Sequence, from_chars: Sequence, to_chars: Sequence) -> Sequence:
+    text = _single_string(source)
+    source_chars = _single_string(from_chars)
+    target_chars = _single_string(to_chars)
+    table = {}
+    for index, char in enumerate(source_chars):
+        table[ord(char)] = target_chars[index] if index < len(target_chars) else None
+    return [text.translate(table)]
+
+
+@register("tokenize", 2)
+def fn_tokenize(ctx, source: Sequence, separator: Sequence) -> Sequence:
+    text = _single_string(source)
+    sep = _single_string(separator)
+    if not text:
+        return []
+    return list(text.split(sep))
+
+
+# ---------------------------------------------------------------------------
+# numbers and aggregates
+# ---------------------------------------------------------------------------
+
+
+@register("number", 0, 1)
+def fn_number(ctx, sequence: Sequence | None = None) -> Sequence:
+    items = [ctx.context_item()] if sequence is None else list(sequence)
+    if not items:
+        return [float("nan")]
+    try:
+        value = _optional_numeric(items)
+    except (XQueryTypeError, XQueryDynamicError):
+        return [float("nan")]
+    return [float(value) if value is not None else float("nan")]
+
+
+@register("abs", 1)
+def fn_abs(ctx, sequence: Sequence) -> Sequence:
+    value = _optional_numeric(sequence)
+    return [] if value is None else [abs(value)]
+
+
+@register("floor", 1)
+def fn_floor(ctx, sequence: Sequence) -> Sequence:
+    value = _optional_numeric(sequence)
+    return [] if value is None else [math.floor(value)]
+
+
+@register("ceiling", 1)
+def fn_ceiling(ctx, sequence: Sequence) -> Sequence:
+    value = _optional_numeric(sequence)
+    return [] if value is None else [math.ceil(value)]
+
+
+@register("round", 1)
+def fn_round(ctx, sequence: Sequence) -> Sequence:
+    value = _optional_numeric(sequence)
+    return [] if value is None else [math.floor(value + 0.5)]
+
+
+@register("sum", 1, 2)
+def fn_sum(ctx, sequence: Sequence, zero: Sequence | None = None) -> Sequence:
+    values = _numeric_values(sequence, "fn:sum")
+    if not values:
+        if zero is not None:
+            return list(zero)
+        return [0]
+    total = sum(values)
+    return [int(total) if all(isinstance(v, int) for v in values) else total]
+
+
+@register("avg", 1)
+def fn_avg(ctx, sequence: Sequence) -> Sequence:
+    values = _numeric_values(sequence, "fn:avg")
+    if not values:
+        return []
+    return [sum(values) / len(values)]
+
+
+@register("max", 1)
+def fn_max(ctx, sequence: Sequence) -> Sequence:
+    values = _numeric_values(sequence, "fn:max")
+    if not values:
+        return []
+    return [max(values)]
+
+
+@register("min", 1)
+def fn_min(ctx, sequence: Sequence) -> Sequence:
+    values = _numeric_values(sequence, "fn:min")
+    if not values:
+        return []
+    return [min(values)]
+
+
+# ---------------------------------------------------------------------------
+# sequences
+# ---------------------------------------------------------------------------
+
+
+@register("distinct-values", 1)
+def fn_distinct_values(ctx, sequence: Sequence) -> Sequence:
+    result: list[Any] = []
+    for value in atomize(sequence):
+        if not any(atomic_equal(value, seen) for seen in result):
+            result.append(value)
+    return result
+
+
+@register("reverse", 1)
+def fn_reverse(ctx, sequence: Sequence) -> Sequence:
+    return list(reversed(sequence))
+
+
+@register("subsequence", 2, 3)
+def fn_subsequence(ctx, sequence: Sequence, start: Sequence, length: Sequence | None = None) -> Sequence:
+    start_value = _optional_numeric(start)
+    if start_value is None:
+        return []
+    begin = int(round(start_value))
+    if length is None:
+        return list(sequence[max(begin - 1, 0):])
+    length_value = int(round(_optional_numeric(length) or 0))
+    end = begin + length_value - 1
+    begin = max(begin, 1)
+    return list(sequence[begin - 1:max(end, begin - 1)])
+
+
+@register("insert-before", 3)
+def fn_insert_before(ctx, sequence: Sequence, position: Sequence, inserts: Sequence) -> Sequence:
+    index = max(int(_optional_numeric(position) or 1) - 1, 0)
+    items = list(sequence)
+    return items[:index] + list(inserts) + items[index:]
+
+
+@register("remove", 2)
+def fn_remove(ctx, sequence: Sequence, position: Sequence) -> Sequence:
+    index = int(_optional_numeric(position) or 0)
+    return [item for i, item in enumerate(sequence, start=1) if i != index]
+
+
+@register("index-of", 2)
+def fn_index_of(ctx, sequence: Sequence, target: Sequence) -> Sequence:
+    if len(target) != 1:
+        raise XQueryTypeError("fn:index-of expects a single search item")
+    needle = atomize(target)[0]
+    result = []
+    for position, item in enumerate(atomize(sequence), start=1):
+        if atomic_equal(item, needle):
+            result.append(position)
+    return result
+
+
+@register("deep-equal", 2)
+def fn_deep_equal(ctx, left: Sequence, right: Sequence) -> Sequence:
+    return [deep_equal(left, right)]
+
+
+@register("unordered", 1)
+def fn_unordered(ctx, sequence: Sequence) -> Sequence:
+    return list(sequence)
+
+
+@register("fs:ddo", 1)
+def fs_ddo(ctx, sequence: Sequence) -> Sequence:
+    """``fs:distinct-doc-order`` exposed as a callable (engine extension)."""
+    return ddo(sequence)
+
+
+# ---------------------------------------------------------------------------
+# node names
+# ---------------------------------------------------------------------------
+
+
+@register("name", 0, 1)
+def fn_name(ctx, node: Sequence | None = None) -> Sequence:
+    target = _context_node(ctx) if node is None else (node[0] if node else None)
+    if target is None:
+        return [""]
+    if not is_node(target):
+        raise XQueryTypeError("fn:name expects a node")
+    return [target.name or ""]
+
+
+@register("local-name", 0, 1)
+def fn_local_name(ctx, node: Sequence | None = None) -> Sequence:
+    names = fn_name(ctx, node)
+    name = names[0]
+    return [name.split(":")[-1] if name else ""]
+
+
+@register("node-name", 1)
+def fn_node_name(ctx, node: Sequence) -> Sequence:
+    if not node:
+        return []
+    target = _single_node(node, "fn:node-name")
+    return [target.name] if target.name else []
+
+
+# ---------------------------------------------------------------------------
+# casts, errors, debugging
+# ---------------------------------------------------------------------------
+
+
+@register("xs:string", 1)
+def xs_string_constructor(ctx, sequence: Sequence) -> Sequence:
+    if not sequence:
+        return []
+    return [xs_string(atomize(sequence)[0])]
+
+
+@register("xs:integer", 1)
+def xs_integer_constructor(ctx, sequence: Sequence) -> Sequence:
+    if not sequence:
+        return []
+    return [xs_integer(atomize(sequence)[0])]
+
+
+@register("xs:double", 1)
+def xs_double_constructor(ctx, sequence: Sequence) -> Sequence:
+    if not sequence:
+        return []
+    return [xs_double(atomize(sequence)[0])]
+
+
+@register("xs:boolean", 1)
+def xs_boolean_constructor(ctx, sequence: Sequence) -> Sequence:
+    if not sequence:
+        return []
+    return [xs_boolean(atomize(sequence)[0])]
+
+
+@register("error", 0, 2)
+def fn_error(ctx, code: Sequence | None = None, description: Sequence | None = None) -> Sequence:
+    message = _single_string(description) if description else "error raised by fn:error"
+    error_code = _single_string(code) if code else "FOER0000"
+    raise XQueryDynamicError(message, code=error_code)
+
+
+@register("trace", 2)
+def fn_trace(ctx, sequence: Sequence, label: Sequence) -> Sequence:
+    # The trace output is intentionally not printed during benchmarks; it is
+    # recorded on the statistics object when one is installed.
+    if ctx.statistics is not None and hasattr(ctx.statistics, "trace"):
+        ctx.statistics.trace(_single_string(label), list(sequence))
+    return list(sequence)
+
+
+@register("string-to-codepoints", 1)
+def fn_string_to_codepoints(ctx, sequence: Sequence) -> Sequence:
+    return [ord(char) for char in _single_string(sequence)]
+
+
+@register("codepoints-to-string", 1)
+def fn_codepoints_to_string(ctx, sequence: Sequence) -> Sequence:
+    return ["".join(chr(xs_integer(value)) for value in atomize(sequence))]

@@ -1,0 +1,183 @@
+"""Streaming tokenizer for the XQuery subset.
+
+The lexer is *streaming* (pull-based) rather than batch because XQuery's
+grammar is not context free at the lexical level: a ``<`` can start either a
+comparison or a direct element constructor, and inside a constructor the
+input is character data, not tokens.  The parser therefore drives the lexer,
+and for direct constructors it temporarily takes over at the character level
+(via :attr:`Lexer.pos`) before resuming token mode.
+
+XQuery comments ``(: ... :)`` nest and are skipped as whitespace.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.tokens import MULTI_CHAR_SYMBOLS, SINGLE_CHAR_SYMBOLS, Token, TokenKind
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in "_-."
+
+
+class Lexer:
+    """Pull-based tokenizer over a query string."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # -- character-level helpers (also used by the parser for constructors) --
+
+    def error(self, message: str, pos: int | None = None) -> XQuerySyntaxError:
+        position = self.pos if pos is None else pos
+        line = self.text.count("\n", 0, position) + 1
+        column = position - self.text.rfind("\n", 0, position)
+        return XQuerySyntaxError(f"{message} at line {line}, column {column}")
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek_char(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def skip_ignorable(self) -> None:
+        """Skip whitespace and (nested) XQuery comments."""
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char in " \t\r\n":
+                self.pos += 1
+            elif char == "(" and self.peek_char(1) == ":":
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        start = self.pos
+        depth = 0
+        while self.pos < len(self.text):
+            if self.text.startswith("(:", self.pos):
+                depth += 1
+                self.pos += 2
+            elif self.text.startswith(":)", self.pos):
+                depth -= 1
+                self.pos += 2
+                if depth == 0:
+                    return
+            else:
+                self.pos += 1
+        raise self.error("unterminated comment", start)
+
+    # -- token-level interface ------------------------------------------------
+
+    def next_token(self) -> Token:
+        """Scan and return the next token (EOF token at end of input)."""
+        self.skip_ignorable()
+        if self.at_end():
+            return Token(TokenKind.EOF, "", self.pos, self.pos)
+        start = self.pos
+        char = self.text[self.pos]
+
+        if char in "\"'":
+            return self._scan_string(char)
+        if char.isdigit() or (char == "." and self.peek_char(1).isdigit()):
+            return self._scan_number()
+        if _is_name_start(char):
+            return self._scan_name()
+        for symbol in MULTI_CHAR_SYMBOLS:
+            if self.text.startswith(symbol, self.pos):
+                self.pos += len(symbol)
+                return Token(TokenKind.SYMBOL, symbol, start, self.pos)
+        if char in SINGLE_CHAR_SYMBOLS:
+            self.pos += 1
+            return Token(TokenKind.SYMBOL, char, start, self.pos)
+        raise self.error(f"unexpected character {char!r}")
+
+    def _scan_string(self, quote: str) -> Token:
+        start = self.pos
+        self.pos += 1
+        parts: list[str] = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated string literal", start)
+            char = self.text[self.pos]
+            if char == quote:
+                if self.peek_char(1) == quote:  # doubled quote escape
+                    parts.append(quote)
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return Token(TokenKind.STRING, "".join(parts), start, self.pos)
+            if char == "&":
+                parts.append(self._scan_entity_reference())
+                continue
+            parts.append(char)
+            self.pos += 1
+
+    def _scan_entity_reference(self) -> str:
+        start = self.pos
+        end = self.text.find(";", self.pos)
+        if end < 0:
+            raise self.error("unterminated entity reference", start)
+        entity = self.text[self.pos + 1:end]
+        self.pos = end + 1
+        if entity.startswith("#x") or entity.startswith("#X"):
+            return chr(int(entity[2:], 16))
+        if entity.startswith("#"):
+            return chr(int(entity[1:]))
+        if entity in _PREDEFINED_ENTITIES:
+            return _PREDEFINED_ENTITIES[entity]
+        raise self.error(f"unknown entity reference '&{entity};'", start)
+
+    def _scan_number(self) -> Token:
+        start = self.pos
+        kind = TokenKind.INTEGER
+        while self.peek_char().isdigit():
+            self.pos += 1
+        if self.peek_char() == "." and self.peek_char(1).isdigit():
+            kind = TokenKind.DECIMAL
+            self.pos += 1
+            while self.peek_char().isdigit():
+                self.pos += 1
+        if self.peek_char() in "eE" and (
+            self.peek_char(1).isdigit()
+            or (self.peek_char(1) in "+-" and self.peek_char(2).isdigit())
+        ):
+            kind = TokenKind.DOUBLE
+            self.pos += 1
+            if self.peek_char() in "+-":
+                self.pos += 1
+            while self.peek_char().isdigit():
+                self.pos += 1
+        return Token(kind, self.text[start:self.pos], start, self.pos)
+
+    def _scan_name(self) -> Token:
+        start = self.pos
+        self.pos += 1
+        while self.pos < len(self.text) and _is_name_char(self.text[self.pos]):
+            self.pos += 1
+        # QName: prefix:local — only if the colon is immediately followed by a
+        # name start character and not part of '::' (axis separator).
+        if (
+            self.peek_char() == ":"
+            and self.peek_char(1) != ":"
+            and _is_name_start(self.peek_char(1))
+            and not self.text.startswith(":=", self.pos)
+        ):
+            self.pos += 1
+            while self.pos < len(self.text) and _is_name_char(self.text[self.pos]):
+                self.pos += 1
+        return Token(TokenKind.NAME, self.text[start:self.pos], start, self.pos)

@@ -1,0 +1,80 @@
+"""Small AST-level rewrites applied before evaluation.
+
+These are classic, semantics-preserving simplifications; the engine applies
+them in the convenience API and the benchmark harness so that the
+interpreter spends its time on the recursion behaviour under study rather
+than on avoidable axis work.
+
+Currently implemented:
+
+* ``e/descendant-or-self::node()/child::t``  →  ``e/descendant::t``
+  (the standard ``//`` abbreviation fusion), including the variant where a
+  predicate list sits on the final step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, replace
+
+from repro.xquery import ast
+
+
+def optimize(expr: ast.Expr) -> ast.Expr:
+    """Return an optimized copy of *expr* (the input is never mutated)."""
+    rewritten = _rewrite_children(expr)
+    return _fuse_descendant_step(rewritten)
+
+
+def optimize_module(module: ast.Module) -> ast.Module:
+    """Optimize every function body, variable initializer and the query body."""
+    functions = tuple(
+        replace(function, body=optimize(function.body)) for function in module.functions
+    )
+    variables = tuple(
+        replace(decl, value=optimize(decl.value)) if decl.value is not None else decl
+        for decl in module.variables
+    )
+    return ast.Module(functions=functions, variables=variables, body=optimize(module.body))
+
+
+def _rewrite_children(expr: ast.Expr) -> ast.Expr:
+    updates = {}
+    for field_info in fields(expr):  # type: ignore[arg-type]
+        value = getattr(expr, field_info.name)
+        new_value = _rewrite_value(value)
+        if new_value is not value:
+            updates[field_info.name] = new_value
+    if not updates:
+        return expr
+    return replace(expr, **updates)  # type: ignore[type-var]
+
+
+def _rewrite_value(value):
+    if isinstance(value, ast.Expr):
+        return optimize(value)
+    if isinstance(value, tuple):
+        new_items = tuple(_rewrite_value(item) for item in value)
+        if all(new is old for new, old in zip(new_items, value)):
+            return value
+        return new_items
+    return value
+
+
+def _fuse_descendant_step(expr: ast.Expr) -> ast.Expr:
+    """Fuse the two steps produced by the ``//`` abbreviation into one."""
+    if not isinstance(expr, ast.PathExpr):
+        return expr
+    right = expr.right
+    left = expr.left
+    if (
+        isinstance(right, ast.AxisStep)
+        and right.axis == "child"
+        and isinstance(left, ast.PathExpr)
+        and isinstance(left.right, ast.AxisStep)
+        and left.right.axis == "descendant-or-self"
+        and left.right.node_test.kind == "node"
+        and not left.right.predicates
+    ):
+        fused_step = ast.AxisStep("descendant", right.node_test, right.predicates)
+        return ast.PathExpr(left.left, fused_step)
+    return expr

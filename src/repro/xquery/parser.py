@@ -1,0 +1,799 @@
+"""Recursive-descent parser for the XQuery subset.
+
+The grammar follows XQuery 1.0 operator precedence for the constructs the
+engine supports, plus the paper's ``with $x seeded by e recurse e`` form.
+Several surface conveniences are desugared at parse time so that the
+evaluator and the distributivity analyses only ever see a small core:
+
+* multi-clause FLWORs become nested single-variable ``for``/``let`` nodes;
+* ``where c return e`` becomes ``return if (c) then e else ()``;
+* ``e1//e2`` becomes ``e1/descendant-or-self::node()/e2``;
+* a leading ``/`` becomes an explicit :class:`~repro.xquery.ast.RootExpr`
+  left operand of the binary path operator.
+
+Direct element constructors switch the parser into character mode (see
+:mod:`repro.xquery.lexer`), because inside ``<a>...</a>`` the input is
+character content interleaved with ``{ enclosed expressions }``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery import ast
+from repro.xquery.lexer import Lexer
+from repro.xquery.tokens import Token, TokenKind
+
+#: Axis names accepted in axis steps.
+AXES = {
+    "child", "descendant", "descendant-or-self", "self", "attribute",
+    "parent", "ancestor", "ancestor-or-self",
+    "following-sibling", "preceding-sibling", "following", "preceding",
+}
+
+#: Node-kind test names (reserved function names in step position).
+KIND_TESTS = {
+    "node", "text", "comment", "processing-instruction",
+    "element", "attribute", "document-node",
+}
+
+#: Names that may not be used as (unprefixed) function names.
+RESERVED_FUNCTION_NAMES = KIND_TESTS | {"if", "typeswitch", "item", "empty-sequence"}
+
+_PREDEFINED_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+
+class Parser:
+    """Parses one query module (prolog + body expression)."""
+
+    def __init__(self, text: str):
+        self.lexer = Lexer(text)
+        self._buffer: list[Token] = []
+
+    # ------------------------------------------------------------------ token plumbing
+
+    def _peek(self, offset: int = 0) -> Token:
+        while len(self._buffer) <= offset:
+            self._buffer.append(self.lexer.next_token())
+        return self._buffer[offset]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        self._buffer.pop(0)
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> XQuerySyntaxError:
+        position = token.start if token is not None else self._peek().start
+        return self.lexer.error(message, position)
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._peek()
+        if not token.is_symbol(symbol):
+            raise self._error(f"expected '{symbol}', found {token.value!r}", token)
+        return self._advance()
+
+    def _expect_name(self, *names: str) -> Token:
+        token = self._peek()
+        if not token.is_name(*names):
+            expected = " or ".join(repr(n) for n in names) if names else "a name"
+            raise self._error(f"expected {expected}, found {token.value!r}", token)
+        return self._advance()
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self._peek().is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _accept_name(self, *names: str) -> bool:
+        if self._peek().is_name(*names):
+            self._advance()
+            return True
+        return False
+
+    def _enter_char_mode(self, position: int) -> None:
+        """Discard pending lookahead and continue scanning at *position*."""
+        self._buffer.clear()
+        self.lexer.pos = position
+
+    # ------------------------------------------------------------------ module / prolog
+
+    def parse_module(self) -> ast.Module:
+        functions: list[ast.FunctionDecl] = []
+        variables: list[ast.VariableDecl] = []
+        while self._peek().is_name("declare"):
+            keyword = self._peek(1)
+            if keyword.is_name("function"):
+                functions.append(self._parse_function_decl())
+            elif keyword.is_name("variable"):
+                variables.append(self._parse_variable_decl())
+            else:
+                raise self._error(
+                    f"unsupported declaration 'declare {keyword.value}'", keyword
+                )
+        body = self.parse_expr()
+        end = self._peek()
+        if end.kind != TokenKind.EOF:
+            raise self._error(f"unexpected content after query body: {end.value!r}", end)
+        return ast.Module(functions=tuple(functions), variables=tuple(variables), body=body)
+
+    def _parse_function_decl(self) -> ast.FunctionDecl:
+        self._expect_name("declare")
+        self._expect_name("function")
+        name = self._expect_name().value
+        self._expect_symbol("(")
+        params: list[ast.Param] = []
+        if not self._peek().is_symbol(")"):
+            while True:
+                self._expect_symbol("$")
+                param_name = self._expect_name().value
+                declared_type = None
+                if self._accept_name("as"):
+                    declared_type = self._parse_sequence_type()
+                params.append(ast.Param(param_name, declared_type))
+                if not self._accept_symbol(","):
+                    break
+        self._expect_symbol(")")
+        return_type = None
+        if self._accept_name("as"):
+            return_type = self._parse_sequence_type()
+        self._expect_symbol("{")
+        body = self.parse_expr()
+        self._expect_symbol("}")
+        self._expect_symbol(";")
+        return ast.FunctionDecl(name=name, params=tuple(params), body=body, return_type=return_type)
+
+    def _parse_variable_decl(self) -> ast.VariableDecl:
+        self._expect_name("declare")
+        self._expect_name("variable")
+        self._expect_symbol("$")
+        name = self._expect_name().value
+        declared_type = None
+        if self._accept_name("as"):
+            declared_type = self._parse_sequence_type()
+        if self._accept_name("external"):
+            self._expect_symbol(";")
+            return ast.VariableDecl(name=name, value=None, external=True, declared_type=declared_type)
+        self._expect_symbol(":=")
+        value = self.parse_expr_single()
+        self._expect_symbol(";")
+        return ast.VariableDecl(name=name, value=value, declared_type=declared_type)
+
+    def _parse_sequence_type(self) -> ast.SequenceType:
+        token = self._expect_name()
+        type_name = token.value
+        if type_name == "empty-sequence":
+            self._expect_symbol("(")
+            self._expect_symbol(")")
+            return ast.SequenceType("empty-sequence")
+        name: Optional[str] = None
+        if type_name in KIND_TESTS or type_name == "item":
+            self._expect_symbol("(")
+            if not self._peek().is_symbol(")"):
+                inner = self._peek()
+                if inner.is_symbol("*"):
+                    self._advance()
+                    name = None
+                else:
+                    name = self._expect_name().value
+            self._expect_symbol(")")
+        occurrence = ""
+        nxt = self._peek()
+        if nxt.is_symbol("?", "*", "+"):
+            occurrence = self._advance().value
+        return ast.SequenceType(type_name, occurrence, name)
+
+    # ------------------------------------------------------------------ expressions
+
+    def parse_expr(self) -> ast.Expr:
+        items = [self.parse_expr_single()]
+        while self._accept_symbol(","):
+            items.append(self.parse_expr_single())
+        if len(items) == 1:
+            return items[0]
+        return ast.SequenceExpr(tuple(items))
+
+    def parse_expr_single(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_name("for", "let") and self._peek(1).is_symbol("$"):
+            return self._parse_flwor()
+        if token.is_name("some", "every") and self._peek(1).is_symbol("$"):
+            return self._parse_quantified()
+        if token.is_name("typeswitch") and self._peek(1).is_symbol("("):
+            return self._parse_typeswitch()
+        if token.is_name("if") and self._peek(1).is_symbol("("):
+            return self._parse_if()
+        if token.is_name("with") and self._peek(1).is_symbol("$"):
+            return self._parse_with()
+        return self._parse_or()
+
+    # -- FLWOR ------------------------------------------------------------------
+
+    def _parse_flwor(self) -> ast.Expr:
+        clauses: list[tuple] = []
+        while True:
+            token = self._peek()
+            if token.is_name("for") and self._peek(1).is_symbol("$"):
+                self._advance()
+                while True:
+                    self._expect_symbol("$")
+                    var = self._expect_name().value
+                    position_var = None
+                    if self._accept_name("at"):
+                        self._expect_symbol("$")
+                        position_var = self._expect_name().value
+                    self._expect_name("in")
+                    sequence = self.parse_expr_single()
+                    clauses.append(("for", var, position_var, sequence))
+                    if not self._accept_symbol(","):
+                        break
+            elif token.is_name("let") and self._peek(1).is_symbol("$"):
+                self._advance()
+                while True:
+                    self._expect_symbol("$")
+                    var = self._expect_name().value
+                    self._expect_symbol(":=")
+                    value = self.parse_expr_single()
+                    clauses.append(("let", var, None, value))
+                    if not self._accept_symbol(","):
+                        break
+            else:
+                break
+        where: Optional[ast.Expr] = None
+        if self._accept_name("where"):
+            where = self.parse_expr_single()
+        if self._peek().is_name("order") or self._peek().is_name("stable"):
+            raise self._error("'order by' is not supported by this XQuery subset")
+        self._expect_name("return")
+        body = self.parse_expr_single()
+        if where is not None:
+            body = ast.IfExpr(where, body, ast.EmptySequence())
+        for kind, var, position_var, expr in reversed(clauses):
+            if kind == "for":
+                body = ast.ForExpr(var=var, sequence=expr, body=body, position_var=position_var)
+            else:
+                body = ast.LetExpr(var=var, value=expr, body=body)
+        return body
+
+    def _parse_quantified(self) -> ast.Expr:
+        quantifier = self._expect_name("some", "every").value
+        bindings: list[tuple[str, ast.Expr]] = []
+        while True:
+            self._expect_symbol("$")
+            var = self._expect_name().value
+            self._expect_name("in")
+            sequence = self.parse_expr_single()
+            bindings.append((var, sequence))
+            if not self._accept_symbol(","):
+                break
+        self._expect_name("satisfies")
+        satisfies = self.parse_expr_single()
+        expr = satisfies
+        for var, sequence in reversed(bindings):
+            expr = ast.QuantifiedExpr(quantifier=quantifier, var=var, sequence=sequence, satisfies=expr)
+        return expr
+
+    def _parse_typeswitch(self) -> ast.Expr:
+        self._expect_name("typeswitch")
+        self._expect_symbol("(")
+        operand = self.parse_expr()
+        self._expect_symbol(")")
+        cases: list[ast.TypeswitchCase] = []
+        while self._peek().is_name("case"):
+            self._advance()
+            case_var = None
+            if self._peek().is_symbol("$"):
+                self._advance()
+                case_var = self._expect_name().value
+                self._expect_name("as")
+            sequence_type = self._parse_sequence_type()
+            self._expect_name("return")
+            body = self.parse_expr_single()
+            cases.append(ast.TypeswitchCase(sequence_type=sequence_type, body=body, var=case_var))
+        if not cases:
+            raise self._error("typeswitch requires at least one case clause")
+        self._expect_name("default")
+        default_var = None
+        if self._peek().is_symbol("$"):
+            self._advance()
+            default_var = self._expect_name().value
+        self._expect_name("return")
+        default = self.parse_expr_single()
+        return ast.TypeswitchExpr(operand=operand, cases=tuple(cases), default=default, default_var=default_var)
+
+    def _parse_if(self) -> ast.Expr:
+        self._expect_name("if")
+        self._expect_symbol("(")
+        condition = self.parse_expr()
+        self._expect_symbol(")")
+        self._expect_name("then")
+        then_branch = self.parse_expr_single()
+        self._expect_name("else")
+        else_branch = self.parse_expr_single()
+        return ast.IfExpr(condition, then_branch, else_branch)
+
+    def _parse_with(self) -> ast.Expr:
+        self._expect_name("with")
+        self._expect_symbol("$")
+        var = self._expect_name().value
+        self._expect_name("seeded")
+        self._expect_name("by")
+        seed = self.parse_expr_single()
+        self._expect_name("recurse")
+        body = self.parse_expr_single()
+        algorithm = "auto"
+        if self._peek().is_name("using"):
+            self._advance()
+            algorithm = self._expect_name("naive", "delta", "auto").value
+        return ast.WithExpr(var=var, seed=seed, body=body, algorithm=algorithm)
+
+    # -- operator precedence chain ------------------------------------------------
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._peek().is_name("or"):
+            self._advance()
+            left = ast.OrExpr(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_comparison()
+        while self._peek().is_name("and"):
+            self._advance()
+            left = ast.AndExpr(left, self._parse_comparison())
+        return left
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_range()
+        token = self._peek()
+        if token.is_symbol("=", "!=", "<", "<=", ">", ">="):
+            op = self._advance().value
+            return ast.GeneralComparison(op, left, self._parse_range())
+        if token.is_name("eq", "ne", "lt", "le", "gt", "ge"):
+            op = self._advance().value
+            return ast.ValueComparison(op, left, self._parse_range())
+        if token.is_name("is") or token.is_symbol("<<", ">>"):
+            op = self._advance().value
+            return ast.NodeComparison(op, left, self._parse_range())
+        return left
+
+    def _parse_range(self) -> ast.Expr:
+        left = self._parse_additive()
+        if self._peek().is_name("to"):
+            self._advance()
+            return ast.RangeExpr(left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._peek().is_symbol("+", "-"):
+            op = self._advance().value
+            left = ast.ArithmeticExpr(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_union()
+        while True:
+            token = self._peek()
+            if token.is_symbol("*") or token.is_name("div", "idiv", "mod"):
+                op = self._advance().value
+                left = ast.ArithmeticExpr(op, left, self._parse_union())
+            else:
+                return left
+
+    def _parse_union(self) -> ast.Expr:
+        left = self._parse_intersect_except()
+        while self._peek().is_name("union") or self._peek().is_symbol("|"):
+            self._advance()
+            left = ast.UnionExpr(left, self._parse_intersect_except())
+        return left
+
+    def _parse_intersect_except(self) -> ast.Expr:
+        left = self._parse_instance_of()
+        while self._peek().is_name("intersect", "except"):
+            op = self._advance().value
+            right = self._parse_instance_of()
+            if op == "intersect":
+                left = ast.IntersectExpr(left, right)
+            else:
+                left = ast.ExceptExpr(left, right)
+        return left
+
+    def _parse_instance_of(self) -> ast.Expr:
+        left = self._parse_cast()
+        if self._peek().is_name("instance") and self._peek(1).is_name("of"):
+            self._advance()
+            self._advance()
+            sequence_type = self._parse_sequence_type()
+            return ast.InstanceOfExpr(left, sequence_type)
+        return left
+
+    def _parse_cast(self) -> ast.Expr:
+        left = self._parse_unary()
+        if self._peek().is_name("cast") and self._peek(1).is_name("as"):
+            self._advance()
+            self._advance()
+            target = self._expect_name().value
+            optional = self._accept_symbol("?")
+            return ast.CastExpr(left, target, optional)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._peek().is_symbol("-", "+"):
+            op = self._advance().value
+            return ast.UnaryExpr(op, self._parse_unary())
+        return self._parse_path()
+
+    # -- paths ---------------------------------------------------------------------
+
+    def _parse_path(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_symbol("//"):
+            self._advance()
+            left = ast.PathExpr(
+                ast.RootExpr(),
+                ast.AxisStep("descendant-or-self", ast.NodeTest("node")),
+            )
+            return self._parse_relative_path(left)
+        if token.is_symbol("/"):
+            self._advance()
+            if self._starts_step():
+                return self._parse_relative_path(ast.RootExpr())
+            return ast.RootExpr()
+        return self._parse_relative_path(None)
+
+    def _starts_step(self) -> bool:
+        token = self._peek()
+        if token.kind in (TokenKind.NAME, TokenKind.STRING, TokenKind.INTEGER,
+                          TokenKind.DECIMAL, TokenKind.DOUBLE):
+            return True
+        return token.is_symbol("$", "(", ".", "..", "@", "*", "<")
+
+    def _parse_relative_path(self, left: Optional[ast.Expr]) -> ast.Expr:
+        expr = self._parse_step() if left is None else ast.PathExpr(left, self._parse_step())
+        while True:
+            if self._peek().is_symbol("/"):
+                self._advance()
+                expr = ast.PathExpr(expr, self._parse_step())
+            elif self._peek().is_symbol("//"):
+                self._advance()
+                expr = ast.PathExpr(
+                    expr, ast.AxisStep("descendant-or-self", ast.NodeTest("node"))
+                )
+                expr = ast.PathExpr(expr, self._parse_step())
+            else:
+                return expr
+
+    def _parse_step(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_symbol(".."):
+            self._advance()
+            return ast.AxisStep("parent", ast.NodeTest("node"), tuple(self._parse_predicates()))
+        if token.is_symbol("@"):
+            self._advance()
+            node_test = self._parse_node_test(default_kind="attribute-name")
+            return ast.AxisStep("attribute", node_test, tuple(self._parse_predicates()))
+        if token.kind == TokenKind.NAME and self._peek(1).is_symbol("::"):
+            axis = token.value
+            if axis not in AXES:
+                raise self._error(f"unknown axis '{axis}'", token)
+            self._advance()
+            self._advance()
+            node_test = self._parse_node_test()
+            return ast.AxisStep(axis, node_test, tuple(self._parse_predicates()))
+        if token.is_symbol("*"):
+            self._advance()
+            return ast.AxisStep("child", ast.NodeTest("name", "*"), tuple(self._parse_predicates()))
+        if token.kind == TokenKind.NAME:
+            name = token.value
+            follows_paren = self._peek(1).is_symbol("(")
+            if follows_paren and name in KIND_TESTS:
+                node_test = self._parse_node_test()
+                return ast.AxisStep("child", node_test, tuple(self._parse_predicates()))
+            if not follows_paren and not self._is_constructor_keyword(token):
+                self._advance()
+                return ast.AxisStep("child", ast.NodeTest("name", name), tuple(self._parse_predicates()))
+        primary = self._parse_primary()
+        predicates = self._parse_predicates()
+        if predicates:
+            return ast.FilterExpr(primary, tuple(predicates))
+        return primary
+
+    def _is_constructor_keyword(self, token: Token) -> bool:
+        """Computed-constructor keywords used *as* constructors (not as names)."""
+        if token.value not in ("element", "attribute", "text", "comment", "document", "ordered", "unordered"):
+            return False
+        nxt = self._peek(1)
+        if nxt.is_symbol("{"):
+            return True
+        if token.value in ("element", "attribute") and nxt.kind == TokenKind.NAME and self._peek(2).is_symbol("{"):
+            return True
+        return False
+
+    def _parse_node_test(self, default_kind: str = "name") -> ast.NodeTest:
+        token = self._peek()
+        if token.is_symbol("*"):
+            self._advance()
+            return ast.NodeTest("name", "*")
+        name_token = self._expect_name()
+        name = name_token.value
+        if self._peek().is_symbol("(") and name in KIND_TESTS:
+            self._advance()
+            inner: Optional[str] = None
+            if not self._peek().is_symbol(")"):
+                if self._peek().is_symbol("*"):
+                    self._advance()
+                else:
+                    inner = self._expect_name().value
+            self._expect_symbol(")")
+            return ast.NodeTest(name, inner)
+        return ast.NodeTest("name", name)
+
+    def _parse_predicates(self) -> list[ast.Expr]:
+        predicates: list[ast.Expr] = []
+        while self._peek().is_symbol("["):
+            self._advance()
+            predicates.append(self.parse_expr())
+            self._expect_symbol("]")
+        return predicates
+
+    # -- primary expressions ---------------------------------------------------------
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == TokenKind.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.kind == TokenKind.INTEGER:
+            self._advance()
+            return ast.Literal(int(token.value))
+        if token.kind in (TokenKind.DECIMAL, TokenKind.DOUBLE):
+            self._advance()
+            return ast.Literal(float(token.value))
+        if token.is_symbol("$"):
+            self._advance()
+            name = self._expect_name().value
+            return ast.VarRef(name)
+        if token.is_symbol("("):
+            self._advance()
+            if self._accept_symbol(")"):
+                return ast.EmptySequence()
+            expr = self.parse_expr()
+            self._expect_symbol(")")
+            return expr
+        if token.is_symbol("."):
+            self._advance()
+            return ast.ContextItem()
+        if token.is_symbol("<"):
+            return self._parse_direct_constructor()
+        if token.kind == TokenKind.NAME:
+            if self._is_constructor_keyword(token):
+                return self._parse_computed_constructor()
+            if self._peek(1).is_symbol("("):
+                return self._parse_function_call()
+        raise self._error(f"unexpected token {token.value!r}", token)
+
+    def _parse_function_call(self) -> ast.Expr:
+        name_token = self._expect_name()
+        name = name_token.value
+        if name in RESERVED_FUNCTION_NAMES:
+            raise self._error(f"'{name}' may not be used as a function name", name_token)
+        self._expect_symbol("(")
+        args: list[ast.Expr] = []
+        if not self._peek().is_symbol(")"):
+            while True:
+                args.append(self.parse_expr_single())
+                if not self._accept_symbol(","):
+                    break
+        self._expect_symbol(")")
+        return ast.FunctionCall(name, tuple(args))
+
+    def _parse_computed_constructor(self) -> ast.Expr:
+        keyword = self._expect_name().value
+        if keyword in ("ordered", "unordered"):
+            self._expect_symbol("{")
+            body = self.parse_expr()
+            self._expect_symbol("}")
+            return ast.OrderedExpr(keyword, body)
+        name_expr: Optional[ast.Expr] = None
+        if keyword in ("element", "attribute"):
+            if self._peek().kind == TokenKind.NAME:
+                name_expr = ast.Literal(self._advance().value)
+            else:
+                self._expect_symbol("{")
+                name_expr = self.parse_expr()
+                self._expect_symbol("}")
+        self._expect_symbol("{")
+        content: Optional[ast.Expr] = None
+        if not self._peek().is_symbol("}"):
+            content = self.parse_expr()
+        self._expect_symbol("}")
+        return ast.ComputedConstructor(kind=keyword, name=name_expr, content=content)
+
+    # -- direct element constructors (character mode) ----------------------------------
+
+    def _parse_direct_constructor(self) -> ast.Expr:
+        open_token = self._expect_symbol("<")
+        self._enter_char_mode(open_token.end)
+        element = self._parse_direct_element()
+        return element
+
+    def _char(self, offset: int = 0) -> str:
+        return self.lexer.peek_char(offset)
+
+    def _parse_direct_element(self) -> ast.DirectElementConstructor:
+        name = self._scan_xml_name()
+        attributes: list[ast.AttributeConstructor] = []
+        while True:
+            self._skip_xml_space()
+            char = self._char()
+            if char in ("/", ">") or not char:
+                break
+            attributes.append(self._parse_direct_attribute())
+        if self._char() == "/" and self._char(1) == ">":
+            self.lexer.pos += 2
+            return ast.DirectElementConstructor(name, tuple(attributes), ())
+        if self._char() != ">":
+            raise self.lexer.error(f"malformed start tag for <{name}>")
+        self.lexer.pos += 1
+        content = self._parse_direct_content(name)
+        return ast.DirectElementConstructor(name, tuple(attributes), tuple(content))
+
+    def _parse_direct_attribute(self) -> ast.AttributeConstructor:
+        name = self._scan_xml_name()
+        self._skip_xml_space()
+        if self._char() != "=":
+            raise self.lexer.error(f"expected '=' after attribute '{name}'")
+        self.lexer.pos += 1
+        self._skip_xml_space()
+        quote = self._char()
+        if quote not in ('"', "'"):
+            raise self.lexer.error("attribute value must be quoted")
+        self.lexer.pos += 1
+        parts: list[ast.Expr] = []
+        buffer: list[str] = []
+        while True:
+            char = self._char()
+            if not char:
+                raise self.lexer.error("unterminated attribute value")
+            if char == quote:
+                self.lexer.pos += 1
+                break
+            if char == "{":
+                if self._char(1) == "{":
+                    buffer.append("{")
+                    self.lexer.pos += 2
+                    continue
+                if buffer:
+                    parts.append(ast.Literal("".join(buffer)))
+                    buffer = []
+                parts.append(self._parse_enclosed_expr())
+                continue
+            if char == "}" and self._char(1) == "}":
+                buffer.append("}")
+                self.lexer.pos += 2
+                continue
+            if char == "&":
+                buffer.append(self._scan_xml_entity())
+                continue
+            buffer.append(char)
+            self.lexer.pos += 1
+        if buffer:
+            parts.append(ast.Literal("".join(buffer)))
+        return ast.AttributeConstructor(name, tuple(parts))
+
+    def _parse_direct_content(self, element_name: str) -> list[ast.Expr]:
+        content: list[ast.Expr] = []
+        buffer: list[str] = []
+
+        def flush() -> None:
+            if buffer:
+                text = "".join(buffer)
+                buffer.clear()
+                if text.strip():
+                    content.append(ast.Literal(text))
+
+        while True:
+            char = self._char()
+            if not char:
+                raise self.lexer.error(f"unterminated element constructor <{element_name}>")
+            if char == "<" and self._char(1) == "/":
+                flush()
+                self.lexer.pos += 2
+                end_name = self._scan_xml_name()
+                if end_name != element_name:
+                    raise self.lexer.error(
+                        f"mismatched constructor end tag </{end_name}> (expected </{element_name}>)"
+                    )
+                self._skip_xml_space()
+                if self._char() != ">":
+                    raise self.lexer.error("malformed constructor end tag")
+                self.lexer.pos += 1
+                return content
+            if char == "<" and self.lexer.text.startswith("<!--", self.lexer.pos):
+                flush()
+                end = self.lexer.text.find("-->", self.lexer.pos)
+                if end < 0:
+                    raise self.lexer.error("unterminated comment in constructor")
+                self.lexer.pos = end + 3
+                continue
+            if char == "<":
+                flush()
+                self.lexer.pos += 1
+                content.append(self._parse_direct_element())
+                continue
+            if char == "{":
+                if self._char(1) == "{":
+                    buffer.append("{")
+                    self.lexer.pos += 2
+                    continue
+                flush()
+                content.append(self._parse_enclosed_expr())
+                continue
+            if char == "}" and self._char(1) == "}":
+                buffer.append("}")
+                self.lexer.pos += 2
+                continue
+            if char == "&":
+                buffer.append(self._scan_xml_entity())
+                continue
+            buffer.append(char)
+            self.lexer.pos += 1
+
+    def _parse_enclosed_expr(self) -> ast.Expr:
+        # positioned at '{': switch to token mode for the enclosed expression
+        self.lexer.pos += 1
+        self._buffer.clear()
+        expr = self.parse_expr()
+        closing = self._expect_symbol("}")
+        self._enter_char_mode(closing.end)
+        return expr
+
+    def _scan_xml_name(self) -> str:
+        start = self.lexer.pos
+        char = self._char()
+        if not (char.isalpha() or char in "_:"):
+            raise self.lexer.error("expected a name in element constructor")
+        self.lexer.pos += 1
+        while self._char() and (self._char().isalnum() or self._char() in "_:-."):
+            self.lexer.pos += 1
+        return self.lexer.text[start:self.lexer.pos]
+
+    def _scan_xml_entity(self) -> str:
+        end = self.lexer.text.find(";", self.lexer.pos)
+        if end < 0:
+            raise self.lexer.error("unterminated entity reference in constructor")
+        entity = self.lexer.text[self.lexer.pos + 1:end]
+        self.lexer.pos = end + 1
+        if entity.startswith("#x") or entity.startswith("#X"):
+            return chr(int(entity[2:], 16))
+        if entity.startswith("#"):
+            return chr(int(entity[1:]))
+        if entity in _PREDEFINED_ENTITIES:
+            return _PREDEFINED_ENTITIES[entity]
+        raise self.lexer.error(f"unknown entity '&{entity};' in constructor")
+
+    def _skip_xml_space(self) -> None:
+        while self._char() in " \t\r\n" and self._char():
+            self.lexer.pos += 1
+
+
+# ---------------------------------------------------------------------------
+# public helpers
+# ---------------------------------------------------------------------------
+
+
+def parse_query(text: str) -> ast.Module:
+    """Parse a complete query (prolog + body) into a :class:`~repro.xquery.ast.Module`."""
+    return Parser(text).parse_module()
+
+
+def parse_expression(text: str) -> ast.Expr:
+    """Parse a single expression (no prolog)."""
+    parser = Parser(text)
+    expr = parser.parse_expr()
+    trailing = parser._peek()
+    if trailing.kind != TokenKind.EOF:
+        raise parser._error(f"unexpected content after expression: {trailing.value!r}", trailing)
+    return expr

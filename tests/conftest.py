@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmlio.parser import parse_xml
+from repro.xquery.context import DocumentResolver
+
+#: The curriculum of Example 1.1 (Figure 1 DTD) with a cycle through c6/c7.
+CURRICULUM_XML = """
+<!DOCTYPE curriculum [
+  <!ELEMENT curriculum (course)*>
+  <!ATTLIST course code ID #REQUIRED>
+]>
+<curriculum>
+  <course code="c1"><prerequisites><pre_code>c2</pre_code><pre_code>c3</pre_code></prerequisites></course>
+  <course code="c2"><prerequisites><pre_code>c4</pre_code></prerequisites></course>
+  <course code="c3"><prerequisites/></course>
+  <course code="c4"><prerequisites><pre_code>c5</pre_code></prerequisites></course>
+  <course code="c5"><prerequisites/></course>
+  <course code="c6"><prerequisites><pre_code>c7</pre_code></prerequisites></course>
+  <course code="c7"><prerequisites><pre_code>c6</pre_code></prerequisites></course>
+</curriculum>
+"""
+
+
+@pytest.fixture()
+def curriculum_document():
+    return parse_xml(CURRICULUM_XML)
+
+
+@pytest.fixture()
+def curriculum_resolver(curriculum_document):
+    resolver = DocumentResolver()
+    resolver.register("curriculum.xml", curriculum_document)
+    return resolver
+
+
+def course_codes(nodes) -> list[str]:
+    """Sorted @code values of a sequence of course elements."""
+    return sorted(node.get_attribute("code").value for node in nodes)

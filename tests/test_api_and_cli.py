@@ -1,0 +1,186 @@
+"""Tests for the public convenience API, the CLI and the AST optimizer."""
+
+import pytest
+
+from repro import (
+    Engine,
+    evaluate,
+    ifp,
+    is_distributive_algebraic,
+    is_distributive_syntactic,
+    parse_query_text,
+    parse_xml,
+    transitive_closure,
+)
+from repro.cli import main as cli_main
+from repro.bench.table2 import main as table2_main
+from repro.xquery import ast
+from repro.xquery.optimizer import optimize, optimize_module
+from repro.xquery.parser import parse_expression, parse_query
+from tests.conftest import CURRICULUM_XML, course_codes
+
+
+@pytest.fixture()
+def documents():
+    return {"curriculum.xml": parse_xml(CURRICULUM_XML)}
+
+
+class TestEvaluateApi:
+    def test_evaluate_with_xml_text_documents(self):
+        result = evaluate('count(doc("c.xml")//course)', documents={"c.xml": CURRICULUM_XML})
+        assert result.items == [7]
+
+    def test_query_result_helpers(self, documents):
+        result = evaluate('doc("curriculum.xml")//pre_code', documents=documents)
+        assert len(result) == 6
+        assert "c2" in result.string_values()
+        assert list(iter(result))  # iterable
+
+    def test_variables_and_context_item(self, documents):
+        doc = documents["curriculum.xml"]
+        result = evaluate("count($nodes) + count(//course)", documents=documents,
+                          variables={"nodes": [doc, doc]}, context_item=doc)
+        assert result.items == [9]
+
+    def test_statistics_exposed(self, documents):
+        result = evaluate(
+            'with $x seeded by doc("curriculum.xml")//course[@code="c1"] '
+            "recurse $x/id(./prerequisites/pre_code)",
+            documents=documents,
+        )
+        assert result.nodes_fed_back > 0
+        assert result.recursion_depth >= 2
+
+    def test_algebra_engine_via_api(self, documents):
+        result = evaluate(
+            'with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"] '
+            "recurse $x/id(./prerequisites/pre_code) using delta",
+            documents=documents,
+            engine=Engine.ALGEBRA,
+        )
+        assert course_codes(result.items) == ["c2", "c3", "c4", "c5"]
+
+    def test_parse_query_text(self):
+        module = parse_query_text("declare variable $x := 1; $x")
+        assert module.variables[0].name == "x"
+
+
+class TestIfpAndClosureApi:
+    def test_ifp_with_xquery_body(self, documents):
+        doc = documents["curriculum.xml"]
+        seed = [doc.lookup_id("c1")]
+        result = ifp("$x/id(./prerequisites/pre_code)", seed, algorithm="delta",
+                     documents=documents)
+        assert course_codes(result.value) == ["c2", "c3", "c4", "c5"]
+
+    def test_ifp_with_python_body(self, documents):
+        doc = documents["curriculum.xml"]
+
+        def body(nodes):
+            found = []
+            for node in nodes:
+                for pre in node.iter_tree():
+                    if pre.name == "pre_code":
+                        target = doc.lookup_id(pre.string_value())
+                        if target is not None:
+                            found.append(target)
+            return found
+
+        result = ifp(body, doc.lookup_id("c1"), algorithm="naive")
+        assert course_codes(result.value) == ["c2", "c3", "c4", "c5"]
+
+    def test_transitive_closure_helper(self, documents):
+        doc = documents["curriculum.xml"]
+        closure = transitive_closure("(child::course/child::prerequisites)", doc.document_element())
+        assert len(closure) == 7
+
+    def test_distributivity_helpers(self, documents):
+        assert is_distributive_syntactic("$x/child::a")
+        assert not is_distributive_syntactic("count($x)")
+        assert is_distributive_algebraic("$x/child::a")
+        assert not is_distributive_algebraic("count($x)")
+
+
+class TestOptimizer:
+    def test_descendant_fusion(self):
+        expr = parse_expression("$d//person")
+        optimized = optimize(expr)
+        assert isinstance(optimized, ast.PathExpr)
+        assert isinstance(optimized.right, ast.AxisStep)
+        assert optimized.right.axis == "descendant"
+        assert isinstance(optimized.left, ast.VarRef)
+
+    def test_fusion_preserves_predicates(self):
+        optimized = optimize(parse_expression('$d//person[@id = "p1"]'))
+        assert optimized.right.axis == "descendant"
+        assert len(optimized.right.predicates) == 1
+
+    def test_fusion_preserves_semantics(self, documents):
+        with_optimizer = evaluate('count(doc("curriculum.xml")//pre_code)', documents=documents,
+                                  optimize=True)
+        without_optimizer = evaluate('count(doc("curriculum.xml")//pre_code)', documents=documents,
+                                     optimize=False)
+        assert with_optimizer.items == without_optimizer.items
+
+    def test_module_optimization_covers_functions_and_variables(self):
+        module = parse_query(
+            "declare variable $v := $d//a; "
+            "declare function f ($d) { $d//b }; f($v)"
+        )
+        optimized = optimize_module(module)
+        assert optimized.functions[0].body.right.axis == "descendant"
+        assert optimized.variables[0].value.right.axis == "descendant"
+
+    def test_non_matching_expressions_untouched(self):
+        expr = parse_expression("$d/child::a")
+        assert optimize(expr) == expr
+
+
+class TestCli:
+    def test_inline_expression(self, capsys, tmp_path, documents):
+        xml_path = tmp_path / "curriculum.xml"
+        xml_path.write_text(CURRICULUM_XML)
+        exit_code = cli_main([
+            "-e", 'count(doc("curriculum.xml")//course)',
+            "--doc", f"curriculum.xml={xml_path}",
+        ])
+        assert exit_code == 0
+        assert capsys.readouterr().out.strip() == "7"
+
+    def test_query_file_with_stats(self, capsys, tmp_path):
+        xml_path = tmp_path / "curriculum.xml"
+        xml_path.write_text(CURRICULUM_XML)
+        query_path = tmp_path / "query.xq"
+        query_path.write_text(
+            'with $x seeded by doc("curriculum.xml")//course[@code="c1"] '
+            "recurse $x/id(./prerequisites/pre_code)"
+        )
+        exit_code = cli_main([str(query_path), "--doc", f"curriculum.xml={xml_path}",
+                              "--stats", "--algorithm", "delta"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "course" in captured.out
+        assert "nodes fed back" in captured.err
+
+    def test_check_distributivity_mode(self, capsys):
+        exit_code = cli_main(["--check-distributivity", "$x/child::a"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "syntactic" in output and "algebraic" in output
+
+    def test_bad_doc_argument(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["-e", "1", "--doc", "missing-equals-sign"])
+
+
+class TestTable2Cli:
+    def test_quick_preset_single_workload(self, capsys):
+        exit_code = table2_main([
+            "--preset", "quick", "--workloads", "hospital", "--engines", "ifp",
+            "--seed-limit", "3", "--csv", "--report",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "IFP Naive" in output
+        assert "hospital" in output
+        assert "workload,size,engine" in output

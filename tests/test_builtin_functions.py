@@ -1,0 +1,160 @@
+"""Tests for the built-in function library."""
+
+import math
+
+import pytest
+
+from repro import evaluate, parse_xml
+from repro.errors import XQueryDynamicError, XQueryStaticError
+from repro.xquery.functions import builtin_names, lookup_builtin
+
+DOC = parse_xml('<r><a id="a1">one</a><a id="a2">two</a><b ref="a1 a2"/></r>')
+
+
+def run(query):
+    return evaluate(query, documents={"r.xml": DOC}, context_item=DOC).items
+
+
+class TestCardinalityAndBooleans:
+    def test_count_empty_exists(self):
+        assert run("count(//a)") == [2]
+        assert run("empty(//missing)") == [True]
+        assert run("exists(//a)") == [True]
+
+    def test_boolean_and_not(self):
+        assert run("not(//a)") == [False]
+        assert run("boolean((1))") == [True]
+        assert run("true()") == [True]
+        assert run("false()") == [False]
+
+    def test_cardinality_guards(self):
+        assert run("zero-or-one(())") == []
+        assert run("exactly-one(1)") == [1]
+        assert run("one-or-more((1, 2))") == [1, 2]
+        with pytest.raises(XQueryDynamicError):
+            run("exactly-one((1, 2))")
+        with pytest.raises(XQueryDynamicError):
+            run("one-or-more(())")
+        with pytest.raises(XQueryDynamicError):
+            run("zero-or-one((1, 2))")
+
+
+class TestStrings:
+    def test_string_functions(self):
+        assert run('concat("a", "b", "c")') == ["abc"]
+        assert run('string-join(("a", "b"), "-")') == ["a-b"]
+        assert run('contains("hello", "ell")') == [True]
+        assert run('starts-with("hello", "he")') == [True]
+        assert run('ends-with("hello", "lo")') == [True]
+        assert run('substring("hello", 2, 3)') == ["ell"]
+        assert run('substring-before("a=b", "=")') == ["a"]
+        assert run('substring-after("a=b", "=")') == ["b"]
+        assert run('upper-case("ab")') == ["AB"]
+        assert run('lower-case("AB")') == ["ab"]
+        assert run('translate("abc", "ac", "xy")') == ["xby"]
+        assert run('normalize-space("  a   b ")') == ["a b"]
+        assert run('string-length("abcd")') == [4]
+        assert run('tokenize("a b c", " ")') == ["a", "b", "c"]
+
+    def test_string_of_node_and_empty(self):
+        assert run("string((//a)[1])") == ["one"]
+        assert run("string(())") == [""]
+
+    def test_codepoints(self):
+        assert run('string-to-codepoints("AB")') == [65, 66]
+        assert run("codepoints-to-string((65, 66))") == ["AB"]
+
+
+class TestNumbers:
+    def test_aggregates(self):
+        assert run("sum((1, 2, 3))") == [6]
+        assert run("sum(())") == [0]
+        assert run("avg((2, 4))") == [3.0]
+        assert run("max((1, 5, 3))") == [5]
+        assert run("min((4, 2))") == [2]
+        assert run("avg(())") == []
+
+    def test_rounding(self):
+        assert run("floor(2.7)") == [2]
+        assert run("ceiling(2.1)") == [3]
+        assert run("round(2.5)") == [3]
+        assert run("abs(-4)") == [4]
+
+    def test_number_conversion(self):
+        assert run('number("3.5")') == [3.5]
+        assert math.isnan(run('number("oops")')[0])
+        assert math.isnan(run("number(())")[0])
+
+
+class TestSequences:
+    def test_sequence_helpers(self):
+        assert run("reverse((1, 2, 3))") == [3, 2, 1]
+        assert run("subsequence((1, 2, 3, 4), 2, 2)") == [2, 3]
+        assert run("subsequence((1, 2, 3, 4), 3)") == [3, 4]
+        assert run("insert-before((1, 2), 2, (9))") == [1, 9, 2]
+        assert run("remove((1, 2, 3), 2)") == [1, 3]
+        assert run("index-of((10, 20, 10), 10)") == [1, 3]
+        # integer 1 and string "1" are values of different types: both stay
+        assert run("distinct-values((1, 2, 1, '1'))") == [1, 2, "1"]
+        assert run("distinct-values((1, 1.0, 2))") == [1, 2]
+
+    def test_deep_equal_and_data(self):
+        assert run("deep-equal(//a, //a)") == [True]
+        assert run("deep-equal((//a)[1], (//a)[2])") == [False]
+        assert run("data((//a)[1])") == ["one"]
+
+    def test_fs_ddo_extension(self):
+        assert [n.name for n in run("fs:ddo((//b, //a, //a))")] == ["a", "a", "b"]
+
+
+class TestNodesAndDocuments:
+    def test_doc_and_root(self):
+        assert run('count(doc("r.xml")//a)') == [2]
+        assert run('doc-available("r.xml")') == [True]
+        assert run('doc-available("missing.xml")') == [False]
+        assert run("root((//a)[1]) is /") == [True]
+
+    def test_missing_document_raises(self):
+        with pytest.raises(XQueryDynamicError):
+            run('doc("missing.xml")')
+
+    def test_names(self):
+        assert run("name((//a)[1])") == ["a"]
+        assert run("local-name((//a)[1])") == ["a"]
+        assert run("node-name((//a)[1]/@id)") == ["id"]
+        assert run("name(())") == [""]
+
+    def test_id_and_idref(self):
+        assert [n.string_value() for n in run('id("a1")')] == ["one"]
+        assert [n.string_value() for n in run('id("a1 a2")')] == ["one", "two"]
+        assert run('count(id("zz"))') == [0]
+        assert [n.name for n in run('idref("a1")')] == ["ref"]
+
+    def test_position_and_last_require_focus(self):
+        assert run("//a[position() = 2]/@id")[0].value == "a2"
+        with pytest.raises(XQueryDynamicError):
+            evaluate("position()").items
+
+
+class TestErrorsAndRegistry:
+    def test_fn_error(self):
+        with pytest.raises(XQueryDynamicError):
+            run('error("Q001", "boom")')
+
+    def test_xs_constructors(self):
+        assert run('xs:integer("7")') == [7]
+        assert run('xs:double("2.5")') == [2.5]
+        assert run('xs:string(12)') == ["12"]
+        assert run('xs:boolean("true")') == [True]
+        assert run("xs:integer(())") == []
+
+    def test_registry_lookup_rules(self):
+        assert lookup_builtin("count", 1) is not None
+        assert lookup_builtin("fn:count", 1) is not None
+        assert lookup_builtin("count", 3) is None
+        assert lookup_builtin("unknown:thing", 1) is None
+        assert "count" in builtin_names()
+
+    def test_wrong_arity_is_a_static_error(self):
+        with pytest.raises(XQueryStaticError):
+            run("count(1, 2, 3)")

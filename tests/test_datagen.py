@@ -1,0 +1,113 @@
+"""Tests for the workload data generators (determinism and structure)."""
+
+from repro.datagen.curriculum import (
+    CurriculumConfig,
+    expected_cyclic_courses,
+    generate_curriculum,
+    generate_curriculum_xml,
+)
+from repro.datagen.hospital import HospitalConfig, diseased_ancestor_count, generate_hospital
+from repro.datagen.plays import PlayConfig, generate_play, longest_alternating_run
+from repro.datagen.xmark import XMarkConfig, generate_auction_site, seller_to_bidder_edges
+from repro.xmlio import parse_xml, serialize
+
+
+class TestCurriculum:
+    def test_structure_and_ids(self):
+        doc = generate_curriculum(CurriculumConfig.tiny())
+        courses = doc.document_element().children
+        assert len(courses) == 40
+        assert all(course.name == "course" for course in courses)
+        assert doc.lookup_id("c1") is courses[0]
+        # every pre_code refers to an existing course
+        for node in doc.iter_tree():
+            if node.name == "pre_code":
+                assert doc.lookup_id(node.string_value()) is not None
+
+    def test_determinism(self):
+        first = generate_curriculum_xml(CurriculumConfig.tiny())
+        second = generate_curriculum_xml(CurriculumConfig.tiny())
+        assert first == second
+
+    def test_cycles_are_injected(self):
+        cyclic = expected_cyclic_courses(CurriculumConfig.tiny())
+        assert cyclic, "tiny config should contain at least one prerequisite cycle"
+
+    def test_xml_roundtrip(self):
+        text = generate_curriculum_xml(CurriculumConfig.tiny())
+        doc = parse_xml(text)
+        assert len(doc.document_element().children) == 40
+
+
+class TestXMark:
+    def test_schema_shape(self):
+        doc = generate_auction_site(XMarkConfig.tiny())
+        site = doc.document_element()
+        assert [child.name for child in site.children] == ["people", "open_auctions"]
+        persons = site.children[0].children
+        assert all(p.get_attribute("id") for p in persons)
+        assert doc.lookup_id("person0") is persons[0]
+
+    def test_edges_reference_existing_persons(self):
+        config = XMarkConfig.tiny()
+        doc = generate_auction_site(config)
+        edges = seller_to_bidder_edges(doc)
+        valid = {f"person{i}" for i in range(config.persons)}
+        assert edges, "there should be at least one auction edge"
+        for seller, bidders in edges.items():
+            assert seller in valid
+            assert bidders <= valid
+
+    def test_scale_factors_grow(self):
+        small = generate_auction_site(XMarkConfig.small())
+        medium = generate_auction_site(XMarkConfig.medium())
+        count = lambda doc: len(doc.document_element().children[0].children)  # noqa: E731
+        assert count(medium) > count(small)
+
+    def test_determinism(self):
+        a = serialize(generate_auction_site(XMarkConfig.tiny()))
+        b = serialize(generate_auction_site(XMarkConfig.tiny()))
+        assert a == b
+
+
+class TestPlays:
+    def test_markup_shape(self):
+        doc = generate_play(PlayConfig.tiny())
+        play = doc.document_element()
+        assert play.name == "PLAY"
+        speeches = [n for n in play.iter_tree() if n.name == "SPEECH"]
+        assert speeches
+        for speech in speeches:
+            assert speech.children[0].name == "SPEAKER"
+
+    def test_longest_dialog_is_controlled(self):
+        config = PlayConfig(acts=1, scenes_per_act=1, speeches_per_scene=40,
+                            longest_dialog=12, typical_dialog=3)
+        doc = generate_play(config)
+        assert longest_alternating_run(doc) >= 12
+
+    def test_determinism(self):
+        assert serialize(generate_play(PlayConfig.tiny())) == \
+            serialize(generate_play(PlayConfig.tiny()))
+
+
+class TestHospital:
+    def test_patient_records_and_depth(self):
+        config = HospitalConfig.tiny()
+        doc = generate_hospital(config)
+        patients = doc.document_element().children
+        assert len(patients) == config.patients
+
+        def depth(node):
+            children = [c for c in node.children if c.name == "parent"]
+            return 1 + max((depth(c) for c in children), default=0)
+
+        assert max(depth(p) for p in patients) <= config.max_depth
+
+    def test_disease_flags_present(self):
+        doc = generate_hospital(HospitalConfig(patients=60, seed=1))
+        assert diseased_ancestor_count(doc) > 0
+
+    def test_determinism(self):
+        assert serialize(generate_hospital(HospitalConfig.tiny())) == \
+            serialize(generate_hospital(HospitalConfig.tiny()))

@@ -1,0 +1,111 @@
+"""Tests for Regular XPath parsing, translation to IFP form and evaluation."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.regularxpath import (
+    RPClosure,
+    RPSequence,
+    RPStep,
+    RPUnion,
+    evaluate_regular_xpath,
+    parse_regular_xpath,
+    to_xquery_expr,
+)
+from repro.distributivity import is_distributivity_safe
+from repro.xmlio import parse_xml
+from repro.xquery import ast
+
+DOC = parse_xml(
+    """
+    <org>
+      <unit name="root">
+        <unit name="a"><unit name="a1"/><team name="t1"/></unit>
+        <unit name="b"><unit name="b1"><unit name="b2"/></unit></unit>
+      </unit>
+    </org>
+    """
+)
+
+
+def names(nodes):
+    return sorted(node.get_attribute("name").value for node in nodes)
+
+
+class TestParser:
+    def test_steps_sequences_unions_closures(self):
+        expr = parse_regular_xpath("(child::unit/child::team | descendant::unit)+")
+        assert isinstance(expr, RPClosure)
+        union = expr.operand
+        assert isinstance(union, RPUnion)
+        assert isinstance(union.left, RPSequence)
+        assert union.right == RPStep("descendant", "unit")
+
+    def test_default_axis_is_child(self):
+        assert parse_regular_xpath("unit") == RPStep("child", "unit")
+
+    def test_filters(self):
+        expr = parse_regular_xpath("(child::unit)+[child::team]")
+        assert expr.filter == RPStep("child", "team")
+
+    def test_str_roundtrip_is_parseable(self):
+        expr = parse_regular_xpath("(child::a/child::b)+")
+        assert parse_regular_xpath(str(expr)) == expr
+
+    @pytest.mark.parametrize("bad", ["", "::a", "child::", "(a", "a)", "a §"])
+    def test_errors(self, bad):
+        with pytest.raises(XQuerySyntaxError):
+            parse_regular_xpath(bad)
+
+    def test_unknown_axis(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_regular_xpath("sideways::a")
+
+
+class TestTranslation:
+    def test_closure_becomes_with_expr(self):
+        translated = to_xquery_expr("(child::unit)+")
+        assert isinstance(translated, ast.WithExpr)
+        assert isinstance(translated.seed, ast.ContextItem)
+        assert isinstance(translated.body, ast.PathExpr)
+
+    def test_reflexive_closure_includes_self(self):
+        translated = to_xquery_expr("(child::unit)*")
+        assert isinstance(translated, ast.UnionExpr)
+
+    def test_generated_bodies_are_distributive(self):
+        translated = to_xquery_expr("(child::unit/child::team | descendant::unit)+")
+        assert is_distributivity_safe(translated.body, translated.var)
+
+    def test_algorithm_is_threaded_through(self):
+        translated = to_xquery_expr("(child::unit)+", algorithm="delta")
+        assert translated.algorithm == "delta"
+
+
+class TestEvaluation:
+    def test_transitive_closure_of_child_step(self):
+        root_unit = DOC.document_element().children[0]
+        result = evaluate_regular_xpath("(child::unit)+", [root_unit])
+        assert names(result) == ["a", "a1", "b", "b1", "b2"]
+
+    def test_reflexive_closure_includes_context(self):
+        root_unit = DOC.document_element().children[0]
+        result = evaluate_regular_xpath("(child::unit)*", [root_unit])
+        assert "root" in names(result)
+
+    def test_union_of_context_nodes(self):
+        units = [DOC.document_element().children[0].children[0],
+                 DOC.document_element().children[0].children[1]]
+        result = evaluate_regular_xpath("(child::unit)+", units)
+        assert names(result) == ["a1", "b1", "b2"]
+
+    def test_sequence_and_filter(self):
+        root_unit = DOC.document_element().children[0]
+        filtered = evaluate_regular_xpath("(child::unit)+[child::team]", [root_unit])
+        assert names(filtered) == ["a"]
+
+    @pytest.mark.parametrize("algorithm", ["naive", "delta", "auto"])
+    def test_algorithms_agree(self, algorithm):
+        root_unit = DOC.document_element().children[0]
+        result = evaluate_regular_xpath("(descendant::unit)+", [root_unit], algorithm=algorithm)
+        assert names(result) == ["a", "a1", "b", "b1", "b2"]

@@ -1,0 +1,189 @@
+"""Tests for sequence operations: ddo, set ops, set-equality, EBV, deep-equal.
+
+Includes hypothesis property tests for the invariants the paper's
+definitions rely on (set-equality is an equivalence up to duplicates and
+order; union/except behave like set operations over node identities).
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import XQueryTypeError
+from repro.xdm import (
+    UntypedAtomic,
+    atomize,
+    ddo,
+    deep_equal,
+    document,
+    effective_boolean_value,
+    element,
+    node_except,
+    node_intersect,
+    node_union,
+    set_equal,
+    text,
+)
+from repro.xdm.comparison import atomic_equal, atomic_less_than
+from repro.xdm.items import xs_boolean, xs_double, xs_integer, xs_string
+
+
+@pytest.fixture(scope="module")
+def nodes():
+    doc = document(element("r", *[element("n", str(i)) for i in range(8)]))
+    return list(doc.document_element().children)
+
+
+# -- fs:ddo and node set operations -----------------------------------------------
+
+
+class TestDdoAndSetOps:
+    def test_ddo_sorts_and_deduplicates(self, nodes):
+        shuffled = [nodes[3], nodes[1], nodes[3], nodes[0], nodes[1]]
+        assert ddo(shuffled) == [nodes[0], nodes[1], nodes[3]]
+
+    def test_ddo_rejects_atomics(self):
+        with pytest.raises(XQueryTypeError):
+            ddo([1, 2])
+
+    def test_union_in_document_order(self, nodes):
+        assert node_union([nodes[4], nodes[2]], [nodes[2], nodes[0]]) == \
+            [nodes[0], nodes[2], nodes[4]]
+
+    def test_except_removes_right_side(self, nodes):
+        assert node_except(nodes[:4], [nodes[1], nodes[3]]) == [nodes[0], nodes[2]]
+
+    def test_intersect_keeps_common_nodes(self, nodes):
+        assert node_intersect(nodes[:4], nodes[2:6]) == [nodes[2], nodes[3]]
+
+    def test_set_ops_reject_atomics(self, nodes):
+        for operation in (node_union, node_except, node_intersect):
+            with pytest.raises(XQueryTypeError):
+                operation(nodes[:1], ["atom"])
+
+    @given(st.data())
+    def test_union_except_roundtrip_property(self, nodes, data):
+        left = data.draw(st.lists(st.sampled_from(nodes), max_size=8))
+        right = data.draw(st.lists(st.sampled_from(nodes), max_size=8))
+        union = node_union(left, right)
+        # everything in the union came from one of the operands
+        assert {id(n) for n in union} == {id(n) for n in left} | {id(n) for n in right}
+        # except is the complement of intersect within the left operand
+        complement = node_except(left, right)
+        overlap = node_intersect(left, right)
+        assert {id(n) for n in complement} | {id(n) for n in overlap} == {id(n) for n in ddo(left)}
+        assert not set(map(id, complement)) & set(map(id, overlap))
+
+
+# -- set-equality (the paper's s=) --------------------------------------------------
+
+
+class TestSetEquality:
+    def test_ignores_duplicates_and_order(self, nodes):
+        assert set_equal([nodes[0], nodes[1]], [nodes[1], nodes[0], nodes[0]])
+
+    def test_distinguishes_different_nodes(self, nodes):
+        assert not set_equal([nodes[0]], [nodes[1]])
+
+    def test_atomic_example_from_the_paper(self):
+        # (1,"a") s= ("a",1,1)
+        assert set_equal([1, "a"], ["a", 1, 1])
+        assert not set_equal([1, "a"], ["a"])
+
+    @given(st.data())
+    def test_equivalence_properties(self, nodes, data):
+        xs = data.draw(st.lists(st.sampled_from(nodes), max_size=6))
+        ys = data.draw(st.lists(st.sampled_from(nodes), max_size=6))
+        assert set_equal(xs, xs)                       # reflexive
+        assert set_equal(xs, ys) == set_equal(ys, xs)  # symmetric
+        assert set_equal(xs, list(reversed(xs)) + xs)  # duplicates/order irrelevant
+
+    @given(st.data())
+    def test_set_equal_matches_ddo_equality(self, nodes, data):
+        xs = data.draw(st.lists(st.sampled_from(nodes), max_size=6))
+        ys = data.draw(st.lists(st.sampled_from(nodes), max_size=6))
+        # For node sequences, X1 s= X2  <=>  fs:ddo(X1) = fs:ddo(X2)  (Section 2)
+        assert set_equal(xs, ys) == (ddo(xs) == ddo(ys))
+
+
+# -- atomization, EBV ------------------------------------------------------------------
+
+
+class TestAtomizationAndEbv:
+    def test_atomize_nodes_and_values(self, nodes):
+        values = atomize([nodes[2], 5, "x"])
+        assert values == [UntypedAtomic("2"), 5, "x"]
+
+    def test_ebv_rules(self, nodes):
+        assert effective_boolean_value([]) is False
+        assert effective_boolean_value([nodes[0]]) is True
+        assert effective_boolean_value([nodes[0], nodes[1]]) is True
+        assert effective_boolean_value([0]) is False
+        assert effective_boolean_value([3.5]) is True
+        assert effective_boolean_value([""]) is False
+        assert effective_boolean_value(["x"]) is True
+        assert effective_boolean_value([False]) is False
+
+    def test_ebv_error_on_multiple_atomics(self):
+        with pytest.raises(XQueryTypeError):
+            effective_boolean_value([1, 2])
+
+
+# -- atomic comparisons and casts ----------------------------------------------------------
+
+
+class TestAtomicComparisons:
+    def test_untyped_promotes_to_numbers(self):
+        assert atomic_equal(UntypedAtomic("4"), 4)
+        assert atomic_equal(4.0, UntypedAtomic("4"))
+        assert not atomic_equal(UntypedAtomic("4x"), 4)
+
+    def test_untyped_compares_as_string_with_strings(self):
+        assert atomic_equal(UntypedAtomic("abc"), "abc")
+        assert atomic_less_than(UntypedAtomic("abc"), "abd")
+
+    def test_boolean_is_not_a_number(self):
+        assert not atomic_equal(True, 1)
+        assert atomic_equal(True, True)
+
+    def test_ordering_errors_on_incomparable_types(self):
+        with pytest.raises(XQueryTypeError):
+            atomic_less_than("a", 1)
+
+    @given(st.integers(-1000, 1000))
+    def test_casts_roundtrip_integers(self, value):
+        assert xs_integer(xs_string(value)) == value
+        assert xs_double(value) == float(value)
+        assert xs_boolean(value) == (value != 0)
+
+    def test_cast_errors(self):
+        with pytest.raises(XQueryTypeError):
+            xs_integer("not-a-number")
+        with pytest.raises(XQueryTypeError):
+            xs_boolean("maybe")
+        with pytest.raises(XQueryTypeError):
+            xs_integer(float("nan"))
+
+
+# -- deep-equal ------------------------------------------------------------------------------
+
+
+class TestDeepEqual:
+    def test_equal_trees_with_different_identities(self):
+        left = element("a", {"k": "v"}, text("x"), element("b"))
+        right = element("a", {"k": "v"}, text("x"), element("b"))
+        assert deep_equal([left], [right])
+
+    def test_attribute_order_is_irrelevant(self):
+        left = element("a", attrs={"p": "1", "q": "2"})
+        right = element("a", attrs={"q": "2", "p": "1"})
+        assert deep_equal([left], [right])
+
+    def test_differences_detected(self):
+        assert not deep_equal([element("a")], [element("b")])
+        assert not deep_equal([element("a", text("x"))], [element("a", text("y"))])
+        assert not deep_equal([element("a")], [element("a"), element("a")])
+        assert not deep_equal([element("a")], ["a"])
+
+    def test_atomic_items_compare_by_value(self):
+        assert deep_equal([1, "a"], [1.0, "a"])
+        assert not deep_equal([1], [2])

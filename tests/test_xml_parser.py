@@ -1,0 +1,136 @@
+"""Tests for the hand-written XML parser and the serializer."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xdm.node import CommentNode, ProcessingInstructionNode, TextNode
+from repro.xmlio import parse_xml, serialize
+from repro.xmlio.dtd import parse_internal_dtd
+from repro.xmlio.serializer import serialize_sequence
+
+
+class TestBasicParsing:
+    def test_elements_attributes_text(self):
+        doc = parse_xml('<a x="1" y="two"><b>hi</b><c/></a>')
+        root = doc.document_element()
+        assert root.name == "a"
+        assert {attr.name: attr.value for attr in root.attributes} == {"x": "1", "y": "two"}
+        assert [child.name for child in root.children] == ["b", "c"]
+        assert root.children[0].string_value() == "hi"
+
+    def test_whitespace_only_text_is_stripped_by_default(self):
+        doc = parse_xml("<a>\n  <b/>\n  <c/>\n</a>")
+        assert [child.name for child in doc.document_element().children] == ["b", "c"]
+
+    def test_whitespace_preserved_when_requested(self):
+        doc = parse_xml("<a> <b/> </a>", strip_whitespace_text=False)
+        kinds = [type(child).__name__ for child in doc.document_element().children]
+        assert kinds == ["TextNode", "ElementNode", "TextNode"]
+
+    def test_entities_and_character_references(self):
+        doc = parse_xml('<a t="&lt;&amp;&gt;">x &#65;&#x42; &quot;q&apos;</a>')
+        root = doc.document_element()
+        assert root.get_attribute("t").value == "<&>"
+        assert root.string_value() == 'x AB "q\''
+
+    def test_cdata_sections(self):
+        doc = parse_xml("<a><![CDATA[<not>&parsed;]]></a>")
+        assert doc.document_element().string_value() == "<not>&parsed;"
+
+    def test_comments_and_processing_instructions(self):
+        doc = parse_xml("<?xml version=\"1.0\"?><?style here?><a><!--note--><?pi data?></a>")
+        children = doc.document_element().children
+        assert isinstance(children[0], CommentNode)
+        assert children[0].content == "note"
+        assert isinstance(children[1], ProcessingInstructionNode)
+        assert children[1].name == "pi"
+        assert isinstance(doc.children[0], ProcessingInstructionNode)
+
+    def test_mixed_content(self):
+        doc = parse_xml("<p>one <b>two</b> three</p>")
+        assert doc.document_element().string_value() == "one two three"
+
+    def test_document_order_matches_source(self):
+        doc = parse_xml("<a><b/><c><d/></c><e/></a>")
+        names = [n.name for n in doc.iter_tree() if n.name]
+        keys = [n.order_key for n in doc.iter_tree()]
+        assert names == ["a", "b", "c", "d", "e"]
+        assert keys == sorted(keys)
+
+
+class TestDtdAndIds:
+    def test_attlist_id_declaration_feeds_fn_id_map(self):
+        doc = parse_xml(
+            "<!DOCTYPE r [<!ATTLIST item code ID #REQUIRED>]>"
+            '<r><item code="i1"/><item code="i2"/></r>'
+        )
+        assert doc.lookup_id("i1").get_attribute("code").value == "i1"
+        assert doc.lookup_id("i2") is not None
+
+    def test_default_id_attribute_names(self):
+        doc = parse_xml('<r><x id="a"/><y xml:id="b"/></r>')
+        assert doc.lookup_id("a").name == "x"
+        assert doc.lookup_id("b").name == "y"
+
+    def test_custom_id_attributes(self):
+        doc = parse_xml('<r><p person="p1"/></r>', id_attributes=("person",))
+        assert doc.lookup_id("p1").name == "p"
+
+    def test_internal_entity_declarations(self):
+        doc = parse_xml('<!DOCTYPE r [<!ENTITY who "world">]><r>hello &who;</r>')
+        assert doc.document_element().string_value() == "hello world"
+
+    def test_dtd_helper_parses_attlist_and_entities(self):
+        info = parse_internal_dtd(
+            '<!ATTLIST course code ID #REQUIRED level CDATA #IMPLIED>'
+            '<!ENTITY copy "(c)">'
+        )
+        assert info.is_id_attribute("course", "code")
+        assert not info.is_id_attribute("course", "level")
+        assert info.entities == {"copy": "(c)"}
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "<a>",                          # unterminated element
+        "<a></b>",                      # mismatched end tag
+        "<a x=1/>",                     # unquoted attribute
+        '<a x="1" x="2"/>',             # duplicate attribute
+        "<a>&undefined;</a>",           # unknown entity
+        "<a><!-- -- --></a>",           # double hyphen in comment
+        "<a/><b/>",                     # two document elements
+        "plain text",                   # no element at all
+        '<a b="<"/>',                   # raw < in attribute value
+    ])
+    def test_malformed_documents_raise(self, bad):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml(bad)
+
+    def test_error_reports_line_and_column(self):
+        try:
+            parse_xml("<a>\n  <b>\n</a>")
+        except XMLSyntaxError as error:
+            assert error.line is not None and error.line >= 2
+        else:  # pragma: no cover
+            pytest.fail("expected a syntax error")
+
+
+class TestSerializer:
+    def test_roundtrip_preserves_structure(self):
+        text = '<a x="1"><b>hi &amp; bye</b><c/></a>'
+        doc = parse_xml(text)
+        assert serialize(doc) == text
+
+    def test_attribute_escaping(self):
+        doc = parse_xml('<a t="&quot;&lt;&amp;"/>')
+        assert serialize(doc) == '<a t="&quot;&lt;&amp;"/>'
+
+    def test_serialize_sequence_mixes_nodes_and_atomics(self):
+        doc = parse_xml("<a><b/></a>")
+        rendered = serialize_sequence([1, "x", doc.document_element()])
+        assert rendered == "1 x <a><b/></a>"
+
+    def test_pretty_printing_indents_children(self):
+        doc = parse_xml("<a><b><c/></b></a>")
+        pretty = serialize(doc, indent=2)
+        assert "\n  <b>" in pretty and "\n    <c/>" in pretty

@@ -1,0 +1,266 @@
+"""Tests for the XQuery lexer/parser: AST shapes, desugarings, errors."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery import ast
+from repro.xquery.parser import parse_expression, parse_query
+
+
+class TestLiteralsAndPrimaries:
+    def test_literals(self):
+        assert parse_expression("42") == ast.Literal(42)
+        assert parse_expression("3.5") == ast.Literal(3.5)
+        assert parse_expression("1.5e2") == ast.Literal(150.0)
+        assert parse_expression('"a""b"') == ast.Literal('a"b')
+        assert parse_expression("'it''s'") == ast.Literal("it's")
+        assert parse_expression('"&lt;&amp;"') == ast.Literal("<&")
+
+    def test_empty_sequence_and_context_item(self):
+        assert parse_expression("()") == ast.EmptySequence()
+        assert parse_expression(".") == ast.ContextItem()
+        assert parse_expression("$foo") == ast.VarRef("foo")
+
+    def test_comments_are_skipped(self):
+        assert parse_expression("(: a (: nested :) comment :) 7") == ast.Literal(7)
+
+    def test_sequence_expression(self):
+        expr = parse_expression("1, 2, 3")
+        assert isinstance(expr, ast.SequenceExpr)
+        assert len(expr.items) == 3
+
+
+class TestOperatorsAndPrecedence:
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.ArithmeticExpr) and expr.op == "+"
+        assert isinstance(expr.right, ast.ArithmeticExpr) and expr.right.op == "*"
+
+    def test_comparisons(self):
+        assert isinstance(parse_expression("$a = $b"), ast.GeneralComparison)
+        assert isinstance(parse_expression("$a eq $b"), ast.ValueComparison)
+        assert isinstance(parse_expression("$a is $b"), ast.NodeComparison)
+        assert parse_expression("$a << $b").op == "<<"
+
+    def test_logic_binds_weaker_than_comparison(self):
+        expr = parse_expression("$a = 1 or $b = 2 and $c = 3")
+        assert isinstance(expr, ast.OrExpr)
+        assert isinstance(expr.right, ast.AndExpr)
+
+    def test_set_operators(self):
+        assert isinstance(parse_expression("$a union $b"), ast.UnionExpr)
+        assert isinstance(parse_expression("$a | $b"), ast.UnionExpr)
+        assert isinstance(parse_expression("$a except $b"), ast.ExceptExpr)
+        assert isinstance(parse_expression("$a intersect $b"), ast.IntersectExpr)
+
+    def test_range_and_unary(self):
+        assert isinstance(parse_expression("1 to 5"), ast.RangeExpr)
+        unary = parse_expression("-$x")
+        assert isinstance(unary, ast.UnaryExpr) and unary.op == "-"
+
+    def test_instance_of_and_cast(self):
+        expr = parse_expression("$x instance of element()*")
+        assert isinstance(expr, ast.InstanceOfExpr)
+        assert expr.sequence_type.item_type == "element"
+        assert expr.sequence_type.occurrence == "*"
+        cast = parse_expression('"3" cast as xs:integer')
+        assert isinstance(cast, ast.CastExpr) and cast.target_type == "xs:integer"
+
+
+class TestPathsAndSteps:
+    def test_relative_path_is_left_nested(self):
+        expr = parse_expression("a/b/c")
+        assert isinstance(expr, ast.PathExpr)
+        assert isinstance(expr.left, ast.PathExpr)
+        assert expr.right.node_test.name == "c"
+
+    def test_double_slash_desugars_to_descendant_or_self(self):
+        expr = parse_expression("$d//person")
+        assert isinstance(expr, ast.PathExpr)
+        middle = expr.left
+        assert isinstance(middle.right, ast.AxisStep)
+        assert middle.right.axis == "descendant-or-self"
+        assert middle.right.node_test.kind == "node"
+
+    def test_leading_slash_becomes_root(self):
+        expr = parse_expression("/curriculum")
+        assert isinstance(expr.left, ast.RootExpr)
+        assert parse_expression("/") == ast.RootExpr()
+
+    def test_axes_and_node_tests(self):
+        step = parse_expression("following-sibling::SPEECH")
+        assert step.axis == "following-sibling"
+        attr = parse_expression("@code")
+        assert attr.axis == "attribute" and attr.node_test.name == "code"
+        wildcard = parse_expression("child::*")
+        assert wildcard.node_test.name == "*"
+        text_test = parse_expression("text()")
+        assert text_test.node_test.kind == "text"
+        parent = parse_expression("..")
+        assert parent.axis == "parent"
+
+    def test_predicates_attach_to_steps(self):
+        step = parse_expression('course[@code="c1"][2]')
+        assert isinstance(step, ast.AxisStep)
+        assert len(step.predicates) == 2
+
+    def test_filter_expression_on_parenthesized_primary(self):
+        expr = parse_expression("(1, 2, 3)[2]")
+        assert isinstance(expr, ast.FilterExpr)
+
+    def test_star_is_multiplication_after_operand(self):
+        expr = parse_expression("$x * 3")
+        assert isinstance(expr, ast.ArithmeticExpr) and expr.op == "*"
+
+
+class TestFlworAndFriends:
+    def test_flwor_desugars_to_nested_for_let_if(self):
+        expr = parse_expression(
+            "for $a in (1,2), $b in (3,4) let $c := $a + $b "
+            "where $c > 4 return $c"
+        )
+        assert isinstance(expr, ast.ForExpr) and expr.var == "a"
+        assert isinstance(expr.body, ast.ForExpr) and expr.body.var == "b"
+        let = expr.body.body
+        assert isinstance(let, ast.LetExpr) and let.var == "c"
+        conditional = let.body
+        assert isinstance(conditional, ast.IfExpr)
+        assert conditional.else_branch == ast.EmptySequence()
+
+    def test_positional_variable(self):
+        expr = parse_expression("for $x at $i in $seq return $i")
+        assert expr.position_var == "i"
+
+    def test_order_by_is_rejected_with_clear_error(self):
+        with pytest.raises(XQuerySyntaxError, match="order by"):
+            parse_expression("for $x in $s order by $x return $x")
+
+    def test_quantified_expressions(self):
+        some = parse_expression("some $x in $s satisfies $x = 1")
+        assert isinstance(some, ast.QuantifiedExpr) and some.quantifier == "some"
+        every = parse_expression("every $x in $s, $y in $t satisfies $x = $y")
+        assert isinstance(every, ast.QuantifiedExpr)
+        assert isinstance(every.satisfies, ast.QuantifiedExpr)
+
+    def test_typeswitch(self):
+        expr = parse_expression(
+            "typeswitch ($v) case element() return 1 "
+            "case $t as xs:integer return $t default $d return 0"
+        )
+        assert isinstance(expr, ast.TypeswitchExpr)
+        assert len(expr.cases) == 2
+        assert expr.cases[1].var == "t"
+        assert expr.default_var == "d"
+
+    def test_if_requires_else(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_expression("if ($x) then 1")
+
+
+class TestWithExpr:
+    def test_with_seeded_by_recurse(self):
+        expr = parse_expression("with $x seeded by $seed recurse $x/child::a")
+        assert isinstance(expr, ast.WithExpr)
+        assert expr.var == "x"
+        assert expr.algorithm == "auto"
+        assert isinstance(expr.body, ast.PathExpr)
+
+    @pytest.mark.parametrize("algorithm", ["naive", "delta", "auto"])
+    def test_using_clause(self, algorithm):
+        expr = parse_expression(f"with $x seeded by $s recurse $x/a using {algorithm}")
+        assert expr.algorithm == algorithm
+
+    def test_with_as_plain_variable_still_parses(self):
+        # "with" is only special when followed by "$... seeded by".
+        expr = parse_expression("$with + 1")
+        assert isinstance(expr, ast.ArithmeticExpr)
+
+
+class TestConstructors:
+    def test_direct_constructor_with_attributes_and_enclosed_exprs(self):
+        expr = parse_expression('<person id="{$p}" role="x">{ $p/name } text</person>')
+        assert isinstance(expr, ast.DirectElementConstructor)
+        assert [a.name for a in expr.attributes] == ["id", "role"]
+        assert isinstance(expr.attributes[0].value_parts[0], ast.VarRef)
+        assert any(isinstance(part, ast.PathExpr) for part in expr.content)
+
+    def test_nested_direct_constructors(self):
+        expr = parse_expression("<a><b/><c>text</c></a>")
+        assert [child.name for child in expr.content] == ["b", "c"]
+
+    def test_curly_brace_escapes(self):
+        expr = parse_expression("<a>{{literal}}</a>")
+        assert expr.content == (ast.Literal("{literal}"),)
+
+    def test_computed_constructors(self):
+        element = parse_expression("element person { $x }")
+        assert isinstance(element, ast.ComputedConstructor) and element.kind == "element"
+        text = parse_expression('text { "c" }')
+        assert text.kind == "text"
+        named = parse_expression("element { $name } { $content }")
+        assert isinstance(named.name, ast.VarRef)
+
+    def test_mismatched_constructor_tags_raise(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_expression("<a></b>")
+
+
+class TestPrologAndModules:
+    def test_function_and_variable_declarations(self):
+        module = parse_query(
+            """
+            declare variable $doc := 42;
+            declare function rec ($cs as node()*) as node()*
+            { $cs/child::a };
+            declare function depth ($n, $d) { $d };
+            rec($doc)
+            """
+        )
+        assert [f.name for f in module.functions] == ["rec", "depth"]
+        assert module.functions[0].arity == 1
+        assert module.functions[0].return_type.item_type == "node"
+        assert module.variables[0].name == "doc"
+        assert module.function_map()[("depth", 2)].params[1].name == "d"
+
+    def test_external_variable(self):
+        module = parse_query("declare variable $input external; $input")
+        assert module.variables[0].external
+
+    def test_trailing_garbage_is_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("1 + 1 extra")
+
+    def test_unknown_declaration_is_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("declare option x 'y'; 1")
+
+
+class TestAstHelpers:
+    def test_free_variables(self):
+        expr = parse_expression("for $a in $src return $a/b[$c = 1]")
+        assert expr.free_variables() == {"src", "c"}
+
+    def test_bound_variables_are_not_free(self):
+        expr = parse_expression("let $a := 1 return $a + $b")
+        assert expr.free_variables() == {"b"}
+
+    def test_with_binds_its_variable(self):
+        expr = parse_expression("with $x seeded by $s recurse $x/a")
+        assert expr.free_variables() == {"s"}
+
+    def test_substitute_variable(self):
+        expr = parse_expression("$x union count($x)")
+        replaced = ast.substitute_variable(expr, "x", ast.VarRef("y"))
+        assert replaced.free_variables() == {"y"}
+
+    def test_substitution_respects_shadowing(self):
+        expr = parse_expression("for $x in $x return $x")
+        replaced = ast.substitute_variable(expr, "x", ast.VarRef("z"))
+        # the range expression is rewritten, the shadowed body occurrence is not
+        assert isinstance(replaced.sequence, ast.VarRef) and replaced.sequence.name == "z"
+        assert isinstance(replaced.body, ast.VarRef) and replaced.body.name == "x"
+
+    def test_contains_node_constructor(self):
+        assert parse_expression("<a/>").contains_node_constructor()
+        assert parse_expression("for $y in $x return text {'c'}").contains_node_constructor()
+        assert not parse_expression("$x/a").contains_node_constructor()
