@@ -1,49 +1,243 @@
-"""Supplementary bench: µ vs µ∆ in the Relational XQuery backend.
+"""Supplementary bench: µ vs µ∆ and row vs columnar storage in the
+Relational XQuery backend.
 
-The algebraic counterpart of the Naive/Delta comparison: compile Query Q1 to
-a plan containing the fixpoint operator and evaluate it with µ (whole result
-fed back) and µ∆ (delta fed back), counting rows.
+Two aspects of the algebra engine are measured on whole-catalogue fixpoint
+plans (one µ/µ∆ operator over all seeds at once):
+
+* **algorithm** — µ (Naive, whole result fed back) against µ∆ (Delta, only
+  the per-round delta fed back), counting rows as the algebraic counterpart
+  of Table 2's node counts;
+* **storage backend** — the reference row-tuple tables against the columnar
+  backend (see :mod:`repro.algebra.storage`), same plans, same results.
+
+Run under pytest-benchmark for calibrated per-case numbers::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_algebra_backend.py
+
+or as a script for the side-by-side backend comparison, which writes the
+machine-readable ``BENCH_algebra_backend.json`` report::
+
+    PYTHONPATH=src python benchmarks/bench_algebra_backend.py --sizes full
 """
 
-import pytest
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode on minimal installs
+    pytest = None
 
 from repro.algebra.compiler import AlgebraCompiler
 from repro.algebra.evaluator import AlgebraEvaluator
+from repro.bench.harness import RunResult, result_digest
+from repro.bench.reporting import write_bench_json
 from repro.datagen.curriculum import CurriculumConfig, generate_curriculum
+from repro.datagen.xmark import XMarkConfig, generate_auction_site
 from repro.xquery.context import DocumentResolver
 from repro.xquery.parser import parse_expression
 
-QUERY_TEMPLATE = """
+BACKENDS = ("row", "columnar")
+
+CURRICULUM_TEMPLATE = """
 with $x seeded by doc("curriculum.xml")/curriculum/course
 recurse $x/id (./prerequisites/pre_code) using {algorithm}
 """
 
+# The bidder network of Figure 10, inlined (no prolog in expression mode):
+# recursively connect sellers to the people bidding in their auctions.
+BIDDER_TEMPLATE = """
+with $x seeded by doc("auction.xml")//people/person
+recurse (for $id in $x/@id
+         let $b := doc("auction.xml")//open_auction[seller/@person = $id]/bidder/personref
+         return doc("auction.xml")//people/person[@id = $b/@person])
+using {algorithm}
+"""
 
-@pytest.fixture(scope="module")
-def compiled_plans():
-    document = generate_curriculum(CurriculumConfig.tiny())
+
+@dataclass(frozen=True)
+class PlanCase:
+    """One benchmarked fixpoint plan: a workload document plus a query."""
+
+    workload: str
+    size: str
+    document_uri: str
+    build_document: Callable
+    query_template: str
+
+
+CASES: dict[str, PlanCase] = {
+    "curriculum-tiny": PlanCase(
+        "curriculum", "tiny", "curriculum.xml",
+        lambda: generate_curriculum(CurriculumConfig.tiny()), CURRICULUM_TEMPLATE),
+    "curriculum-medium": PlanCase(
+        "curriculum", "medium", "curriculum.xml",
+        lambda: generate_curriculum(CurriculumConfig.medium()), CURRICULUM_TEMPLATE),
+    "bidder-network-tiny": PlanCase(
+        "bidder-network", "tiny", "auction.xml",
+        lambda: generate_auction_site(XMarkConfig.tiny()), BIDDER_TEMPLATE),
+    "bidder-network-small": PlanCase(
+        "bidder-network", "small", "auction.xml",
+        lambda: generate_auction_site(XMarkConfig.small()), BIDDER_TEMPLATE),
+}
+
+#: Case selections for the script mode (ordered smallest to largest).
+SIZE_SELECTIONS = {
+    "smoke": ["curriculum-tiny", "bidder-network-tiny"],
+    "full": ["curriculum-tiny", "curriculum-medium",
+             "bidder-network-tiny", "bidder-network-small"],
+}
+
+
+def _prepare(case: PlanCase):
+    document = case.build_document()
     resolver = DocumentResolver()
-    resolver.register("curriculum.xml", document)
-    compiler = AlgebraCompiler(documents=resolver, document=document)
-    plans = {}
-    for algorithm in ("naive", "delta"):
-        expression = parse_expression(QUERY_TEMPLATE.format(algorithm=algorithm))
-        plans[algorithm] = compiler.compile(expression)
-    return plans
+    resolver.register(case.document_uri, document)
+    return document, resolver
 
 
-@pytest.mark.parametrize("algorithm", ["naive", "delta"])
-def test_algebra_fixpoint_curriculum(benchmark, compiled_plans, algorithm):
-    plan = compiled_plans[algorithm]
+def _compile(case: PlanCase, document, resolver, algorithm: str, backend: str):
+    compiler = AlgebraCompiler(documents=resolver, document=document, backend=backend)
+    expression = parse_expression(case.query_template.format(algorithm=algorithm))
+    return compiler.compile(expression)
 
-    def run():
-        engine = AlgebraEvaluator()
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (CI smoke runs these on the tiny case)
+# ---------------------------------------------------------------------------
+
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def tiny_case():
+        case = CASES["curriculum-tiny"]
+        document, resolver = _prepare(case)
+        return case, document, resolver
+
+    @pytest.mark.parametrize("algorithm", ["naive", "delta"])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_algebra_fixpoint_curriculum(benchmark, tiny_case, algorithm, backend):
+        case, document, resolver = tiny_case
+        plan = _compile(case, document, resolver, algorithm, backend)
+
+        def run():
+            engine = AlgebraEvaluator(backend=backend)
+            table = engine.evaluate_plan(plan)
+            return engine, table
+
+        engine, table = benchmark(run)
+        benchmark.extra_info.update({
+            "variant": "mu_delta" if algorithm == "delta" else "mu",
+            "backend": backend,
+            "result_rows": len(table),
+            "rows_fed_back": engine.statistics.total_rows_fed_back,
+        })
+
+
+# ---------------------------------------------------------------------------
+# script mode: side-by-side backend comparison + BENCH_*.json
+# ---------------------------------------------------------------------------
+
+
+def run_case(case: PlanCase, algorithm: str, backend: str,
+             document, resolver, repeats: int = 3) -> RunResult:
+    """Best-of-*repeats* evaluation of one (case, algorithm, backend) cell."""
+    plan = _compile(case, document, resolver, algorithm, backend)
+    best = None
+    for _ in range(repeats):
+        engine = AlgebraEvaluator(backend=backend)
+        started = time.perf_counter()
         table = engine.evaluate_plan(plan)
-        return engine, table
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best[0]:
+            best = (elapsed, engine, table)
+    elapsed, engine, table = best
+    statistics = engine.last_run_statistics
+    return RunResult(
+        workload=case.workload,
+        size=case.size,
+        engine="algebra",
+        algorithm=algorithm,
+        seconds=elapsed,
+        item_count=len(table),
+        result_digest=result_digest(table.column_values("item")),
+        nodes_fed_back=statistics.total_rows_fed_back,
+        recursion_depth=statistics.max_recursion_depth,
+        ifp_evaluations=len(statistics.fixpoint_runs),
+        backend=backend,
+    )
 
-    engine, table = benchmark(run)
-    benchmark.extra_info.update({
-        "variant": "mu_delta" if algorithm == "delta" else "mu",
-        "result_rows": len(table),
-        "rows_fed_back": engine.statistics.total_rows_fed_back,
-    })
+
+def run_comparison(case_names: list[str], repeats: int = 3) -> list[RunResult]:
+    results: list[RunResult] = []
+    for name in case_names:
+        case = CASES[name]
+        document, resolver = _prepare(case)
+        for algorithm in ("naive", "delta"):
+            for backend in BACKENDS:
+                results.append(run_case(case, algorithm, backend,
+                                        document, resolver, repeats=repeats))
+    return results
+
+
+def render_backend_comparison(results: list[RunResult]) -> str:
+    """Row vs columnar times side by side, one line per (case, algorithm)."""
+    header = (f"{'Workload':<22} {'Size':<8} {'Algorithm':<10} "
+              f"{'Row':>12} {'Columnar':>12} {'Speedup':>9}")
+    lines = [header, "-" * len(header)]
+    by_cell: dict[tuple[str, str, str], dict[str, RunResult]] = {}
+    for result in results:
+        key = (result.workload, result.size, result.algorithm)
+        by_cell.setdefault(key, {})[result.backend] = result
+    for (workload, size, algorithm), backends in by_cell.items():
+        row, columnar = backends.get("row"), backends.get("columnar")
+        if row is None or columnar is None:
+            continue
+        if row.result_digest != columnar.result_digest:
+            raise AssertionError(
+                f"backend results diverge on {workload}/{size}/{algorithm}"
+            )
+        speedup = row.seconds / columnar.seconds if columnar.seconds else float("inf")
+        lines.append(
+            f"{workload:<22} {size:<8} {algorithm:<10} "
+            f"{row.seconds * 1000:>9.1f} ms {columnar.seconds * 1000:>9.1f} ms "
+            f"{speedup:>8.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare row vs columnar algebra backends on fixpoint plans")
+    parser.add_argument("--sizes", choices=sorted(SIZE_SELECTIONS), default="full",
+                        help="which workload sizes to run (default: full)")
+    def _positive_int(value: str) -> int:
+        count = int(value)
+        if count < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return count
+
+    parser.add_argument("--repeats", type=_positive_int, default=3,
+                        help="timed repetitions per cell (best is reported)")
+    parser.add_argument("--json-dir", default=".",
+                        help="directory for BENCH_algebra_backend.json "
+                             "(default: current directory)")
+    arguments = parser.parse_args(argv)
+
+    results = run_comparison(SIZE_SELECTIONS[arguments.sizes], repeats=arguments.repeats)
+    print(render_backend_comparison(results))
+    path = write_bench_json(results, "algebra_backend", arguments.json_dir,
+                            extra={"sizes": arguments.sizes,
+                                   "repeats": arguments.repeats})
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

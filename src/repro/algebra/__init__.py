@@ -22,7 +22,9 @@ paper, it treats the XPath step join and the ``id()`` lookup as macro
 operators ("micro plans") rather than expanding them to textbook joins.
 """
 
+from repro.algebra.storage import TableStorage, available_backends, resolve_backend
 from repro.algebra.table import Table, Column
+from repro.algebra.columnar import ColumnarTable
 from repro.algebra.operators import Operator
 from repro.algebra.compiler import AlgebraCompiler, compile_expression, compile_recursion_body
 from repro.algebra.evaluator import AlgebraEvaluator
@@ -34,12 +36,16 @@ from repro.algebra.distributivity import (
 
 __all__ = [
     "Table",
+    "ColumnarTable",
+    "TableStorage",
     "Column",
     "Operator",
     "AlgebraCompiler",
     "compile_expression",
     "compile_recursion_body",
     "AlgebraEvaluator",
+    "available_backends",
+    "resolve_backend",
     "is_distributive_algebraic",
     "analyze_plan_distributivity",
     "PushUpReport",

@@ -1,0 +1,298 @@
+"""Column-at-a-time storage backend for the algebra.
+
+:class:`ColumnarTable` stores each column of an ``iter|pos|item`` table as
+one contiguous Python list.  Column lists are immutable by convention and
+shared, never copied, between derived tables, which makes the operators the
+loop-lifting compiler emits in bulk nearly free:
+
+* **projection/renaming** re-labels column references — O(number of columns),
+  independent of row count;
+* **scalar maps** (⊚, atomization, row tagging) compute exactly one new
+  column and alias the rest;
+* **joins** are hash joins over the key columns only, gathering the payload
+  columns through index lists;
+* **duplicate elimination, difference and aggregation** hash the relevant
+  columns without materialising row tuples.
+
+Node references are hashed by identity (see
+:func:`repro.algebra.storage.hashable`), mirroring the row backend, so both
+backends agree on equality semantics — the equivalence test suite in
+``tests/test_algebra_backends.py`` holds them to identical results.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.errors import AlgebraError
+from repro.algebra.storage import (
+    TableStorage,
+    apply_aggregate,
+    hashable,
+    register_backend,
+    sort_key,
+)
+
+
+class ColumnarTable(TableStorage):
+    """A relational table stored as one list per column."""
+
+    __slots__ = ("columns", "_data", "_length")
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Any]] = ()):
+        self.columns = tuple(columns)
+        width = len(self.columns)
+        data: tuple[list, ...] = tuple([] for _ in range(width))
+        length = 0
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != width:
+                raise AlgebraError(
+                    f"row {row_tuple!r} does not match schema {self.columns!r}"
+                )
+            for values, value in zip(data, row_tuple):
+                values.append(value)
+            length += 1
+        self._data = data
+        self._length = length
+
+    # -- construction ---------------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, columns: Sequence[str], rows: Iterable[Sequence[Any]] = ()) -> "ColumnarTable":
+        return cls(columns, rows)
+
+    @classmethod
+    def from_columns(cls, columns: Sequence[str], data: Sequence[list]) -> "ColumnarTable":
+        """Wrap existing column lists without copying (internal fast path)."""
+        table = cls.__new__(cls)
+        table.columns = tuple(columns)
+        table._data = tuple(data)
+        table._length = len(data[0]) if data else 0
+        return table
+
+    # -- accessors --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def iter_rows(self) -> Iterator[tuple[Any, ...]]:
+        return zip(*self._data) if self._data else iter(())
+
+    @property
+    def rows(self) -> tuple[tuple[Any, ...], ...]:
+        return tuple(self.iter_rows())
+
+    def column_values(self, name: str) -> list[Any]:
+        return list(self._data[self.column_index(name)])
+
+    def column(self, name: str) -> list:
+        """The raw (shared, do-not-mutate) column list."""
+        return self._data[self.column_index(name)]
+
+    def as_dicts(self) -> list[dict]:
+        return [dict(zip(self.columns, row)) for row in self.iter_rows()]
+
+    # -- columnar kernels -----------------------------------------------------------
+
+    def project(self, mapping: Sequence[tuple[str, str]]) -> "ColumnarTable":
+        data = [self._data[self.column_index(old)] for _new, old in mapping]
+        table = ColumnarTable.__new__(ColumnarTable)
+        table.columns = tuple(new for new, _old in mapping)
+        table._data = tuple(data)
+        table._length = self._length
+        return table
+
+    def select(self, predicate: Callable[[dict], bool]) -> "ColumnarTable":
+        keep = [i for i, row in enumerate(self.as_dicts()) if predicate(row)]
+        return self._gather(keep)
+
+    def select_flag(self, column: str) -> "ColumnarTable":
+        flags = self._data[self.column_index(column)]
+        keep = [i for i, flag in enumerate(flags) if flag]
+        if len(keep) == self._length:
+            return self
+        return self._gather(keep)
+
+    def extend(self, column: str, func: Callable[[dict], Any]) -> "ColumnarTable":
+        new_column = [func(row) for row in self.as_dicts()]
+        return self._with_extra_column(column, new_column)
+
+    def extend_computed(self, result: str, sources: Sequence[str],
+                        function: Callable[..., Any]) -> "ColumnarTable":
+        if sources:
+            source_columns = [self._data[self.column_index(c)] for c in sources]
+            new_column = list(map(function, *source_columns))
+        else:
+            new_column = [function() for _ in range(self._length)]
+        return self._with_extra_column(result, new_column)
+
+    def map_column(self, column: str, function: Callable[[Any], Any]) -> "ColumnarTable":
+        index = self.column_index(column)
+        data = list(self._data)
+        data[index] = [function(value) for value in data[index]]
+        return ColumnarTable.from_columns(self.columns, data)
+
+    def tag_rows(self, result: str, tag_base: int) -> "ColumnarTable":
+        return self._with_extra_column(result, list(range(tag_base, tag_base + self._length)))
+
+    def distinct(self) -> "ColumnarTable":
+        seen: set = set()
+        keep: list[int] = []
+        add = seen.add
+        for index, key in enumerate(self._key_iter(range(len(self.columns)))):
+            if key not in seen:
+                add(key)
+                keep.append(index)
+        if len(keep) == self._length:
+            return self
+        return self._gather(keep)
+
+    def union_all(self, other: TableStorage) -> "ColumnarTable":
+        self._check_union_compatible(other)
+        other = _as_columnar(other)
+        if other._length == 0:
+            return self
+        if self._length == 0:
+            return other
+        data = [mine + theirs for mine, theirs in zip(self._data, other._data)]
+        return ColumnarTable.from_columns(self.columns, data)
+
+    def difference(self, other: TableStorage) -> "ColumnarTable":
+        self._check_union_compatible(other, verb="difference")
+        other = _as_columnar(other)
+        all_indices = range(len(self.columns))
+        remove = Counter(other._key_iter(all_indices))
+        keep = []
+        for index, key in enumerate(self._key_iter(all_indices)):
+            if remove[key] > 0:
+                remove[key] -= 1
+                continue
+            keep.append(index)
+        return self._gather(keep)
+
+    def sort_by(self, columns: Sequence[str]) -> "ColumnarTable":
+        key_columns = [self._data[self.column_index(name)] for name in columns]
+        order = sorted(
+            range(self._length),
+            key=lambda i: tuple(sort_key(column[i]) for column in key_columns),
+        )
+        return self._gather(order)
+
+    # -- joins -----------------------------------------------------------------------
+
+    def hash_join(self, other: TableStorage,
+                  conditions: Sequence[tuple[str, str]]) -> "ColumnarTable":
+        other = _as_columnar(other)
+        out_columns, right_keep = self._join_layout(other)
+        left_keys = [self._data[self.column_index(l)] for l, _r in conditions]
+        right_keys = [other._data[other.column_index(r)] for _l, r in conditions]
+
+        index: dict[Any, list[int]] = {}
+        if len(conditions) == 1:
+            right_key_column = right_keys[0]
+            for i in range(other._length):
+                index.setdefault(hashable(right_key_column[i]), []).append(i)
+            left_key_column = left_keys[0]
+            left_key_of = (hashable(left_key_column[i]) for i in range(self._length))
+        else:
+            for i in range(other._length):
+                key = tuple(hashable(column[i]) for column in right_keys)
+                index.setdefault(key, []).append(i)
+            left_key_of = (
+                tuple(hashable(column[i]) for column in left_keys)
+                for i in range(self._length)
+            )
+
+        left_take: list[int] = []
+        right_take: list[int] = []
+        get = index.get
+        for i, key in enumerate(left_key_of):
+            matches = get(key)
+            if matches:
+                left_take.extend([i] * len(matches))
+                right_take.extend(matches)
+
+        data = [[column[i] for i in left_take] for column in self._data]
+        data.extend([other._data[j][i] for i in right_take] for j in right_keep)
+        return ColumnarTable.from_columns(out_columns, data)
+
+    def theta_join(self, other: TableStorage, conditions: Sequence[tuple[str, str]],
+                   compare: Callable[[Any, Any], bool]) -> "ColumnarTable":
+        other = _as_columnar(other)
+        out_columns, right_keep = self._join_layout(other)
+        left_keys = [self._data[self.column_index(l)] for l, _r in conditions]
+        right_keys = [other._data[other.column_index(r)] for _l, r in conditions]
+        left_take: list[int] = []
+        right_take: list[int] = []
+        for i in range(self._length):
+            for j in range(other._length):
+                if all(compare(lk[i], rk[j]) for lk, rk in zip(left_keys, right_keys)):
+                    left_take.append(i)
+                    right_take.append(j)
+        data = [[column[i] for i in left_take] for column in self._data]
+        data.extend([other._data[j][i] for i in right_take] for j in right_keep)
+        return ColumnarTable.from_columns(out_columns, data)
+
+    def cross(self, other: TableStorage) -> "ColumnarTable":
+        other = _as_columnar(other)
+        out_columns, right_keep = self._join_layout(other)
+        n, m = self._length, other._length
+        data = [[column[i] for i in range(n) for _ in range(m)] for column in self._data]
+        data.extend([other._data[j][i] for _ in range(n) for i in range(m)]
+                    for j in right_keep)
+        return ColumnarTable.from_columns(out_columns, data)
+
+    # -- grouping ---------------------------------------------------------------------
+
+    def aggregate(self, kind: str, group_by: Sequence[str], source: Optional[str],
+                  result: str, loop_iters: Optional[list] = None) -> "ColumnarTable":
+        group_by = tuple(group_by)
+        group_columns = [self._data[self.column_index(c)] for c in group_by]
+        source_column = (self._data[self.column_index(source)]
+                         if source else [1] * self._length)
+        groups: dict[tuple, list] = {}
+        for i in range(self._length):
+            key = tuple(column[i] for column in group_columns)
+            groups.setdefault(key, []).append(source_column[i])
+        if loop_iters is not None:
+            for value in loop_iters:
+                groups.setdefault((value,) if len(group_by) == 1 else tuple(), [])
+        width = len(group_by)
+        data: list[list] = [[] for _ in range(width + 1)]
+        for key, values in groups.items():
+            for j in range(width):
+                data[j].append(key[j])
+            data[width].append(apply_aggregate(kind, values))
+        return ColumnarTable.from_columns(group_by + (result,), data)
+
+    # -- iter/item helpers --------------------------------------------------------------
+
+    def iter_item_pairs(self) -> Iterator[tuple[Any, Any]]:
+        return zip(self._data[self.column_index("iter")],
+                   self._data[self.column_index("item")])
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _gather(self, indices: list[int]) -> "ColumnarTable":
+        data = [[column[i] for i in indices] for column in self._data]
+        return ColumnarTable.from_columns(self.columns, data)
+
+    def _with_extra_column(self, name: str, values: list) -> "ColumnarTable":
+        return ColumnarTable.from_columns(self.columns + (name,), list(self._data) + [values])
+
+    def _key_iter(self, column_indices) -> Iterator[tuple]:
+        hashed = [[hashable(value) for value in self._data[i]] for i in column_indices]
+        if not hashed:
+            return iter(() for _ in range(self._length))
+        return zip(*hashed)
+
+
+def _as_columnar(table: TableStorage) -> ColumnarTable:
+    if isinstance(table, ColumnarTable):
+        return table
+    return ColumnarTable(table.columns, table.iter_rows())
+
+
+register_backend("columnar", ColumnarTable)

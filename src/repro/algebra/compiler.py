@@ -32,7 +32,6 @@ from repro.errors import AlgebraError
 from repro.algebra.operators import (
     Aggregate,
     AtomizeValue,
-    Cross,
     Difference,
     Distinct,
     DocumentRoot,
@@ -50,6 +49,7 @@ from repro.algebra.operators import (
     StepJoin,
     UnionAll,
 )
+from repro.algebra.storage import resolve_backend
 from repro.algebra.table import Table
 from repro.xdm.comparison import atomic_equal, atomic_less_than
 from repro.xdm.items import UntypedAtomic, is_node, string_value_of_item, xs_double
@@ -83,7 +83,8 @@ class AlgebraCompiler:
                  documents: DocumentResolver | None = None,
                  document: DocumentNode | None = None,
                  functions: dict[tuple[str, int], ast.FunctionDecl] | None = None,
-                 analysis_only: bool = False):
+                 analysis_only: bool = False,
+                 backend: "str | type | None" = None):
         """Create a compiler.
 
         Parameters
@@ -99,18 +100,25 @@ class AlgebraCompiler:
             When true the compiler is lenient about missing documents — the
             resulting plan is only used for the distributivity check, never
             executed.
+        backend:
+            Storage backend used for the literal tables the compiler emits
+            (loop seeds, empty sequences).  Defaults to the row backend; an
+            evaluator running a different backend adopts (converts) literal
+            leaves on first use, so any combination is valid — matching the
+            evaluator's backend merely avoids that conversion.
         """
         self.documents = documents or DocumentResolver()
         self.document = document
         self.functions = functions or {}
         self.analysis_only = analysis_only
+        self.storage = Table if backend is None else resolve_backend(backend)
         self._inline_stack: list[tuple[str, int]] = []
 
     # ------------------------------------------------------------------ entry points
 
     def single_iteration_loop(self) -> Operator:
         """The loop relation of a top-level expression: a single iteration."""
-        return LiteralTable(Table(("iter",), [(1,)]))
+        return LiteralTable(self.storage(("iter",), [(1,)]))
 
     def initial_context(self, variables: dict[str, Operator] | None = None) -> CompilationContext:
         return CompilationContext(loop=self.single_iteration_loop(),
@@ -537,7 +545,7 @@ class AlgebraCompiler:
         return Project(with_item, [("iter", "iter"), ("pos", "pos"), ("item", "item")])
 
     def _empty_sequence_plan(self, context: CompilationContext) -> Operator:
-        return LiteralTable(Table(SEQ_COLUMNS))
+        return LiteralTable(self.storage(SEQ_COLUMNS))
 
     def _with_pos(self, plan: Operator) -> Operator:
         """Attach a constant ``pos`` column and normalise the column order."""
@@ -630,9 +638,11 @@ def _arithmetic_function(op: str):
 def compile_expression(expr: ast.Expr,
                        documents: DocumentResolver | None = None,
                        document: DocumentNode | None = None,
-                       functions: dict[tuple[str, int], ast.FunctionDecl] | None = None) -> Operator:
+                       functions: dict[tuple[str, int], ast.FunctionDecl] | None = None,
+                       backend: "str | type | None" = None) -> Operator:
     """Compile a top-level expression with a fresh compiler."""
-    compiler = AlgebraCompiler(documents=documents, document=document, functions=functions)
+    compiler = AlgebraCompiler(documents=documents, document=document, functions=functions,
+                               backend=backend)
     return compiler.compile(expr)
 
 
@@ -640,8 +650,10 @@ def compile_recursion_body(body: ast.Expr, variable: str,
                            documents: DocumentResolver | None = None,
                            document: DocumentNode | None = None,
                            functions: dict[tuple[str, int], ast.FunctionDecl] | None = None,
-                           analysis_only: bool = True) -> tuple[Operator, RecursionInput]:
+                           analysis_only: bool = True,
+                           backend: "str | type | None" = None) -> tuple[Operator, RecursionInput]:
     """Compile a recursion body for analysis or µ/µ∆ evaluation."""
     compiler = AlgebraCompiler(documents=documents, document=document,
-                               functions=functions, analysis_only=analysis_only)
+                               functions=functions, analysis_only=analysis_only,
+                               backend=backend)
     return compiler.compile_recursion_body(body, variable)

@@ -30,7 +30,7 @@ from typing import Iterable, Mapping, Optional
 from repro.errors import AlgebraError
 from repro.algebra.compiler import compile_recursion_body
 from repro.algebra.operators import NodeConstructor, Operator, RecursionInput
-from repro.algebra.plan import ancestors_of, find_recursion_inputs
+from repro.algebra.plan import ancestors_of
 from repro.xquery import ast
 from repro.xquery.context import DocumentResolver
 from repro.xdm.node import DocumentNode

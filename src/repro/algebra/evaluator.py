@@ -8,18 +8,40 @@ accumulated result for µ (algorithm Naive) or to the per-round delta for µ∆
 (algorithm Delta).  The engine counts the rows fed into the body per
 iteration, which is the algebraic counterpart of Table 2's "total number of
 nodes fed back".
+
+Two execution details worth knowing:
+
+* **Pluggable storage** — the evaluator is constructed with a table
+  ``backend`` (``"row"`` or ``"columnar"``, see
+  :mod:`repro.algebra.storage`); operators dispatch through the storage
+  protocol, and leaf tables compiled with a different backend are adopted
+  (converted) on first use.
+* **Per-run state** — every :meth:`AlgebraEvaluator.evaluate_plan` call
+  runs in a fresh :class:`_PlanRun` with its own memo cache, recursion
+  binding and statistics, so nested or repeated evaluations cannot leak
+  fixpoint bindings into each other.  ``AlgebraEvaluator.statistics``
+  remains the cumulative view across runs (what the benchmark harness
+  reads); ``last_run_statistics`` is the freshest single run.
+
+Inside the fixpoint loop the accumulated result is maintained as an
+identity-keyed set plus insertion-ordered item list (a *delta-aware
+union*): each round only the genuinely new items are appended and fed back,
+and the document-order sort (``ddo``) happens once on the final result
+instead of once per round.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.errors import AlgebraError
-from repro.algebra.operators import Fixpoint, Operator, RecursionInput
-from repro.algebra.table import Table
+from repro.algebra.operators import AlgebraEngineProtocol, Fixpoint, Operator
+from repro.algebra.storage import TableStorage, resolve_backend
 from repro.fixpoint.stats import FixpointStatistics
 from repro.xdm.sequence import ddo
+
+SEQ_COLUMNS = ("iter", "pos", "item")
 
 
 @dataclass
@@ -38,28 +60,43 @@ class AlgebraStatistics:
         return max((run.recursion_depth for run in self.fixpoint_runs), default=0)
 
 
-class AlgebraEvaluator:
-    """Evaluates plan DAGs over ``iter|pos|item`` tables."""
+class _PlanRun(AlgebraEngineProtocol):
+    """One plan evaluation: private memo cache, binding and statistics."""
 
-    def __init__(self, max_iterations: int = 100_000):
+    def __init__(self, storage: type, max_iterations: int,
+                 statistics: AlgebraStatistics | None = None):
+        self.storage = storage
         self.max_iterations = max_iterations
-        self.statistics = AlgebraStatistics()
-        self._recursion_binding: Optional[Table] = None
+        self.statistics = statistics if statistics is not None else AlgebraStatistics()
+        self.macro_cache: dict = {}
+        self._recursion_binding: Optional[TableStorage] = None
 
     # -- engine protocol ------------------------------------------------------
 
-    def recursion_input(self) -> Table:
+    def make_table(self, columns: Sequence[str], rows=()) -> TableStorage:
+        return self.storage(columns, rows)
+
+    def make_table_from_columns(self, columns: Sequence[str], data) -> TableStorage:
+        return self.storage.from_columns(columns, data)
+
+    def adopt(self, table: TableStorage) -> TableStorage:
+        if isinstance(table, self.storage):
+            return table
+        return self.storage.from_rows(table.columns, table.iter_rows())
+
+    def recursion_input(self) -> TableStorage:
         if self._recursion_binding is None:
             raise AlgebraError("recursion input used outside a fixpoint evaluation")
         return self._recursion_binding
 
-    def evaluate_plan(self, plan: Operator) -> Table:
-        """Evaluate *plan* and return its output table."""
-        return self._evaluate(plan, cache={})
+    def evaluate_plan(self, plan: Operator) -> TableStorage:
+        """Evaluate a nested plan in a fresh run (no binding leaks into it)."""
+        nested = _PlanRun(self.storage, self.max_iterations, statistics=self.statistics)
+        return nested._evaluate(plan, cache={})
 
     # -- internals ---------------------------------------------------------------
 
-    def _evaluate(self, operator: Operator, cache: dict[int, Table]) -> Table:
+    def _evaluate(self, operator: Operator, cache: dict[int, TableStorage]) -> TableStorage:
         if id(operator) in cache:
             return cache[id(operator)]
         if isinstance(operator, Fixpoint):
@@ -71,7 +108,7 @@ class AlgebraEvaluator:
         cache[id(operator)] = result
         return result
 
-    def _evaluate_fixpoint(self, operator: Fixpoint, cache: dict[int, Table]) -> Table:
+    def _evaluate_fixpoint(self, operator: Fixpoint, cache: dict[int, TableStorage]) -> TableStorage:
         seed_table = self._evaluate(operator.seed_plan, cache)
         statistics = FixpointStatistics(
             algorithm="delta" if operator.variant == "mu_delta" else "naive"
@@ -83,7 +120,7 @@ class AlgebraEvaluator:
         self.statistics.fixpoint_runs.append(statistics)
         return result
 
-    def _apply_body(self, operator: Fixpoint, input_table: Table) -> Table:
+    def _apply_body(self, operator: Fixpoint, input_table: TableStorage) -> TableStorage:
         """Evaluate the body plan with the recursion input bound to *input_table*."""
         previous = self._recursion_binding
         self._recursion_binding = input_table
@@ -94,42 +131,123 @@ class AlgebraEvaluator:
         finally:
             self._recursion_binding = previous
 
-    def _run_mu(self, operator: Fixpoint, seed: Table, statistics: FixpointStatistics) -> Table:
-        fed = seed
-        produced = self._apply_body(operator, fed)
-        result = _distinct_items(produced)
-        statistics.record(0, len(fed), len(produced), len(result), len(result))
+    # -- fixpoint loops -----------------------------------------------------------
+
+    def _run_mu(self, operator: Fixpoint, seed: TableStorage,
+                statistics: FixpointStatistics) -> TableStorage:
+        produced = self._apply_body(operator, seed)
+        accumulated = _ResultAccumulator()
+        accumulated.add_new(_items(produced))
+        statistics.record(0, len(seed), len(produced), len(accumulated), len(accumulated))
         iteration = 0
         while True:
             iteration += 1
             if iteration > self.max_iterations:
                 raise AlgebraError("µ did not reach a fixed point within the iteration bound")
-            fed = result
+            fed = self._items_table(accumulated.items)
             produced = self._apply_body(operator, fed)
-            combined = _union_items(result, produced)
-            new_rows = len(combined) - len(result)
-            statistics.record(iteration, len(fed), len(produced), new_rows, len(combined))
-            if new_rows == 0:
-                return combined
-            result = combined
+            new_items = accumulated.add_new(_items(produced))
+            statistics.record(iteration, len(fed), len(produced),
+                              len(new_items), len(accumulated))
+            if not new_items:
+                return self._items_table(ddo(accumulated.items))
 
-    def _run_mu_delta(self, operator: Fixpoint, seed: Table, statistics: FixpointStatistics) -> Table:
-        fed = seed
-        produced = self._apply_body(operator, fed)
-        result = _distinct_items(produced)
-        delta = result
-        statistics.record(0, len(fed), len(produced), len(result), len(result))
+    def _run_mu_delta(self, operator: Fixpoint, seed: TableStorage,
+                      statistics: FixpointStatistics) -> TableStorage:
+        produced = self._apply_body(operator, seed)
+        accumulated = _ResultAccumulator()
+        delta = accumulated.add_new(_items(produced))
+        statistics.record(0, len(seed), len(produced), len(delta), len(accumulated))
         iteration = 0
-        while len(delta) > 0:
+        while delta:
             iteration += 1
             if iteration > self.max_iterations:
                 raise AlgebraError("µ∆ did not reach a fixed point within the iteration bound")
-            fed = delta
+            fed = self._items_table(delta)
             produced = self._apply_body(operator, fed)
-            delta = _difference_items(produced, result)
-            result = _union_items(result, delta)
-            statistics.record(iteration, len(fed), len(produced), len(delta), len(result))
+            delta = accumulated.add_new(_items(produced))
+            statistics.record(iteration, len(fed), len(produced), len(delta), len(accumulated))
+        return self._items_table(ddo(accumulated.items))
+
+    def _items_table(self, items: list) -> TableStorage:
+        count = len(items)
+        return self.make_table_from_columns(
+            SEQ_COLUMNS, [[1] * count, list(range(1, count + 1)), list(items)]
+        )
+
+
+class _ResultAccumulator:
+    """The accumulated fixpoint result: identity set + insertion-ordered list."""
+
+    __slots__ = ("items", "_seen")
+
+    def __init__(self):
+        self.items: list = []
+        self._seen: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def add_new(self, candidates: list) -> list:
+        """Append the not-yet-seen *candidates*; return them (the delta)."""
+        seen = self._seen
+        fresh = []
+        for item in candidates:
+            key = id(item)
+            if key not in seen:
+                seen.add(key)
+                fresh.append(item)
+        self.items.extend(fresh)
+        return fresh
+
+
+class AlgebraEvaluator:
+    """Evaluates plan DAGs over ``iter|pos|item`` tables.
+
+    Parameters
+    ----------
+    max_iterations:
+        Fixpoint iteration bound (cycle/runaway protection).
+    backend:
+        Table storage backend: ``"row"``, ``"columnar"`` (default) or a
+        storage class — see :mod:`repro.algebra.storage`.
+    """
+
+    def __init__(self, max_iterations: int = 100_000, backend: "str | type | None" = None):
+        self.max_iterations = max_iterations
+        self.storage = resolve_backend(backend)
+        self.run_history: list[AlgebraStatistics] = []
+
+    @property
+    def backend(self) -> str:
+        return self.storage.backend_name
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate_plan(self, plan: Operator) -> TableStorage:
+        """Evaluate *plan* in a fresh run and return its output table."""
+        run = _PlanRun(self.storage, self.max_iterations)
+        result = run._evaluate(plan, cache={})
+        self.run_history.append(run.statistics)
         return result
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def statistics(self) -> AlgebraStatistics:
+        """Cumulative statistics across all :meth:`evaluate_plan` runs."""
+        merged = AlgebraStatistics()
+        for run in self.run_history:
+            merged.operator_invocations += run.operator_invocations
+            merged.fixpoint_runs.extend(run.fixpoint_runs)
+        return merged
+
+    @property
+    def last_run_statistics(self) -> AlgebraStatistics:
+        """Statistics of the most recent run only (fresh per run)."""
+        if not self.run_history:
+            return AlgebraStatistics()
+        return self.run_history[-1]
 
 
 # ---------------------------------------------------------------------------
@@ -137,24 +255,5 @@ class AlgebraEvaluator:
 # ---------------------------------------------------------------------------
 
 
-def _items(table: Table) -> list:
-    index = table.column_index("item")
-    return [row[index] for row in table.rows]
-
-
-def _table_from_items(items: list) -> Table:
-    ordered = ddo(items)
-    return Table(("iter", "pos", "item"), [(1, position, node) for position, node in enumerate(ordered, start=1)])
-
-
-def _distinct_items(table: Table) -> Table:
-    return _table_from_items(_items(table))
-
-
-def _union_items(left: Table, right: Table) -> Table:
-    return _table_from_items(_items(left) + _items(right))
-
-
-def _difference_items(left: Table, right: Table) -> Table:
-    removed = {id(item) for item in _items(right)}
-    return _table_from_items([item for item in _items(left) if id(item) not in removed])
+def _items(table: TableStorage) -> list:
+    return table.column_values("item")

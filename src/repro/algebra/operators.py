@@ -6,6 +6,14 @@ compute its output table from its input tables.  Plans are DAGs of
 operators; sharing is by object identity and the evaluator memoises
 accordingly.
 
+Operators are *storage-agnostic*: they never materialise rows themselves
+but dispatch through the kernel methods of
+:class:`~repro.algebra.storage.TableStorage` (hash joins, set-based
+duplicate elimination, column-wise scalar maps), and construct fresh tables
+through the engine's storage factory.  The physical representation — row
+tuples or columnar — is chosen by the evaluator; see
+:mod:`repro.algebra.storage`.
+
 Following the paper, the non-textbook operators (the XPath step join, the
 ``fn:id`` lookup, node constructors and the fixpoint operators µ/µ∆) are
 "macros": single operators standing for micro-plans of standard relational
@@ -19,12 +27,16 @@ import itertools
 from typing import Any, Callable, Optional, Sequence
 
 from repro.errors import AlgebraError
+from repro.algebra.storage import TableStorage
 from repro.algebra.table import Table
 from repro.xdm.items import is_node, string_value_of_item
 from repro.xdm.node import AttributeNode, CommentNode, DocumentNode, ElementNode, Node, TextNode
 from repro.xdm.sequence import ddo
 
 _operator_ids = itertools.count(1)
+
+#: Multiplier separating the row-tag ranges of distinct RowTag operators.
+_ROW_TAG_STRIDE = 1 << 40
 
 _EVALUATOR_SINGLETON = None
 
@@ -58,7 +70,7 @@ class Operator:
 
     # -- evaluation -----------------------------------------------------------
 
-    def compute(self, inputs: list[Table], engine: "AlgebraEngineProtocol") -> Table:
+    def compute(self, inputs: list[TableStorage], engine: "AlgebraEngineProtocol") -> TableStorage:
         """Compute the operator's output from its children's outputs."""
         raise NotImplementedError
 
@@ -86,11 +98,28 @@ class Operator:
 class AlgebraEngineProtocol:
     """What operators may ask of the engine during evaluation."""
 
-    def recursion_input(self) -> Table:  # pragma: no cover - interface only
+    #: Per-run memo the macro operators may use (None disables caching).
+    #: Entries keep a strong reference to their key object so ``id()`` reuse
+    #: after garbage collection cannot alias cache entries.
+    macro_cache: Optional[dict] = None
+
+    def recursion_input(self) -> TableStorage:  # pragma: no cover - interface only
         raise NotImplementedError
 
-    def evaluate_plan(self, plan: Operator) -> Table:  # pragma: no cover - interface only
+    def evaluate_plan(self, plan: Operator) -> TableStorage:  # pragma: no cover - interface only
         raise NotImplementedError
+
+    def make_table(self, columns: Sequence[str], rows=()) -> TableStorage:
+        """Construct a table in the engine's storage backend."""
+        return Table(columns, rows)
+
+    def make_table_from_columns(self, columns: Sequence[str], data: Sequence[list]) -> TableStorage:
+        """Construct a table from per-column value lists."""
+        return Table.from_columns(columns, data)
+
+    def adopt(self, table: TableStorage) -> TableStorage:
+        """Convert *table* into the engine's storage backend if needed."""
+        return table
 
 
 # ---------------------------------------------------------------------------
@@ -104,12 +133,12 @@ class LiteralTable(Operator):
     symbol = "table"
     union_pushable = True
 
-    def __init__(self, table: Table):
+    def __init__(self, table: TableStorage):
         super().__init__()
         self.table = table
 
     def compute(self, inputs, engine):
-        return self.table
+        return engine.adopt(self.table)
 
     def label(self):
         return f"table({'|'.join(self.table.columns)}, {len(self.table)})"
@@ -126,10 +155,11 @@ class DocumentRoot(Operator):
         self.document = document
 
     def compute(self, inputs, engine):
-        loop = inputs[0]
-        iter_index = loop.column_index("iter")
-        rows = [(row[iter_index], 1, self.document) for row in loop.rows]
-        return Table(("iter", "pos", "item"), rows)
+        iters = inputs[0].column_values("iter")
+        count = len(iters)
+        return engine.make_table_from_columns(
+            ("iter", "pos", "item"), [iters, [1] * count, [self.document] * count]
+        )
 
 
 class RecursionInput(Operator):
@@ -189,8 +219,7 @@ class Select(Operator):
         self.column = column
 
     def compute(self, inputs, engine):
-        index = inputs[0].column_index(self.column)
-        return Table(inputs[0].columns, [row for row in inputs[0].rows if row[index]])
+        return inputs[0].select_flag(self.column)
 
     def label(self):
         return f"σ_{self.column}"
@@ -211,35 +240,10 @@ class Join(Operator):
 
     def compute(self, inputs, engine):
         left, right = inputs
-        out_columns = left.columns + tuple(c for c in right.columns if c not in left.columns)
-        right_keep = [i for i, c in enumerate(right.columns) if c not in left.columns]
-        left_indices = [left.column_index(l) for l, _r in self.conditions]
-        right_indices = [right.column_index(r) for _l, r in self.conditions]
-        compare = self.comparison or _default_equality
-
-        rows = []
         if self.comparison is None and self.conditions:
-            # hash join on the (hashable-by-identity) key
-            from repro.algebra.table import _hashable
-
-            index: dict[tuple, list[tuple]] = {}
-            for row in right.rows:
-                key = tuple(_hashable(row[i]) for i in right_indices)
-                index.setdefault(key, []).append(row)
-            for row in left.rows:
-                key = tuple(_hashable(row[i]) for i in left_indices)
-                for match in index.get(key, ()):
-                    rows.append(row + tuple(match[i] for i in right_keep))
-            return Table(out_columns, rows)
-
-        for left_row in left.rows:
-            for right_row in right.rows:
-                if all(
-                    compare(left_row[li], right_row[ri])
-                    for li, ri in zip(left_indices, right_indices)
-                ):
-                    rows.append(left_row + tuple(right_row[i] for i in right_keep))
-        return Table(out_columns, rows)
+            return left.hash_join(right, self.conditions)
+        compare = self.comparison or _default_equality
+        return left.theta_join(right, self.conditions, compare)
 
     def label(self):
         condition = ",".join(f"{l}={r}" for l, r in self.conditions)
@@ -262,14 +266,7 @@ class Cross(Operator):
 
     def compute(self, inputs, engine):
         left, right = inputs
-        out_columns = left.columns + tuple(c for c in right.columns if c not in left.columns)
-        right_keep = [i for i, c in enumerate(right.columns) if c not in left.columns]
-        rows = [
-            l + tuple(r[i] for i in right_keep)
-            for l in left.rows
-            for r in right.rows
-        ]
-        return Table(out_columns, rows)
+        return left.cross(right)
 
 
 class Distinct(Operator):
@@ -334,35 +331,9 @@ class Aggregate(Operator):
         self.has_loop = loop is not None
 
     def compute(self, inputs, engine):
-        table = inputs[0]
-        groups: dict[tuple, list] = {}
-        group_indices = [table.column_index(c) for c in self.group_by]
-        source_index = table.column_index(self.source) if self.source else None
-        for row in table.rows:
-            key = tuple(row[i] for i in group_indices)
-            groups.setdefault(key, []).append(row[source_index] if source_index is not None else 1)
-        if self.has_loop:
-            loop = inputs[1]
-            loop_iter = loop.column_index("iter")
-            for row in loop.rows:
-                groups.setdefault((row[loop_iter],) if len(self.group_by) == 1 else tuple(), [])
-        rows = []
-        for key, values in groups.items():
-            rows.append(key + (self._aggregate(values),))
-        return Table(self.group_by + (self.result,), rows)
-
-    def _aggregate(self, values: list) -> Any:
-        if self.kind == "count":
-            return len(values)
-        if not values:
-            return None
-        if self.kind == "sum":
-            return sum(values)
-        if self.kind == "max":
-            return max(values)
-        if self.kind == "min":
-            return min(values)
-        raise AlgebraError(f"unknown aggregate kind '{self.kind}'")
+        loop_iters = inputs[1].column_values("iter") if self.has_loop else None
+        return inputs[0].aggregate(self.kind, self.group_by, self.source,
+                                   self.result, loop_iters=loop_iters)
 
     def label(self):
         return f"{self.kind}_{self.result}/{','.join(self.group_by)}"
@@ -383,10 +354,7 @@ class ScalarOp(Operator):
         self.name = name
 
     def compute(self, inputs, engine):
-        table = inputs[0]
-        indices = [table.column_index(c) for c in self.sources]
-        rows = [row + (self.function(*(row[i] for i in indices)),) for row in table.rows]
-        return Table(table.columns + (self.result,), rows)
+        return inputs[0].extend_computed(self.result, self.sources, self.function)
 
     def label(self):
         return f"⊚{self.name}_{self.result}:<{','.join(self.sources)}>"
@@ -403,9 +371,7 @@ class RowTag(Operator):
         self.result = result
 
     def compute(self, inputs, engine):
-        table = inputs[0]
-        rows = [row + (f"r{self.operator_id}_{index}",) for index, row in enumerate(table.rows)]
-        return Table(table.columns + (self.result,), rows)
+        return inputs[0].tag_rows(self.result, self.operator_id * _ROW_TAG_STRIDE)
 
     def label(self):
         return f"#_{self.result}"
@@ -426,15 +392,7 @@ class RowNumber(Operator):
         self.partition_by = tuple(partition_by)
 
     def compute(self, inputs, engine):
-        table = inputs[0].sort_by(self.partition_by + self.order_by)
-        partition_indices = [table.column_index(c) for c in self.partition_by]
-        counters: dict[tuple, int] = {}
-        rows = []
-        for row in table.rows:
-            key = tuple(row[i] for i in partition_indices)
-            counters[key] = counters.get(key, 0) + 1
-            rows.append(row + (counters[key],))
-        return Table(table.columns + (self.result,), rows)
+        return inputs[0].row_number(self.result, self.order_by, self.partition_by)
 
     def label(self):
         return f"̺_{self.result}:<{','.join(self.order_by)}>"
@@ -443,6 +401,22 @@ class RowNumber(Operator):
 # ---------------------------------------------------------------------------
 # XQuery-specific macro operators
 # ---------------------------------------------------------------------------
+
+
+def _group_items_by_iteration(table: TableStorage,
+                              require_nodes: bool = False) -> tuple[dict, list]:
+    """Group an ``iter|…|item`` table's items per iteration, keeping order."""
+    per_iteration: dict[Any, list] = {}
+    order: list = []
+    for iteration, item in table.iter_item_pairs():
+        if require_nodes and not is_node(item):
+            raise AlgebraError("step join applied to a non-node item")
+        bucket = per_iteration.get(iteration)
+        if bucket is None:
+            bucket = per_iteration[iteration] = []
+            order.append(iteration)
+        bucket.append(item)
+    return per_iteration, order
 
 
 class StepJoin(Operator):
@@ -465,25 +439,39 @@ class StepJoin(Operator):
         self.template = "step"
 
     def compute(self, inputs, engine):
-        table = inputs[0]
-        iter_index = table.column_index("iter")
-        item_index = table.column_index("item")
-        per_iteration: dict[Any, list[Node]] = {}
-        iteration_order: list[Any] = []
-        for row in table.rows:
-            iteration = row[iter_index]
-            node = row[item_index]
-            if not is_node(node):
-                raise AlgebraError("step join applied to a non-node item")
-            if iteration not in per_iteration:
-                per_iteration[iteration] = []
-                iteration_order.append(iteration)
-            per_iteration[iteration].extend(self._step(node))
-        rows = []
-        for iteration in iteration_order:
-            for position, node in enumerate(ddo(per_iteration[iteration]), start=1):
-                rows.append((iteration, position, node))
-        return Table(("iter", "pos", "item"), rows)
+        per_iteration, order = _group_items_by_iteration(inputs[0], require_nodes=True)
+        iters: list = []
+        positions: list = []
+        items: list = []
+        for iteration in order:
+            nodes = per_iteration[iteration]
+            if len(nodes) == 1:
+                result = self._step_ddo(nodes[0], engine)
+            else:
+                merged: list[Node] = []
+                for node in nodes:
+                    merged.extend(self._step_ddo(node, engine))
+                result = ddo(merged)
+            iters.extend([iteration] * len(result))
+            positions.extend(range(1, len(result) + 1))
+            items.extend(result)
+        return engine.make_table_from_columns(("iter", "pos", "item"),
+                                              [iters, positions, items])
+
+    def _step_ddo(self, node: Node, engine) -> list[Node]:
+        """The step result for one context node, deduplicated and in document
+        order, memoised per run (the step relation of a static document does
+        not change between fixpoint rounds)."""
+        cache = getattr(engine, "macro_cache", None)
+        if cache is None:
+            return ddo(self._step(node))
+        key = (self.operator_id, id(node))
+        hit = cache.get(key)
+        if hit is not None and hit[0] is node:
+            return hit[1]
+        result = ddo(self._step(node))
+        cache[key] = (node, result)
+        return result
 
     def _step(self, node: Node) -> list[Node]:
         from repro.xquery import ast as xq_ast
@@ -514,27 +502,41 @@ class IdLookup(Operator):
         self.template = "id"
 
     def compute(self, inputs, engine):
-        table = inputs[0]
-        iter_index = table.column_index("iter")
-        item_index = table.column_index("item")
-        per_iteration: dict[Any, list[Node]] = {}
-        order: list[Any] = []
-        for row in table.rows:
-            iteration = row[iter_index]
-            if iteration not in per_iteration:
-                per_iteration[iteration] = []
-                order.append(iteration)
-            value = row[item_index]
-            text = string_value_of_item(value)
-            for token in text.split():
-                element = self.document.lookup_id(token)
-                if element is not None:
-                    per_iteration[iteration].append(element)
-        rows = []
+        per_iteration, order = _group_items_by_iteration(inputs[0])
+        iters: list = []
+        positions: list = []
+        items: list = []
         for iteration in order:
-            for position, node in enumerate(ddo(per_iteration[iteration]), start=1):
-                rows.append((iteration, position, node))
-        return Table(("iter", "pos", "item"), rows)
+            values = per_iteration[iteration]
+            if len(values) == 1:
+                ordered = self._resolve_ddo(string_value_of_item(values[0]), engine)
+            else:
+                merged: list[Node] = []
+                for value in values:
+                    merged.extend(self._resolve_ddo(string_value_of_item(value), engine))
+                ordered = ddo(merged)
+            iters.extend([iteration] * len(ordered))
+            positions.extend(range(1, len(ordered) + 1))
+            items.extend(ordered)
+        return engine.make_table_from_columns(("iter", "pos", "item"),
+                                              [iters, positions, items])
+
+    def _resolve_ddo(self, text: str, engine) -> list[Node]:
+        """Resolve one ID string, deduplicated and in document order,
+        memoised per run (ID assignment is static during evaluation)."""
+        cache = getattr(engine, "macro_cache", None)
+        key = (self.operator_id, text)
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                return hit[1]
+        lookup = self.document.lookup_id
+        resolved = [element for token in text.split()
+                    if (element := lookup(token)) is not None]
+        ordered = ddo(resolved)
+        if cache is not None:
+            cache[key] = (text, ordered)
+        return ordered
 
 
 class AtomizeValue(Operator):
@@ -544,14 +546,9 @@ class AtomizeValue(Operator):
     union_pushable = True
 
     def compute(self, inputs, engine):
-        table = inputs[0]
-        item_index = table.column_index("item")
-        rows = []
-        for row in table.rows:
-            value = row[item_index]
-            atomized = value.typed_value() if is_node(value) else value
-            rows.append(row[:item_index] + (atomized,) + row[item_index + 1:])
-        return Table(table.columns, rows)
+        return inputs[0].map_column(
+            "item", lambda value: value.typed_value() if is_node(value) else value
+        )
 
 
 class NodeConstructor(Operator):
@@ -566,21 +563,11 @@ class NodeConstructor(Operator):
         self.name = name
 
     def compute(self, inputs, engine):
-        table = inputs[0]
-        iter_index = table.column_index("iter")
-        item_index = table.column_index("item")
-        per_iteration: dict[Any, list] = {}
-        order = []
-        for row in table.rows:
-            iteration = row[iter_index]
-            if iteration not in per_iteration:
-                per_iteration[iteration] = []
-                order.append(iteration)
-            per_iteration[iteration].append(row[item_index])
-        rows = []
-        for iteration in order:
-            rows.append((iteration, 1, self._construct(per_iteration[iteration])))
-        return Table(("iter", "pos", "item"), rows)
+        per_iteration, order = _group_items_by_iteration(inputs[0])
+        constructed = [self._construct(per_iteration[iteration]) for iteration in order]
+        return engine.make_table_from_columns(
+            ("iter", "pos", "item"), [order, [1] * len(order), constructed]
+        )
 
     def _construct(self, items: list):
         text = " ".join(string_value_of_item(item) for item in items)

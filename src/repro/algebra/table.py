@@ -1,23 +1,30 @@
-"""Flat relational tables for the algebra backend.
+"""The row-tuple storage backend for the algebra.
 
 Plans operate over flat (1NF) tables in the ``iter|pos|item`` encoding of
 Relational XQuery: ``iter`` identifies the iteration (loop) a row belongs
 to, ``pos`` encodes sequence order inside that iteration, and ``item``
 carries the encoded XQuery item — an atomic value or a node reference.
 
-The implementation keeps rows as tuples and the schema as a tuple of column
-names.  It is an *interpreted* algebra: faithful enough to observe plan
-shape, row counts and operator semantics, while node references stay Python
-objects instead of pre/post ranks (a documented simplification — see
-DESIGN.md).
+:class:`Table` keeps rows as tuples and the schema as a tuple of column
+names; it is the *reference* implementation of the storage protocol in
+:mod:`repro.algebra.storage` — faithful enough to observe plan shape, row
+counts and operator semantics, while node references stay Python objects
+instead of pre/post ranks (a documented simplification — see DESIGN.md).
+The columnar backend (:mod:`repro.algebra.columnar`) is tested for
+equivalence against this one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import AlgebraError
+from repro.algebra.storage import TableStorage, hashable, register_backend, sort_key
+
+# Backwards-compatible aliases (these helpers originally lived here).
+_hashable = hashable
+_sort_key = sort_key
 
 
 @dataclass(frozen=True)
@@ -30,10 +37,10 @@ class Column:
         return self.name
 
 
-class Table:
+class Table(TableStorage):
     """An immutable relational table: a schema plus a list of row tuples."""
 
-    __slots__ = ("columns", "rows")
+    __slots__ = ("columns", "_rows")
 
     def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Any]] = ()):
         self.columns: tuple[str, ...] = tuple(columns)
@@ -46,120 +53,29 @@ class Table:
                     f"row {row_tuple!r} does not match schema {self.columns!r}"
                 )
             normalized.append(row_tuple)
-        self.rows: tuple[tuple[Any, ...], ...] = tuple(normalized)
+        self._rows: tuple[tuple[Any, ...], ...] = tuple(normalized)
 
     # -- construction helpers --------------------------------------------------
 
     @classmethod
-    def from_dicts(cls, columns: Sequence[str], dict_rows: Iterable[dict]) -> "Table":
-        return cls(columns, [tuple(row[c] for c in columns) for row in dict_rows])
-
-    def empty_like(self) -> "Table":
-        return Table(self.columns)
+    def from_rows(cls, columns: Sequence[str], rows: Iterable[Sequence[Any]] = ()) -> "Table":
+        return cls(columns, rows)
 
     # -- basic accessors ---------------------------------------------------------
 
+    @property
+    def rows(self) -> tuple[tuple[Any, ...], ...]:
+        return self._rows
+
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self._rows)
 
-    def __iter__(self) -> Iterator[tuple[Any, ...]]:
-        return iter(self.rows)
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, Table):
-            return NotImplemented
-        return self.columns == other.columns and sorted(map(repr, self.rows)) == sorted(map(repr, other.rows))
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Table({'|'.join(self.columns)}, {len(self.rows)} rows)"
-
-    def column_index(self, name: str) -> int:
-        try:
-            return self.columns.index(name)
-        except ValueError:
-            raise AlgebraError(f"unknown column '{name}' in schema {self.columns!r}") from None
+    def iter_rows(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self._rows)
 
     def column_values(self, name: str) -> list[Any]:
         index = self.column_index(name)
-        return [row[index] for row in self.rows]
-
-    def as_dicts(self) -> list[dict]:
-        return [dict(zip(self.columns, row)) for row in self.rows]
-
-    # -- row-level operations used by the operators --------------------------------
-
-    def project(self, mapping: Sequence[tuple[str, str]]) -> "Table":
-        """Project/rename: mapping is a list of (new_name, old_name) pairs."""
-        indices = [self.column_index(old) for _new, old in mapping]
-        new_columns = [new for new, _old in mapping]
-        return Table(new_columns, [tuple(row[i] for i in indices) for row in self.rows])
-
-    def select(self, predicate: Callable[[dict], bool]) -> "Table":
-        return Table(self.columns, [row for row in self.rows if predicate(dict(zip(self.columns, row)))])
-
-    def extend(self, column: str, func: Callable[[dict], Any]) -> "Table":
-        new_rows = []
-        for row in self.rows:
-            values = dict(zip(self.columns, row))
-            new_rows.append(row + (func(values),))
-        return Table(self.columns + (column,), new_rows)
-
-    def distinct(self) -> "Table":
-        seen = set()
-        unique = []
-        for row in self.rows:
-            key = tuple(_hashable(value) for value in row)
-            if key not in seen:
-                seen.add(key)
-                unique.append(row)
-        return Table(self.columns, unique)
-
-    def union_all(self, other: "Table") -> "Table":
-        if self.columns != other.columns:
-            raise AlgebraError(
-                f"union over incompatible schemas {self.columns!r} and {other.columns!r}"
-            )
-        return Table(self.columns, self.rows + other.rows)
-
-    def difference(self, other: "Table") -> "Table":
-        """EXCEPT ALL-style difference (removes one occurrence per match)."""
-        if self.columns != other.columns:
-            raise AlgebraError(
-                f"difference over incompatible schemas {self.columns!r} and {other.columns!r}"
-            )
-        from collections import Counter
-
-        remove = Counter(tuple(_hashable(v) for v in row) for row in other.rows)
-        kept = []
-        for row in self.rows:
-            key = tuple(_hashable(v) for v in row)
-            if remove[key] > 0:
-                remove[key] -= 1
-                continue
-            kept.append(row)
-        return Table(self.columns, kept)
-
-    def sort_by(self, columns: Sequence[str]) -> "Table":
-        indices = [self.column_index(name) for name in columns]
-        return Table(self.columns, sorted(self.rows, key=lambda row: tuple(_sort_key(row[i]) for i in indices)))
+        return [row[index] for row in self._rows]
 
 
-def _hashable(value: Any) -> Any:
-    """Rows may carry node references; hash them by identity."""
-    if value.__class__.__hash__ is not None:
-        try:
-            hash(value)
-            return value
-        except TypeError:  # pragma: no cover - defensive
-            pass
-    return id(value)
-
-
-def _sort_key(value: Any) -> Any:
-    if hasattr(value, "order_key"):
-        return (1, value.order_key)
-    if isinstance(value, bool):
-        return (2, value)
-    if isinstance(value, (int, float)):
-        return (0, value)
-    return (3, str(value))
+register_backend("row", Table)

@@ -15,9 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro.errors import ReproError
 from repro.fixpoint.engine import FixpointEngine, FixpointResult
 from repro.fixpoint.stats import StatisticsCollector
 from repro.xdm.node import DocumentNode, Node
@@ -100,6 +99,7 @@ def evaluate(query: str,
              ifp_algorithm: str = "auto",
              distributivity_checker: str = "syntactic",
              engine: Engine | str = Engine.INTERPRETER,
+             backend: str | None = None,
              optimize: bool = True,
              id_attributes: Iterable[str] = ("id", "xml:id")) -> QueryResult:
     """Parse and evaluate an XQuery query.
@@ -122,6 +122,10 @@ def evaluate(query: str,
         ``"syntactic"`` (Figure 5), ``"algebraic"`` (Section 4) or ``"never"``.
     engine:
         :class:`Engine.INTERPRETER` (default) or :class:`Engine.ALGEBRA`.
+    backend:
+        Table storage backend of the algebra engine: ``"row"`` or
+        ``"columnar"`` (default; see :mod:`repro.algebra.storage`).  Ignored
+        by the interpreter engine.
     optimize:
         Apply the AST-level rewrites of :mod:`repro.xquery.optimizer`.
     id_attributes:
@@ -131,7 +135,7 @@ def evaluate(query: str,
     return evaluate_query(
         module, documents=documents, variables=variables, context_item=context_item,
         ifp_algorithm=ifp_algorithm, distributivity_checker=distributivity_checker,
-        engine=engine, optimize=optimize, id_attributes=id_attributes,
+        engine=engine, backend=backend, optimize=optimize, id_attributes=id_attributes,
     )
 
 
@@ -142,6 +146,7 @@ def evaluate_query(module: ast.Module,
                    ifp_algorithm: str = "auto",
                    distributivity_checker: str = "syntactic",
                    engine: Engine | str = Engine.INTERPRETER,
+                   backend: str | None = None,
                    optimize: bool = True,
                    id_attributes: Iterable[str] = ("id", "xml:id")) -> QueryResult:
     """Evaluate an already-parsed query module (see :func:`evaluate`)."""
@@ -178,7 +183,7 @@ def evaluate_query(module: ast.Module,
     if known:
         default_document = resolver.resolve(known[0])
     compiler = AlgebraCompiler(documents=resolver, document=default_document,
-                               functions=module.function_map())
+                               functions=module.function_map(), backend=backend)
     evaluator = Evaluator()
     compile_context = compiler.initial_context()
     for declaration in module.variables:
@@ -186,13 +191,14 @@ def evaluate_query(module: ast.Module,
             continue
         value = evaluator.evaluate(declaration.value, DynamicContext(documents=resolver))
         from repro.algebra.operators import LiteralTable
-        from repro.algebra.table import Table
 
         rows = [(1, position, item) for position, item in enumerate(value, start=1)]
-        compile_context = compile_context.bind(declaration.name,
-                                               LiteralTable(Table(("iter", "pos", "item"), rows)))
+        compile_context = compile_context.bind(
+            declaration.name,
+            LiteralTable(compiler.storage(("iter", "pos", "item"), rows)),
+        )
     plan = compiler.compile(module.body, compile_context)
-    algebra_engine = AlgebraEvaluator()
+    algebra_engine = AlgebraEvaluator(backend=backend)
     table = algebra_engine.evaluate_plan(plan)
     item_index = table.column_index("item") if "item" in table.columns else len(table.columns) - 1
     items = [row[item_index] for row in table.rows]

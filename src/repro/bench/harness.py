@@ -54,6 +54,8 @@ class RunResult:
     ifp_evaluations: Optional[int] = None
     seed_limit: Optional[int] = None
     paper_row: Optional[str] = None
+    #: Table storage backend (algebra engine only).
+    backend: Optional[str] = None
 
     def as_dict(self) -> dict:
         return {
@@ -61,6 +63,7 @@ class RunResult:
             "size": self.size,
             "engine": self.engine,
             "algorithm": self.algorithm,
+            "backend": self.backend,
             "seconds": round(self.seconds, 4),
             "items": self.item_count,
             "nodes_fed_back": self.nodes_fed_back,
@@ -104,8 +107,14 @@ class BenchmarkHarness:
     # -- running -------------------------------------------------------------------
 
     def run(self, workload_name: str, size_label: str, engine: str = "ifp",
-            algorithm: str = "delta", seed_limit: Optional[int] = None) -> RunResult:
-        """Run one (workload, size, engine, algorithm) combination."""
+            algorithm: str = "delta", seed_limit: Optional[int] = None,
+            backend: Optional[str] = None) -> RunResult:
+        """Run one (workload, size, engine, algorithm) combination.
+
+        ``backend`` selects the algebra engine's table storage (``"row"`` or
+        ``"columnar"``; see :mod:`repro.algebra.storage`) and is ignored by
+        the other engines.
+        """
         prepared = self.prepare(workload_name, size_label)
         workload = prepared.workload
         size = workload.size(size_label)
@@ -116,17 +125,19 @@ class BenchmarkHarness:
         if engine == "udf":
             return self._run_udf(prepared, algorithm, limit, size.paper_row)
         if engine == "algebra":
-            return self._run_algebra(prepared, algorithm, limit, size.paper_row)
+            return self._run_algebra(prepared, algorithm, limit, size.paper_row,
+                                     backend=backend)
         raise ReproError(f"unknown engine '{engine}' (expected ifp, udf or algebra)")
 
     def compare(self, workload_name: str, size_label: str,
                 engines: tuple[str, ...] = ("ifp", "udf"),
                 algorithms: tuple[str, ...] = ("naive", "delta"),
-                seed_limit: Optional[int] = None) -> list[RunResult]:
+                seed_limit: Optional[int] = None,
+                backend: Optional[str] = None) -> list[RunResult]:
         """Run the full Naive-vs-Delta comparison for one workload size."""
         return [
             self.run(workload_name, size_label, engine=engine, algorithm=algorithm,
-                     seed_limit=seed_limit)
+                     seed_limit=seed_limit, backend=backend)
             for engine in engines
             for algorithm in algorithms
         ]
@@ -185,7 +196,8 @@ class BenchmarkHarness:
         )
 
     def _run_algebra(self, prepared: _PreparedWorkload, algorithm: str,
-                     limit: Optional[int], paper_row: Optional[str]) -> RunResult:
+                     limit: Optional[int], paper_row: Optional[str],
+                     backend: Optional[str] = None) -> RunResult:
         from repro.algebra.compiler import AlgebraCompiler
         from repro.algebra.evaluator import AlgebraEvaluator
         from repro.xquery.parser import parse_expression
@@ -208,10 +220,9 @@ class BenchmarkHarness:
         seeds = evaluator.evaluate(parse_expression(seeds_query), context)
 
         variant = "delta" if algorithm == "delta" else "naive"
-        body_expr = parse_expression(workload.recursion_body)
         compiler = AlgebraCompiler(documents=prepared.resolver, document=prepared.document,
-                                   functions=functions)
-        algebra_engine = AlgebraEvaluator()
+                                   functions=functions, backend=backend)
+        algebra_engine = AlgebraEvaluator(backend=backend)
         total_items = 0
         digest_parts: list[str] = []
         started = time.perf_counter()
@@ -228,8 +239,11 @@ class BenchmarkHarness:
             plan = compiler.compile(seed_expr, base_context)
             table = algebra_engine.evaluate_plan(plan)
             total_items += len(table)
-            digest_parts.extend(sorted(string_value_of_item(row[2]) for row in table.rows))
+            digest_parts.extend(
+                sorted(string_value_of_item(item) for item in table.column_values("item"))
+            )
         elapsed = time.perf_counter() - started
+        statistics = algebra_engine.statistics
         return RunResult(
             workload=workload.name,
             size=prepared.size_label,
@@ -238,11 +252,12 @@ class BenchmarkHarness:
             seconds=elapsed,
             item_count=total_items,
             result_digest=_digest_strings(digest_parts),
-            nodes_fed_back=algebra_engine.statistics.total_rows_fed_back,
-            recursion_depth=algebra_engine.statistics.max_recursion_depth,
-            ifp_evaluations=len(algebra_engine.statistics.fixpoint_runs),
+            nodes_fed_back=statistics.total_rows_fed_back,
+            recursion_depth=statistics.max_recursion_depth,
+            ifp_evaluations=len(statistics.fixpoint_runs),
             seed_limit=limit,
             paper_row=paper_row,
+            backend=algebra_engine.backend,
         )
 
     # -- helpers --------------------------------------------------------------------------

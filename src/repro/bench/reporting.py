@@ -1,12 +1,26 @@
-"""Rendering of benchmark results as text tables and CSV."""
+"""Rendering of benchmark results: text tables, CSV and BENCH_*.json.
+
+Besides the human-oriented Table 2 renderings, this module defines the
+machine-readable benchmark report format CI archives as artifacts:
+``BENCH_<label>.json`` files produced by :func:`write_bench_json`.  Each
+report carries one record per run (workload, size, engine, algorithm,
+storage backend, wall-clock seconds, nodes fed back, recursion depth), so a
+series of reports across commits forms a performance trajectory.
+"""
 
 from __future__ import annotations
 
 import csv
 import io
+import json
+import platform
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.bench.harness import RunResult
+
+#: Version of the BENCH_*.json schema (bump on incompatible changes).
+BENCH_SCHEMA_VERSION = 1
 
 
 def format_milliseconds(seconds: float | None) -> str:
@@ -28,13 +42,38 @@ def results_to_csv(results: Iterable[RunResult]) -> str:
     """Serialize raw results to CSV (one row per run)."""
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=[
-        "workload", "size", "engine", "algorithm", "seconds", "items",
+        "workload", "size", "engine", "algorithm", "backend", "seconds", "items",
         "nodes_fed_back", "recursion_depth", "ifp_evaluations", "seed_limit", "paper_row",
     ])
     writer.writeheader()
     for result in results:
         writer.writerow(result.as_dict())
     return buffer.getvalue()
+
+
+def results_to_json(results: Iterable[RunResult], label: str,
+                    extra: dict | None = None) -> dict:
+    """Build the machine-readable benchmark report (the BENCH_*.json payload)."""
+    return {
+        "schema": "repro-bench",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "label": label,
+        "python": platform.python_version(),
+        "results": [result.as_dict() for result in results],
+        **(extra or {}),
+    }
+
+
+def write_bench_json(results: Iterable[RunResult], label: str,
+                     directory: "str | Path" = ".",
+                     extra: dict | None = None) -> Path:
+    """Write ``BENCH_<label>.json`` into *directory* and return its path."""
+    path = Path(directory) / f"BENCH_{label}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = results_to_json(results, label, extra=extra)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return path
 
 
 def render_table2(results: Sequence[RunResult]) -> str:

@@ -26,8 +26,15 @@ import argparse
 import sys
 from typing import Iterable
 
+from pathlib import Path
+
 from repro.bench.harness import BenchmarkHarness, RunResult
-from repro.bench.reporting import render_speedups, render_table2, results_to_csv
+from repro.bench.reporting import (
+    render_speedups,
+    render_table2,
+    results_to_csv,
+    results_to_json,
+)
 
 #: (workload, size) combinations per preset.
 PRESETS: dict[str, list[tuple[str, str]]] = {
@@ -93,6 +100,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--csv", action="store_true", help="also print raw results as CSV")
     parser.add_argument("--report", action="store_true",
                         help="also print Naive/Delta speed-up factors")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the machine-readable BENCH report to PATH")
     arguments = parser.parse_args(argv)
 
     results = run_preset(
@@ -108,6 +117,15 @@ def main(argv: list[str] | None = None) -> int:
     if arguments.csv:
         print()
         print(results_to_csv(results), end="")
+    if arguments.json:
+        import json
+
+        path = Path(arguments.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = results_to_json(results, f"table2_{arguments.preset}",
+                                  extra={"engines": list(arguments.engines)})
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwrote {path}", file=sys.stderr)
     return 0
 
 

@@ -45,6 +45,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--checker", choices=["syntactic", "algebraic", "never"],
                         default="syntactic", help="distributivity checker used by 'auto'")
     parser.add_argument("--engine", choices=["interpreter", "algebra"], default="interpreter")
+    parser.add_argument("--backend", choices=["row", "columnar"], default=None,
+                        help="table storage backend of the algebra engine "
+                             "(default: columnar; ignored by the interpreter)")
     parser.add_argument("--stats", action="store_true",
                         help="print IFP statistics (nodes fed back, recursion depth)")
     parser.add_argument("--check-distributivity", metavar="BODY",
@@ -78,6 +81,7 @@ def main(argv: list[str] | None = None) -> int:
         ifp_algorithm=arguments.algorithm,
         distributivity_checker=arguments.checker,
         engine=arguments.engine,
+        backend=arguments.backend,
     )
     print(serialize_sequence(result.items))
     if arguments.stats:

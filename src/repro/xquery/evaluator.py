@@ -48,7 +48,7 @@ from repro.xdm.sequence import (
     node_union,
 )
 from repro.xquery import ast
-from repro.xquery.context import DynamicContext, StaticContext
+from repro.xquery.context import DynamicContext
 from repro.xquery.functions import lookup_builtin
 
 Sequence = list

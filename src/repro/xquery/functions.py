@@ -19,7 +19,6 @@ from repro.errors import XQueryDynamicError, XQueryTypeError
 from repro.xdm.comparison import atomic_equal, deep_equal
 from repro.xdm.items import (
     UntypedAtomic,
-    format_atomic,
     is_node,
     is_numeric,
     string_value_of_item,
@@ -28,7 +27,7 @@ from repro.xdm.items import (
     xs_integer,
     xs_string,
 )
-from repro.xdm.node import AttributeNode, DocumentNode, ElementNode, Node
+from repro.xdm.node import ElementNode, Node
 from repro.xdm.sequence import atomize, ddo, effective_boolean_value
 
 Sequence = list  # an XDM sequence is a Python list of items
