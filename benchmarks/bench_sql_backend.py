@@ -1,0 +1,108 @@
+"""Bench: the three execution paths side by side — interpreter vs. algebra vs. SQL.
+
+Runs the workload fixpoints under
+
+* ``ifp`` — the tree-walking interpreter's native IFP operator,
+* ``algebra`` — the in-memory Relational XQuery backend (µ/µ∆ plans), and
+* ``sql`` — the SQLite backend, where distributive recursions execute as a
+  single ``WITH RECURSIVE`` statement and everything else iterates the
+  temp-table driver loop,
+
+under both the Naive and the Delta algorithm, and writes the
+machine-readable ``BENCH_sql_backend.json`` report::
+
+    PYTHONPATH=src python benchmarks/bench_sql_backend.py --sizes smoke
+
+Engines that cannot run a workload (the algebra compiler has documented
+gaps, e.g. positional predicates) are skipped with a notice rather than
+failing the whole comparison.  Result digests are cross-checked between the
+``ifp`` and ``sql`` engines on every (workload, size, algorithm) cell — a
+mismatch aborts the bench, so the timings can only ever describe equivalent
+computations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import BenchmarkHarness, RunResult
+from repro.bench.reporting import format_milliseconds, write_bench_json
+from repro.errors import ReproError
+
+ENGINES = ("ifp", "algebra", "sql")
+ALGORITHMS = ("naive", "delta")
+
+#: (workload, size) rows per selection (ordered smallest to largest).
+SIZE_SELECTIONS: dict[str, list[tuple[str, str]]] = {
+    "smoke": [("curriculum", "tiny"), ("bidder-network", "tiny")],
+    "full": [
+        ("curriculum", "tiny"),
+        ("curriculum", "medium"),
+        ("bidder-network", "tiny"),
+        ("bidder-network", "small"),
+        ("hospital", "tiny"),
+    ],
+}
+
+
+def run_comparison(selection: str, repeats: int = 1,
+                   seed_limit: int | None = None) -> list[RunResult]:
+    harness = BenchmarkHarness()
+    results: list[RunResult] = []
+    digests: dict[tuple[str, str, str], dict[str, str]] = {}
+    for workload, size in SIZE_SELECTIONS[selection]:
+        for engine in ENGINES:
+            for algorithm in ALGORITHMS:
+                best: RunResult | None = None
+                try:
+                    for _ in range(max(repeats, 1)):
+                        candidate = harness.run(workload, size, engine=engine,
+                                                algorithm=algorithm,
+                                                seed_limit=seed_limit)
+                        if best is None or candidate.seconds < best.seconds:
+                            best = candidate
+                except ReproError as error:
+                    print(f"   skip {workload}/{size} {engine}/{algorithm}: {error}",
+                          file=sys.stderr)
+                    continue
+                results.append(best)
+                digests.setdefault((workload, size, algorithm), {})[engine] = \
+                    best.result_digest
+                print(f"   {workload:>16}/{size:<6} {engine:>7}/{algorithm:<5} "
+                      f"{format_milliseconds(best.seconds):>10}  "
+                      f"items={best.item_count}")
+    for (workload, size, algorithm), by_engine in digests.items():
+        if "ifp" in by_engine and "sql" in by_engine:
+            if by_engine["ifp"] != by_engine["sql"]:
+                raise SystemExit(
+                    f"result mismatch between ifp and sql on "
+                    f"{workload}/{size} ({algorithm})"
+                )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare the interpreter, algebra and SQL execution paths")
+    parser.add_argument("--sizes", choices=sorted(SIZE_SELECTIONS), default="smoke")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="runs per cell; the fastest is reported")
+    parser.add_argument("--seed-limit", type=int, default=None,
+                        help="override the per-size default number of seeds")
+    parser.add_argument("--json-dir", default=".",
+                        help="directory for BENCH_sql_backend.json")
+    arguments = parser.parse_args(argv)
+
+    print(f"== interpreter vs. algebra vs. sql ({arguments.sizes}) ==")
+    results = run_comparison(arguments.sizes, repeats=arguments.repeats,
+                             seed_limit=arguments.seed_limit)
+    path = write_bench_json(results, "sql_backend", arguments.json_dir,
+                            extra={"sizes": arguments.sizes,
+                                   "repeats": arguments.repeats})
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

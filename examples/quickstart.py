@@ -96,6 +96,19 @@ def main() -> None:
               f"nodes fed back {run.statistics.total_nodes_fed_back}, "
               f"iterations {run.statistics.recursion_depth}")
 
+    print("\n== The SQL engine: the fixpoint as a real WITH RECURSIVE ==")
+    # engine="sql" shreds the document into SQLite pre/post tables and runs
+    # the (distributive) recursion as a single recursive CTE.  The same SQL
+    # is printable without executing: repro-xquery --emit-sql query.xq
+    result = evaluate(QUERY_Q1, documents=documents, engine="sql")
+    print("prerequisites of c1 via SQLite:", codes(result))
+    from repro.sqlbackend import fixpoint_statements
+    from repro.xquery.parser import parse_query
+
+    (_, emitted), = fixpoint_statements(parse_query(QUERY_Q1))
+    print("the statement SQLite executes:\n")
+    print(emitted.display())
+
 
 if __name__ == "__main__":
     main()

@@ -40,6 +40,9 @@ class Engine(str, Enum):
     INTERPRETER = "interpreter"
     #: The Relational XQuery backend (compile to algebra, evaluate plans).
     ALGEBRA = "algebra"
+    #: The SQLite backend: documents shredded into pre/post tables and each
+    #: fixpoint run as a recursive CTE (or the temp-table driver loop).
+    SQL = "sql"
 
 
 @dataclass
@@ -121,11 +124,13 @@ def evaluate(query: str,
     distributivity_checker:
         ``"syntactic"`` (Figure 5), ``"algebraic"`` (Section 4) or ``"never"``.
     engine:
-        :class:`Engine.INTERPRETER` (default) or :class:`Engine.ALGEBRA`.
+        :class:`Engine.INTERPRETER` (default), :class:`Engine.ALGEBRA` or
+        :class:`Engine.SQL` (shred into SQLite, run fixpoints as
+        ``WITH RECURSIVE``; see :mod:`repro.sqlbackend`).
     backend:
         Table storage backend of the algebra engine: ``"row"`` or
-        ``"columnar"`` (default; see :mod:`repro.algebra.storage`).  Ignored
-        by the interpreter engine.
+        ``"columnar"`` (default; see :mod:`repro.algebra.storage`).  Only
+        meaningful with :class:`Engine.ALGEBRA`.
     optimize:
         Apply the AST-level rewrites of :mod:`repro.xquery.optimizer`.
     id_attributes:
@@ -174,6 +179,13 @@ def evaluate_query(module: ast.Module,
         items = evaluator.evaluate_module(module, context)
         return QueryResult(items=items, statistics=statistics)
 
+    if engine is Engine.SQL:
+        from repro.sqlbackend.executor import SQLEvaluator
+
+        evaluator = SQLEvaluator()
+        items = evaluator.evaluate_module(module, context)
+        return QueryResult(items=items, statistics=statistics)
+
     # Algebra backend: compile the body (prolog functions are inlined).
     from repro.algebra.compiler import AlgebraCompiler
     from repro.algebra.evaluator import AlgebraEvaluator
@@ -200,8 +212,9 @@ def evaluate_query(module: ast.Module,
     plan = compiler.compile(module.body, compile_context)
     algebra_engine = AlgebraEvaluator(backend=backend)
     table = algebra_engine.evaluate_plan(plan)
-    item_index = table.column_index("item") if "item" in table.columns else len(table.columns) - 1
-    items = [row[item_index] for row in table.rows]
+    from repro.sqlbackend.decode import decode_result_table
+
+    items = decode_result_table(table)
     result = QueryResult(items=items, statistics=statistics)
     result.statistics.runs.extend(algebra_engine.statistics.fixpoint_runs)
     return result

@@ -93,7 +93,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="restrict to the given workloads "
                              "(bidder-network, dialogs, curriculum, hospital)")
     parser.add_argument("--engines", nargs="*", default=["ifp", "udf"],
-                        choices=["ifp", "udf", "algebra"],
+                        choices=["ifp", "udf", "algebra", "sql"],
                         help="engines to compare (default: ifp udf)")
     parser.add_argument("--seed-limit", type=int, default=None,
                         help="override the per-size default number of seeds")

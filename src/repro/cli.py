@@ -6,6 +6,8 @@ Installed as ``repro-xquery``::
     repro-xquery -e 'with $x seeded by doc("c.xml")//course[@code="c1"]
                      recurse $x/id(./prerequisites/pre_code)' --doc c.xml=c.xml
     repro-xquery --check-distributivity '$x/id(./prerequisites/pre_code)'
+    repro-xquery --engine sql --doc c.xml=c.xml query.xq   # fixpoints on SQLite
+    repro-xquery --emit-sql query.xq                       # print the CTE, don't run
 """
 
 from __future__ import annotations
@@ -44,15 +46,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="global IFP evaluation policy")
     parser.add_argument("--checker", choices=["syntactic", "algebraic", "never"],
                         default="syntactic", help="distributivity checker used by 'auto'")
-    parser.add_argument("--engine", choices=["interpreter", "algebra"], default="interpreter")
+    parser.add_argument("--engine", choices=["interpreter", "algebra", "sql"],
+                        default="interpreter")
     parser.add_argument("--backend", choices=["row", "columnar"], default=None,
                         help="table storage backend of the algebra engine "
-                             "(default: columnar; ignored by the interpreter)")
+                             "(default: columnar; only valid with --engine algebra)")
+    parser.add_argument("--emit-sql", action="store_true",
+                        help="print the SQL the sql engine generates for every "
+                             "with … recurse fixpoint in the query, then exit")
     parser.add_argument("--stats", action="store_true",
                         help="print IFP statistics (nodes fed back, recursion depth)")
     parser.add_argument("--check-distributivity", metavar="BODY",
                         help="only analyse the given recursion body for $x and exit")
     arguments = parser.parse_args(argv)
+
+    if arguments.backend is not None and arguments.engine != "algebra":
+        parser.error(
+            f"--backend selects the algebra engine's table storage and is not "
+            f"used by --engine {arguments.engine}; drop it or use --engine algebra"
+        )
 
     if arguments.check_distributivity is not None:
         body = arguments.check_distributivity
@@ -70,6 +82,9 @@ def main(argv: list[str] | None = None) -> int:
     else:
         parser.error("provide a query file or -e EXPRESSION")
         return 2
+
+    if arguments.emit_sql:
+        return _emit_sql(query, arguments.algorithm)
 
     resolver = DocumentResolver()
     for uri, path in arguments.doc:
@@ -91,6 +106,32 @@ def main(argv: list[str] | None = None) -> int:
             f"max recursion depth: {result.recursion_depth}",
             file=sys.stderr,
         )
+    return 0
+
+
+def _emit_sql(query: str, ifp_algorithm: str) -> int:
+    """Print the SQL the sql engine would run for each fixpoint in *query*."""
+    from repro.sqlbackend.executor import fixpoint_statements
+    from repro.xquery.parser import parse_query
+
+    pairs = fixpoint_statements(parse_query(query), ifp_algorithm=ifp_algorithm)
+    if not pairs:
+        print("-- the query contains no with … recurse fixpoints")
+        return 0
+    for index, (expr, emitted) in enumerate(pairs, start=1):
+        algorithm = f" using {expr.algorithm}" if expr.algorithm != "auto" else ""
+        print(f"-- fixpoint {index}: with ${expr.var} seeded by … recurse …{algorithm}")
+        if emitted is not None:
+            print(emitted.display().rstrip() + ";")
+        elif expr.algorithm == "naive" or (expr.algorithm == "auto"
+                                           and ifp_algorithm == "naive"):
+            print("-- forced Naive: executed by the iterative driver loop "
+                  "over temp tables")
+        else:
+            print("-- not a linear step chain: executed by the iterative "
+                  "driver loop (naive/delta over temp tables)")
+        if index < len(pairs):
+            print()
     return 0
 
 

@@ -15,6 +15,8 @@ The hierarchy mirrors the places errors can arise in the pipeline:
   Definition 2.1).
 * :class:`AlgebraError` — problems while compiling to or evaluating the
   relational algebra backend.
+* :class:`SqlBackendError` — problems in the SQLite execution backend
+  (shredding, SQL emission, result decoding).
 
 All of these derive from :class:`ReproError` so callers can install a single
 ``except`` clause around the whole engine.
@@ -91,6 +93,10 @@ class FixpointError(XQueryDynamicError):
 
 class AlgebraError(ReproError):
     """Raised by the relational algebra backend (compiler or evaluator)."""
+
+
+class SqlBackendError(ReproError):
+    """Raised by the SQLite execution backend (shredding, emission, decode)."""
 
 
 class DistributivityError(ReproError):

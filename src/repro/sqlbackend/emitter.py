@@ -1,0 +1,290 @@
+"""Emission of ``WITH RECURSIVE`` SQL from XQuery recursion bodies.
+
+The paper's central contrast is the XQuery IFP against SQL:1999's
+``WITH RECURSIVE`` evaluated on an RDBMS.  This module closes that loop:
+when a ``with $x seeded by … recurse e`` body is a *linear step chain* —
+a path of axis steps and ``fn:id`` hops applied to the recursion variable —
+the whole fixpoint becomes one recursive CTE over the shredded pre/post
+tables:
+
+.. code-block:: sql
+
+    WITH RECURSIVE
+      seed(pre) AS (
+        VALUES (?), (?)
+      ),
+      fixpoint(pre) AS (
+        SELECT i.pre FROM seed AS s JOIN node AS c0 ON c0.pre = s.pre ...
+        UNION
+        SELECT i.pre FROM fixpoint AS s JOIN node AS c0 ON c0.pre = s.pre ...
+      )
+    SELECT pre FROM fixpoint
+
+The anchor member applies the step chain to the seed (``res_0 =
+e_rec(e_seed)`` of Definition 2.1), the recursive member re-applies it to
+newly discovered rows, and SQLite's deduplicating ``UNION`` *is* the
+inflationary accumulation — it also guarantees termination on cyclic data,
+where ``UNION ALL`` would loop forever.  Because a pure step chain is
+distributive in the recursion variable (they are exactly the STEP rules of
+the Figure 5 analysis), handing the iteration to the RDBMS's semi-naive
+CTE evaluator is always sound here.
+
+Anything beyond a linear chain — predicates, conditionals, aggregates,
+user-defined functions, sequence/union bodies — makes :func:`emit_fixpoint_sql`
+return ``None`` and the executor falls back to the iterative driver loop
+(:mod:`repro.sqlbackend.executor`).
+
+Known simplification: the ``fn:id`` join matches a *single* ID token per
+argument node — the string value with surrounding whitespace trimmed —
+whereas XQuery tokenizes multi-token IDREFS lists on internal whitespace.
+Single-token references (the curriculum encoding, padded or not) behave
+identically; bodies reading multi-token IDREFS content should be evaluated
+through the driver loop (force ``using naive``) or the interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqlgen.with_recursive import format_with_recursive
+from repro.xquery import ast
+
+#: Axis name → join condition template; ``{b}`` is the new alias, ``{a}``
+#: the context alias (a row of the ``node`` table).
+_AXIS_CONDITIONS: dict[str, str] = {
+    "child": "{b}.parent = {a}.pre",
+    "descendant": "{b}.doc_id = {a}.doc_id AND {b}.pre > {a}.pre AND {b}.post < {a}.post",
+    "descendant-or-self":
+        "{b}.doc_id = {a}.doc_id AND {b}.pre >= {a}.pre AND {b}.post <= {a}.post",
+    "self": "{b}.pre = {a}.pre",
+    "parent": "{b}.pre = {a}.parent",
+    "ancestor": "{b}.doc_id = {a}.doc_id AND {b}.pre < {a}.pre AND {b}.post > {a}.post",
+    "ancestor-or-self":
+        "{b}.doc_id = {a}.doc_id AND {b}.pre <= {a}.pre AND {b}.post >= {a}.post",
+    "following-sibling": "{b}.parent = {a}.parent AND {b}.pre > {a}.pre",
+    "preceding-sibling": "{b}.parent = {a}.parent AND {b}.pre < {a}.pre",
+}
+
+#: Kind-test name → ``node.kind`` value (no extra filter for ``node()``).
+_KIND_FILTERS: dict[str, str | None] = {
+    "node": None,
+    "text": "text",
+    "comment": "comment",
+    "processing-instruction": "processing-instruction",
+    "element": "element",
+    "document-node": "document",
+}
+
+
+class _NotEmittable(Exception):
+    """Internal: the body is not a linear step chain."""
+
+
+@dataclass(frozen=True)
+class FixpointSql:
+    """A recursion body emitted as a parameterized recursive CTE.
+
+    The seed enters as a ``VALUES`` CTE of ``pre`` ranks
+    (:meth:`statement`) or, for seed sets near SQLite's host-parameter
+    limit, as a ``SELECT`` from a pre-loaded table
+    (:meth:`statement_from_table`).
+    """
+
+    #: The step chain as one SQL member, with ``{source}`` standing for the
+    #: relation the chain reads its context rows from.
+    member_template: str
+    #: ``SELECT EXISTS(…)`` probes that detect data the chain would handle
+    #: incorrectly (multi-token IDREFS content); any probe returning 1 means
+    #: the executor must fall back to the driver loop.
+    guards: tuple[str, ...] = ()
+
+    def member(self, source: str) -> str:
+        return self.member_template.format(source=source)
+
+    def _statement(self, seed_body: str) -> str:
+        return format_with_recursive(
+            "fixpoint", ("pre",),
+            self.member("seed"), self.member("fixpoint"),
+            union="UNION",
+            final_select="SELECT pre FROM fixpoint ORDER BY pre",
+            preamble=(("seed(pre)", seed_body),),
+        )
+
+    def statement(self, seed_count: int) -> str:
+        """The executable statement for *seed_count* seed parameters."""
+        return self._statement("VALUES " + ", ".join(["(?)"] * max(seed_count, 1)))
+
+    def statement_from_table(self, table: str) -> str:
+        """The statement reading seed ``pre`` ranks from *table*."""
+        return self._statement(f"SELECT pre FROM {table}")
+
+    def display(self) -> str:
+        """The statement with a symbolic seed list (for ``--emit-sql``)."""
+        return self._statement("VALUES (?) /* one row per seed node */")
+
+
+def emit_fixpoint_sql(body: ast.Expr, variable: str) -> FixpointSql | None:
+    """Emit the recursive-CTE step member for *body*, or ``None``.
+
+    *body* must be a linear step chain over *variable*: axis steps with
+    name/kind tests and no predicates, optionally ending in (or passing
+    through) an ``fn:id`` call whose argument is itself a step chain from
+    the context item.
+    """
+    try:
+        return _Emitter(variable).emit(body)
+    except _NotEmittable:
+        return None
+
+
+class _Emitter:
+    def __init__(self, variable: str):
+        self.variable = variable
+        self.joins: list[str] = []
+        self.guards: list[str] = []
+        self._tests: dict[str, ast.NodeTest] = {}
+        self._aliases = 0
+
+    # -- infrastructure ------------------------------------------------------
+
+    def _fresh(self) -> str:
+        alias = f"c{self._aliases}"
+        self._aliases += 1
+        return alias
+
+    def _join(self, table: str, alias: str, condition: str) -> None:
+        self.joins.append(f"JOIN {table} AS {alias} ON {condition}")
+
+    # -- entry point ---------------------------------------------------------
+
+    def emit(self, body: ast.Expr) -> FixpointSql:
+        # Anchor the chain: a node-table row for the current frontier pre.
+        base = self._fresh()
+        self._join("node", base, f"{base}.pre = s.pre")
+        result = self._chain(body, base)
+        lines = [f"SELECT {result}.pre", "  FROM {source} AS s"]
+        lines.extend(f"  {join}" for join in self.joins)
+        return FixpointSql(member_template="\n".join(lines),
+                           guards=tuple(self.guards))
+
+    # -- translation ---------------------------------------------------------
+
+    def _chain(self, expr: ast.Expr, context_alias: str,
+               in_id_argument: bool = False) -> str:
+        """Translate *expr* into joins; return the alias of its result.
+
+        At the top level the chain must start from the recursion variable
+        (``.`` in the body denotes the *outer* context item, which the
+        emitter cannot see — such bodies fall back to the driver loop,
+        where the interpreter gives them their real semantics).  Inside an
+        ``fn:id`` argument the roles flip: the chain is relative to the
+        context item rebound by the enclosing path step, while the
+        recursion variable would denote the whole frontier sequence.
+        """
+        if isinstance(expr, ast.VarRef):
+            if in_id_argument or expr.name != self.variable:
+                raise _NotEmittable
+            return context_alias
+        if isinstance(expr, ast.ContextItem):
+            if not in_id_argument:
+                raise _NotEmittable
+            return context_alias
+        if isinstance(expr, ast.PathExpr):
+            left = self._chain(expr.left, context_alias, in_id_argument)
+            return self._apply_step(expr.right, left)
+        if isinstance(expr, ast.AxisStep):
+            # A bare step is relative to the context item (inside id()).
+            if not in_id_argument:
+                raise _NotEmittable
+            return self._apply_step(expr, context_alias)
+        raise _NotEmittable
+
+    def _apply_step(self, step: ast.Expr, context_alias: str) -> str:
+        if isinstance(step, ast.AxisStep):
+            if step.predicates:
+                raise _NotEmittable
+            return self._axis_join(step, context_alias)
+        if isinstance(step, ast.FunctionCall) and step.name in ("id", "fn:id") \
+                and len(step.args) == 1:
+            return self._id_join(step.args[0], context_alias)
+        raise _NotEmittable
+
+    def _axis_join(self, step: ast.AxisStep, context_alias: str) -> str:
+        condition = _AXIS_CONDITIONS.get(step.axis)
+        if condition is None:
+            raise _NotEmittable  # attribute/following/preceding: driver loop
+        alias = self._fresh()
+        clauses = [condition.format(a=context_alias, b=alias)]
+        clauses.extend(self._node_test_clauses(step.node_test, alias))
+        self._join("node", alias, " AND ".join(clauses))
+        self._tests[alias] = step.node_test
+        return alias
+
+    def _node_test_clauses(self, test: ast.NodeTest, alias: str) -> list[str]:
+        if test.kind == "name":
+            clauses = [f"{alias}.kind = 'element'"]
+            if test.name != "*":
+                clauses.append(f"{alias}.name = {_quote(test.name)}")
+            return clauses
+        if test.kind in _KIND_FILTERS:
+            kind = _KIND_FILTERS[test.kind]
+            clauses = [] if kind is None else [f"{alias}.kind = {_quote(kind)}"]
+            if test.name is not None and test.kind in ("element", "processing-instruction"):
+                clauses.append(f"{alias}.name = {_quote(test.name)}")
+            return clauses
+        raise _NotEmittable
+
+    def _id_join(self, argument: ast.Expr, context_alias: str) -> str:
+        """``fn:id(arg)``: join the ID table on the argument's string value.
+
+        The argument must be a step chain from the context item; its string
+        values come straight from the materialised ``value`` column.  The
+        lookup is scoped to the document of the context node, matching
+        ``fn:id``'s anchoring at the context item.
+        """
+        value_alias = self._chain(argument, context_alias, in_id_argument=True)
+        if value_alias == context_alias:
+            raise _NotEmittable  # id(.) — not produced by the supported fragment
+        self.guards.append(self._multi_token_guard(value_alias))
+        alias = self._fresh()
+        # TRIM matches the interpreter's whitespace handling for a single ID
+        # token; the probe expression sits on the outer row, so the lookup
+        # still drives the (doc_id, value) index.
+        self._join(
+            "id_attr", alias,
+            f"{alias}.doc_id = {context_alias}.doc_id "
+            f"AND {alias}.value = TRIM({value_alias}.value, ' ' || char(9, 10, 13))",
+        )
+        # id_attr.pre is an element pre; downstream steps need node columns.
+        element = self._fresh()
+        self._join("node", element, f"{element}.pre = {alias}.pre")
+        return element
+
+    def _multi_token_guard(self, value_alias: str) -> str:
+        """An ``EXISTS`` probe for multi-token IDREFS content.
+
+        The TRIM-normalized equality join resolves exactly one ID token per
+        argument node; if any candidate value still contains internal
+        whitespace after trimming, the executor must hand the fixpoint to
+        the driver loop, where the interpreter's tokenizing ``fn:id`` runs.
+        The probe over-approximates (it scans every node matching the
+        argument step's node test, regardless of document or reachability),
+        trading a one-time indexed scan for never returning a silently
+        wrong CTE result.
+        """
+        test = self._tests.get(value_alias)
+        clauses = (self._node_test_clauses(test, "n") if test is not None
+                   else ["n.kind = 'element'"])
+        clauses.append(
+            "TRIM(n.value, ' ' || char(9, 10, 13)) "
+            "GLOB ('*[' || char(9, 10, 13) || ' ]*')"
+        )
+        return f"SELECT EXISTS(SELECT 1 FROM node AS n WHERE {' AND '.join(clauses)})"
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("'", "''")
+    return f"'{escaped}'"
+
+
+__all__ = ["FixpointSql", "emit_fixpoint_sql"]

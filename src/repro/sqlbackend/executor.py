@@ -1,0 +1,276 @@
+"""Fixpoint execution on SQLite: recursive CTEs plus the driver loop.
+
+:class:`SqlFixpointExecutor` evaluates one ``with … recurse`` form against
+a :class:`~repro.sqlbackend.shredder.SqlDocumentStore` along one of two
+paths:
+
+**Recursive CTE** (the paper's SQL:1999 side).  When the chosen algorithm
+is Delta — i.e. the distributivity check passed or ``using delta`` forced
+it — and the body is a linear step chain the emitter can translate, the
+whole fixpoint executes as a *single* ``WITH RECURSIVE`` statement inside
+SQLite; its semi-naive queue evaluation plays the µ∆ role and the
+deduplicating ``UNION`` is the inflationary accumulation.  Iteration
+counts are not observable from outside the RDBMS, so such runs report an
+empty iteration trace under the algorithm label ``"cte"``.
+
+**Iterative driver loop** (the fallback).  Non-distributive or
+non-chain-shaped bodies iterate from Python, mirroring Figure 3's
+Naive/Delta algorithms, but with the accumulated result and the per-round
+delta kept in SQLite temp tables (``INSERT OR IGNORE`` / ``EXCEPT`` give
+the set semantics): each round decodes the feed ``pre`` ranks to XDM
+nodes, evaluates the body through the interpreter, encodes the produced
+nodes — shredding unseen trees on demand — and derives the new frontier
+relationally.  Per-iteration statistics match the in-memory engine's.
+
+:class:`SQLEvaluator` is the interpreter with ``with … recurse`` rerouted
+through this executor — the ``engine="sql"`` entry point of
+:func:`repro.api.evaluate`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.errors import FixpointError
+from repro.fixpoint.engine import FixpointResult
+from repro.xdm.node import AttributeNode
+from repro.fixpoint.stats import FixpointStatistics
+from repro.sqlbackend.decode import decode_pres
+from repro.sqlbackend.emitter import FixpointSql, emit_fixpoint_sql
+from repro.sqlbackend.shredder import SqlDocumentStore
+from repro.xdm.sequence import ensure_node_sequence
+from repro.xquery import ast
+from repro.xquery.context import DynamicContext
+from repro.xquery.evaluator import Evaluator
+
+
+class SqlFixpointExecutor:
+    """Runs ``with … recurse`` fixpoints against a SQLite store."""
+
+    def __init__(self, store: SqlDocumentStore | None = None):
+        self.store = store or SqlDocumentStore()
+        #: ``WITH RECURSIVE`` statements executed so far (for tests/--stats).
+        self.executed_statements: list[str] = []
+        self._run_ids = itertools.count(1)
+
+    def run(self, expr: ast.WithExpr, seed: list,
+            body: Callable[[list], list], algorithm: str,
+            max_iterations: int = 100_000) -> FixpointResult:
+        """Evaluate the fixpoint of *expr* seeded by *seed*.
+
+        ``algorithm`` is the decision of the usual Naive/Delta procedure
+        (``using`` clause, engine options, distributivity analysis):
+        ``"delta"`` selects the recursive CTE whenever the body is
+        emittable, ``"naive"`` always iterates the driver loop.
+        """
+        seed_nodes = ensure_node_sequence(list(seed), "inflationary fixed point seed")
+        seed_pres = self.store.encode(seed_nodes)
+        emitted = None
+        if algorithm == "delta" and not any(
+                isinstance(node, AttributeNode) for node in seed_nodes):
+            # Attribute seeds cannot enter the CTE: their pre ranks live in
+            # the attr table, which the emitted chain never reads — the
+            # driver loop gives them the interpreter's semantics instead.
+            emitted = emit_fixpoint_sql(expr.body, expr.var)
+        if emitted is not None and not self._guards_trip(emitted):
+            return self._run_cte(emitted, seed_pres)
+        return self._run_driver_loop(seed_nodes, seed_pres, body, algorithm,
+                                     max_iterations)
+
+    def _guards_trip(self, emitted: FixpointSql) -> bool:
+        """True when the store holds data the emitted chain would mishandle
+        (multi-token IDREFS content) — the driver loop takes over then."""
+        connection = self.store.connection
+        return any(connection.execute(guard).fetchone()[0]
+                   for guard in emitted.guards)
+
+    # -- the recursive CTE path ---------------------------------------------
+
+    #: Seed sets beyond this bind through a temp table instead of ``?``
+    #: placeholders (SQLite's host-parameter limit is 999 before 3.32).
+    MAX_SEED_PARAMETERS = 500
+
+    def _run_cte(self, emitted: FixpointSql, seed_pres: list[int]) -> FixpointResult:
+        connection = self.store.connection
+        if len(seed_pres) > self.MAX_SEED_PARAMETERS:
+            seed_table = f"fix_seed_{next(self._run_ids)}"
+            connection.execute(f"CREATE TEMP TABLE {seed_table} (pre INTEGER)")
+            try:
+                connection.executemany(
+                    f"INSERT INTO {seed_table} (pre) VALUES (?)",
+                    [(pre,) for pre in seed_pres])
+                statement = emitted.statement_from_table(seed_table)
+                self.executed_statements.append(statement)
+                rows = connection.execute(statement).fetchall()
+            finally:
+                connection.execute(f"DROP TABLE IF EXISTS {seed_table}")
+        else:
+            statement = emitted.statement(len(seed_pres))
+            self.executed_statements.append(statement)
+            parameters = seed_pres or [-1]  # VALUES needs a row; -1 matches nothing
+            rows = connection.execute(statement, parameters).fetchall()
+        nodes = decode_pres(self.store, (row[0] for row in rows))
+        statistics = FixpointStatistics(algorithm="cte")
+        return FixpointResult(value=nodes, statistics=statistics)
+
+    # -- the iterative driver loop ------------------------------------------
+
+    def _run_driver_loop(self, seed_nodes: list, seed_pres: list[int],
+                         body: Callable[[list], list],
+                         algorithm: str, max_iterations: int) -> FixpointResult:
+        connection = self.store.connection
+        run_id = next(self._run_ids)
+        result_table = f"fix_result_{run_id}"
+        produced_table = f"fix_produced_{run_id}"
+        connection.execute(f"CREATE TEMP TABLE {result_table} (pre INTEGER PRIMARY KEY)")
+        connection.execute(f"CREATE TEMP TABLE {produced_table} (pre INTEGER)")
+        statistics = FixpointStatistics(algorithm=algorithm)
+        try:
+            apply_body = self._body_application(body, produced_table)
+
+            # Round 0: res_0 = e_rec(e_seed) (Definition 2.1).  The seed is
+            # fed in its original sequence order — the interpreter does the
+            # same, and order-sensitive bodies can observe the difference.
+            produced_count = apply_body(seed_nodes)
+            delta_pres = self._new_pres(produced_table, result_table)
+            self._accumulate(produced_table, result_table)
+            result_size = self._count(result_table)
+            statistics.record(0, len(seed_pres), produced_count,
+                              len(delta_pres), result_size)
+
+            iteration = 0
+            while True:
+                if algorithm == "delta" and not delta_pres:
+                    break
+                iteration += 1
+                if iteration > max_iterations:
+                    raise FixpointError(
+                        f"inflationary fixed point did not converge within "
+                        f"{max_iterations} iterations"
+                    )
+                if algorithm == "delta":
+                    feed_pres = delta_pres
+                else:
+                    feed_pres = [row[0] for row in connection.execute(
+                        f"SELECT pre FROM {result_table} ORDER BY pre")]
+                produced_count = apply_body(decode_pres(self.store, feed_pres))
+                delta_pres = self._new_pres(produced_table, result_table)
+                self._accumulate(produced_table, result_table)
+                result_size = self._count(result_table)
+                statistics.record(iteration, len(feed_pres), produced_count,
+                                  len(delta_pres), result_size)
+                if algorithm == "naive" and not delta_pres:
+                    break
+            final_pres = [row[0] for row in connection.execute(
+                f"SELECT pre FROM {result_table}")]
+            return FixpointResult(value=decode_pres(self.store, final_pres),
+                                  statistics=statistics)
+        finally:
+            connection.execute(f"DROP TABLE IF EXISTS {result_table}")
+            connection.execute(f"DROP TABLE IF EXISTS {produced_table}")
+
+    def _body_application(self, body: Callable[[list], list], produced_table: str):
+        """Build the round worker: body over nodes, produced rows into SQL."""
+
+        def apply_body(feed_nodes: list) -> int:
+            produced = body(list(feed_nodes))
+            produced_nodes = ensure_node_sequence(
+                produced, "inflationary fixed point body result")
+            produced_pres = self.store.encode(produced_nodes)
+            connection = self.store.connection
+            connection.execute(f"DELETE FROM {produced_table}")
+            connection.executemany(
+                f"INSERT INTO {produced_table} (pre) VALUES (?)",
+                [(pre,) for pre in produced_pres])
+            return len(produced_nodes)
+
+        return apply_body
+
+    def _new_pres(self, produced_table: str, result_table: str) -> list[int]:
+        rows = self.store.connection.execute(
+            f"SELECT DISTINCT pre FROM {produced_table} "
+            f"EXCEPT SELECT pre FROM {result_table}").fetchall()
+        return sorted(row[0] for row in rows)
+
+    def _accumulate(self, produced_table: str, result_table: str) -> None:
+        self.store.connection.execute(
+            f"INSERT OR IGNORE INTO {result_table} (pre) "
+            f"SELECT pre FROM {produced_table}")
+
+    def _count(self, table: str) -> int:
+        return self.store.connection.execute(
+            f"SELECT count(*) FROM {table}").fetchone()[0]
+
+
+class SQLEvaluator(Evaluator):
+    """The interpreter with ``with … recurse`` executed on SQLite.
+
+    Everything outside the IFP form behaves exactly like
+    :class:`~repro.xquery.evaluator.Evaluator` (which is what makes the
+    ``sql`` engine item-identical to the interpreter by construction);
+    every fixpoint is encoded into the store and evaluated as a recursive
+    CTE or through the temp-table driver loop.
+    """
+
+    def __init__(self, store: SqlDocumentStore | None = None):
+        super().__init__()
+        self.executor = SqlFixpointExecutor(store)
+
+    @property
+    def store(self) -> SqlDocumentStore:
+        return self.executor.store
+
+    def _eval_with(self, expr: ast.WithExpr, context: DynamicContext) -> list:
+        seed = self.evaluate(expr.seed, context)
+
+        def body(nodes: list) -> list:
+            return self.evaluate(expr.body, context.bind(expr.var, nodes))
+
+        algorithm = self._choose_ifp_algorithm(expr, context)
+        result = self.executor.run(
+            expr, seed, body, algorithm,
+            max_iterations=context.options.max_ifp_iterations,
+        )
+        if context.statistics is not None and hasattr(context.statistics, "record_ifp"):
+            context.statistics.record_ifp(result.statistics)
+        return list(result.value)
+
+
+def fixpoint_statements(module_or_expr, optimize: bool = True,
+                        ifp_algorithm: str = "auto") -> list[tuple[ast.WithExpr, Optional[FixpointSql]]]:
+    """All ``with … recurse`` forms of a query plus their emitted SQL.
+
+    Returns ``(expr, emitted)`` pairs where ``emitted`` is ``None`` for
+    fixpoints the sql engine would run through the driver loop — bodies
+    that are not a linear step chain, and fixpoints forced to Naive (a
+    ``using naive`` clause, or *ifp_algorithm* = ``"naive"`` mirroring the
+    engine-level option).  Used by the CLI's ``--emit-sql``.
+    """
+    from repro.xquery.optimizer import optimize_module
+
+    expressions: list[ast.Expr] = []
+    if isinstance(module_or_expr, ast.Module):
+        module = optimize_module(module_or_expr) if optimize else module_or_expr
+        for declaration in module.variables:
+            if declaration.value is not None:
+                expressions.append(declaration.value)
+        for function in module.functions:
+            expressions.append(function.body)
+        expressions.append(module.body)
+    else:
+        expressions.append(module_or_expr)
+
+    pairs: list[tuple[ast.WithExpr, Optional[FixpointSql]]] = []
+    for expression in expressions:
+        for sub in expression.iter_subexpressions():
+            if isinstance(sub, ast.WithExpr):
+                effective = (sub.algorithm if sub.algorithm in ("naive", "delta")
+                             else ifp_algorithm)
+                emitted = (emit_fixpoint_sql(sub.body, sub.var)
+                           if effective != "naive" else None)
+                pairs.append((sub, emitted))
+    return pairs
+
+
+__all__ = ["SqlFixpointExecutor", "SQLEvaluator", "fixpoint_statements"]

@@ -1,0 +1,103 @@
+"""Relational schema of the shredded XDM store (DESIGN.md §5.1).
+
+The encoding is the classic *pre/post plane* of the Pathfinder / MonetDB
+"Relational XQuery" substrate — the very representation DESIGN.md §2 notes
+this reproduction previously simplified away.  Every tree node receives a
+``pre`` rank (entry tick of a document-order walk) and a ``post`` rank
+(exit tick of the same walk, drawn from the same counter), so within one
+document
+
+* document order  == ascending ``pre``,
+* ``d`` is a descendant of ``v``  ⟺  ``d.pre > v.pre AND d.post < v.post``,
+
+which turns the XPath axes into range/equality joins over integers.  ``pre``
+values are globally unique across all documents shredded into one store
+(one shared counter), so a bare ``pre`` identifies a node during fixpoint
+iteration; ``doc_id`` scopes the per-document operations (descendant
+ranges, ``fn:id``).
+
+Tables
+------
+``doc``
+    One row per shredded tree (parsed document or constructed subtree).
+``node``
+    Tree nodes (document, element, text, comment, PI).  ``value`` holds the
+    XDM string value; for elements it is *materialised* at shred time (the
+    concatenated descendant text) so value joins — ``fn:id`` in particular —
+    need no recursive reassembly.
+``attr``
+    Attribute nodes, keyed by their own ``pre`` (same counter) but kept out
+    of the ``node`` table so they never pollute the pre/post descendant
+    ranges.
+``id_attr``
+    The ID-attribute index: DTD/option-declared ID values to the ``pre`` of
+    the carrying element — the relational counterpart of
+    ``DocumentNode._id_map`` and the join target of ``fn:id``.
+
+Indexes cover the access paths of the emitted step joins: ``pre`` (primary
+key), ``(doc_id, post)`` for descendant/ancestor ranges, ``(parent, name)``
+for child steps with name tests (the composite is what keeps the recursive
+CTE walking frontier→child instead of scanning all elements of a name and
+filtering upwards), ``name`` for name-only scans, ``(owner, name)`` on
+attributes and ``(doc_id, value)`` on the ID table.  The shredder runs
+``ANALYZE`` after each bulk load so the planner has real cardinalities when
+it chooses among them.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+#: Bump on incompatible schema changes.
+SCHEMA_VERSION = 1
+
+SCHEMA_STATEMENTS: tuple[str, ...] = (
+    """
+    CREATE TABLE IF NOT EXISTS doc (
+        doc_id INTEGER PRIMARY KEY,
+        uri    TEXT
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS node (
+        pre    INTEGER PRIMARY KEY,
+        post   INTEGER NOT NULL,
+        doc_id INTEGER NOT NULL REFERENCES doc(doc_id),
+        parent INTEGER,
+        level  INTEGER NOT NULL,
+        kind   TEXT NOT NULL,
+        name   TEXT,
+        value  TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS attr (
+        pre    INTEGER PRIMARY KEY,
+        doc_id INTEGER NOT NULL REFERENCES doc(doc_id),
+        owner  INTEGER NOT NULL REFERENCES node(pre),
+        name   TEXT NOT NULL,
+        value  TEXT NOT NULL,
+        is_id  INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS id_attr (
+        doc_id INTEGER NOT NULL REFERENCES doc(doc_id),
+        value  TEXT NOT NULL,
+        pre    INTEGER NOT NULL REFERENCES node(pre),
+        PRIMARY KEY (doc_id, value)
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS idx_node_post ON node(doc_id, post)",
+    "CREATE INDEX IF NOT EXISTS idx_node_parent_name ON node(parent, name)",
+    "CREATE INDEX IF NOT EXISTS idx_node_name ON node(name)",
+    "CREATE INDEX IF NOT EXISTS idx_attr_owner ON attr(owner, name)",
+    "CREATE INDEX IF NOT EXISTS idx_id_attr_value ON id_attr(doc_id, value)",
+)
+
+
+def create_schema(connection: sqlite3.Connection) -> None:
+    """Create the shredding tables and their indexes (idempotent)."""
+    for statement in SCHEMA_STATEMENTS:
+        connection.execute(statement)
+    connection.commit()

@@ -1,0 +1,175 @@
+"""Shredding XDM trees into the SQLite pre/post store.
+
+A :class:`SqlDocumentStore` owns one SQLite connection (in-memory by
+default) plus the bidirectional mapping between live XDM nodes and their
+``pre`` ranks.  Shredding walks a tree once in document order, assigning
+``pre`` at node entry and ``post`` at node exit from one shared counter
+(see :mod:`repro.sqlbackend.schema` for the resulting invariants), and bulk
+inserts the ``node``/``attr``/``id_attr`` rows.
+
+The store shreds *any* rooted tree, not only parsed documents: the fixpoint
+executor encodes seed and body-result nodes on demand, so constructed
+subtrees (e.g. the Example 2.4 seed ``(<a/>, <b><c><d/></c></b>)``) are
+shredded lazily the first time they participate in a recursion.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sqlite3
+from typing import Iterable
+
+from repro.errors import SqlBackendError
+from repro.sqlbackend.schema import create_schema
+from repro.xdm.node import DocumentNode, ElementNode, Node, TextNode
+
+
+class SqlDocumentStore:
+    """A SQLite database of shredded XDM trees plus the pre↔node mapping.
+
+    Parameters
+    ----------
+    path:
+        SQLite database path; the default ``":memory:"`` keeps the store
+        in-process, a file path persists the shredded relations.
+    """
+
+    #: Minimum tree size (in nodes) for a post-shred ANALYZE.
+    ANALYZE_THRESHOLD = 64
+
+    def __init__(self, path: str = ":memory:"):
+        self.connection = sqlite3.connect(path)
+        self.connection.execute("PRAGMA foreign_keys = OFF")
+        create_schema(self.connection)
+        self._counter = itertools.count(1)
+        self._pre_of: dict[int, int] = {}
+        self._node_of: dict[int, Node] = {}
+        self._doc_of_root: dict[int, int] = {}
+
+    # -- shredding -----------------------------------------------------------
+
+    def shred(self, root: Node, uri: str | None = None) -> int:
+        """Shred the tree rooted at *root*; return its ``doc_id``.
+
+        Shredding the same root twice is a no-op returning the original
+        ``doc_id``.
+        """
+        existing = self._doc_of_root.get(id(root))
+        if existing is not None:
+            return existing
+        if root.parent is not None:
+            raise SqlBackendError("shred() expects the root of a tree "
+                                  f"(got a node with a parent: {root!r})")
+        cursor = self.connection.execute("INSERT INTO doc (uri) VALUES (?)", (uri,))
+        doc_id = cursor.lastrowid
+        self._doc_of_root[id(root)] = doc_id
+
+        # node_rows entries are mutable: post (index 1) and the string value
+        # (index 7) of container nodes are only known at subtree exit.  Text
+        # chunks accumulate in one flat list; a container's string value is
+        # the concatenation of the chunks appended while it was open, so the
+        # whole walk stays O(nodes + total text) instead of the O(n · depth)
+        # a per-node ``string_value()`` call would cost.
+        node_rows: list[list] = []
+        attr_rows: list[tuple] = []
+        chunks: list[str] = []
+        row_index: dict[int, int] = {}      # pre -> index into node_rows
+        chunk_start: dict[int, int] = {}    # pre -> len(chunks) at entry
+        stack: list[tuple[str, Node, int | None, int]] = [("enter", root, None, 0)]
+        while stack:
+            action, node, parent_pre, level = stack.pop()
+            if action == "exit":
+                pre = self._pre_of[id(node)]
+                row = node_rows[row_index[pre]]
+                row[1] = next(self._counter)
+                if row[7] is None:
+                    row[7] = "".join(chunks[chunk_start[pre]:])
+                continue
+            pre = next(self._counter)
+            self._pre_of[id(node)] = pre
+            self._node_of[pre] = node
+            if node.children:
+                value = None                       # filled at exit
+                chunk_start[pre] = len(chunks)
+            else:
+                value = node.string_value()        # leaf: no subtree walk
+                if isinstance(node, TextNode):
+                    chunks.append(value)
+                elif isinstance(node, (DocumentNode, ElementNode)):
+                    value = ""                     # empty container
+            row_index[pre] = len(node_rows)
+            # post (index 1) is patched at exit; 0 is a placeholder.
+            node_rows.append([pre, 0, doc_id, parent_pre, level,
+                              node.node_kind.value, node.name, value])
+            if isinstance(node, ElementNode):
+                for attribute in node.attributes:
+                    attr_pre = next(self._counter)
+                    self._pre_of[id(attribute)] = attr_pre
+                    self._node_of[attr_pre] = attribute
+                    attr_rows.append((attr_pre, doc_id, pre, attribute.name,
+                                      attribute.value, int(attribute.is_id)))
+            stack.append(("exit", node, parent_pre, level))
+            for child in reversed(node.children):
+                stack.append(("enter", child, pre, level + 1))
+
+        id_rows: list[tuple] = []
+        if isinstance(root, DocumentNode):
+            for value in root.id_values():
+                element = root.lookup_id(value)
+                if element is not None:
+                    id_rows.append((doc_id, value, self._pre_of[id(element)]))
+
+        with self.connection:
+            self.connection.executemany(
+                "INSERT INTO node (pre, post, doc_id, parent, level, kind, name, value) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)", node_rows)
+            self.connection.executemany(
+                "INSERT INTO attr (pre, doc_id, owner, name, value, is_id) "
+                "VALUES (?, ?, ?, ?, ?, ?)", attr_rows)
+            self.connection.executemany(
+                "INSERT INTO id_attr (doc_id, value, pre) VALUES (?, ?, ?)", id_rows)
+        # Refresh planner statistics: without them SQLite may drive child
+        # steps through the name index (scanning every element of that name
+        # per recursive round) instead of the (parent, name) index.  Trees
+        # below the threshold skip the refresh — driver-loop bodies that
+        # construct small subtrees shred them every round, and a full-store
+        # ANALYZE per round would dwarf the actual work.
+        if len(node_rows) >= self.ANALYZE_THRESHOLD:
+            self.connection.execute("ANALYZE")
+        return doc_id
+
+    # -- encode / decode -----------------------------------------------------
+
+    def encode(self, nodes: Iterable[Node]) -> list[int]:
+        """Map nodes to ``pre`` ranks, shredding unseen trees on demand."""
+        pres: list[int] = []
+        for node in nodes:
+            key = id(node)
+            pre = self._pre_of.get(key)
+            if pre is None:
+                self.shred(node.root())
+                pre = self._pre_of.get(key)
+                if pre is None:  # pragma: no cover - defensive
+                    raise SqlBackendError(f"node {node!r} is unreachable from its root")
+            pres.append(pre)
+        return pres
+
+    def decode(self, pres: Iterable[int]) -> list[Node]:
+        """Map ``pre`` ranks back to the live XDM nodes (input order)."""
+        nodes: list[Node] = []
+        for pre in pres:
+            node = self._node_of.get(pre)
+            if node is None:
+                raise SqlBackendError(f"pre rank {pre} does not denote a shredded node")
+            nodes.append(node)
+        return nodes
+
+    def node_count(self) -> int:
+        """Number of tree rows in the ``node`` table (attributes excluded)."""
+        return self.connection.execute("SELECT count(*) FROM node").fetchone()[0]
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+__all__ = ["SqlDocumentStore"]

@@ -10,6 +10,11 @@ Section 2.
 """
 
 from repro.sqlgen.relation import Relation
-from repro.sqlgen.with_recursive import WithRecursive, curriculum_prerequisites
+from repro.sqlgen.with_recursive import (
+    WithRecursive,
+    curriculum_prerequisites,
+    format_with_recursive,
+)
 
-__all__ = ["Relation", "WithRecursive", "curriculum_prerequisites"]
+__all__ = ["Relation", "WithRecursive", "curriculum_prerequisites",
+           "format_with_recursive"]

@@ -46,15 +46,30 @@ class Relation:
 
     def join(self, other: "Relation", left_column: str, right_column: str,
              name: str = "join") -> "Relation":
+        """Equi-join on ``left_column = right_column`` (hash join).
+
+        The smaller operand is hashed on its join key and the other side is
+        streamed against the hash table, so the cost is O(n + m + |output|)
+        instead of the nested-loop O(n · m).
+        """
         left_index = self.columns.index(left_column)
         right_index = other.columns.index(right_column)
         out_columns = self.columns + tuple(f"{other.name}.{c}" for c in other.columns)
-        rows = {
-            left + right
-            for left in self.tuples
-            for right in other.tuples
-            if left[left_index] == right[right_index]
-        }
+        rows: set[tuple] = set()
+        if len(self.tuples) <= len(other.tuples):
+            buckets: dict[object, list[tuple]] = {}
+            for left in self.tuples:
+                buckets.setdefault(left[left_index], []).append(left)
+            for right in other.tuples:
+                for left in buckets.get(right[right_index], ()):
+                    rows.add(left + right)
+        else:
+            buckets = {}
+            for right in other.tuples:
+                buckets.setdefault(right[right_index], []).append(right)
+            for left in self.tuples:
+                for right in buckets.get(left[left_index], ()):
+                    rows.add(left + right)
         return Relation(name, out_columns, rows)
 
     def union(self, other: "Relation", name: str | None = None) -> "Relation":

@@ -17,6 +17,43 @@ from repro.errors import FixpointError
 from repro.sqlgen.relation import Relation
 
 
+def format_with_recursive(name: str, columns: tuple[str, ...],
+                          seed_sql: str, step_sql: str,
+                          union: str = "UNION ALL",
+                          final_select: str | None = None,
+                          preamble: tuple[tuple[str, str], ...] = ()) -> str:
+    """Pretty-print a standard ``WITH RECURSIVE`` statement.
+
+    ``preamble`` lists extra non-recursive CTEs (``(header, body)`` pairs)
+    placed before the recursive one — the SQL backend uses this for the
+    parameterized seed table.  ``union`` is ``UNION ALL`` in the standard's
+    listing style; SQLite's deduplicating ``UNION`` is what actually gives
+    the inflationary set semantics (and termination on cycles), so the
+    executable statements of :mod:`repro.sqlbackend.emitter` use that.
+
+    This helper is shared by :meth:`WithRecursive.to_sql` (the Section 2
+    curriculum listing) and by the SQL backend's fixpoint emitter.
+    """
+
+    def indent(sql: str) -> str:
+        return "\n".join(f"  {line}" for line in sql.strip().splitlines())
+
+    parts: list[str] = []
+    ctes: list[str] = []
+    for header, body in preamble:
+        ctes.append(f"{header} AS (\n{indent(body)}\n)")
+    ctes.append(
+        f"{name}({', '.join(columns)}) AS (\n"
+        f"{indent(seed_sql)}\n  {union}\n{indent(step_sql)}\n)"
+    )
+    if len(ctes) == 1:
+        parts.append(f"WITH RECURSIVE {ctes[0]}")
+    else:
+        parts.append("WITH RECURSIVE\n" + ",\n".join(ctes))
+    parts.append(final_select or f"SELECT DISTINCT * FROM {name}")
+    return "\n".join(parts)
+
+
 @dataclass
 class WithRecursiveResult:
     """Result of evaluating a WITH RECURSIVE query."""
@@ -33,6 +70,9 @@ class WithRecursive:
     ``step`` is the linear recursive fullselect: a function receiving the
     current virtual table (a :class:`Relation` named ``name``) and returning
     the newly derived tuples as a relation of the same arity.
+
+    ``seed_sql``/``step_sql`` optionally carry the SQL text of the two
+    members so the query can render itself via :meth:`to_sql`.
     """
 
     name: str
@@ -40,6 +80,18 @@ class WithRecursive:
     seed: Relation
     step: Callable[[Relation], Relation]
     max_iterations: int = 100_000
+    seed_sql: str | None = None
+    step_sql: str | None = None
+
+    def to_sql(self) -> str:
+        """The ``WITH RECURSIVE … UNION ALL …`` text of this query."""
+        if self.seed_sql is None or self.step_sql is None:
+            raise FixpointError(
+                "this WITH RECURSIVE query carries no SQL text "
+                "(seed_sql/step_sql were not provided)"
+            )
+        return format_with_recursive(self.name, self.columns,
+                                     self.seed_sql, self.step_sql)
 
     def evaluate(self, algorithm: str = "delta") -> WithRecursiveResult:
         """Evaluate with Naive or Delta (semi-naive) iteration."""
@@ -86,4 +138,9 @@ def curriculum_prerequisites(course_table: Relation, course: str) -> WithRecursi
         derived = joined.project((f"{course_table.name}.prerequisite",), name="P")
         return Relation("P", ("course_code",), derived.tuples)
 
-    return WithRecursive(name="P", columns=("course_code",), seed=seed, step=step)
+    table = course_table.name
+    return WithRecursive(
+        name="P", columns=("course_code",), seed=seed, step=step,
+        seed_sql=f"SELECT prerequisite FROM {table} WHERE course = :course",
+        step_sql=f"SELECT {table}.prerequisite FROM P, {table} WHERE P.course_code = {table}.course",
+    )

@@ -1,0 +1,512 @@
+"""Tests for the SQLite execution backend (``repro.sqlbackend``).
+
+Covers the shredder's pre/post encoding, the ``WITH RECURSIVE`` emitter,
+the CTE-vs-driver-loop decision, cross-engine equivalence (interpreter vs.
+algebra vs. sql) on the paper examples and the datagen workloads, the CLI
+flags, and the shared result-table decoding helper.
+"""
+
+import pytest
+
+from repro import Engine, evaluate, parse_xml
+from repro.bench.harness import BenchmarkHarness
+from repro.cli import main as cli_main
+from repro.errors import AlgebraError, FixpointError, SqlBackendError
+from repro.sqlbackend import (
+    ResultTable,
+    SQLEvaluator,
+    SqlDocumentStore,
+    decode_result_table,
+    emit_fixpoint_sql,
+    fixpoint_statements,
+)
+from repro.sqlgen import Relation, curriculum_prerequisites
+from repro.xquery.context import DocumentResolver, DynamicContext
+from repro.xquery.parser import parse_expression, parse_query
+from tests.conftest import CURRICULUM_XML, course_codes
+from tests.test_paper_examples import DELTA_QUERY, FIX_QUERY, QUERY_Q1
+
+UNFOLDED_Q1 = """
+with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"]
+recurse (
+  for $c in doc("curriculum.xml")/curriculum/course
+  where $c/@code = $x/prerequisites/pre_code
+  return $c
+)
+"""
+
+QUERY_Q2 = """
+let $seed := (<a/>,<b><c><d/></c></b>)
+return with $x seeded by $seed
+recurse if (count($x/self::a)) then $x/* else ()
+"""
+
+
+@pytest.fixture()
+def curriculum():
+    return parse_xml(CURRICULUM_XML)
+
+
+@pytest.fixture()
+def documents(curriculum):
+    return {"curriculum.xml": curriculum}
+
+
+def _identical(left, right) -> bool:
+    """Item-identical sequences: same length, same objects, same order."""
+    return len(left) == len(right) and all(a is b for a, b in zip(left, right))
+
+
+# ---------------------------------------------------------------------------
+# shredding
+# ---------------------------------------------------------------------------
+
+
+class TestShredder:
+    def test_node_counts_and_id_table(self, curriculum):
+        store = SqlDocumentStore()
+        store.shred(curriculum, uri="curriculum.xml")
+        assert store.node_count() == sum(1 for _ in curriculum.iter_tree())
+        id_rows = store.connection.execute(
+            "SELECT value FROM id_attr ORDER BY value").fetchall()
+        assert [row[0] for row in id_rows] == curriculum.id_values()
+
+    def test_pre_post_descendant_ranges(self, curriculum):
+        store = SqlDocumentStore()
+        store.shred(curriculum)
+        root_element = curriculum.document_element()
+        (pre,) = store.encode([root_element])
+        count = store.connection.execute(
+            "SELECT count(*) FROM node WHERE pre > ? AND post < "
+            "(SELECT post FROM node WHERE pre = ?)", (pre, pre)).fetchone()[0]
+        assert count == len(root_element.descendant_axis())
+
+    def test_element_string_values_are_materialised(self, curriculum):
+        store = SqlDocumentStore()
+        store.shred(curriculum)
+        values = dict(store.connection.execute(
+            "SELECT pre, value FROM node WHERE name = 'course'").fetchall())
+        courses = [n for n in curriculum.iter_tree() if n.name == "course"]
+        assert len(values) == len(courses)
+        for course in courses:
+            (pre,) = store.encode([course])
+            assert values[pre] == course.string_value()
+
+    def test_encode_decode_roundtrip_preserves_identity(self, curriculum):
+        store = SqlDocumentStore()
+        nodes = [n for n in curriculum.iter_tree() if n.name == "pre_code"]
+        decoded = store.decode(store.encode(nodes))
+        assert _identical(nodes, decoded)
+
+    def test_constructed_trees_are_shredded_on_demand(self):
+        from repro.xquery.evaluator import Evaluator
+
+        seed = Evaluator().evaluate(parse_expression("(<a/>,<b><c/></b>)"),
+                                    DynamicContext())
+        store = SqlDocumentStore()
+        pres = store.encode(seed)
+        assert len(pres) == 2
+        assert store.connection.execute("SELECT count(*) FROM doc").fetchone()[0] == 2
+
+    def test_shredding_twice_is_idempotent(self, curriculum):
+        store = SqlDocumentStore()
+        assert store.shred(curriculum) == store.shred(curriculum)
+
+    def test_unknown_pre_raises(self):
+        store = SqlDocumentStore()
+        with pytest.raises(SqlBackendError):
+            store.decode([42])
+
+
+# ---------------------------------------------------------------------------
+# the WITH RECURSIVE emitter
+# ---------------------------------------------------------------------------
+
+
+class TestEmitter:
+    def test_q1_body_is_a_single_recursive_statement(self):
+        emitted = emit_fixpoint_sql(
+            parse_expression("$x/id(./prerequisites/pre_code)"), "x")
+        assert emitted is not None
+        statement = emitted.statement(seed_count=2)
+        assert statement.count("WITH RECURSIVE") == 1
+        assert statement.count("UNION") == 1      # the inflationary accumulation
+        assert "UNION ALL" not in statement       # set semantics, terminates on cycles
+        assert statement.count("(?)") == 2        # parameterized seed
+        assert "id_attr" in statement
+
+    def test_emitted_statement_executes_in_sqlite(self, curriculum):
+        store = SqlDocumentStore()
+        store.shred(curriculum)
+        emitted = emit_fixpoint_sql(
+            parse_expression("$x/id(./prerequisites/pre_code)"), "x")
+        seed = store.encode([curriculum.lookup_id("c1")])
+        rows = store.connection.execute(emitted.statement(len(seed)), seed).fetchall()
+        closure = store.decode([row[0] for row in rows])
+        assert course_codes(closure) == ["c2", "c3", "c4", "c5"]
+
+    def test_emitted_statement_terminates_on_cycles(self, curriculum):
+        store = SqlDocumentStore()
+        store.shred(curriculum)
+        emitted = emit_fixpoint_sql(
+            parse_expression("$x/id(./prerequisites/pre_code)"), "x")
+        seed = store.encode([curriculum.lookup_id("c6")])
+        rows = store.connection.execute(emitted.statement(len(seed)), seed).fetchall()
+        assert course_codes(store.decode([r[0] for r in rows])) == ["c6", "c7"]
+
+    @pytest.mark.parametrize("body", [
+        "$x/parent",                       # hospital: child step, name test
+        "$x/child::*",                     # wildcard
+        "$x/descendant::a/child::b",       # descendant range join
+        "$x/ancestor::a",                  # ancestor range join
+        "$x/id(./pre_code)",               # id hop
+    ])
+    def test_linear_step_chains_are_emittable(self, body):
+        assert emit_fixpoint_sql(parse_expression(body), "x") is not None
+
+    @pytest.mark.parametrize("body", [
+        "bidder($x)",                                    # user-defined function
+        "if (count($x/self::a)) then $x/* else ()",      # conditional (Q2)
+        "$x/child::a[1]",                                # positional predicate
+        "$x/child::a[@id = 'x']",                        # any predicate
+        "($x/a, $x/b)",                                  # sequence body
+        "count($x)",                                     # aggregate
+        "$y/child::a",                                   # wrong variable
+    ])
+    def test_non_chain_bodies_fall_back(self, body):
+        assert emit_fixpoint_sql(parse_expression(body), "x") is None
+
+    def test_fixpoint_statements_lists_every_fixpoint(self, documents):
+        pairs = fixpoint_statements(parse_query(QUERY_Q1))
+        assert len(pairs) == 1
+        expr, emitted = pairs[0]
+        assert expr.var == "x" and emitted is not None
+        pairs = fixpoint_statements(parse_query(QUERY_Q2))
+        assert len(pairs) == 1 and pairs[0][1] is None
+
+
+# ---------------------------------------------------------------------------
+# CTE vs. driver loop decision and statistics
+# ---------------------------------------------------------------------------
+
+
+class TestExecutionPaths:
+    def _run(self, query, documents, **options):
+        resolver = DocumentResolver()
+        for uri, doc in documents.items():
+            resolver.register(uri, doc)
+        evaluator = SQLEvaluator()
+        module = parse_query(query)
+        items = evaluator.evaluate_module(module, DynamicContext(documents=resolver))
+        return items, evaluator
+
+    def test_distributive_recursion_runs_as_one_cte(self, documents):
+        items, evaluator = self._run(QUERY_Q1, documents)
+        assert course_codes(items) == ["c2", "c3", "c4", "c5"]
+        statements = evaluator.executor.executed_statements
+        assert len(statements) == 1
+        assert statements[0].lstrip().startswith("WITH RECURSIVE")
+
+    def test_forced_naive_uses_the_driver_loop(self, documents):
+        query = QUERY_Q1.rstrip() + " using naive"
+        items, evaluator = self._run(query, documents)
+        assert course_codes(items) == ["c2", "c3", "c4", "c5"]
+        assert evaluator.executor.executed_statements == []
+
+    def test_non_distributive_body_uses_the_driver_loop(self, documents):
+        items, evaluator = self._run(QUERY_Q2, documents)
+        assert [n.name for n in items] == ["c"]
+        assert evaluator.executor.executed_statements == []
+
+    def test_driver_loop_statistics_match_the_interpreter(self, documents):
+        query = QUERY_Q1.rstrip() + " using naive"
+        interpreter = evaluate(query, documents=documents)
+        sql = evaluate(query, documents=documents, engine=Engine.SQL)
+        assert sql.nodes_fed_back == interpreter.nodes_fed_back
+        assert sql.recursion_depth == interpreter.recursion_depth
+        assert [run.algorithm for run in sql.statistics.runs] == ["naive"]
+
+    def test_cte_runs_report_the_cte_algorithm(self, documents):
+        result = evaluate(QUERY_Q1, documents=documents, engine=Engine.SQL)
+        assert [run.algorithm for run in result.statistics.runs] == ["cte"]
+
+
+# ---------------------------------------------------------------------------
+# cross-engine equivalence: paper examples
+# ---------------------------------------------------------------------------
+
+
+ALL_ENGINES = (Engine.INTERPRETER, Engine.ALGEBRA, Engine.SQL)
+
+
+class TestPaperExampleEquivalence:
+    @pytest.mark.parametrize("query", [
+        QUERY_Q1,
+        QUERY_Q1.replace('"c1"', '"c6"'),    # cyclic closure
+        UNFOLDED_Q1,                         # Section 4's unfolded variant
+    ])
+    def test_all_three_engines_are_item_identical(self, query, documents):
+        reference = evaluate(query, documents=documents).items
+        for engine in (Engine.ALGEBRA, Engine.SQL):
+            items = evaluate(query, documents=documents, engine=engine).items
+            assert _identical(reference, items), engine
+
+    @pytest.mark.parametrize("query", [FIX_QUERY, DELTA_QUERY])
+    def test_recursive_udf_queries_match_where_supported(self, query, documents):
+        """fix()/delta() are recursive UDFs: the algebra compiler cannot
+        inline them (documented limitation); interpreter and sql agree."""
+        reference = evaluate(query, documents=documents).items
+        assert _identical(
+            reference, evaluate(query, documents=documents, engine=Engine.SQL).items)
+        with pytest.raises(AlgebraError):
+            evaluate(query, documents=documents, engine=Engine.ALGEBRA)
+
+    def test_q2_constructed_seed_matches_the_interpreter(self, documents):
+        module = parse_query(QUERY_Q2)
+        from repro.api import evaluate_query
+
+        reference = evaluate_query(module, documents=documents).items
+        items = evaluate_query(module, documents=documents, engine=Engine.SQL).items
+        # Constructors mint fresh identities per evaluation; compare shape.
+        assert [n.name for n in items] == [n.name for n in reference] == ["c"]
+
+    @pytest.mark.parametrize("algorithm", ["naive", "delta", "auto"])
+    def test_all_algorithms_agree_under_the_sql_engine(self, documents, algorithm):
+        result = evaluate(QUERY_Q1, documents=documents, engine=Engine.SQL,
+                          ifp_algorithm=algorithm)
+        assert course_codes(result.items) == ["c2", "c3", "c4", "c5"]
+
+    def test_whitespace_padded_id_references_resolve_on_the_cte_path(self):
+        """fn:id trims surrounding whitespace; the emitted join must too."""
+        xml = ('<curriculum>'
+               '<course code="c1"><prerequisites><pre_code> c2\n</pre_code>'
+               "</prerequisites></course>"
+               '<course code="c2"><prerequisites/></course>'
+               "</curriculum>")
+        documents = {"c.xml": parse_xml(xml, id_attributes=("code",))}
+        query = ('with $x seeded by doc("c.xml")/curriculum/course[@code="c1"] '
+                 "recurse $x/id(./prerequisites/pre_code) using delta")
+        reference = evaluate(query, documents=documents).items
+        items = evaluate(query, documents=documents, engine=Engine.SQL).items
+        assert course_codes(reference) == ["c2"]
+        assert _identical(reference, items)
+
+    def test_multi_token_idrefs_fall_back_to_the_driver_loop(self):
+        """The CTE's id join resolves one token per node; the emitted guard
+        must detect multi-token IDREFS content and hand the fixpoint to the
+        driver loop, whose interpreter body tokenizes correctly."""
+        xml = ('<r><a id="x1"><ref> x2 </ref></a>'
+               '<a id="x2"><ref>x1 x3</ref></a>'
+               '<a id="x3"><ref/></a></r>')
+        documents = {"d.xml": parse_xml(xml)}
+        query = ('with $x seeded by doc("d.xml")/r/a[@id="x1"] '
+                 "recurse $x/id(./ref) using delta")
+        reference = evaluate(query, documents=documents).items
+        items = evaluate(query, documents=documents, engine=Engine.SQL).items
+        assert [n.get_attribute("id").value for n in reference] == ["x1", "x2", "x3"]
+        assert _identical(reference, items)
+
+    def test_large_seed_sets_bind_through_a_temp_table(self):
+        """Seed sets beyond the host-parameter budget must not crash."""
+        xml = "<r>" + "".join(f'<a id="n{i}"><ref>n{i + 1}</ref></a>'
+                              for i in range(700)) + "</r>"
+        documents = {"b.xml": parse_xml(xml)}
+        query = 'with $x seeded by doc("b.xml")/r/a recurse $x/id(./ref)'
+        reference = evaluate(query, documents=documents).items
+        items = evaluate(query, documents=documents, engine=Engine.SQL).items
+        assert len(items) == 699
+        assert _identical(reference, items)
+
+    def test_attribute_seeds_take_the_driver_loop(self):
+        """Attribute pre ranks live in the attr table, which the emitted
+        chain never reads — attribute-seeded recursions must fall back."""
+        documents = {"d.xml": parse_xml('<r><a id="a1"><b code="x"/></a></r>')}
+        query = 'with $x seeded by doc("d.xml")//b/@code recurse $x/..'
+        reference = evaluate(query, documents=documents).items
+        items = evaluate(query, documents=documents, engine=Engine.SQL).items
+        assert reference and _identical(reference, items)
+
+    def test_context_item_bodies_keep_interpreter_semantics(self, documents):
+        """'.' in a recursion body is the outer context item, not $x; the
+        emitter must not claim such bodies (the interpreter raises here)."""
+        from repro.errors import XQueryDynamicError
+
+        query = ('with $x seeded by doc("curriculum.xml")//course '
+                 "recurse ./course")
+        for engine in (Engine.INTERPRETER, Engine.SQL):
+            with pytest.raises(XQueryDynamicError):
+                evaluate(query, documents=documents, engine=engine)
+
+    def test_driver_loop_feeds_the_seed_in_sequence_order(self):
+        """Round 0 feeds the seed as written (not document-sorted); an
+        order-sensitive fallback body can observe the difference."""
+        documents = {"d.xml": parse_xml("<r><a><c1/></a><b><c2/></b></r>")}
+        query = ('with $x seeded by (doc("d.xml")//b, doc("d.xml")//a) '
+                 "recurse $x[1]/*")
+        reference = evaluate(query, documents=documents).items
+        items = evaluate(query, documents=documents, engine=Engine.SQL).items
+        assert [n.name for n in reference] == ["c2"]
+        assert _identical(reference, items)
+
+
+# ---------------------------------------------------------------------------
+# cross-engine equivalence: datagen workloads
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return BenchmarkHarness()
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("workload", ["curriculum", "hospital",
+                                          "bidder-network", "dialogs"])
+    @pytest.mark.parametrize("algorithm", ["naive", "delta"])
+    def test_sql_engine_matches_the_interpreter(self, harness, workload, algorithm):
+        ifp = harness.run(workload, "tiny", engine="ifp", algorithm=algorithm)
+        sql = harness.run(workload, "tiny", engine="sql", algorithm=algorithm)
+        assert sql.result_digest == ifp.result_digest
+        assert sql.item_count == ifp.item_count
+
+    def test_sql_engine_matches_the_algebra_engine(self):
+        """Whole-catalogue closure on the generated curriculum, all engines.
+
+        (The harness' algebra runs digest the raw per-seed closures rather
+        than the workload's result template, so this compares engines on
+        the same whole-catalogue fixpoint through the API instead.)
+        """
+        from repro.datagen.curriculum import CurriculumConfig, generate_curriculum
+
+        documents = {"curriculum.xml": generate_curriculum(CurriculumConfig.tiny())}
+        query = ('with $x seeded by doc("curriculum.xml")/curriculum/course '
+                 "recurse $x/id(./prerequisites/pre_code) using delta")
+        reference = evaluate(query, documents=documents).items
+        for engine in (Engine.ALGEBRA, Engine.SQL):
+            items = evaluate(query, documents=documents, engine=engine).items
+            assert _identical(reference, items), engine
+
+    def test_run_result_records_the_sql_engine(self, harness):
+        result = harness.run("curriculum", "tiny", engine="sql", algorithm="delta")
+        assert result.engine == "sql"
+        assert result.ifp_evaluations > 0
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def _write_curriculum(self, tmp_path):
+        path = tmp_path / "curriculum.xml"
+        path.write_text(CURRICULUM_XML)
+        return path
+
+    def test_engine_sql_evaluates_queries(self, capsys, tmp_path):
+        path = self._write_curriculum(tmp_path)
+        exit_code = cli_main([
+            "-e", 'count(with $x seeded by doc("curriculum.xml")'
+                  '/curriculum/course[@code="c1"] '
+                  "recurse $x/id(./prerequisites/pre_code))",
+            "--doc", f"curriculum.xml={path}",
+            "--engine", "sql",
+        ])
+        assert exit_code == 0
+        assert capsys.readouterr().out.strip() == "4"
+
+    def test_emit_sql_prints_the_recursive_cte(self, capsys):
+        exit_code = cli_main(["--emit-sql", "-e", QUERY_Q1])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert output.count("WITH RECURSIVE") == 1
+        assert "id_attr" in output
+
+    def test_emit_sql_notes_the_driver_loop_fallback(self, capsys):
+        exit_code = cli_main(["--emit-sql", "-e", QUERY_Q2])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "driver loop" in output
+        assert "WITH RECURSIVE" not in output
+
+    def test_emit_sql_without_fixpoints(self, capsys):
+        assert cli_main(["--emit-sql", "-e", "1 + 1"]) == 0
+        assert "no with" in capsys.readouterr().out
+
+    def test_emit_sql_reports_naive_forced_fixpoints_as_driver_loop(self, capsys):
+        query = QUERY_Q1.rstrip() + " using naive"
+        assert cli_main(["--emit-sql", "-e", query]) == 0
+        output = capsys.readouterr().out
+        assert "forced Naive" in output and "WITH RECURSIVE" not in output
+        assert cli_main(["--emit-sql", "--algorithm", "naive", "-e", QUERY_Q1]) == 0
+        output = capsys.readouterr().out
+        assert "forced Naive" in output and "WITH RECURSIVE" not in output
+
+    @pytest.mark.parametrize("engine", ["interpreter", "sql"])
+    def test_backend_flag_rejected_outside_the_algebra_engine(self, capsys, engine):
+        with pytest.raises(SystemExit):
+            cli_main(["-e", "1 + 1", "--engine", engine, "--backend", "row"])
+        assert "--backend" in capsys.readouterr().err
+
+    def test_backend_flag_accepted_by_the_algebra_engine(self, capsys):
+        exit_code = cli_main(["-e", "1 + 1", "--engine", "algebra",
+                              "--backend", "row"])
+        assert exit_code == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+
+# ---------------------------------------------------------------------------
+# shared result decoding and the sqlgen satellites
+# ---------------------------------------------------------------------------
+
+
+class TestDecodeResultTable:
+    def test_item_column_is_used(self):
+        table = ResultTable(("iter", "pos", "item"), [(1, 1, "a"), (1, 2, "b")])
+        assert decode_result_table(table) == ["a", "b"]
+
+    def test_last_column_fallback(self):
+        table = ResultTable(("iter", "payload"), [(1, 10), (2, 20)])
+        assert decode_result_table(table) == [10, 20]
+
+    def test_works_with_algebra_tables(self):
+        from repro.algebra.table import Table
+
+        table = Table(("iter", "pos", "item"), [(1, 1, 42)])
+        assert decode_result_table(table) == [42]
+
+
+class TestSqlgenSatellites:
+    @pytest.fixture()
+    def courses(self):
+        return Relation("C", ("course", "prerequisite"), [
+            ("c1", "c2"), ("c1", "c3"), ("c2", "c4"), ("c4", "c5"),
+        ])
+
+    def test_to_sql_prints_the_section2_listing(self, courses):
+        text = curriculum_prerequisites(courses, "c1").to_sql()
+        assert text == (
+            "WITH RECURSIVE P(course_code) AS (\n"
+            "  SELECT prerequisite FROM C WHERE course = :course\n"
+            "  UNION ALL\n"
+            "  SELECT C.prerequisite FROM P, C WHERE P.course_code = C.course\n"
+            ")\n"
+            "SELECT DISTINCT * FROM P"
+        )
+
+    def test_to_sql_without_sql_text_raises(self, courses):
+        from repro.sqlgen import WithRecursive
+
+        query = WithRecursive("P", ("c",), courses.project(("course",)),
+                              lambda relation: relation)
+        with pytest.raises(FixpointError):
+            query.to_sql()
+
+    def test_hash_join_matches_nested_loop_semantics(self, courses):
+        joined = courses.join(courses.rename("D"), "prerequisite", "course")
+        assert ("c1", "c2", "c2", "c4") in joined.tuples
+        assert ("c2", "c4", "c4", "c5") in joined.tuples
+        assert len(joined) == 2
+        # joining on a key with no matches yields the empty relation
+        empty = courses.join(Relation("E", ("k", "v")), "course", "k")
+        assert len(empty) == 0
