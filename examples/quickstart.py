@@ -109,6 +109,22 @@ def main() -> None:
     print("the statement SQLite executes:\n")
     print(emitted.display())
 
+    print("\n== The serving path: structural index + plan cache ==")
+    # Axis steps are answered from a per-document structural index (pre/post
+    # arrays + name inverted index, DESIGN.md §6) built lazily on first use;
+    # repeated evaluate() calls are also served from the module/plan caches.
+    # Both have A/B escape hatches: use_index=False (CLI --no-index) and
+    # use_cache=False (CLI --no-plan-cache).
+    import time
+
+    from repro.api import query_cache_stats
+
+    started = time.perf_counter()
+    evaluate(QUERY_Q1, documents=documents)
+    warm = time.perf_counter() - started
+    print(f"  warm repeated evaluation: {warm * 1000:.2f} ms "
+          f"(module cache: {query_cache_stats()['module']['hits']} hits)")
+
 
 if __name__ == "__main__":
     main()

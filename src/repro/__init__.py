@@ -25,6 +25,7 @@ directory of the repository for runnable scenarios.
 from repro.api import (
     Engine,
     QueryResult,
+    clear_query_caches,
     evaluate,
     evaluate_query,
     ifp,
@@ -33,6 +34,7 @@ from repro.api import (
     load_documents,
     parse_query,
     parse_query_text,
+    query_cache_stats,
     transitive_closure,
 )
 from repro.xmlio.parser import parse_xml, parse_xml_file
@@ -42,6 +44,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Engine",
     "QueryResult",
+    "clear_query_caches",
     "evaluate",
     "evaluate_query",
     "ifp",
@@ -50,6 +53,7 @@ __all__ = [
     "load_documents",
     "parse_query",
     "parse_query_text",
+    "query_cache_stats",
     "transitive_closure",
     "parse_xml",
     "parse_xml_file",

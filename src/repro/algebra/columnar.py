@@ -273,6 +273,27 @@ class ColumnarTable(TableStorage):
         return zip(self._data[self.column_index("iter")],
                    self._data[self.column_index("item")])
 
+    def items_by_iteration(self) -> tuple[dict, list]:
+        """Columnar grouping: read the two raw columns directly — the
+        common single-iteration case (fixpoint bodies) returns the shared
+        item column without any per-row work."""
+        iter_column = self._data[self.column_index("iter")]
+        item_column = self._data[self.column_index("item")]
+        if not iter_column:
+            return {}, []
+        first = iter_column[0]
+        if all(value == first for value in iter_column):
+            return {first: list(item_column)}, [first]
+        per_iteration: dict[Any, list] = {}
+        order: list = []
+        for iteration, item in zip(iter_column, item_column):
+            bucket = per_iteration.get(iteration)
+            if bucket is None:
+                bucket = per_iteration[iteration] = []
+                order.append(iteration)
+            bucket.append(item)
+        return per_iteration, order
+
     # -- internals -----------------------------------------------------------------------
 
     def _gather(self, indices: list[int]) -> "ColumnarTable":

@@ -64,11 +64,13 @@ class _PlanRun(AlgebraEngineProtocol):
     """One plan evaluation: private memo cache, binding and statistics."""
 
     def __init__(self, storage: type, max_iterations: int,
-                 statistics: AlgebraStatistics | None = None):
+                 statistics: AlgebraStatistics | None = None,
+                 use_index: bool = True):
         self.storage = storage
         self.max_iterations = max_iterations
         self.statistics = statistics if statistics is not None else AlgebraStatistics()
         self.macro_cache: dict = {}
+        self.use_index = use_index
         self._recursion_binding: Optional[TableStorage] = None
 
     # -- engine protocol ------------------------------------------------------
@@ -91,7 +93,8 @@ class _PlanRun(AlgebraEngineProtocol):
 
     def evaluate_plan(self, plan: Operator) -> TableStorage:
         """Evaluate a nested plan in a fresh run (no binding leaks into it)."""
-        nested = _PlanRun(self.storage, self.max_iterations, statistics=self.statistics)
+        nested = _PlanRun(self.storage, self.max_iterations, statistics=self.statistics,
+                          use_index=self.use_index)
         return nested._evaluate(plan, cache={})
 
     # -- internals ---------------------------------------------------------------
@@ -211,11 +214,17 @@ class AlgebraEvaluator:
     backend:
         Table storage backend: ``"row"``, ``"columnar"`` (default) or a
         storage class — see :mod:`repro.algebra.storage`.
+    use_index:
+        Route the step macro through the per-document structural index's
+        batch kernels (:mod:`repro.xdm.index`).  Defaults to on; disable
+        for A/B comparisons against the per-node axis walks.
     """
 
-    def __init__(self, max_iterations: int = 100_000, backend: "str | type | None" = None):
+    def __init__(self, max_iterations: int = 100_000, backend: "str | type | None" = None,
+                 use_index: bool = True):
         self.max_iterations = max_iterations
         self.storage = resolve_backend(backend)
+        self.use_index = use_index
         self.run_history: list[AlgebraStatistics] = []
 
     @property
@@ -226,7 +235,7 @@ class AlgebraEvaluator:
 
     def evaluate_plan(self, plan: Operator) -> TableStorage:
         """Evaluate *plan* in a fresh run and return its output table."""
-        run = _PlanRun(self.storage, self.max_iterations)
+        run = _PlanRun(self.storage, self.max_iterations, use_index=self.use_index)
         result = run._evaluate(plan, cache={})
         self.run_history.append(run.statistics)
         return result

@@ -29,6 +29,12 @@ from typing import Any, Callable, Optional, Sequence
 from repro.errors import AlgebraError
 from repro.algebra.storage import TableStorage
 from repro.algebra.table import Table
+from repro.xdm.index import (
+    PLANE_AXES as _PLANE_AXES,
+    IndexSet,
+    batch_step,
+    indexed_step,
+)
 from repro.xdm.items import is_node, string_value_of_item
 from repro.xdm.node import AttributeNode, CommentNode, DocumentNode, ElementNode, Node, TextNode
 from repro.xdm.sequence import ddo
@@ -102,6 +108,10 @@ class AlgebraEngineProtocol:
     #: Entries keep a strong reference to their key object so ``id()`` reuse
     #: after garbage collection cannot alias cache entries.
     macro_cache: Optional[dict] = None
+
+    #: Whether the step macro may answer from the structural index's batch
+    #: kernels (:mod:`repro.xdm.index`).
+    use_index: bool = True
 
     def recursion_input(self) -> TableStorage:  # pragma: no cover - interface only
         raise NotImplementedError
@@ -406,16 +416,12 @@ class RowNumber(Operator):
 def _group_items_by_iteration(table: TableStorage,
                               require_nodes: bool = False) -> tuple[dict, list]:
     """Group an ``iter|…|item`` table's items per iteration, keeping order."""
-    per_iteration: dict[Any, list] = {}
-    order: list = []
-    for iteration, item in table.iter_item_pairs():
-        if require_nodes and not is_node(item):
-            raise AlgebraError("step join applied to a non-node item")
-        bucket = per_iteration.get(iteration)
-        if bucket is None:
-            bucket = per_iteration[iteration] = []
-            order.append(iteration)
-        bucket.append(item)
+    per_iteration, order = table.items_by_iteration()
+    if require_nodes:
+        for bucket in per_iteration.values():
+            for item in bucket:
+                if not is_node(item):
+                    raise AlgebraError("step join applied to a non-node item")
     return per_iteration, order
 
 
@@ -425,6 +431,15 @@ class StepJoin(Operator):
     Input: ``iter|pos|item`` with node items (the context nodes).
     Output: ``iter|pos|item`` containing the step results per iteration in
     document order without duplicates (the ddo that the macro encapsulates).
+
+    With the structural index enabled (the default; see
+    :mod:`repro.xdm.index` and the engine's ``use_index`` flag) each
+    iteration's whole context column goes through one *batch step kernel*:
+    descendant steps become merged pre-order interval slices into the name
+    inverted index — duplicate-free and document-ordered by construction —
+    and the remaining axes dedup once by identity and sort once by order
+    key.  Without the index the macro falls back to per-node axis walks
+    memoised in the engine's macro cache.
     """
 
     symbol = "step"
@@ -440,40 +455,70 @@ class StepJoin(Operator):
 
     def compute(self, inputs, engine):
         per_iteration, order = _group_items_by_iteration(inputs[0], require_nodes=True)
+        use_index = getattr(engine, "use_index", True)
+        index_set = None  # built lazily, shared by all iterations of this call
         iters: list = []
         positions: list = []
         items: list = []
         for iteration in order:
             nodes = per_iteration[iteration]
+            result = None
             if len(nodes) == 1:
+                # Singleton iterations (the loop-lifted common case) hit the
+                # per-run macro cache; the index accelerates the first
+                # computation inside _step.
                 result = self._step_ddo(nodes[0], engine)
             else:
-                merged: list[Node] = []
-                for node in nodes:
-                    merged.extend(self._step_ddo(node, engine))
-                result = ddo(merged)
+                if use_index and self.axis in _PLANE_AXES:
+                    # Whole-column contexts (fixpoint feedback) on the plane
+                    # axes: merged interval slices beat even memoised
+                    # per-node results, because they skip the per-round
+                    # O(m log m) ddo over the concatenation.
+                    result = batch_step(nodes, self.axis, self.node_test_kind,
+                                        self.node_test_name)
+                if result is None:
+                    if use_index and index_set is None:
+                        index_set = IndexSet()
+                    merged: list[Node] = []
+                    for node in nodes:
+                        merged.extend(self._step_ddo(node, engine, index_set))
+                    result = ddo(merged)
             iters.extend([iteration] * len(result))
             positions.extend(range(1, len(result) + 1))
             items.extend(result)
         return engine.make_table_from_columns(("iter", "pos", "item"),
                                               [iters, positions, items])
 
-    def _step_ddo(self, node: Node, engine) -> list[Node]:
+    def _step_ddo(self, node: Node, engine, index_set=None) -> list[Node]:
         """The step result for one context node, deduplicated and in document
         order, memoised per run (the step relation of a static document does
-        not change between fixpoint rounds)."""
+        not change between fixpoint rounds — re-fed fixpoint contexts hit
+        the cache every round)."""
+        use_index = getattr(engine, "use_index", True)
         cache = getattr(engine, "macro_cache", None)
         if cache is None:
-            return ddo(self._step(node))
+            return ddo(self._step(node, use_index, index_set))
         key = (self.operator_id, id(node))
         hit = cache.get(key)
         if hit is not None and hit[0] is node:
             return hit[1]
-        result = ddo(self._step(node))
+        result = ddo(self._step(node, use_index, index_set))
         cache[key] = (node, result)
         return result
 
-    def _step(self, node: Node) -> list[Node]:
+    def _step(self, node: Node, use_index: bool = True, index_set=None) -> list[Node]:
+        if use_index:
+            if index_set is not None:
+                # Batched context: the IndexSet amortizes the root walk, so
+                # every axis (child maps, attribute lists, sibling ranks)
+                # goes through the index kernels.
+                result = index_set.step(node, self.axis, self.node_test_kind,
+                                        self.node_test_name)
+            else:
+                result = indexed_step(node, self.axis, self.node_test_kind,
+                                      self.node_test_name)
+            if result is not None:
+                return result
         from repro.xquery import ast as xq_ast
 
         evaluator = _shared_evaluator()

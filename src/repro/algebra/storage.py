@@ -314,6 +314,24 @@ class TableStorage:
         for row in self.iter_rows():
             yield row[iter_index], row[item_index]
 
+    def items_by_iteration(self) -> tuple[dict, list]:
+        """Group the ``item`` column per ``iter`` value, keeping first-seen
+        iteration order: ``(iteration → item list, iteration order)``.
+
+        This is the batch entry point of the macro operators (step join,
+        ``fn:id``, constructors): one pass over the storage hands each
+        kernel whole per-iteration item columns instead of row pairs.
+        """
+        per_iteration: dict[Any, list] = {}
+        order: list = []
+        for iteration, item in self.iter_item_pairs():
+            bucket = per_iteration.get(iteration)
+            if bucket is None:
+                bucket = per_iteration[iteration] = []
+                order.append(iteration)
+            bucket.append(item)
+        return per_iteration, order
+
     # -- internals --------------------------------------------------------------------
 
     def _check_union_compatible(self, other: "TableStorage", verb: str = "union") -> None:

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro import plancache
 from repro.fixpoint.engine import FixpointEngine, FixpointResult
 from repro.fixpoint.stats import StatisticsCollector
 from repro.xdm.node import DocumentNode, Node
@@ -31,6 +32,24 @@ from repro.xquery.context import (
 from repro.xquery.evaluator import Evaluator
 from repro.xquery.optimizer import optimize_module
 from repro.xquery.parser import parse_expression, parse_query
+
+
+#: Process-wide caches of the serving path (see :mod:`repro.plancache`):
+#: query text → parsed/optimized module, and (module, backend, documents) →
+#: compiled algebra plan.  ``evaluate(..., use_cache=False)`` bypasses both.
+_MODULE_CACHE = plancache.LRUCache(256)
+_PLAN_CACHE = plancache.LRUCache(64)
+
+
+def clear_query_caches() -> None:
+    """Drop every cached parsed module and compiled plan."""
+    _MODULE_CACHE.clear()
+    _PLAN_CACHE.clear()
+
+
+def query_cache_stats() -> dict:
+    """Hit/miss/size counters of the module and plan caches."""
+    return {"module": _MODULE_CACHE.stats(), "plan": _PLAN_CACHE.stats()}
 
 
 class Engine(str, Enum):
@@ -104,6 +123,8 @@ def evaluate(query: str,
              engine: Engine | str = Engine.INTERPRETER,
              backend: str | None = None,
              optimize: bool = True,
+             use_index: bool = True,
+             use_cache: bool = True,
              id_attributes: Iterable[str] = ("id", "xml:id")) -> QueryResult:
     """Parse and evaluate an XQuery query.
 
@@ -133,14 +154,34 @@ def evaluate(query: str,
         meaningful with :class:`Engine.ALGEBRA`.
     optimize:
         Apply the AST-level rewrites of :mod:`repro.xquery.optimizer`.
+    use_index:
+        Answer axis steps from the per-document structural index
+        (:mod:`repro.xdm.index`); disable for A/B comparisons.
+    use_cache:
+        Serve the parsed module (all engines) and the compiled plan
+        (algebra engine) from the process-wide LRU caches, keyed by the
+        query text and document identities — the repeated-``evaluate``
+        serving pattern then skips lexing/parsing/compiling entirely.
     id_attributes:
         Attribute names treated as IDs when XML text is parsed here.
     """
-    module = parse_query(query)
+    if use_cache:
+        module_key = (query, bool(optimize))
+        module = _MODULE_CACHE.get(module_key)
+        if module is None:
+            module = parse_query(query)
+            if optimize:
+                module = optimize_module(module)
+            _MODULE_CACHE.put(module_key, module)
+        # The cached module is already optimized; do not rewrite it again.
+        optimize = False
+    else:
+        module = parse_query(query)
     return evaluate_query(
         module, documents=documents, variables=variables, context_item=context_item,
         ifp_algorithm=ifp_algorithm, distributivity_checker=distributivity_checker,
-        engine=engine, backend=backend, optimize=optimize, id_attributes=id_attributes,
+        engine=engine, backend=backend, optimize=optimize, use_index=use_index,
+        use_cache=use_cache, id_attributes=id_attributes,
     )
 
 
@@ -153,8 +194,15 @@ def evaluate_query(module: ast.Module,
                    engine: Engine | str = Engine.INTERPRETER,
                    backend: str | None = None,
                    optimize: bool = True,
+                   use_index: bool = True,
+                   use_cache: bool = True,
                    id_attributes: Iterable[str] = ("id", "xml:id")) -> QueryResult:
-    """Evaluate an already-parsed query module (see :func:`evaluate`)."""
+    """Evaluate an already-parsed query module (see :func:`evaluate`).
+
+    The plan cache keys on the module *object*, so repeated calls benefit
+    only when the same parsed module is passed again (as :func:`evaluate`
+    arranges via its module cache).
+    """
     engine = Engine(engine)
     if optimize:
         module = optimize_module(module)
@@ -163,6 +211,7 @@ def evaluate_query(module: ast.Module,
     options = EvaluationOptions(
         ifp_algorithm=ifp_algorithm,
         distributivity_checker=distributivity_checker,
+        use_index=use_index,
     )
     context = DynamicContext(
         static=StaticContext(options=options),
@@ -189,28 +238,46 @@ def evaluate_query(module: ast.Module,
     # Algebra backend: compile the body (prolog functions are inlined).
     from repro.algebra.compiler import AlgebraCompiler
     from repro.algebra.evaluator import AlgebraEvaluator
+    from repro.algebra.storage import resolve_backend
 
-    default_document = None
-    known = resolver.known_uris()
-    if known:
-        default_document = resolver.resolve(known[0])
-    compiler = AlgebraCompiler(documents=resolver, document=default_document,
-                               functions=module.function_map(), backend=backend)
-    evaluator = Evaluator()
-    compile_context = compiler.initial_context()
-    for declaration in module.variables:
-        if declaration.value is None:
-            continue
-        value = evaluator.evaluate(declaration.value, DynamicContext(documents=resolver))
-        from repro.algebra.operators import LiteralTable
-
-        rows = [(1, position, item) for position, item in enumerate(value, start=1)]
-        compile_context = compile_context.bind(
-            declaration.name,
-            LiteralTable(compiler.storage(("iter", "pos", "item"), rows)),
+    plan = None
+    plan_key = None
+    # The plan cache keys on module identity, so it only helps when the
+    # caller passes a stable module object (as evaluate() does, with
+    # optimize already applied).  When this function optimized the module
+    # itself, the object is fresh per call: caching would only fill the LRU
+    # with entries that can never hit, each pinning documents.
+    if use_cache and not optimize and plancache.module_cache_safe(module):
+        plan_key = (
+            plancache.fingerprint([module]),
+            resolve_backend(backend).backend_name,
+            plancache.documents_fingerprint(resolver),
         )
-    plan = compiler.compile(module.body, compile_context)
-    algebra_engine = AlgebraEvaluator(backend=backend)
+        plan = _PLAN_CACHE.get(plan_key)
+    if plan is None:
+        default_document = None
+        known = resolver.known_uris()
+        if known:
+            default_document = resolver.resolve(known[0])
+        compiler = AlgebraCompiler(documents=resolver, document=default_document,
+                                   functions=module.function_map(), backend=backend)
+        evaluator = Evaluator()
+        compile_context = compiler.initial_context()
+        for declaration in module.variables:
+            if declaration.value is None:
+                continue
+            value = evaluator.evaluate(declaration.value, DynamicContext(documents=resolver))
+            from repro.algebra.operators import LiteralTable
+
+            rows = [(1, position, item) for position, item in enumerate(value, start=1)]
+            compile_context = compile_context.bind(
+                declaration.name,
+                LiteralTable(compiler.storage(("iter", "pos", "item"), rows)),
+            )
+        plan = compiler.compile(module.body, compile_context)
+        if plan_key is not None:
+            _PLAN_CACHE.put(plan_key, plan)
+    algebra_engine = AlgebraEvaluator(backend=backend, use_index=use_index)
     table = algebra_engine.evaluate_plan(plan)
     from repro.sqlbackend.decode import decode_result_table
 

@@ -63,6 +63,10 @@ class RunResult:
     paper_row: Optional[str] = None
     #: Table storage backend (algebra engine only).
     backend: Optional[str] = None
+    #: How many measured repetitions ``seconds`` is the best of, and how
+    #: many unmeasured warmup runs preceded them.
+    repeats: int = 1
+    warmup: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -78,6 +82,8 @@ class RunResult:
             "ifp_evaluations": self.ifp_evaluations,
             "seed_limit": self.seed_limit,
             "paper_row": self.paper_row,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
         }
 
 
@@ -117,38 +123,54 @@ class BenchmarkHarness:
 
     def run(self, workload_name: str, size_label: str, engine: str = "ifp",
             algorithm: str = "delta", seed_limit: Optional[int] = None,
-            backend: Optional[str] = None) -> RunResult:
+            backend: Optional[str] = None, repeats: int = 1,
+            warmup: int = 0) -> RunResult:
         """Run one (workload, size, engine, algorithm) combination.
 
         ``backend`` selects the algebra engine's table storage (``"row"`` or
         ``"columnar"``; see :mod:`repro.algebra.storage`) and is ignored by
-        the other engines.
+        the other engines.  ``warmup`` unmeasured runs precede ``repeats``
+        measured ones; the reported time is the best (minimum) measured run,
+        so one-time costs — lazy index builds, module caches — are charged
+        to warmup, matching the steady-state serving pattern.
         """
         prepared = self.prepare(workload_name, size_label)
         workload = prepared.workload
         size = workload.size(size_label)
         limit = seed_limit if seed_limit is not None else size.default_seed_limit
+        if repeats < 1:
+            raise ReproError("repeats must be at least 1")
 
-        if engine == "ifp":
-            return self._run_ifp(prepared, algorithm, limit, size.paper_row)
-        if engine == "udf":
-            return self._run_udf(prepared, algorithm, limit, size.paper_row)
-        if engine == "algebra":
-            return self._run_algebra(prepared, algorithm, limit, size.paper_row,
-                                     backend=backend)
-        if engine == "sql":
-            return self._run_sql(prepared, algorithm, limit, size.paper_row)
-        raise ReproError(f"unknown engine '{engine}' (expected ifp, udf, algebra or sql)")
+        def once() -> RunResult:
+            if engine == "ifp":
+                return self._run_ifp(prepared, algorithm, limit, size.paper_row)
+            if engine == "udf":
+                return self._run_udf(prepared, algorithm, limit, size.paper_row)
+            if engine == "algebra":
+                return self._run_algebra(prepared, algorithm, limit, size.paper_row,
+                                         backend=backend)
+            if engine == "sql":
+                return self._run_sql(prepared, algorithm, limit, size.paper_row)
+            raise ReproError(f"unknown engine '{engine}' (expected ifp, udf, algebra or sql)")
+
+        for _ in range(warmup):
+            once()
+        best = min((once() for _ in range(repeats)), key=lambda r: r.seconds)
+        best.repeats = repeats
+        best.warmup = warmup
+        return best
 
     def compare(self, workload_name: str, size_label: str,
                 engines: tuple[str, ...] = ("ifp", "udf"),
                 algorithms: tuple[str, ...] = ("naive", "delta"),
                 seed_limit: Optional[int] = None,
-                backend: Optional[str] = None) -> list[RunResult]:
+                backend: Optional[str] = None, repeats: int = 1,
+                warmup: int = 0) -> list[RunResult]:
         """Run the full Naive-vs-Delta comparison for one workload size."""
         return [
             self.run(workload_name, size_label, engine=engine, algorithm=algorithm,
-                     seed_limit=seed_limit, backend=backend)
+                     seed_limit=seed_limit, backend=backend, repeats=repeats,
+                     warmup=warmup)
             for engine in engines
             for algorithm in algorithms
         ]

@@ -44,6 +44,7 @@ def results_to_csv(results: Iterable[RunResult]) -> str:
     writer = csv.DictWriter(buffer, fieldnames=[
         "workload", "size", "engine", "algorithm", "backend", "seconds", "items",
         "nodes_fed_back", "recursion_depth", "ifp_evaluations", "seed_limit", "paper_row",
+        "repeats", "warmup",
     ])
     writer.writeheader()
     for result in results:

@@ -67,7 +67,8 @@ PRESETS: dict[str, list[tuple[str, str]]] = {
 
 def run_preset(preset: str, engines: tuple[str, ...] = ("ifp", "udf"),
                seed_limit: int | None = None,
-               workloads: Iterable[str] | None = None) -> list[RunResult]:
+               workloads: Iterable[str] | None = None,
+               repeats: int = 1, warmup: int = 0) -> list[RunResult]:
     """Run all rows of a preset and return the raw results."""
     harness = BenchmarkHarness()
     selected = PRESETS[preset]
@@ -77,7 +78,8 @@ def run_preset(preset: str, engines: tuple[str, ...] = ("ifp", "udf"),
     results: list[RunResult] = []
     for workload, size in selected:
         results.extend(
-            harness.compare(workload, size, engines=engines, seed_limit=seed_limit)
+            harness.compare(workload, size, engines=engines, seed_limit=seed_limit,
+                            repeats=repeats, warmup=warmup)
         )
     return results
 
@@ -97,6 +99,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="engines to compare (default: ifp udf)")
     parser.add_argument("--seed-limit", type=int, default=None,
                         help="override the per-size default number of seeds")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N", dest="repeats",
+                        help="measure each combination N times and report the best run")
+    parser.add_argument("--warmup", type=int, default=0, metavar="N",
+                        help="unmeasured warmup runs before measuring (amortises "
+                             "lazy index builds and module caches)")
     parser.add_argument("--csv", action="store_true", help="also print raw results as CSV")
     parser.add_argument("--report", action="store_true",
                         help="also print Naive/Delta speed-up factors")
@@ -109,6 +116,8 @@ def main(argv: list[str] | None = None) -> int:
         engines=tuple(arguments.engines),
         seed_limit=arguments.seed_limit,
         workloads=arguments.workloads,
+        repeats=arguments.repeats,
+        warmup=arguments.warmup,
     )
     print(render_table2(results))
     if arguments.report:

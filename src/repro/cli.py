@@ -51,6 +51,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backend", choices=["row", "columnar"], default=None,
                         help="table storage backend of the algebra engine "
                              "(default: columnar; only valid with --engine algebra)")
+    parser.add_argument("--no-index", action="store_true",
+                        help="disable the per-document structural index and answer "
+                             "axis steps by walking node objects (A/B escape hatch)")
+    parser.add_argument("--no-plan-cache", action="store_true",
+                        help="disable the parsed-module / compiled-plan caches")
     parser.add_argument("--emit-sql", action="store_true",
                         help="print the SQL the sql engine generates for every "
                              "with … recurse fixpoint in the query, then exit")
@@ -97,6 +102,8 @@ def main(argv: list[str] | None = None) -> int:
         distributivity_checker=arguments.checker,
         engine=arguments.engine,
         backend=arguments.backend,
+        use_index=not arguments.no_index,
+        use_cache=not arguments.no_plan_cache,
     )
     print(serialize_sequence(result.items))
     if arguments.stats:

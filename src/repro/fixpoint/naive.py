@@ -17,8 +17,35 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.errors import FixpointError
-from repro.xdm.sequence import ensure_node_sequence, node_union
+from repro.xdm.node import Node
+from repro.xdm.sequence import ensure_node_sequence
 from repro.fixpoint.stats import FixpointStatistics
+
+
+def _order_key(node: Node) -> int:
+    return node.order_key
+
+
+def _merge_new(result: list, seen: set, produced: Sequence) -> int:
+    """Fold *produced* into *result*, keeping it duplicate-free and in
+    document order; returns the number of genuinely new nodes.
+
+    ``seen`` is a set of order keys (globally unique per node, so key
+    membership == node identity), which replaces the old per-round
+    ``node_union`` — an O(total log total) re-sort plus identity-set
+    rebuild over the whole accumulated result every round — with O(new)
+    set probes and a near-linear Timsort append.
+    """
+    fresh = []
+    for node in produced:
+        key = node.order_key
+        if key not in seen:
+            seen.add(key)
+            fresh.append(node)
+    if fresh:
+        result.extend(fresh)
+        result.sort(key=_order_key)
+    return len(fresh)
 
 
 def naive_fixpoint(body: Callable[[list], list], seed: Sequence,
@@ -52,16 +79,18 @@ def naive_fixpoint(body: Callable[[list], list], seed: Sequence,
     """
     seed_nodes = ensure_node_sequence(list(seed), "inflationary fixed point seed")
 
+    result: list = []
+    seen: set = set()
     if seed_is_initial_result:
-        result = node_union(seed_nodes, [])
+        _merge_new(result, seen, seed_nodes)
         if statistics is not None:
             statistics.algorithm = "naive"
             statistics.record(0, 0, len(seed_nodes), len(result), len(result))
     else:
         fed = seed_nodes
         produced = body(list(fed))
-        result = ensure_node_sequence(produced, "inflationary fixed point body result")
-        result = node_union(result, [])  # normalise: distinct, document order
+        ensure_node_sequence(produced, "inflationary fixed point body result")
+        _merge_new(result, seen, produced)  # normalise: distinct, document order
         if statistics is not None:
             statistics.algorithm = "naive"
             statistics.record(0, len(fed), len(produced), len(result), len(result))
@@ -73,13 +102,11 @@ def naive_fixpoint(body: Callable[[list], list], seed: Sequence,
             raise FixpointError(
                 f"inflationary fixed point did not converge within {max_iterations} iterations"
             )
-        fed = result
-        produced = body(list(fed))
+        fed_count = len(result)
+        produced = body(list(result))
         ensure_node_sequence(produced, "inflationary fixed point body result")
-        combined = node_union(produced, result)
-        new_nodes = len(combined) - len(result)
+        new_nodes = _merge_new(result, seen, produced)
         if statistics is not None:
-            statistics.record(iteration, len(fed), len(produced), new_nodes, len(combined))
+            statistics.record(iteration, fed_count, len(produced), new_nodes, len(result))
         if new_nodes == 0:
-            return combined
-        result = combined
+            return result

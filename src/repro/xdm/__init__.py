@@ -64,6 +64,14 @@ from repro.xdm.sequence import (
     ensure_node_sequence,
 )
 from repro.xdm.comparison import deep_equal, atomic_equal
+from repro.xdm.index import (
+    StructuralIndex,
+    batch_step,
+    cached_index,
+    clear_index_registry,
+    index_for,
+    indexed_step,
+)
 
 __all__ = [
     "UntypedAtomic",
@@ -104,4 +112,10 @@ __all__ = [
     "ensure_node_sequence",
     "deep_equal",
     "atomic_equal",
+    "StructuralIndex",
+    "batch_step",
+    "cached_index",
+    "clear_index_registry",
+    "index_for",
+    "indexed_step",
 ]

@@ -83,17 +83,22 @@ def _renumber_subtree(root: Node) -> None:
     restores the document-order invariant while keeping keys globally unique
     and monotone across separately built trees.
     """
-    from repro.xdm.node import _next_order_key
+    from repro.xdm.node import _next_order_key, _notify_structure_change
 
-    def visit(node: Node) -> None:
+    # Rewriting order keys changes what any cached structural index of this
+    # tree recorded; drop it before walking.  (The walk itself is iterative
+    # so deep builds cannot exhaust the Python stack.)
+    _notify_structure_change(root)
+    stack: list[Node] = [root]
+    while stack:
+        node = stack.pop()
         node.order_key = _next_order_key()
         if isinstance(node, ElementNode):
             for attr in node.attributes:
                 attr.order_key = _next_order_key()
-        for child in node.children:
-            visit(child)
-
-    visit(root)
+        children = node.children
+        if children:
+            stack.extend(reversed(children))
 
 
 def attribute(name: str, value: object, is_id: bool = False) -> AttributeNode:

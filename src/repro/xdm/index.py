@@ -1,0 +1,625 @@
+"""Per-document structural index: axis steps as array slices and dict hits.
+
+This is the in-memory counterpart of the pre/post plane the SQL backend
+shreds documents into (:mod:`repro.sqlbackend.schema`): one document-order
+walk assigns every tree node a ``pre`` rank (entry tick) and ``post`` rank
+(exit tick), after which
+
+* document order      == ascending ``pre``,
+* the descendants of the node at ``pre`` ``p`` are exactly the contiguous
+  slice ``(p, p + size[p]]`` of the pre-order array (``size[p]`` being the
+  subtree's descendant count), and
+* ``a`` is an ancestor of ``d``  ⟺  ``pre[a] < pre[d] and post[a] > post[d]``.
+
+On top of the plain arrays (``nodes``, ``post``, ``level``, ``parent_pre``,
+``size``, ``sib_pos``) the index keeps a *name inverted index* — element
+name → sorted list of ``pre`` ranks — so a ``descendant::n`` step is two
+bisections into that list, and lazy per-node *child-by-name maps* so a
+``child::n`` step is a dict lookup.  The batch kernels
+(:func:`batch_step`) take a whole column of context nodes at once: for the
+descendant axes the context intervals are merged (nested intervals are
+skipped, which is what makes the result duplicate-free *by construction*),
+for every other axis results are deduplicated with an identity set and
+sorted once by ``order_key`` — never the quadratic per-node filtering the
+naive axis methods would add up to.
+
+Indexes are built lazily, once per tree root, and shared by every engine
+(interpreter and algebra; the SQL backend has its own shredded copy).  A
+small registry keeps the most recently used indexes; structural mutations
+(``append_child``, ``add_attribute``, the builders' ``_renumber_subtree``)
+invalidate the affected tree's entry through the hook this module installs
+into :mod:`repro.xdm.node` on import — before that import no index exists,
+so node construction pays nothing.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import OrderedDict
+from typing import Optional
+
+from repro.xdm import node as _node_module
+from repro.xdm.node import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    ProcessingInstructionNode,
+    TextNode,
+)
+
+#: Axes whose natural order is reverse document order (mirrors the
+#: evaluator's REVERSE_AXES; kept here so the index has no xquery import).
+_REVERSE_AXES = {"ancestor", "ancestor-or-self", "parent", "preceding",
+                 "preceding-sibling"}
+
+_KIND_CLASSES = {
+    "text": TextNode,
+    "comment": CommentNode,
+    "processing-instruction": ProcessingInstructionNode,
+    "document-node": DocumentNode,
+}
+
+
+class StructuralIndex:
+    """Pre/post-plane arrays plus name indexes for one tree.
+
+    Attribute nodes are deliberately *not* part of the pre-order arrays
+    (exactly as in the SQL shredding): they never appear on the descendant
+    or sibling axes, and the attribute axis reads the owning element's
+    attribute list directly.
+    """
+
+    __slots__ = ("root", "nodes", "pre_of", "post", "level", "parent_pre",
+                 "size", "sib_pos", "name_pres", "elem_pres", "kind_pres",
+                 "_child_by_name")
+
+    def __init__(self, root: Node):
+        self.root = root
+        nodes: list[Node] = []
+        post: list[int] = []
+        level: list[int] = []
+        parent_pre: list[int] = []
+        size: list[int] = []
+        sib_pos: list[int] = []
+        pre_of: dict[int, int] = {}
+        name_pres: dict[str, list[int]] = {}
+        elem_pres: list[int] = []
+        kind_pres: dict[type, list[int]] = {}
+
+        # One explicit-stack walk assigns pre (entry tick) and post (exit
+        # tick) from a shared counter, so deep documents cannot exhaust the
+        # Python stack.  Frames are (node, parent_pre, level, sib_pos,
+        # closing) — each node is pushed twice: once to enter, once to
+        # close.  At close time every node entered after it is one of its
+        # descendants (siblings enter only later), which yields the subtree
+        # size directly.
+        tick = 0
+        stack: list[tuple[Node, int, int, int, bool]] = [(root, -1, 0, 0, False)]
+        while stack:
+            node, par, lvl, sib, closing = stack.pop()
+            if closing:
+                pre = pre_of[id(node)]
+                size[pre] = len(nodes) - pre - 1
+                post[pre] = tick
+                tick += 1
+                continue
+            pre = len(nodes)
+            nodes.append(node)
+            pre_of[id(node)] = pre
+            level.append(lvl)
+            parent_pre.append(par)
+            sib_pos.append(sib)
+            size.append(0)   # patched at close time
+            post.append(0)   # patched at close time
+            tick += 1
+            if isinstance(node, ElementNode):
+                elem_pres.append(pre)
+                name_pres.setdefault(node.name, []).append(pre)
+            else:
+                kind_pres.setdefault(type(node), []).append(pre)
+            # Close-frame first so it pops only after all children closed.
+            stack.append((node, par, lvl, sib, True))
+            children = node.children
+            for position in range(len(children) - 1, -1, -1):
+                stack.append((children[position], pre, lvl + 1, position, False))
+
+        self.nodes = nodes
+        self.pre_of = pre_of
+        self.post = post
+        self.level = level
+        self.parent_pre = parent_pre
+        self.size = size
+        self.sib_pos = sib_pos
+        self.name_pres = name_pres
+        self.elem_pres = elem_pres
+        self.kind_pres = kind_pres
+        self._child_by_name: dict[int, dict[str, list[Node]]] = {}
+
+    # -- basic lookups --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def pre(self, node: Node) -> Optional[int]:
+        """The pre rank of *node* in this tree, or ``None`` (attributes,
+        nodes of other trees)."""
+        return self.pre_of.get(id(node))
+
+    def is_ancestor(self, ancestor: Node, descendant: Node) -> bool:
+        a = self.pre_of.get(id(ancestor))
+        d = self.pre_of.get(id(descendant))
+        if a is None or d is None:
+            return False
+        return a < d <= a + self.size[a]
+
+    # -- single-node kernels --------------------------------------------------
+    #
+    # Every kernel returns the matched nodes in the axis's natural order
+    # (reverse axes nearest-first), exactly like the naive axis methods, or
+    # ``None`` when this index cannot answer (node not covered).
+
+    def step(self, node: Node, axis: str, kind: str,
+             name: Optional[str]) -> Optional[list[Node]]:
+        """One axis step with node test, answered from the index."""
+        if axis == "attribute":
+            return _match_attributes(node, kind, name)
+        if axis == "self":
+            return [node] if _matches(node, kind, name, axis) else []
+        if isinstance(node, AttributeNode):
+            # Attributes are outside the pre-order plane; their only
+            # non-empty tree axes go upward through the owner element.
+            return _attribute_upward(node, axis, kind, name)
+        pre = self.pre_of.get(id(node))
+        if pre is None:
+            return None
+        if axis == "descendant":
+            return self._range_matches(pre + 1, pre + self.size[pre], kind, name)
+        if axis == "descendant-or-self":
+            return self._range_matches(pre, pre + self.size[pre], kind, name)
+        if axis == "child":
+            return self._children(pre, node, kind, name)
+        if axis == "parent":
+            parent = self.parent_pre[pre]
+            if parent < 0:
+                return []
+            return [n for n in (self.nodes[parent],) if _matches(n, kind, name, axis)]
+        if axis in ("ancestor", "ancestor-or-self"):
+            result = []
+            p = pre if axis == "ancestor-or-self" else self.parent_pre[pre]
+            while p >= 0:
+                candidate = self.nodes[p]
+                if _matches(candidate, kind, name, axis):
+                    result.append(candidate)
+                p = self.parent_pre[p]
+            return result
+        if axis == "following-sibling":
+            parent = self.parent_pre[pre]
+            if parent < 0:
+                return []
+            siblings = self.nodes[parent].children
+            return [s for s in siblings[self.sib_pos[pre] + 1:]
+                    if _matches(s, kind, name, axis)]
+        if axis == "preceding-sibling":
+            parent = self.parent_pre[pre]
+            if parent < 0:
+                return []
+            siblings = self.nodes[parent].children
+            return [s for s in reversed(siblings[:self.sib_pos[pre]])
+                    if _matches(s, kind, name, axis)]
+        if axis == "following":
+            return self._range_matches(pre + self.size[pre] + 1,
+                                       len(self.nodes) - 1, kind, name)
+        if axis == "preceding":
+            matches = self._range_matches(0, pre - 1, kind, name)
+            if matches:
+                ancestors = set()
+                p = self.parent_pre[pre]
+                while p >= 0:
+                    ancestors.add(id(self.nodes[p]))
+                    p = self.parent_pre[p]
+                matches = [n for n in matches if id(n) not in ancestors]
+            matches.reverse()
+            return matches
+        return None
+
+    def descendant_interval(self, node: Node,
+                            or_self: bool = False) -> Optional[tuple[int, int]]:
+        """The inclusive pre-order interval covering *node*'s subtree."""
+        pre = self.pre_of.get(id(node))
+        if pre is None:
+            return None
+        return (pre if or_self else pre + 1, pre + self.size[pre])
+
+    def range_matches(self, lo: int, hi: int, kind: str,
+                      name: Optional[str]) -> list[Node]:
+        """Nodes in the inclusive pre interval ``[lo, hi]`` passing the test."""
+        return self._range_matches(lo, hi, kind, name)
+
+    # -- internals ------------------------------------------------------------
+
+    def _range_matches(self, lo: int, hi: int, kind: str,
+                       name: Optional[str]) -> list[Node]:
+        if hi < lo:
+            return []
+        nodes = self.nodes
+        if kind == "node":
+            return nodes[lo:hi + 1]
+        pres = self._test_pres(kind, name)
+        if pres is None:
+            # Rare tests (e.g. a PI with a target name): slice then filter.
+            return [n for n in nodes[lo:hi + 1] if _matches(n, kind, name, "descendant")]
+        start = bisect_left(pres, lo)
+        stop = bisect_right(pres, hi, start)
+        return [nodes[p] for p in pres[start:stop]]
+
+    def _test_pres(self, kind: str, name: Optional[str]) -> Optional[list[int]]:
+        """The sorted pre list matching a node test, or ``None``."""
+        if kind == "name":
+            if name == "*":
+                return self.elem_pres
+            return self.name_pres.get(name, [])
+        if kind == "element":
+            if name is None:
+                return self.elem_pres
+            return self.name_pres.get(name, [])
+        if kind == "attribute":
+            return []  # the tree walk never yields attribute nodes
+        cls = _KIND_CLASSES.get(kind)
+        if cls is None:
+            return None
+        if kind == "processing-instruction" and name is not None:
+            return None  # needs a per-node target check
+        return self.kind_pres.get(cls, [])
+
+    def _children(self, pre: int, node: Node, kind: str,
+                  name: Optional[str]) -> list[Node]:
+        if kind in ("name", "element") and name not in (None, "*"):
+            by_name = self._child_by_name.get(pre)
+            if by_name is None:
+                by_name = {}
+                for child in node.children:
+                    if isinstance(child, ElementNode):
+                        by_name.setdefault(child.name, []).append(child)
+                self._child_by_name[pre] = by_name
+            return list(by_name.get(name, ()))
+        return [c for c in node.children if _matches(c, kind, name, "child")]
+
+
+# ---------------------------------------------------------------------------
+# node tests (mirrors Evaluator._node_test; cross-checked by the property
+# test suite in tests/test_structural_index.py)
+# ---------------------------------------------------------------------------
+
+
+def _matches(node: Node, kind: str, name: Optional[str], axis: str) -> bool:
+    if kind == "name":
+        if axis == "attribute":
+            if not isinstance(node, AttributeNode):
+                return False
+        elif not isinstance(node, ElementNode):
+            return False
+        return name == "*" or node.name == name
+    if kind == "node":
+        return True
+    if kind == "text":
+        return isinstance(node, TextNode)
+    if kind == "comment":
+        return isinstance(node, CommentNode)
+    if kind == "processing-instruction":
+        return isinstance(node, ProcessingInstructionNode) and (
+            name is None or node.name == name)
+    if kind == "element":
+        return isinstance(node, ElementNode) and (name is None or node.name == name)
+    if kind == "attribute":
+        return isinstance(node, AttributeNode) and (name is None or node.name == name)
+    if kind == "document-node":
+        return isinstance(node, DocumentNode)
+    return False
+
+
+def _match_attributes(node: Node, kind: str, name: Optional[str]) -> list[Node]:
+    attributes = node.attribute_axis()
+    return [a for a in attributes if _matches(a, kind, name, "attribute")]
+
+
+def _attribute_upward(node: AttributeNode, axis: str, kind: str,
+                      name: Optional[str]) -> Optional[list[Node]]:
+    if axis in ("descendant", "child", "following-sibling", "preceding-sibling"):
+        return []
+    if axis == "descendant-or-self":
+        return [node] if _matches(node, kind, name, axis) else []
+    if axis == "parent":
+        owner = node.parent
+        return [owner] if owner is not None and _matches(owner, kind, name, axis) else []
+    if axis in ("ancestor", "ancestor-or-self"):
+        result = []
+        current = node if axis == "ancestor-or-self" else node.parent
+        while current is not None:
+            if _matches(current, kind, name, axis):
+                result.append(current)
+            current = current.parent
+        return result
+    # following / preceding of attribute nodes keep their naive definitions;
+    # fall back rather than re-deriving them here.
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the per-root registry and its invalidation hook
+# ---------------------------------------------------------------------------
+
+#: Most-recently-used cache of live indexes: id(root) → (root, index).  The
+#: root is kept as a strong reference both to pin the id() and because a
+#: cached index is only useful while its document is reachable anyway.
+_REGISTRY: "OrderedDict[int, tuple[Node, StructuralIndex]]" = OrderedDict()
+
+#: Bound on live indexes (evaluation constructs many small transient trees;
+#: their indexes must not accumulate).
+REGISTRY_LIMIT = 64
+
+
+def _root_of(node: Node) -> Node:
+    while node.parent is not None:
+        node = node.parent
+    return node
+
+
+def index_for(node: Node, build: bool = True) -> Optional[StructuralIndex]:
+    """The structural index of *node*'s tree (built lazily, cached per root)."""
+    root = _root_of(node)
+    entry = _REGISTRY.get(id(root))
+    if entry is not None and entry[0] is root:
+        _REGISTRY.move_to_end(id(root))
+        return entry[1]
+    if not build:
+        return None
+    built = StructuralIndex(root)
+    _REGISTRY[id(root)] = (root, built)
+    if len(_REGISTRY) > REGISTRY_LIMIT:
+        _REGISTRY.popitem(last=False)
+    return built
+
+
+def cached_index(node: Node) -> Optional[StructuralIndex]:
+    """The cached index of *node*'s tree, or ``None`` (never builds)."""
+    return index_for(node, build=False)
+
+
+def invalidate_index(node: Node) -> None:
+    """Drop the cached index of the tree currently containing *node*.
+
+    Installed into :mod:`repro.xdm.node` as the structure-change hook; the
+    mutators call it *before* re-parenting (to catch the old tree) and after
+    (to catch the new one).  The empty-registry fast path keeps bulk
+    document construction at O(1) per mutation until a first index exists.
+    """
+    if not _REGISTRY:
+        return
+    _REGISTRY.pop(id(_root_of(node)), None)
+
+
+def clear_index_registry() -> None:
+    """Drop every cached index (test isolation / memory pressure)."""
+    _REGISTRY.clear()
+
+
+def registry_size() -> int:
+    return len(_REGISTRY)
+
+
+_node_module._structure_change_hook = invalidate_index
+
+
+# ---------------------------------------------------------------------------
+# step entry points used by the engines
+# ---------------------------------------------------------------------------
+
+#: Axes answered from the pre-order plane arrays, where the batch kernels
+#: are an *algorithmic* win (merged interval slices instead of per-node
+#: walks plus an O(m log m) ddo): re-fed fixpoint contexts should batch
+#: these even when a per-node memo is available.
+PLANE_AXES = frozenset({"descendant", "descendant-or-self", "following"})
+
+#: Axes where the index beats the naive axis methods for a *single* context
+#: node.  The pointer-chasing axes (child, parent, ancestor, attribute,
+#: self) are already answered optimally from the node objects; the indexed
+#: variants would only add a root walk on top.
+_SINGLE_NODE_AXES = {"descendant", "descendant-or-self", "following",
+                     "preceding", "following-sibling", "preceding-sibling"}
+
+
+def indexed_step(node: Node, axis: str, kind: str,
+                 name: Optional[str]) -> Optional[list[Node]]:
+    """One context node's axis step via the structural index.
+
+    Returns the matched nodes in the axis's natural order, or ``None`` when
+    the index does not expect to beat the naive axis methods (the caller
+    falls back to them).
+    """
+    if axis not in _SINGLE_NODE_AXES:
+        return None
+    if isinstance(node, AttributeNode):
+        return _attribute_upward(node, axis, kind, name)
+    return index_for(node).step(node, axis, kind, name)
+
+
+class IndexSet:
+    """Resolves nodes to their tree's index, walking to a root only once
+    per distinct tree rather than once per context node.
+
+    The engines keep one per batch (the algebra step macro: one per
+    ``compute`` call) so that per-node kernel dispatch — including the
+    pointer-cheap axes the bare :func:`indexed_step` does not index —
+    amortizes the root walk across the whole context column.
+    """
+
+    __slots__ = ("indexes",)
+
+    def __init__(self):
+        self.indexes: list[StructuralIndex] = []
+
+    def for_node(self, node: Node) -> StructuralIndex:
+        for idx in self.indexes:
+            if id(node) in idx.pre_of:
+                return idx
+        idx = index_for(node)
+        self.indexes.append(idx)
+        return idx
+
+    def step(self, node: Node, axis: str, kind: str,
+             name: Optional[str]) -> Optional[list[Node]]:
+        """One node's axis step, any axis, in the axis's natural order."""
+        if axis == "attribute":
+            return _match_attributes(node, kind, name)
+        if axis == "self":
+            return [node] if _matches(node, kind, name, axis) else []
+        if isinstance(node, AttributeNode):
+            return _attribute_upward(node, axis, kind, name)
+        return self.for_node(node).step(node, axis, kind, name)
+
+
+def batch_step(nodes: list[Node], axis: str, kind: str,
+               name: Optional[str]) -> Optional[list[Node]]:
+    """A whole column of context nodes through one axis step.
+
+    Returns the union of the per-node step results, deduplicated and in
+    document order (the ``fs:ddo`` the step macro encapsulates), or ``None``
+    when the kernels cannot answer for some context node.
+
+    The descendant axes use pre-order interval merging: context intervals
+    are visited in ascending ``pre`` and nested intervals contribute nothing
+    new, so the concatenated slice lookups are duplicate-free and sorted by
+    construction.  ``following`` unions to a single suffix slice.  The
+    pointer-chasing axes stay on the node objects; everything is
+    deduplicated once by identity and sorted once by ``order_key``.
+    """
+    if not nodes:
+        return []
+    distinct = nodes
+    if len(nodes) > 1:
+        seen: set[int] = set()
+        distinct = []
+        for node in nodes:
+            if id(node) not in seen:
+                seen.add(id(node))
+                distinct.append(node)
+
+    if axis in ("descendant", "descendant-or-self", "following"):
+        return _batch_plane(distinct, axis, kind, name)
+
+    collected: list[Node] = []
+    if axis == "attribute":
+        for node in distinct:
+            collected.extend(_match_attributes(node, kind, name))
+    elif axis == "self":
+        collected = [n for n in distinct if _matches(n, kind, name, axis)]
+    elif axis == "parent":
+        for node in distinct:
+            parent = node.parent
+            if parent is not None and _matches(parent, kind, name, axis):
+                collected.append(parent)
+    elif axis in ("ancestor", "ancestor-or-self"):
+        for node in distinct:
+            current = node if axis == "ancestor-or-self" else node.parent
+            while current is not None:
+                if _matches(current, kind, name, axis):
+                    collected.append(current)
+                current = current.parent
+    elif axis == "child":
+        indexes = IndexSet()
+        for node in distinct:
+            if isinstance(node, AttributeNode):
+                continue
+            idx = indexes.for_node(node)
+            pre = idx.pre_of.get(id(node))
+            if pre is None:
+                return None
+            collected.extend(idx._children(pre, node, kind, name))
+    elif axis in ("following-sibling", "preceding-sibling", "preceding"):
+        indexes = IndexSet()
+        for node in distinct:
+            if isinstance(node, AttributeNode):
+                result = _attribute_upward(node, axis, kind, name)
+                if result is None:
+                    return None
+                collected.extend(result)
+                continue
+            idx = indexes.for_node(node)
+            result = idx.step(node, axis, kind, name)
+            if result is None:
+                return None
+            collected.extend(result)
+    else:
+        return None
+
+    return _ddo_by_order_key(collected, already_unique=len(distinct) == 1
+                             and axis not in _REVERSE_AXES)
+
+
+def _ddo_by_order_key(collected: list[Node], already_unique: bool) -> list[Node]:
+    if already_unique:
+        return collected
+    seen: set[int] = set()
+    unique: list[Node] = []
+    for item in collected:
+        if id(item) not in seen:
+            seen.add(id(item))
+            unique.append(item)
+    unique.sort(key=lambda n: n.order_key)
+    return unique
+
+
+def _batch_plane(distinct: list[Node], axis: str, kind: str,
+                 name: Optional[str]) -> Optional[list[Node]]:
+    """Batch kernels over the pre-order plane (descendant axes, following)."""
+    indexes = IndexSet()
+    by_index: "OrderedDict[int, tuple[StructuralIndex, list[int]]]" = OrderedDict()
+    or_self = axis == "descendant-or-self"
+    for node in distinct:
+        if isinstance(node, AttributeNode):
+            if axis == "following":
+                return None  # keeps its naive attribute definition
+            if or_self and _matches(node, kind, name, axis):
+                # An attribute context contributes only itself; merge below
+                # would lose it, so fall back to the generic sort path.
+                return None
+            continue
+        idx = indexes.for_node(node)
+        pre = idx.pre_of.get(id(node))
+        if pre is None:
+            return None
+        entry = by_index.get(id(idx))
+        if entry is None:
+            by_index[id(idx)] = (idx, [pre])
+        else:
+            entry[1].append(pre)
+
+    per_tree: list[list[Node]] = []
+    for idx, pres in by_index.values():
+        if axis == "following":
+            # The union of per-node suffixes is the suffix of the earliest
+            # subtree end.
+            start = min(pre + idx.size[pre] + 1 for pre in pres)
+            per_tree.append(idx.range_matches(start, len(idx.nodes) - 1, kind, name))
+            continue
+        pres.sort()
+        matches: list[Node] = []
+        covered_hi = -1
+        for pre in pres:
+            hi = pre + idx.size[pre]
+            if hi <= covered_hi:
+                continue  # nested inside an already-covered subtree
+            lo = pre if or_self else pre + 1
+            if lo <= covered_hi:
+                lo = covered_hi + 1
+            matches.extend(idx.range_matches(lo, hi, kind, name))
+            covered_hi = hi
+        per_tree.append(matches)
+
+    if len(per_tree) == 1:
+        return per_tree[0]
+    merged = [node for matches in per_tree for node in matches]
+    merged.sort(key=lambda n: n.order_key)
+    return merged

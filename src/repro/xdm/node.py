@@ -51,6 +51,18 @@ def reset_node_counter() -> None:
     _node_counter = itertools.count(1)
 
 
+#: Hook installed by :mod:`repro.xdm.index` on import: called with a node
+#: whose tree is about to change structurally, so a cached structural index
+#: covering it can be dropped.  ``None`` until that module is imported —
+#: no index can exist before then, so construction pays nothing.
+_structure_change_hook = None
+
+
+def _notify_structure_change(node: "Node") -> None:
+    if _structure_change_hook is not None:
+        _structure_change_hook(node)
+
+
 class Node:
     """Base class of all XDM nodes.
 
@@ -207,10 +219,18 @@ class Node:
     # -- misc ---------------------------------------------------------------
 
     def iter_tree(self) -> Iterator["Node"]:
-        """Pre-order iteration over this node and all descendants."""
-        yield self
-        for child in self.children:
-            yield from child.iter_tree()
+        """Pre-order iteration over this node and all descendants.
+
+        Iterative (explicit stack) so arbitrarily deep documents cannot hit
+        Python's recursion limit — same discipline as ``descendant_axis``.
+        """
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            children = node.children
+            if children:
+                stack.extend(reversed(children))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{self.node_kind.value} #{self.order_key}>"
@@ -234,8 +254,10 @@ class DocumentNode(Node):
         return self._children
 
     def append_child(self, child: Node) -> None:
+        _notify_structure_change(child)  # invalidate the child's old tree
         child.parent = self
         self._children.append(child)
+        _notify_structure_change(self)
 
     def document_element(self) -> Optional["ElementNode"]:
         """The single element child of the document, if any."""
@@ -292,12 +314,16 @@ class ElementNode(Node):
     def append_child(self, child: Node) -> None:
         if isinstance(child, AttributeNode):
             raise XQueryTypeError("attributes must be added with add_attribute()")
+        _notify_structure_change(child)  # invalidate the child's old tree
         child.parent = self
         self._children.append(child)
+        _notify_structure_change(self)
 
     def add_attribute(self, attribute: "AttributeNode") -> None:
+        _notify_structure_change(attribute)
         attribute.parent = self
         self._attributes.append(attribute)
+        _notify_structure_change(self)
 
     def attribute_axis(self) -> list["AttributeNode"]:
         return list(self._attributes)

@@ -36,6 +36,10 @@ class EvaluationOptions:
         (Definition 2.1's caveat about node constructors).
     max_recursion_depth:
         Bound on user-defined function recursion depth.
+    use_index:
+        Answer axis steps from the per-document structural index
+        (:mod:`repro.xdm.index`) instead of walking node objects.  On by
+        default; the CLI's ``--no-index`` switches it off for A/B runs.
     """
 
     ifp_algorithm: str = "auto"
@@ -43,6 +47,7 @@ class EvaluationOptions:
     max_ifp_iterations: int = 100_000
     max_recursion_depth: int = 500
     collect_statistics: bool = True
+    use_index: bool = True
 
 
 @dataclass

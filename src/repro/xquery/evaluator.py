@@ -20,6 +20,7 @@ from typing import Any, Callable, Optional
 from repro.errors import XQueryDynamicError, XQueryStaticError, XQueryTypeError
 from repro.xdm.comparison import atomic_equal, atomic_less_than
 from repro.xdm.document import copy_node
+from repro.xdm.index import batch_step, indexed_step
 from repro.xdm.items import (
     UntypedAtomic,
     is_node,
@@ -400,6 +401,17 @@ class Evaluator:
 
     def _eval_path(self, expr: ast.PathExpr, context: DynamicContext) -> Sequence:
         left = self.evaluate(expr.left, context)
+        # Vectorized fast path: a predicate-free axis step applied to a whole
+        # node column is one batch kernel call (dedup + document order
+        # included), skipping the per-node focus loop and the final ddo.
+        if (isinstance(expr.right, ast.AxisStep) and not expr.right.predicates
+                and context.static.options.use_index
+                and all(is_node(item) for item in left)):
+            step = expr.right
+            result = batch_step(left, step.axis, step.node_test.kind,
+                                step.node_test.name)
+            if result is not None:
+                return result
         results: Sequence = []
         size = len(left)
         for position, item in enumerate(left, start=1):
@@ -427,8 +439,14 @@ class Evaluator:
             raise XQueryTypeError(
                 f"axis step '{expr.axis}::' requires a node context item", code="XPTY0020"
             )
-        candidates = self._axis_nodes(node, expr.axis)
-        matched = [candidate for candidate in candidates if self._node_test(candidate, expr.node_test, expr.axis)]
+        matched = None
+        if context.static.options.use_index:
+            matched = indexed_step(node, expr.axis, expr.node_test.kind,
+                                   expr.node_test.name)
+        if matched is None:
+            candidates = self._axis_nodes(node, expr.axis)
+            matched = [candidate for candidate in candidates
+                       if self._node_test(candidate, expr.node_test, expr.axis)]
         return self._apply_predicates(matched, expr.predicates, context)
 
     def _axis_nodes(self, node: Node, axis: str) -> list[Node]:

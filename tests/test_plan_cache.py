@@ -1,0 +1,126 @@
+"""Tests for the compiled-plan / parsed-module caches (:mod:`repro.plancache`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import clear_query_caches, evaluate, query_cache_stats
+from repro.plancache import LRUCache, contains_constructor, module_cache_safe
+from repro.xquery.parser import parse_expression, parse_query
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_query_caches()
+    yield
+    clear_query_caches()
+
+
+class TestLRUCache:
+    def test_get_put_and_stats(self):
+        cache = LRUCache(2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["size"] == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")       # refresh a
+        cache.put("c", 3)    # evicts b
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestCacheSafety:
+    def test_constructor_detection(self):
+        assert contains_constructor(parse_expression("<a>{ 1 }</a>"))
+        assert contains_constructor(parse_expression("element a { 2 }"))
+        assert not contains_constructor(parse_expression("1 + count((1, 2))"))
+
+    def test_module_with_constructor_variable_is_unsafe(self):
+        unsafe = parse_query('declare variable $v := <a/>; count($v)')
+        assert not module_cache_safe(unsafe)
+        safe = parse_query('declare variable $v := (1, 2, 3); count($v)')
+        assert module_cache_safe(safe)
+
+
+class TestServingCaches:
+    QUERY = 'count(doc("curriculum.xml")//pre_code)'
+
+    def test_module_cache_hit_on_repeat(self, curriculum_resolver):
+        first = evaluate(self.QUERY, documents=curriculum_resolver)
+        second = evaluate(self.QUERY, documents=curriculum_resolver)
+        assert first.items == second.items == [6]
+        assert query_cache_stats()["module"]["hits"] >= 1
+
+    def test_plan_cache_hit_for_algebra_engine(self, curriculum_resolver):
+        evaluate(self.QUERY, documents=curriculum_resolver, engine="algebra")
+        before = query_cache_stats()["plan"]
+        result = evaluate(self.QUERY, documents=curriculum_resolver, engine="algebra")
+        after = query_cache_stats()["plan"]
+        assert result.items == [6]
+        assert after["hits"] == before["hits"] + 1
+
+    def test_plan_cache_does_not_leak_across_documents(self):
+        from repro.xmlio.parser import parse_xml
+        from repro.xquery.context import DocumentResolver
+
+        results = []
+        for text in ('<r><a/><a/></r>', '<r><a/></r>'):
+            resolver = DocumentResolver()
+            resolver.register("doc.xml", parse_xml(text))
+            result = evaluate('count(doc("doc.xml")//a)', documents=resolver,
+                              engine="algebra")
+            results.append(result.items)
+        assert results == [[2], [1]]
+
+    def test_plan_cache_invalidated_by_document_mutation(self):
+        # Mutating a registered document must not serve a plan whose
+        # prolog-variable values were baked in against the old tree: the
+        # document's structural-index identity is part of the cache key,
+        # and mutation replaces the index.
+        from repro.xdm.document import element
+        from repro.xmlio.parser import parse_xml
+        from repro.xquery.context import DocumentResolver
+
+        doc = parse_xml("<r><a/><a/></r>")
+        resolver = DocumentResolver()
+        resolver.register("doc.xml", doc)
+        query = 'declare variable $v := count(doc("doc.xml")//a); $v'
+        assert evaluate(query, documents=resolver, engine="algebra").items == [2]
+        doc.document_element().append_child(element("a"))
+        assert evaluate(query, documents=resolver, engine="algebra").items == [3]
+        assert evaluate(query, documents=resolver).items == [3]
+
+    def test_constructed_nodes_keep_fresh_identities(self, curriculum_resolver):
+        # A prolog variable that mints nodes must not be frozen into a
+        # cached plan: each evaluation returns a distinct element.
+        query = 'declare variable $v := <a>x</a>; $v'
+        first = evaluate(query, documents=curriculum_resolver, engine="algebra")
+        second = evaluate(query, documents=curriculum_resolver, engine="algebra")
+        assert first.items[0] is not second.items[0]
+        assert first.string_values() == second.string_values() == ["x"]
+
+    def test_use_cache_false_bypasses_both_caches(self, curriculum_resolver):
+        evaluate(self.QUERY, documents=curriculum_resolver, engine="algebra",
+                 use_cache=False)
+        stats = query_cache_stats()
+        assert stats["module"]["size"] == 0
+        assert stats["plan"]["size"] == 0
+
+    def test_interpreter_and_cached_algebra_agree(self, curriculum_resolver):
+        query = ('(with $x seeded by doc("curriculum.xml")//course[@code = "c1"]'
+                 ' recurse $x/id (./prerequisites/pre_code))')
+        for _ in range(2):  # second round is fully cache-served
+            interpreter = evaluate(query, documents=curriculum_resolver)
+            algebra = evaluate(query, documents=curriculum_resolver, engine="algebra")
+            assert [id(i) for i in interpreter.items] == [id(i) for i in algebra.items]

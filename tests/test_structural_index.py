@@ -1,0 +1,258 @@
+"""Tests for the per-document structural index (:mod:`repro.xdm.index`).
+
+The heart of the suite is property-style: randomized documents are walked
+with every (axis, node test) combination through the indexed kernels and
+cross-checked, node for node and order for order, against the naive axis
+methods of :mod:`repro.xdm.node` — the semantics baseline the index must
+never drift from.  On top: cache-invalidation behaviour around the
+mutators (``append_child``, ``copy_node``, ``_renumber_subtree``), the
+deep-document regression for the iterative traversals, and cross-engine
+equivalence with the index switched on and off.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+import pytest
+
+from repro.api import evaluate
+from repro.xdm import index as xdm_index
+from repro.xdm.document import _renumber_subtree, copy_node, document, element, text
+from repro.xdm.index import (
+    IndexSet,
+    StructuralIndex,
+    batch_step,
+    cached_index,
+    clear_index_registry,
+    index_for,
+    indexed_step,
+)
+from repro.xdm.sequence import ddo
+from repro.xmlio.parser import parse_xml
+from repro.xquery import ast
+from repro.xquery.evaluator import Evaluator
+
+AXES = [
+    "child", "descendant", "descendant-or-self", "self", "attribute",
+    "parent", "ancestor", "ancestor-or-self", "following-sibling",
+    "preceding-sibling", "following", "preceding",
+]
+
+NODE_TESTS = [
+    ("name", "a"), ("name", "b"), ("name", "*"), ("node", None),
+    ("text", None), ("comment", None), ("element", None), ("element", "b"),
+    ("attribute", None), ("attribute", "x"), ("document-node", None),
+    ("processing-instruction", None), ("processing-instruction", "pi"),
+]
+
+
+def random_document_text(rng: random.Random) -> str:
+    """A random small document with mixed node kinds and attributes."""
+
+    def subtree(depth: int) -> str:
+        name = rng.choice("abcde")
+        if depth > 4 or rng.random() < 0.3:
+            return f"<{name}>t{rng.randint(0, 9)}</{name}>"
+        inner = "".join(subtree(depth + 1) for _ in range(rng.randint(0, 4)))
+        if rng.random() < 0.2:
+            inner += "<!--c-->"
+        if rng.random() < 0.1:
+            inner += "<?pi data?>"
+        attrs = f' x="{rng.randint(0, 3)}"' if rng.random() < 0.5 else ""
+        return f"<{name}{attrs}>{inner}</{name}>"
+
+    return subtree(0)
+
+
+def naive_step(evaluator, node, axis, kind, name):
+    test = ast.NodeTest(kind, name)
+    return [candidate for candidate in evaluator._axis_nodes(node, axis)
+            if evaluator._node_test(candidate, test, axis)]
+
+
+def all_nodes_and_attributes(doc):
+    nodes = []
+    for node in doc.iter_tree():
+        nodes.append(node)
+        nodes.extend(node.attribute_axis())
+    return nodes
+
+
+class TestKernelsAgainstNaiveAxes:
+    """Property tests: indexed kernels == naive axis methods, everywhere."""
+
+    def test_single_node_kernels_match_naive_axes(self):
+        rng = random.Random(20260729)
+        evaluator = Evaluator()
+        for _ in range(15):
+            doc = parse_xml(random_document_text(rng))
+            index_set = IndexSet()
+            for node in all_nodes_and_attributes(doc):
+                for axis in AXES:
+                    for kind, name in NODE_TESTS:
+                        expected = naive_step(evaluator, node, axis, kind, name)
+                        got = indexed_step(node, axis, kind, name)
+                        if got is not None:
+                            assert [id(n) for n in got] == [id(n) for n in expected], \
+                                (axis, kind, name)
+                        # The IndexSet covers every axis; check it too.
+                        via_set = index_set.step(node, axis, kind, name)
+                        if via_set is not None:
+                            assert [id(n) for n in via_set] == [id(n) for n in expected], \
+                                (axis, kind, name, "IndexSet")
+
+    def test_batch_kernels_match_per_node_ddo(self):
+        rng = random.Random(42)
+        evaluator = Evaluator()
+        for _ in range(15):
+            doc = parse_xml(random_document_text(rng))
+            population = all_nodes_and_attributes(doc)
+            for axis in AXES:
+                for kind, name in NODE_TESTS:
+                    contexts = rng.sample(
+                        population, min(len(population), rng.randint(1, 6)))
+                    contexts = contexts + contexts[:1]  # duplicate context node
+                    merged = []
+                    for node in contexts:
+                        merged.extend(naive_step(evaluator, node, axis, kind, name))
+                    expected = ddo(merged)
+                    got = batch_step(contexts, axis, kind, name)
+                    if got is None:
+                        continue
+                    assert [id(n) for n in got] == [id(n) for n in expected], \
+                        (axis, kind, name)
+
+    def test_batch_step_across_two_documents(self):
+        left = parse_xml("<r><a/><a/><b><a/></b></r>")
+        right = parse_xml("<r><a/><b/></r>")
+        contexts = [left.document_element(), right.document_element()]
+        result = batch_step(contexts, "descendant", "name", "a")
+        assert [n.name for n in result] == ["a", "a", "a", "a"]
+        # Document order across trees == ascending order key.
+        keys = [n.order_key for n in result]
+        assert keys == sorted(keys)
+
+    def test_pre_post_plane_invariants(self):
+        rng = random.Random(7)
+        doc = parse_xml(random_document_text(rng))
+        index = StructuralIndex(doc)
+        n = len(index.nodes)
+        for pre in range(n):
+            # Descendants are exactly the contiguous slice (pre, pre+size].
+            subtree = index.nodes[pre + 1: pre + index.size[pre] + 1]
+            assert subtree == index.nodes[pre].descendant_axis()
+            # pre < post, and the ancestor test matches the parent chain.
+            assert pre < index.post[pre]
+        for pre in range(1, n):
+            parent = index.parent_pre[pre]
+            assert index.is_ancestor(index.nodes[parent], index.nodes[pre])
+            assert index.level[pre] == index.level[parent] + 1
+
+
+class TestRegistryAndInvalidation:
+    def setup_method(self):
+        clear_index_registry()
+
+    def test_index_is_cached_per_root(self):
+        doc = parse_xml("<r><a/></r>")
+        first = index_for(doc)
+        assert index_for(doc.document_element()) is first
+        assert cached_index(doc) is first
+
+    def test_append_child_invalidates_the_tree(self):
+        doc = parse_xml("<r><a/></r>")
+        index_for(doc)
+        assert cached_index(doc) is not None
+        doc.document_element().append_child(element("b"))
+        assert cached_index(doc) is None
+        rebuilt = index_for(doc)
+        assert [n.name for n in rebuilt.step(doc, "descendant", "name", "b")] == ["b"]
+
+    def test_moving_a_node_invalidates_its_old_tree(self):
+        doc = parse_xml("<r><a/></r>")
+        index_for(doc)
+        moved = doc.document_element().children[0]
+        element("host", moved)  # reparents <a/> out of doc
+        assert cached_index(doc) is None
+
+    def test_renumber_subtree_invalidates(self):
+        root = element("r", element("a"))
+        index_for(root)
+        assert cached_index(root) is not None
+        _renumber_subtree(root)
+        assert cached_index(root) is None
+
+    def test_copy_node_gets_its_own_index(self):
+        doc = parse_xml("<r><a/><b/></r>")
+        original = index_for(doc)
+        copy = copy_node(doc)
+        # Copying builds a brand-new tree: the original index survives...
+        assert cached_index(doc) is original
+        copy_index = index_for(copy)
+        # ...and the copy gets a separate one covering the fresh identities.
+        assert copy_index is not original
+        assert copy_index.pre(copy.document_element()) == 1
+        assert original.pre(copy.document_element()) is None
+
+    def test_registry_is_bounded(self):
+        documents = [document(element("r", text(i))) for i in range(xdm_index.REGISTRY_LIMIT + 8)]
+        for doc in documents:
+            index_for(doc)
+        assert xdm_index.registry_size() <= xdm_index.REGISTRY_LIMIT
+
+
+class TestDeepDocuments:
+    def test_deep_document_traversals_are_iterative(self):
+        """Regression: deep trees must not hit Python's recursion limit."""
+        depth = 3000
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(1000)
+            node = element("leaf")
+            for _ in range(depth):
+                node = element("n", node)
+            root = document(node)
+            assert sum(1 for _ in root.iter_tree()) == depth + 2
+            assert len(root.descendant_axis()) == depth + 1
+            index = index_for(root)
+            assert index.size[0] == depth + 1
+            assert len(index.step(root, "descendant", "name", "leaf")) == 1
+        finally:
+            sys.setrecursionlimit(limit)
+            clear_index_registry()
+
+
+class TestEngineEquivalenceWithIndex:
+    QUERIES = [
+        'count(doc("curriculum.xml")//pre_code)',
+        'doc("curriculum.xml")//course[@code = "c1"]/prerequisites/pre_code',
+        '(with $x seeded by doc("curriculum.xml")//course[@code = "c1"]'
+        ' recurse $x/id (./prerequisites/pre_code))',
+        'doc("curriculum.xml")//course[@code = "c3"]/preceding-sibling::course/@code',
+    ]
+
+    @pytest.mark.parametrize("engine", ["interpreter", "algebra", "sql"])
+    def test_results_identical_with_and_without_index(self, engine, curriculum_resolver):
+        for query in self.QUERIES:
+            baseline = evaluate(query, documents=curriculum_resolver, engine=engine,
+                                use_index=False, use_cache=False)
+            indexed = evaluate(query, documents=curriculum_resolver, engine=engine,
+                               use_index=True, use_cache=False)
+            assert baseline.string_values() == indexed.string_values(), (engine, query)
+            base_nodes = [id(i) for i in baseline.items]
+            indexed_nodes = [id(i) for i in indexed.items]
+            assert base_nodes == indexed_nodes, (engine, query)
+
+    def test_cross_engine_items_identical_with_index(self, curriculum_resolver):
+        for query in self.QUERIES:
+            reference = None
+            for engine in ("interpreter", "algebra", "sql"):
+                result = evaluate(query, documents=curriculum_resolver, engine=engine,
+                                  use_index=True, use_cache=False)
+                snapshot = [id(i) for i in result.items]
+                if reference is None:
+                    reference = snapshot
+                else:
+                    assert snapshot == reference, engine
