@@ -1,0 +1,237 @@
+"""Supplementary bench: predicate pushdown (value indexes + batch kernels).
+
+Measures, per workload document and engine, predicate-heavy queries with
+pushdown enabled and disabled (the ``--no-pushdown`` A/B of the CLI; the
+structural index stays on for both sides, so the delta is the predicate
+path alone), plus one fixpoint whose predicate-bearing body the SQL engine
+runs as a recursive CTE with pushdown and through the Python driver loop
+without.  Writes the machine-readable ``BENCH_predicate_pushdown.json``::
+
+    PYTHONPATH=src python benchmarks/bench_predicate_pushdown.py --sizes medium
+    PYTHONPATH=src python benchmarks/bench_predicate_pushdown.py --sizes smoke --json-dir out
+
+The lazy value-index builds are charged to warmup (steady-state serving
+assumptions), and the reported time is the best of ``--repeats`` measured
+runs.  CI smoke-runs this benchmark and compares the speedup ratios
+against the committed baseline (see ``check_bench_regression.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.api import evaluate
+from repro.datagen.curriculum import CurriculumConfig, generate_curriculum
+from repro.datagen.hospital import HospitalConfig, generate_hospital
+from repro.datagen.xmark import XMarkConfig, generate_auction_site
+from repro.xquery.context import DocumentResolver
+
+ENGINES = ("interpreter", "algebra")
+
+VAR_BINDING_QUERY = """
+declare variable $p := "person7";
+count(doc("auction.xml")//personref[@person = $p])
+"""
+
+
+@dataclass(frozen=True)
+class QueryCase:
+    """One benchmarked query against one workload document."""
+
+    workload: str
+    label: str
+    query: str
+    #: Engines the case runs under.  Positional predicates cannot run on
+    #: the algebra engine with pushdown off (the classical compiler rejects
+    #: them), so that case stays interpreter-only.
+    engines: tuple[str, ...] = ENGINES
+
+
+def _xmark_cases(size: str) -> list[QueryCase]:
+    return [
+        QueryCase("xmark", "attr-eq-person",
+                  'count(doc("auction.xml")//person[@id = "person7"])'),
+        QueryCase("xmark", "attr-eq-personref",
+                  'count(doc("auction.xml")//personref[@person = "person7"])'),
+        QueryCase("xmark", "attr-eq-variable", VAR_BINDING_QUERY),
+        QueryCase("xmark", "child-exists",
+                  'count(doc("auction.xml")//open_auction[bidder])'),
+        QueryCase("xmark", "positional-first-bidder",
+                  'count(doc("auction.xml")//open_auction/bidder[1])',
+                  engines=("interpreter",)),
+    ]
+
+
+def _hospital_cases(size: str) -> list[QueryCase]:
+    return [
+        QueryCase("hospital", "child-eq-name",
+                  'count(doc("hospital.xml")//patient[name = "Patient 7"])'),
+        QueryCase("hospital", "attr-exists",
+                  'count(doc("hospital.xml")//parent[@id])'),
+    ]
+
+
+@dataclass(frozen=True)
+class WorkloadDoc:
+    name: str
+    uri: str
+    build: Callable
+    cases: Callable[[str], list[QueryCase]]
+
+
+WORKLOADS: dict[str, WorkloadDoc] = {
+    "xmark": WorkloadDoc(
+        "xmark", "auction.xml",
+        lambda size: generate_auction_site(
+            XMarkConfig.tiny() if size == "smoke" else XMarkConfig.medium()),
+        _xmark_cases),
+    "hospital": WorkloadDoc(
+        "hospital", "hospital.xml",
+        lambda size: generate_hospital(
+            HospitalConfig.tiny() if size == "smoke" else HospitalConfig.medium()),
+        _hospital_cases),
+}
+
+#: The SQL-engine fixpoint: a linear id-chain whose step carries a pushed
+#: existence predicate.  With pushdown it is one recursive CTE inside
+#: SQLite; without, the predicate blocks emission and every round decodes
+#: back to XDM and re-filters in Python (the driver loop).
+SQL_FIXPOINT = """
+with $x seeded by doc("curriculum.xml")//course[@code = "{seed}"]
+recurse $x/id(./prerequisites/pre_code)/self::course[@code] using delta
+"""
+
+
+def _measure(query: str, resolver: DocumentResolver, engine: str,
+             use_pushdown: bool, repeats: int, warmup: int) -> tuple[float, int]:
+    """Best-of-``repeats`` wall-clock seconds (after ``warmup`` runs)."""
+    items = 0
+    for _ in range(warmup):
+        evaluate(query, documents=resolver, engine=engine,
+                 use_pushdown=use_pushdown)
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = evaluate(query, documents=resolver, engine=engine,
+                          use_pushdown=use_pushdown)
+        best = min(best, time.perf_counter() - started)
+        items = len(result)
+    return best, items
+
+
+def run_pushdown_comparison(size: str, repeats: int, warmup: int,
+                            workloads: tuple[str, ...]) -> list[dict]:
+    rows: list[dict] = []
+    for name in workloads:
+        workload = WORKLOADS[name]
+        document = workload.build(size)
+        resolver = DocumentResolver()
+        resolver.register(workload.uri, document)
+        for case in workload.cases(size):
+            for engine in case.engines:
+                baseline, items = _measure(case.query, resolver, engine,
+                                           use_pushdown=False, repeats=repeats,
+                                           warmup=warmup)
+                pushed, pushed_items = _measure(case.query, resolver, engine,
+                                                use_pushdown=True,
+                                                repeats=repeats, warmup=warmup)
+                if items != pushed_items:
+                    raise AssertionError(
+                        f"{case.workload}/{case.label}/{engine}: pushdown run "
+                        f"returned {pushed_items} items, baseline {items}"
+                    )
+                rows.append({
+                    "workload": case.workload,
+                    "size": size,
+                    "query": case.label,
+                    "engine": engine,
+                    "items": items,
+                    "nopushdown_seconds": round(baseline, 5),
+                    "pushdown_seconds": round(pushed, 5),
+                    "speedup": round(baseline / pushed, 2) if pushed else None,
+                    "repeats": repeats,
+                    "warmup": warmup,
+                })
+                print(f"{case.workload:9s} {case.label:22s} {engine:12s} "
+                      f"no-push {baseline:8.4f}s  push {pushed:8.4f}s  "
+                      f"speedup {baseline / pushed:6.2f}x")
+    return rows
+
+
+def run_sql_fixpoint_comparison(size: str, repeats: int, warmup: int) -> dict:
+    """The predicate-bearing fixpoint on the sql engine: CTE vs driver loop."""
+    config = CurriculumConfig.tiny() if size == "smoke" else CurriculumConfig.medium()
+    document = generate_curriculum(config)
+    resolver = DocumentResolver()
+    resolver.register("curriculum.xml", document)
+    seed = f"c{config.courses}"  # back of the catalogue: the deep closure
+    query = SQL_FIXPOINT.format(seed=seed)
+    baseline, items = _measure(query, resolver, "sql", use_pushdown=False,
+                               repeats=repeats, warmup=warmup)
+    pushed, pushed_items = _measure(query, resolver, "sql", use_pushdown=True,
+                                    repeats=repeats, warmup=warmup)
+    if items != pushed_items:
+        raise AssertionError(
+            f"sql fixpoint: pushdown returned {pushed_items} items, "
+            f"driver loop {items}")
+    print(f"{'curriculum':9s} {'fixpoint-cte':22s} {'sql':12s} "
+          f"no-push {baseline:8.4f}s  push {pushed:8.4f}s  "
+          f"speedup {baseline / pushed:6.2f}x")
+    return {
+        "workload": "curriculum",
+        "size": size,
+        "query": "fixpoint-predicate-chain",
+        "engine": "sql",
+        "items": items,
+        "nopushdown_seconds": round(baseline, 5),
+        "pushdown_seconds": round(pushed, 5),
+        "speedup": round(baseline / pushed, 2) if pushed else None,
+        "repeats": repeats,
+        "warmup": warmup,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Predicate pushdown benchmark "
+                    "(writes BENCH_predicate_pushdown.json)")
+    parser.add_argument("--sizes", choices=["smoke", "medium"], default="medium",
+                        help="document sizes: smoke (CI) or medium (the report)")
+    parser.add_argument("--workloads", nargs="*", default=sorted(WORKLOADS),
+                        choices=sorted(WORKLOADS))
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="measured runs per combination (best is reported)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="unmeasured warmup runs per combination")
+    parser.add_argument("--json-dir", default=".",
+                        help="directory BENCH_predicate_pushdown.json is written into")
+    arguments = parser.parse_args(argv)
+
+    rows = run_pushdown_comparison(arguments.sizes, arguments.repeats,
+                                   arguments.warmup, tuple(arguments.workloads))
+    rows.append(run_sql_fixpoint_comparison(arguments.sizes, arguments.repeats,
+                                            arguments.warmup))
+
+    payload = {
+        "schema": "repro-bench-predicate-pushdown",
+        "schema_version": 1,
+        "label": "predicate_pushdown",
+        "python": platform.python_version(),
+        "results": rows,
+    }
+    path = Path(arguments.json_dir) / "BENCH_predicate_pushdown.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""CI bench regression guard for BENCH_predicate_pushdown.json.
+
+Compares a freshly produced benchmark report against the committed
+baseline and fails (exit code 1) when any comparable case's *speedup
+ratio* (no-pushdown seconds / pushdown seconds) regressed by more than
+the tolerance::
+
+    PYTHONPATH=src python benchmarks/check_bench_regression.py \
+        --current bench-artifacts/BENCH_predicate_pushdown.json \
+        --baseline benchmarks/BENCH_predicate_pushdown_baseline_smoke.json
+
+Speedup ratios — not absolute seconds — are compared because CI runners
+and developer machines differ wildly in absolute speed while the on/off
+ratio of the same process is stable.  Cases whose baseline no-pushdown
+time sits below the noise floor are skipped (sub-millisecond timings on a
+shared CI runner fluctuate more than any real regression would); skipped
+cases are listed so silent shrinkage of coverage is visible in the log.
+
+Refresh the baseline after an intentional performance change::
+
+    PYTHONPATH=src python benchmarks/bench_predicate_pushdown.py \
+        --sizes smoke --repeats 3 --json-dir /tmp \
+    && cp /tmp/BENCH_predicate_pushdown.json \
+        benchmarks/BENCH_predicate_pushdown_baseline_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _rows_by_case(payload: dict) -> dict[tuple, dict]:
+    return {(row["workload"], row["query"], row["engine"]): row
+            for row in payload.get("results", [])}
+
+
+def check(current_path: Path, baseline_path: Path, tolerance: float,
+          floor_seconds: float) -> int:
+    current = _rows_by_case(json.loads(current_path.read_text(encoding="utf-8")))
+    baseline = _rows_by_case(json.loads(baseline_path.read_text(encoding="utf-8")))
+
+    failures: list[str] = []
+    compared = 0
+    for key, base_row in sorted(baseline.items()):
+        base_speedup = base_row.get("speedup")
+        label = "/".join(key)
+        if base_speedup is None:
+            continue
+        row = current.get(key)
+        if row is None:
+            failures.append(f"{label}: case missing from current report")
+            continue
+        if base_row.get("nopushdown_seconds", 0.0) < floor_seconds:
+            print(f"SKIP {label}: baseline below {floor_seconds * 1000:.1f} ms "
+                  f"noise floor")
+            continue
+        speedup = row.get("speedup")
+        if speedup is None:
+            failures.append(f"{label}: current report carries no speedup")
+            continue
+        compared += 1
+        allowed = base_speedup * (1.0 - tolerance)
+        status = "ok" if speedup >= allowed else "REGRESSED"
+        print(f"{status:>9} {label}: speedup {speedup:.2f}x "
+              f"(baseline {base_speedup:.2f}x, allowed ≥ {allowed:.2f}x)")
+        if speedup < allowed:
+            failures.append(
+                f"{label}: speedup {speedup:.2f}x fell more than "
+                f"{tolerance:.0%} below the baseline {base_speedup:.2f}x")
+
+    if not compared and not failures:
+        failures.append("no case cleared the noise floor — nothing was checked")
+    if failures:
+        print("\nbench regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench regression check passed ({compared} cases compared)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True, type=Path,
+                        help="freshly produced BENCH_predicate_pushdown.json")
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed baseline report")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="maximum allowed relative speedup drop (default 0.30)")
+    parser.add_argument("--floor-ms", type=float, default=1.0,
+                        help="skip cases whose baseline no-pushdown time is "
+                             "below this many milliseconds (default 1.0)")
+    arguments = parser.parse_args(argv)
+    return check(arguments.current, arguments.baseline, arguments.tolerance,
+                 arguments.floor_ms / 1000.0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

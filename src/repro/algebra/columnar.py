@@ -115,6 +115,20 @@ class ColumnarTable(TableStorage):
             return self
         return self._gather(keep)
 
+    def select_computed(self, sources: Sequence[str],
+                        function: Callable[..., Any]) -> "ColumnarTable":
+        """Fused σ∘⊚ over the raw source columns — one map over the column
+        lists, no flag column, no intermediate table."""
+        if sources:
+            source_columns = [self._data[self.column_index(c)] for c in sources]
+            keep = [i for i, flag in enumerate(map(function, *source_columns))
+                    if flag]
+        else:
+            keep = list(range(self._length)) if function() else []
+        if len(keep) == self._length:
+            return self
+        return self._gather(keep)
+
     def extend(self, column: str, func: Callable[[dict], Any]) -> "ColumnarTable":
         new_column = [func(row) for row in self.as_dicts()]
         return self._with_extra_column(column, new_column)

@@ -45,7 +45,7 @@ from repro.algebra.operators import (
     RecursionInput,
     RowTag,
     ScalarOp,
-    Select,
+    SelectComputed,
     StepJoin,
     UnionAll,
 )
@@ -84,7 +84,8 @@ class AlgebraCompiler:
                  document: DocumentNode | None = None,
                  functions: dict[tuple[str, int], ast.FunctionDecl] | None = None,
                  analysis_only: bool = False,
-                 backend: "str | type | None" = None):
+                 backend: "str | type | None" = None,
+                 push_predicates: bool = True):
         """Create a compiler.
 
         Parameters
@@ -106,12 +107,19 @@ class AlgebraCompiler:
             evaluator running a different backend adopts (converts) literal
             leaves on first use, so any combination is valid — matching the
             evaluator's backend merely avoids that conversion.
+        push_predicates:
+            Push recognized predicate shapes (:mod:`repro.xquery.pushdown`)
+            into the :class:`~repro.algebra.operators.StepJoin` macro as
+            indexed lookups instead of compiling the materialize-then-filter
+            predicate plan.  On by default; ``evaluate(...,
+            use_pushdown=False)`` compiles the classical plans for A/B runs.
         """
         self.documents = documents or DocumentResolver()
         self.document = document
         self.functions = functions or {}
         self.analysis_only = analysis_only
         self.storage = Table if backend is None else resolve_backend(backend)
+        self.push_predicates = push_predicates
         self._inline_stack: list[tuple[str, int]] = []
 
     # ------------------------------------------------------------------ entry points
@@ -218,16 +226,69 @@ class AlgebraCompiler:
         left = self._compile(expr.left, context)
         right = expr.right
         if isinstance(right, ast.AxisStep):
-            step = StepJoin(left, right.axis, right.node_test.kind, right.node_test.name)
-            return self._apply_predicates(step, right.predicates, context)
+            return self._compile_step(left, right, context)
         # General right operand: iterate the right expression once per node
         # delivered by the left operand (the loop-lifting "map" dance).
         return self._map_over(left, right, context)
 
     def _compile_AxisStep(self, expr: ast.AxisStep, context: CompilationContext) -> Operator:
         focus = self._compile_ContextItem(ast.ContextItem(), context)
-        step = StepJoin(focus, expr.axis, expr.node_test.kind, expr.node_test.name)
-        return self._apply_predicates(step, expr.predicates, context)
+        return self._compile_step(focus, expr, context)
+
+    def _compile_step(self, source: Operator, step: ast.AxisStep,
+                      context: CompilationContext) -> Operator:
+        """A step join with the longest recognized predicate prefix pushed.
+
+        Predicates apply sequentially, so only a *prefix* may move into the
+        macro: the first unrecognized (or unresolvable) predicate and
+        everything after it keep the generic materialize-then-filter plan,
+        preserving order-sensitive (positional) semantics.
+        """
+        pushed, rest = self._split_pushable(step.predicates, context)
+        plan = StepJoin(source, step.axis, step.node_test.kind,
+                        step.node_test.name, pushed=pushed)
+        return self._apply_predicates(plan, rest, context)
+
+    def _split_pushable(self, predicates: tuple[ast.Expr, ...],
+                        context: CompilationContext):
+        from repro.xquery.pushdown import (
+            PositionShape,
+            recognize_predicate,
+            string_values_or_none,
+        )
+
+        if not self.push_predicates or not predicates:
+            return (), tuple(predicates)
+
+        def constant_values(name: str):
+            """Compile-time variable resolution: only top-level constant
+            bindings (LiteralTable plans) with pure string items qualify —
+            lifted plans and node-valued bindings fall back."""
+            plan = context.environment.get(name)
+            if not isinstance(plan, LiteralTable) or "item" not in plan.table.columns:
+                return None
+            items = plan.table.column_values("item")
+            if any(is_node(item) for item in items):
+                return None  # node content may mutate after compilation
+            return string_values_or_none(items)
+
+        pushed = []
+        for position, predicate in enumerate(predicates):
+            shape = recognize_predicate(predicate)
+            if shape is None:
+                return tuple(pushed), tuple(predicates[position:])
+            if not isinstance(shape, PositionShape) and shape.rhs is not None:
+                if isinstance(shape.rhs, ast.Literal):
+                    values = string_values_or_none([shape.rhs.value])
+                elif isinstance(shape.rhs, ast.VarRef):
+                    values = constant_values(shape.rhs.name)
+                else:  # pragma: no cover - recognizer only emits the above
+                    values = None
+                if values is None:
+                    return tuple(pushed), tuple(predicates[position:])
+                shape = replace(shape, rhs=None, values=values)
+            pushed.append(shape)
+        return tuple(pushed), ()
 
     def _compile_FilterExpr(self, expr: ast.FilterExpr, context: CompilationContext) -> Operator:
         primary = self._compile(expr.primary, context)
@@ -326,8 +387,8 @@ class AlgebraCompiler:
             inner = self._compile(condition, context)
             return Distinct([Project(inner, [("iter", "iter")])])
         boolean = self._compile(condition, context)
-        flagged = ScalarOp(boolean, "keep", ["item"], _effective_boolean, name="ebv")
-        return Distinct([Project(Select(flagged, "keep"), [("iter", "iter")])])
+        selected = SelectComputed(boolean, ["item"], _effective_boolean, name="ebv")
+        return Distinct([Project(selected, [("iter", "iter")])])
 
     def _existential_join(self, comparison: ast.GeneralComparison,
                           context: CompilationContext) -> Operator:
@@ -336,8 +397,8 @@ class AlgebraCompiler:
         left_p = Project(left, [("iter", "iter"), ("item", "item")])
         right_p = Project(right, [("iter", "iter"), ("item_r", "item")])
         joined = Join(left_p, right_p, [("iter", "iter")])
-        compared = ScalarOp(joined, "cmp", ["item", "item_r"], _general_equal, name="=")
-        return Distinct([Project(Select(compared, "cmp"), [("iter", "iter")])])
+        selected = SelectComputed(joined, ["item", "item_r"], _general_equal, name="=")
+        return Distinct([Project(selected, [("iter", "iter")])])
 
     # ------------------------------------------------------------------ FLWOR, conditionals
 
@@ -394,8 +455,8 @@ class AlgebraCompiler:
         right_p = Project(right, [("iter", "iter"), ("item_r", "item")])
         joined = Join(left_p, right_p, [("iter", "iter")])
         compare = _comparison_function(expr.op)
-        compared = ScalarOp(joined, "cmp", ["item", "item_r"], compare, name=expr.op)
-        return Project(Select(compared, "cmp"), [("iter", "iter"), ("item", "item")])
+        selected = SelectComputed(joined, ["item", "item_r"], compare, name=expr.op)
+        return Project(selected, [("iter", "iter"), ("item", "item")])
 
     def _compile_ValueComparison(self, expr: ast.ValueComparison, context: CompilationContext) -> Operator:
         return self._compile_GeneralComparison(

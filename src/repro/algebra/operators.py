@@ -38,6 +38,7 @@ from repro.xdm.index import (
 from repro.xdm.items import is_node, string_value_of_item
 from repro.xdm.node import AttributeNode, CommentNode, DocumentNode, ElementNode, Node, TextNode
 from repro.xdm.sequence import ddo
+from repro.xquery.pushdown import PROFILE, PositionShape, apply_shapes
 
 _operator_ids = itertools.count(1)
 
@@ -219,7 +220,13 @@ class Project(Operator):
 
 
 class Select(Operator):
-    """σ — keep rows whose boolean column is true."""
+    """σ — keep rows whose boolean column is true.
+
+    The textbook operator of Table 1, kept as the reference primitive:
+    since the σ∘⊚ fusion the compiler emits :class:`SelectComputed`
+    instead, so this operator only appears in hand-built plans and the
+    operator unit tests.
+    """
 
     symbol = "σ"
     union_pushable = True
@@ -233,6 +240,32 @@ class Select(Operator):
 
     def label(self):
         return f"σ_{self.column}"
+
+
+class SelectComputed(Operator):
+    """σ∘⊚ — fused select: keep rows where ``function(*sources)`` is truthy.
+
+    Replaces the ``Select(ScalarOp(child, flag, …), flag)`` pair the
+    compiler used to emit for predicate/where conditions: the boolean
+    column is never materialised and only one output table is built.
+    Union-pushable for the same reason the pair is.
+    """
+
+    symbol = "σ⊚"
+    union_pushable = True
+
+    def __init__(self, child: Operator, sources: Sequence[str],
+                 function: Callable[..., Any], name: str = "fun"):
+        super().__init__([child])
+        self.sources = tuple(sources)
+        self.function = function
+        self.name = name
+
+    def compute(self, inputs, engine):
+        return inputs[0].select_computed(self.sources, self.function)
+
+    def label(self):
+        return f"σ⊚{self.name}<{','.join(self.sources)}>"
 
 
 class Join(Operator):
@@ -440,23 +473,41 @@ class StepJoin(Operator):
     and the remaining axes dedup once by identity and sort once by order
     key.  Without the index the macro falls back to per-node axis walks
     memoised in the engine's macro cache.
+
+    ``pushed`` carries predicate *shapes* the compiler recognized and
+    resolved at compile time (:mod:`repro.xquery.pushdown`): value and
+    existence tests filter through the value inverted indexes; positional
+    shapes slice the axis-ordered per-node result — which is also how the
+    macro gains positional predicate support, something the generic
+    materialize-then-filter predicate plan cannot express.  Value-only
+    shapes commute with the per-iteration union, so they are applied to
+    the merged batch column; any positional shape forces per-context-node
+    application (XQuery counts positions per context node).
     """
 
     symbol = "step"
     union_pushable = True
 
     def __init__(self, child: Operator, axis: str, node_test_kind: str,
-                 node_test_name: Optional[str] = None):
+                 node_test_name: Optional[str] = None, pushed: tuple = ()):
         super().__init__([child])
         self.axis = axis
         self.node_test_kind = node_test_kind
         self.node_test_name = node_test_name
+        self.pushed = tuple(pushed)
+        self._pushed_values = tuple(
+            (None if isinstance(shape, PositionShape) else (shape.values or ()))
+            for shape in self.pushed
+        )
+        self._pushed_positional = any(isinstance(shape, PositionShape)
+                                      for shape in self.pushed)
         self.template = "step"
 
     def compute(self, inputs, engine):
         per_iteration, order = _group_items_by_iteration(inputs[0], require_nodes=True)
         use_index = getattr(engine, "use_index", True)
         index_set = None  # built lazily, shared by all iterations of this call
+        timer = PROFILE.timer() if PROFILE.enabled and self.pushed else 0.0
         iters: list = []
         positions: list = []
         items: list = []
@@ -469,13 +520,22 @@ class StepJoin(Operator):
                 # computation inside _step.
                 result = self._step_ddo(nodes[0], engine)
             else:
-                if use_index and self.axis in _PLANE_AXES:
+                if (use_index and self.axis in _PLANE_AXES
+                        and not self._pushed_positional):
                     # Whole-column contexts (fixpoint feedback) on the plane
                     # axes: merged interval slices beat even memoised
                     # per-node results, because they skip the per-round
-                    # O(m log m) ddo over the concatenation.
+                    # O(m log m) ddo over the concatenation.  Pushed value
+                    # shapes filter the merged column directly.
                     result = batch_step(nodes, self.axis, self.node_test_kind,
                                         self.node_test_name)
+                    if result is not None and self.pushed:
+                        if index_set is None:
+                            index_set = IndexSet()
+                        result = apply_shapes(result, self.pushed,
+                                              self._pushed_values,
+                                              use_index=True,
+                                              index_set=index_set)
                 if result is None:
                     if use_index and index_set is None:
                         index_set = IndexSet()
@@ -486,24 +546,41 @@ class StepJoin(Operator):
             iters.extend([iteration] * len(result))
             positions.extend(range(1, len(result) + 1))
             items.extend(result)
+        if PROFILE.enabled and self.pushed:
+            PROFILE.record(f"algebra-step:{self.axis}", True,
+                           PROFILE.timer() - timer)
         return engine.make_table_from_columns(("iter", "pos", "item"),
                                               [iters, positions, items])
 
     def _step_ddo(self, node: Node, engine, index_set=None) -> list[Node]:
-        """The step result for one context node, deduplicated and in document
-        order, memoised per run (the step relation of a static document does
-        not change between fixpoint rounds — re-fed fixpoint contexts hit
-        the cache every round)."""
+        """The step result for one context node — pushed shapes applied in
+        axis order, then deduplicated and in document order — memoised per
+        run (the step relation and the pushed constants of a static document
+        do not change between fixpoint rounds, so re-fed fixpoint contexts
+        hit the cache every round)."""
         use_index = getattr(engine, "use_index", True)
         cache = getattr(engine, "macro_cache", None)
         if cache is None:
-            return ddo(self._step(node, use_index, index_set))
+            return ddo(self._filtered_step(node, use_index, index_set))
         key = (self.operator_id, id(node))
         hit = cache.get(key)
         if hit is not None and hit[0] is node:
             return hit[1]
-        result = ddo(self._step(node, use_index, index_set))
+        result = ddo(self._filtered_step(node, use_index, index_set))
         cache[key] = (node, result)
+        return result
+
+    def _filtered_step(self, node: Node, use_index: bool, index_set=None) -> list[Node]:
+        """One node's raw step result with the pushed shapes applied.
+
+        The raw result is in the axis's *natural* order (reverse axes
+        nearest-first), which is exactly the order positional shapes count
+        along; the caller applies the final ddo.
+        """
+        result = self._step(node, use_index, index_set)
+        if self.pushed:
+            result = apply_shapes(result, self.pushed, self._pushed_values,
+                                  use_index=use_index, index_set=index_set)
         return result
 
     def _step(self, node: Node, use_index: bool = True, index_set=None) -> list[Node]:
@@ -532,7 +609,8 @@ class StepJoin(Operator):
             test = self.node_test_name or "*"
         else:
             test = f"{self.node_test_kind}({self.node_test_name or ''})"
-        return f"{self.axis}::{test}"
+        pushed = f"[{len(self.pushed)} pushed]" if self.pushed else ""
+        return f"{self.axis}::{test}{pushed}"
 
 
 class IdLookup(Operator):

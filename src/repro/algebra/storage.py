@@ -162,6 +162,20 @@ class TableStorage:
             self.columns, [row for row in self.iter_rows() if row[index]]
         )
 
+    def select_computed(self, sources: Sequence[str],
+                        function: Callable[..., Any]) -> "TableStorage":
+        """σ∘⊚ — keep rows where ``function(*sources)`` is truthy.
+
+        The fused form of ``extend_computed`` + ``select_flag``: the flag
+        column is never materialised.
+        """
+        indices = [self.column_index(c) for c in sources]
+        return type(self).from_rows(
+            self.columns,
+            [row for row in self.iter_rows()
+             if function(*(row[i] for i in indices))],
+        )
+
     def extend(self, column: str, func: Callable[[dict], Any]) -> "TableStorage":
         new_rows = []
         for row in self.iter_rows():

@@ -70,6 +70,8 @@ class QueryResult:
 
     items: list
     statistics: StatisticsCollector = field(default_factory=StatisticsCollector)
+    #: Batch-vs-fallback kernel counters (``evaluate(..., profile=True)``).
+    profile: dict | None = None
 
     @property
     def nodes_fed_back(self) -> int:
@@ -124,7 +126,9 @@ def evaluate(query: str,
              backend: str | None = None,
              optimize: bool = True,
              use_index: bool = True,
+             use_pushdown: bool = True,
              use_cache: bool = True,
+             profile: bool = False,
              id_attributes: Iterable[str] = ("id", "xml:id")) -> QueryResult:
     """Parse and evaluate an XQuery query.
 
@@ -157,6 +161,14 @@ def evaluate(query: str,
     use_index:
         Answer axis steps from the per-document structural index
         (:mod:`repro.xdm.index`); disable for A/B comparisons.
+    use_pushdown:
+        Route recognized predicate shapes through the batch predicate
+        kernels / pushed step filters (:mod:`repro.xquery.pushdown`) in
+        every engine; disable for A/B comparisons.
+    profile:
+        Collect per-axis/per-kernel batch-vs-fallback hit and timing
+        counters during this evaluation and attach the snapshot as
+        ``QueryResult.profile``.
     use_cache:
         Serve the parsed module (all engines) and the compiled plan
         (algebra engine) from the process-wide LRU caches, keyed by the
@@ -181,7 +193,8 @@ def evaluate(query: str,
         module, documents=documents, variables=variables, context_item=context_item,
         ifp_algorithm=ifp_algorithm, distributivity_checker=distributivity_checker,
         engine=engine, backend=backend, optimize=optimize, use_index=use_index,
-        use_cache=use_cache, id_attributes=id_attributes,
+        use_pushdown=use_pushdown, use_cache=use_cache, profile=profile,
+        id_attributes=id_attributes,
     )
 
 
@@ -195,7 +208,9 @@ def evaluate_query(module: ast.Module,
                    backend: str | None = None,
                    optimize: bool = True,
                    use_index: bool = True,
+                   use_pushdown: bool = True,
                    use_cache: bool = True,
+                   profile: bool = False,
                    id_attributes: Iterable[str] = ("id", "xml:id")) -> QueryResult:
     """Evaluate an already-parsed query module (see :func:`evaluate`).
 
@@ -203,6 +218,25 @@ def evaluate_query(module: ast.Module,
     only when the same parsed module is passed again (as :func:`evaluate`
     arranges via its module cache).
     """
+    if profile:
+        from repro.xquery.pushdown import PROFILE
+
+        PROFILE.reset()
+        PROFILE.enabled = True
+        try:
+            result = evaluate_query(
+                module, documents=documents, variables=variables,
+                context_item=context_item, ifp_algorithm=ifp_algorithm,
+                distributivity_checker=distributivity_checker, engine=engine,
+                backend=backend, optimize=optimize, use_index=use_index,
+                use_pushdown=use_pushdown, use_cache=use_cache,
+                profile=False, id_attributes=id_attributes,
+            )
+        finally:
+            PROFILE.enabled = False
+        result.profile = PROFILE.snapshot()
+        return result
+
     engine = Engine(engine)
     if optimize:
         module = optimize_module(module)
@@ -212,6 +246,7 @@ def evaluate_query(module: ast.Module,
         ifp_algorithm=ifp_algorithm,
         distributivity_checker=distributivity_checker,
         use_index=use_index,
+        use_pushdown=use_pushdown,
     )
     context = DynamicContext(
         static=StaticContext(options=options),
@@ -246,12 +281,14 @@ def evaluate_query(module: ast.Module,
     # caller passes a stable module object (as evaluate() does, with
     # optimize already applied).  When this function optimized the module
     # itself, the object is fresh per call: caching would only fill the LRU
-    # with entries that can never hit, each pinning documents.
+    # with entries that can never hit, each pinning documents.  Pushdown
+    # changes the compiled plan shape, so the flag is part of the key.
     if use_cache and not optimize and plancache.module_cache_safe(module):
         plan_key = (
             plancache.fingerprint([module]),
             resolve_backend(backend).backend_name,
             plancache.documents_fingerprint(resolver),
+            bool(use_pushdown),
         )
         plan = _PLAN_CACHE.get(plan_key)
     if plan is None:
@@ -260,15 +297,23 @@ def evaluate_query(module: ast.Module,
         if known:
             default_document = resolver.resolve(known[0])
         compiler = AlgebraCompiler(documents=resolver, document=default_document,
-                                   functions=module.function_map(), backend=backend)
+                                   functions=module.function_map(), backend=backend,
+                                   push_predicates=use_pushdown)
+        from repro.algebra.operators import LiteralTable
+
         evaluator = Evaluator()
         compile_context = compiler.initial_context()
+        bound_variables = {name: list(value) if isinstance(value, (list, tuple)) else [value]
+                           for name, value in (variables or {}).items()}
         for declaration in module.variables:
             if declaration.value is None:
-                continue
-            value = evaluator.evaluate(declaration.value, DynamicContext(documents=resolver))
-            from repro.algebra.operators import LiteralTable
-
+                # External declaration: inline the caller's binding (such
+                # modules are never plan-cached — see module_cache_safe).
+                if not declaration.external or declaration.name not in bound_variables:
+                    continue
+                value = bound_variables[declaration.name]
+            else:
+                value = evaluator.evaluate(declaration.value, DynamicContext(documents=resolver))
             rows = [(1, position, item) for position, item in enumerate(value, start=1)]
             compile_context = compile_context.bind(
                 declaration.name,

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -67,6 +68,9 @@ class RunResult:
     #: many unmeasured warmup runs preceded them.
     repeats: int = 1
     warmup: int = 0
+    #: Peak traced allocation (KiB) of one tracemalloc-instrumented run
+    #: (measured separately from the timed runs — tracing skews time).
+    peak_mem_kb: Optional[float] = None
 
     def as_dict(self) -> dict:
         return {
@@ -84,6 +88,7 @@ class RunResult:
             "paper_row": self.paper_row,
             "repeats": self.repeats,
             "warmup": self.warmup,
+            "peak_mem_kb": self.peak_mem_kb,
         }
 
 
@@ -124,7 +129,7 @@ class BenchmarkHarness:
     def run(self, workload_name: str, size_label: str, engine: str = "ifp",
             algorithm: str = "delta", seed_limit: Optional[int] = None,
             backend: Optional[str] = None, repeats: int = 1,
-            warmup: int = 0) -> RunResult:
+            warmup: int = 0, measure_memory: bool = True) -> RunResult:
         """Run one (workload, size, engine, algorithm) combination.
 
         ``backend`` selects the algebra engine's table storage (``"row"`` or
@@ -132,7 +137,11 @@ class BenchmarkHarness:
         the other engines.  ``warmup`` unmeasured runs precede ``repeats``
         measured ones; the reported time is the best (minimum) measured run,
         so one-time costs — lazy index builds, module caches — are charged
-        to warmup, matching the steady-state serving pattern.
+        to warmup, matching the steady-state serving pattern.  Unless
+        ``measure_memory`` is off, one extra run executes under tracemalloc
+        *after* the timed ones (tracing roughly doubles allocation costs, so
+        it must never share a run with a timing) and reports the peak traced
+        allocation as ``peak_mem_kb``.
         """
         prepared = self.prepare(workload_name, size_label)
         workload = prepared.workload
@@ -158,6 +167,8 @@ class BenchmarkHarness:
         best = min((once() for _ in range(repeats)), key=lambda r: r.seconds)
         best.repeats = repeats
         best.warmup = warmup
+        if measure_memory:
+            best.peak_mem_kb = _measure_peak_memory(once)
         return best
 
     def compare(self, workload_name: str, size_label: str,
@@ -338,6 +349,24 @@ class BenchmarkHarness:
                 module = optimize_module(module)
             prepared.modules[key] = module
         return prepared.modules[key]
+
+
+def _measure_peak_memory(run) -> Optional[float]:
+    """Peak traced allocation of one *run* call, in KiB.
+
+    Skipped (returns ``None``) when tracemalloc is already tracing — e.g.
+    when the whole benchmark process runs under ``python -X tracemalloc`` —
+    rather than resetting someone else's trace.
+    """
+    if tracemalloc.is_tracing():
+        return None
+    tracemalloc.start()
+    try:
+        run()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return round(peak / 1024.0, 1)
 
 
 def _seed_with_expression(workload: Workload, algorithm: str):

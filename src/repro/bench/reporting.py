@@ -44,7 +44,7 @@ def results_to_csv(results: Iterable[RunResult]) -> str:
     writer = csv.DictWriter(buffer, fieldnames=[
         "workload", "size", "engine", "algorithm", "backend", "seconds", "items",
         "nodes_fed_back", "recursion_depth", "ifp_evaluations", "seed_limit", "paper_row",
-        "repeats", "warmup",
+        "repeats", "warmup", "peak_mem_kb",
     ])
     writer.writeheader()
     for result in results:

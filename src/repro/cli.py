@@ -54,8 +54,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-index", action="store_true",
                         help="disable the per-document structural index and answer "
                              "axis steps by walking node objects (A/B escape hatch)")
+    parser.add_argument("--no-pushdown", action="store_true",
+                        help="disable predicate pushdown and evaluate every "
+                             "predicate through the per-item focus loop "
+                             "(A/B escape hatch)")
     parser.add_argument("--no-plan-cache", action="store_true",
                         help="disable the parsed-module / compiled-plan caches")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-axis/per-kernel batch-vs-fallback hit "
+                             "and timing counters after evaluation")
     parser.add_argument("--emit-sql", action="store_true",
                         help="print the SQL the sql engine generates for every "
                              "with … recurse fixpoint in the query, then exit")
@@ -89,7 +96,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     if arguments.emit_sql:
-        return _emit_sql(query, arguments.algorithm)
+        return _emit_sql(query, arguments.algorithm,
+                         push_predicates=not arguments.no_pushdown)
 
     resolver = DocumentResolver()
     for uri, path in arguments.doc:
@@ -103,7 +111,9 @@ def main(argv: list[str] | None = None) -> int:
         engine=arguments.engine,
         backend=arguments.backend,
         use_index=not arguments.no_index,
+        use_pushdown=not arguments.no_pushdown,
         use_cache=not arguments.no_plan_cache,
+        profile=arguments.profile,
     )
     print(serialize_sequence(result.items))
     if arguments.stats:
@@ -113,15 +123,21 @@ def main(argv: list[str] | None = None) -> int:
             f"max recursion depth: {result.recursion_depth}",
             file=sys.stderr,
         )
+    if arguments.profile:
+        from repro.xquery.pushdown import format_profile
+
+        print("\n-- pushdown profile (batch vs fallback)", file=sys.stderr)
+        print(format_profile(result.profile or {}), file=sys.stderr)
     return 0
 
 
-def _emit_sql(query: str, ifp_algorithm: str) -> int:
+def _emit_sql(query: str, ifp_algorithm: str, push_predicates: bool = True) -> int:
     """Print the SQL the sql engine would run for each fixpoint in *query*."""
     from repro.sqlbackend.executor import fixpoint_statements
     from repro.xquery.parser import parse_query
 
-    pairs = fixpoint_statements(parse_query(query), ifp_algorithm=ifp_algorithm)
+    pairs = fixpoint_statements(parse_query(query), ifp_algorithm=ifp_algorithm,
+                                push_predicates=push_predicates)
     if not pairs:
         print("-- the query contains no with … recurse fixpoints")
         return 0

@@ -118,9 +118,13 @@ def module_cache_safe(module: ast.Module) -> bool:
     The body may construct nodes (the plan's constructor operators mint
     fresh identities each run); prolog variable *values* may not, because
     they are evaluated once at compile time and frozen into the plan.
+    External variables also disqualify a module: their caller-supplied
+    bindings are baked into the plan (literal tables, pushed predicate
+    constants), and the plan key does not cover those values.
     """
     return not any(
-        declaration.value is not None and contains_constructor(declaration.value)
+        declaration.external or (
+            declaration.value is not None and contains_constructor(declaration.value))
         for declaration in module.variables
     )
 

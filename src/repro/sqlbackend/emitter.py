@@ -29,10 +29,19 @@ distributive in the recursion variable (they are exactly the STEP rules of
 the Figure 5 analysis), handing the iteration to the RDBMS's semi-naive
 CTE evaluator is always sound here.
 
-Anything beyond a linear chain — predicates, conditionals, aggregates,
-user-defined functions, sequence/union bodies — makes :func:`emit_fixpoint_sql`
-return ``None`` and the executor falls back to the iterative driver loop
-(:mod:`repro.sqlbackend.executor`).
+Steps may carry *recognized predicate shapes* (the pushdown fragment of
+:mod:`repro.xquery.pushdown`): ``[@a = "v"]``, ``[name = $v]`` and the
+existence tests ``[@a]`` / ``[name]`` become ``EXISTS`` probes against the
+shredded ``attr``/``node`` tables — riding the ``(owner, name)`` attribute
+index and the ``(parent, name)`` child index — *inside* the recursive
+members, so the filter runs in SQLite every round instead of being
+re-evaluated in Python after decoding.  Variable right-hand sides are
+inlined from the caller's bindings when every bound value is a string.
+
+Anything beyond such a chain — positional or unrecognized predicates,
+conditionals, aggregates, user-defined functions, sequence/union bodies —
+makes :func:`emit_fixpoint_sql` return ``None`` and the executor falls
+back to the iterative driver loop (:mod:`repro.sqlbackend.executor`).
 
 Known simplification: the ``fn:id`` join matches a *single* ID token per
 argument node — the string value with surrounding whitespace trimmed —
@@ -48,6 +57,11 @@ from dataclasses import dataclass
 
 from repro.sqlgen.with_recursive import format_with_recursive
 from repro.xquery import ast
+from repro.xquery.pushdown import (
+    ValueShape,
+    recognize_predicate,
+    string_values_or_none,
+)
 
 #: Axis name → join condition template; ``{b}`` is the new alias, ``{a}``
 #: the context alias (a row of the ``node`` table).
@@ -123,23 +137,30 @@ class FixpointSql:
         return self._statement("VALUES (?) /* one row per seed node */")
 
 
-def emit_fixpoint_sql(body: ast.Expr, variable: str) -> FixpointSql | None:
+def emit_fixpoint_sql(body: ast.Expr, variable: str,
+                      variables: dict | None = None,
+                      push_predicates: bool = True) -> FixpointSql | None:
     """Emit the recursive-CTE step member for *body*, or ``None``.
 
     *body* must be a linear step chain over *variable*: axis steps with
-    name/kind tests and no predicates, optionally ending in (or passing
-    through) an ``fn:id`` call whose argument is itself a step chain from
-    the context item.
+    name/kind tests, optionally ending in (or passing through) an ``fn:id``
+    call whose argument is itself a step chain from the context item.
+    Step predicates are pushed as ``EXISTS`` probes when they are
+    recognized value/existence shapes (*push_predicates*); *variables*
+    supplies bindings used to inline variable right-hand sides.
     """
     try:
-        return _Emitter(variable).emit(body)
+        return _Emitter(variable, variables, push_predicates).emit(body)
     except _NotEmittable:
         return None
 
 
 class _Emitter:
-    def __init__(self, variable: str):
+    def __init__(self, variable: str, variables: dict | None = None,
+                 push_predicates: bool = True):
         self.variable = variable
+        self.variables = variables or {}
+        self.push_predicates = push_predicates
         self.joins: list[str] = []
         self.guards: list[str] = []
         self._tests: dict[str, ast.NodeTest] = {}
@@ -153,7 +174,13 @@ class _Emitter:
         return alias
 
     def _join(self, table: str, alias: str, condition: str) -> None:
-        self.joins.append(f"JOIN {table} AS {alias} ON {condition}")
+        # CROSS JOIN is SQLite's manual join-order override: the member must
+        # stay frontier-driven (read s first, then walk the chain), and the
+        # planner's cost model demonstrably inverts the order once pushed
+        # EXISTS probes enter the picture — scanning all name-test matches
+        # per round instead of the frontier.  Semantically identical to
+        # JOIN … ON in SQLite.
+        self.joins.append(f"CROSS JOIN {table} AS {alias} ON {condition}")
 
     # -- entry point ---------------------------------------------------------
 
@@ -201,8 +228,6 @@ class _Emitter:
 
     def _apply_step(self, step: ast.Expr, context_alias: str) -> str:
         if isinstance(step, ast.AxisStep):
-            if step.predicates:
-                raise _NotEmittable
             return self._axis_join(step, context_alias)
         if isinstance(step, ast.FunctionCall) and step.name in ("id", "fn:id") \
                 and len(step.args) == 1:
@@ -216,9 +241,59 @@ class _Emitter:
         alias = self._fresh()
         clauses = [condition.format(a=context_alias, b=alias)]
         clauses.extend(self._node_test_clauses(step.node_test, alias))
+        for predicate in step.predicates:
+            clauses.append(self._predicate_clause(predicate, alias))
         self._join("node", alias, " AND ".join(clauses))
         self._tests[alias] = step.node_test
         return alias
+
+    def _predicate_clause(self, predicate: ast.Expr, alias: str) -> str:
+        """A recognized value/existence predicate as an ``EXISTS`` probe.
+
+        Positional shapes cannot be expressed per-context-node inside a
+        recursive member (no window functions there), so they — like every
+        unrecognized shape — hand the fixpoint to the driver loop.
+        """
+        if not self.push_predicates:
+            raise _NotEmittable
+        shape = recognize_predicate(predicate)
+        if not isinstance(shape, ValueShape):
+            raise _NotEmittable
+        values = self._shape_values(shape)
+        if shape.target == "attr":
+            clauses = [f"p.owner = {alias}.pre", f"p.name = {_quote(shape.name)}"]
+            table = "attr"
+        else:
+            clauses = [f"p.parent = {alias}.pre", "p.kind = 'element'",
+                       f"p.name = {_quote(shape.name)}"]
+            table = "node"
+        if values is not None:
+            if not values:
+                return "0"  # empty comparison sequence matches nothing
+            if len(values) == 1:
+                clauses.append(f"p.value = {_quote(values[0])}")
+            else:
+                quoted = ", ".join(_quote(value) for value in values)
+                clauses.append(f"p.value IN ({quoted})")
+        return (f"EXISTS (SELECT 1 FROM {table} AS p "
+                f"WHERE {' AND '.join(clauses)})")
+
+    def _shape_values(self, shape: ValueShape):
+        """Constant strings of the shape's right-hand side (``None`` for
+        existence tests); non-string operands are not emittable."""
+        if shape.rhs is None:
+            return None
+        if isinstance(shape.rhs, ast.Literal):
+            values = string_values_or_none([shape.rhs.value])
+        elif isinstance(shape.rhs, ast.VarRef):
+            if shape.rhs.name not in self.variables:
+                raise _NotEmittable
+            values = string_values_or_none(self.variables[shape.rhs.name])
+        else:  # pragma: no cover - recognizer only emits the above
+            values = None
+        if values is None:
+            raise _NotEmittable
+        return values
 
     def _node_test_clauses(self, test: ast.NodeTest, alias: str) -> list[str]:
         if test.kind == "name":

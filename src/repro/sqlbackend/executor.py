@@ -43,6 +43,7 @@ from repro.xdm.sequence import ensure_node_sequence
 from repro.xquery import ast
 from repro.xquery.context import DynamicContext
 from repro.xquery.evaluator import Evaluator
+from repro.xquery.pushdown import PROFILE
 
 
 class SqlFixpointExecutor:
@@ -56,13 +57,18 @@ class SqlFixpointExecutor:
 
     def run(self, expr: ast.WithExpr, seed: list,
             body: Callable[[list], list], algorithm: str,
-            max_iterations: int = 100_000) -> FixpointResult:
+            max_iterations: int = 100_000,
+            variables: dict | None = None,
+            push_predicates: bool = True) -> FixpointResult:
         """Evaluate the fixpoint of *expr* seeded by *seed*.
 
         ``algorithm`` is the decision of the usual Naive/Delta procedure
         (``using`` clause, engine options, distributivity analysis):
         ``"delta"`` selects the recursive CTE whenever the body is
         emittable, ``"naive"`` always iterates the driver loop.
+        ``variables`` are the caller's in-scope bindings — the emitter
+        inlines them into pushed predicate probes; ``push_predicates``
+        mirrors the engine's ``use_pushdown`` option.
         """
         seed_nodes = ensure_node_sequence(list(seed), "inflationary fixed point seed")
         seed_pres = self.store.encode(seed_nodes)
@@ -72,9 +78,15 @@ class SqlFixpointExecutor:
             # Attribute seeds cannot enter the CTE: their pre ranks live in
             # the attr table, which the emitted chain never reads — the
             # driver loop gives them the interpreter's semantics instead.
-            emitted = emit_fixpoint_sql(expr.body, expr.var)
+            emitted = emit_fixpoint_sql(expr.body, expr.var,
+                                        variables=variables,
+                                        push_predicates=push_predicates)
         if emitted is not None and not self._guards_trip(emitted):
+            if PROFILE.enabled:
+                PROFILE.record("sql:fixpoint", True)
             return self._run_cte(emitted, seed_pres)
+        if PROFILE.enabled:
+            PROFILE.record("sql:fixpoint", False)
         return self._run_driver_loop(seed_nodes, seed_pres, body, algorithm,
                                      max_iterations)
 
@@ -231,6 +243,8 @@ class SQLEvaluator(Evaluator):
         result = self.executor.run(
             expr, seed, body, algorithm,
             max_iterations=context.options.max_ifp_iterations,
+            variables=context.variables,
+            push_predicates=context.options.use_pushdown,
         )
         if context.statistics is not None and hasattr(context.statistics, "record_ifp"):
             context.statistics.record_ifp(result.statistics)
@@ -238,14 +252,18 @@ class SQLEvaluator(Evaluator):
 
 
 def fixpoint_statements(module_or_expr, optimize: bool = True,
-                        ifp_algorithm: str = "auto") -> list[tuple[ast.WithExpr, Optional[FixpointSql]]]:
+                        ifp_algorithm: str = "auto",
+                        push_predicates: bool = True) -> list[tuple[ast.WithExpr, Optional[FixpointSql]]]:
     """All ``with … recurse`` forms of a query plus their emitted SQL.
 
     Returns ``(expr, emitted)`` pairs where ``emitted`` is ``None`` for
     fixpoints the sql engine would run through the driver loop — bodies
     that are not a linear step chain, and fixpoints forced to Naive (a
     ``using naive`` clause, or *ifp_algorithm* = ``"naive"`` mirroring the
-    engine-level option).  Used by the CLI's ``--emit-sql``.
+    engine-level option).  Used by the CLI's ``--emit-sql``.  Variable
+    right-hand sides of pushed predicates are unknown here, so such bodies
+    display as driver-loop fallbacks even though the engine may still
+    inline the runtime bindings.
     """
     from repro.xquery.optimizer import optimize_module
 
@@ -267,7 +285,8 @@ def fixpoint_statements(module_or_expr, optimize: bool = True,
             if isinstance(sub, ast.WithExpr):
                 effective = (sub.algorithm if sub.algorithm in ("naive", "delta")
                              else ifp_algorithm)
-                emitted = (emit_fixpoint_sql(sub.body, sub.var)
+                emitted = (emit_fixpoint_sql(sub.body, sub.var,
+                                             push_predicates=push_predicates)
                            if effective != "naive" else None)
                 pairs.append((sub, emitted))
     return pairs

@@ -61,6 +61,10 @@ _KIND_CLASSES = {
     "document-node": DocumentNode,
 }
 
+#: Shared empty results for value-index misses (never mutated).
+_EMPTY_SET: frozenset = frozenset()
+_EMPTY_DICT: dict = {}
+
 
 class StructuralIndex:
     """Pre/post-plane arrays plus name indexes for one tree.
@@ -73,7 +77,9 @@ class StructuralIndex:
 
     __slots__ = ("root", "nodes", "pre_of", "post", "level", "parent_pre",
                  "size", "sib_pos", "name_pres", "elem_pres", "kind_pres",
-                 "_child_by_name")
+                 "_child_by_name", "_attr_owner_sets", "_attr_value_sets",
+                 "_child_parent_sets", "_elem_value_sets",
+                 "_child_value_parent_sets")
 
     def __init__(self, root: Node):
         self.root = root
@@ -136,6 +142,86 @@ class StructuralIndex:
         self.elem_pres = elem_pres
         self.kind_pres = kind_pres
         self._child_by_name: dict[int, dict[str, list[Node]]] = {}
+        self._reset_value_indexes()
+
+    # -- value inverted indexes ----------------------------------------------
+    #
+    # Built lazily from the pre-order arrays on the first value-predicate
+    # kernel call; dropped (only these — the plane arrays stay valid) by the
+    # value-mutation hook (:func:`invalidate_value_indexes`).
+
+    def _reset_value_indexes(self) -> None:
+        #: attribute name → set of owner-element pres
+        self._attr_owner_sets: Optional[dict[str, set[int]]] = None
+        #: attribute name → value → set of owner-element pres
+        self._attr_value_sets: Optional[dict[str, dict[str, set[int]]]] = None
+        #: element name → set of parent pres (child-existence tests)
+        self._child_parent_sets: dict[str, set[int]] = {}
+        #: element name → string value → set of element pres
+        self._elem_value_sets: dict[str, dict[str, set[int]]] = {}
+        #: (element name, string value) → set of parent pres
+        self._child_value_parent_sets: dict[tuple[str, str], set[int]] = {}
+
+    def clear_value_indexes(self) -> None:
+        """Drop the lazy value indexes (after a value mutation)."""
+        self._reset_value_indexes()
+
+    def _build_attr_indexes(self) -> None:
+        owner_sets: dict[str, set[int]] = {}
+        value_sets: dict[str, dict[str, set[int]]] = {}
+        nodes = self.nodes
+        for pre in self.elem_pres:
+            for attribute in nodes[pre].attributes:
+                owner_sets.setdefault(attribute.name, set()).add(pre)
+                value_sets.setdefault(attribute.name, {}).setdefault(
+                    attribute.value, set()).add(pre)
+        self._attr_owner_sets = owner_sets
+        self._attr_value_sets = value_sets
+
+    def attr_owner_pres(self, name: str) -> set[int]:
+        """Pres of elements carrying an attribute called *name*."""
+        if self._attr_owner_sets is None:
+            self._build_attr_indexes()
+        return self._attr_owner_sets.get(name, _EMPTY_SET)
+
+    def attr_value_owner_pres(self, name: str, value: str) -> set[int]:
+        """Pres of elements carrying attribute *name* with exactly *value*."""
+        if self._attr_value_sets is None:
+            self._build_attr_indexes()
+        return self._attr_value_sets.get(name, _EMPTY_DICT).get(value, _EMPTY_SET)
+
+    def child_name_parent_pres(self, name: str) -> set[int]:
+        """Pres of nodes having an element child called *name*."""
+        parents = self._child_parent_sets.get(name)
+        if parents is None:
+            parent_pre = self.parent_pre
+            parents = {parent_pre[p] for p in self.name_pres.get(name, ())
+                       if parent_pre[p] >= 0}
+            self._child_parent_sets[name] = parents
+        return parents
+
+    def elem_value_pres(self, name: str, value: str) -> set[int]:
+        """Pres of elements called *name* whose string value equals *value*."""
+        by_value = self._elem_value_sets.get(name)
+        if by_value is None:
+            by_value = {}
+            nodes = self.nodes
+            for pre in self.name_pres.get(name, ()):
+                by_value.setdefault(nodes[pre].string_value(), set()).add(pre)
+            self._elem_value_sets[name] = by_value
+        return by_value.get(value, _EMPTY_SET)
+
+    def child_value_parent_pres(self, name: str, value: str) -> set[int]:
+        """Pres of nodes having a child element *name* with string value
+        *value* — the membership set of ``[name = "value"]``."""
+        key = (name, value)
+        parents = self._child_value_parent_sets.get(key)
+        if parents is None:
+            parent_pre = self.parent_pre
+            parents = {parent_pre[p] for p in self.elem_value_pres(name, value)
+                       if parent_pre[p] >= 0}
+            self._child_value_parent_sets[key] = parents
+        return parents
 
     # -- basic lookups --------------------------------------------------------
 
@@ -400,6 +486,21 @@ def invalidate_index(node: Node) -> None:
     _REGISTRY.pop(id(_root_of(node)), None)
 
 
+def invalidate_value_indexes(node: Node) -> None:
+    """Drop the *value* indexes of the tree containing *node*.
+
+    Installed into :mod:`repro.xdm.node` as the value-change hook
+    (``set_value`` on attributes and text nodes).  Structural arrays stay
+    valid — only the lazy value inverted indexes are reset, so the next
+    value predicate rebuilds them from the current values.
+    """
+    if not _REGISTRY:
+        return
+    entry = _REGISTRY.get(id(_root_of(node)))
+    if entry is not None:
+        entry[1].clear_value_indexes()
+
+
 def clear_index_registry() -> None:
     """Drop every cached index (test isolation / memory pressure)."""
     _REGISTRY.clear()
@@ -410,6 +511,7 @@ def registry_size() -> int:
 
 
 _node_module._structure_change_hook = invalidate_index
+_node_module._value_change_hook = invalidate_value_indexes
 
 
 # ---------------------------------------------------------------------------

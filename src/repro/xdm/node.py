@@ -57,10 +57,21 @@ def reset_node_counter() -> None:
 #: no index can exist before then, so construction pays nothing.
 _structure_change_hook = None
 
+#: Companion hook for *value* mutations (attribute rewrites, text edits):
+#: the pre/post plane of a cached structural index stays valid, but its
+#: lazily built value inverted indexes must be dropped.  Also ``None``
+#: until :mod:`repro.xdm.index` is imported.
+_value_change_hook = None
+
 
 def _notify_structure_change(node: "Node") -> None:
     if _structure_change_hook is not None:
         _structure_change_hook(node)
+
+
+def _notify_value_change(node: "Node") -> None:
+    if _value_change_hook is not None:
+        _value_change_hook(node)
 
 
 class Node:
@@ -360,6 +371,11 @@ class AttributeNode(Node):
     def name(self) -> str:
         return self._name
 
+    def set_value(self, value: str) -> None:
+        """Rewrite the attribute value, invalidating cached value indexes."""
+        self.value = value
+        _notify_value_change(self)
+
     def string_value(self) -> str:
         return self.value
 
@@ -374,6 +390,16 @@ class TextNode(Node):
     def __init__(self, content: str):
         super().__init__()
         self.content = content
+
+    def set_value(self, content: str) -> None:
+        """Rewrite the text content, invalidating cached value indexes.
+
+        Element string values are concatenations of descendant text, so a
+        text edit changes the value of every ancestor element as well — the
+        hook drops the whole tree's value indexes.
+        """
+        self.content = content
+        _notify_value_change(self)
 
     def string_value(self) -> str:
         return self.content

@@ -40,6 +40,13 @@ class EvaluationOptions:
         Answer axis steps from the per-document structural index
         (:mod:`repro.xdm.index`) instead of walking node objects.  On by
         default; the CLI's ``--no-index`` switches it off for A/B runs.
+    use_pushdown:
+        Route recognized predicate shapes (``[@a = "v"]``, ``[name = $v]``,
+        existence and positional predicates) through the batch predicate
+        kernels of :mod:`repro.xquery.pushdown` instead of the per-item
+        focus loop.  On by default; the CLI's ``--no-pushdown`` switches it
+        off for A/B runs.  With ``use_index`` off the kernels still apply,
+        probing nodes directly instead of the value inverted indexes.
     """
 
     ifp_algorithm: str = "auto"
@@ -48,6 +55,7 @@ class EvaluationOptions:
     max_recursion_depth: int = 500
     collect_statistics: bool = True
     use_index: bool = True
+    use_pushdown: bool = True
 
 
 @dataclass

@@ -49,8 +49,10 @@ from repro.xdm.sequence import (
     node_union,
 )
 from repro.xquery import ast
+from repro.xquery import pushdown
 from repro.xquery.context import DynamicContext
 from repro.xquery.functions import lookup_builtin
+from repro.xquery.pushdown import PROFILE, PositionShape
 
 Sequence = list
 
@@ -401,17 +403,38 @@ class Evaluator:
 
     def _eval_path(self, expr: ast.PathExpr, context: DynamicContext) -> Sequence:
         left = self.evaluate(expr.left, context)
-        # Vectorized fast path: a predicate-free axis step applied to a whole
-        # node column is one batch kernel call (dedup + document order
-        # included), skipping the per-node focus loop and the final ddo.
-        if (isinstance(expr.right, ast.AxisStep) and not expr.right.predicates
+        # Vectorized fast path: an axis step applied to a whole node column
+        # is one batch kernel call (dedup + document order included),
+        # skipping the per-node focus loop and the final ddo.  Predicates
+        # ride along when every one is a recognized *non-positional* shape:
+        # value/existence tests depend only on the candidate node, so
+        # filtering the merged column equals filtering per context node.
+        # (Positional shapes count per context node — the per-node loop
+        # below still batch-slices them inside _eval_axis_step.)
+        if (isinstance(expr.right, ast.AxisStep)
                 and context.static.options.use_index
                 and all(is_node(item) for item in left)):
             step = expr.right
-            result = batch_step(left, step.axis, step.node_test.kind,
-                                step.node_test.name)
-            if result is not None:
-                return result
+            fusible = not step.predicates
+            if not fusible and context.static.options.use_pushdown:
+                shapes = [pushdown.recognize_predicate(p) for p in step.predicates]
+                fusible = all(shape is not None
+                              and not isinstance(shape, PositionShape)
+                              for shape in shapes)
+            if fusible:
+                timer = PROFILE.timer() if PROFILE.enabled else 0.0
+                result = batch_step(left, step.axis, step.node_test.kind,
+                                    step.node_test.name)
+                if result is not None:
+                    if step.predicates:
+                        result = self._apply_predicates(result, step.predicates,
+                                                        context)
+                    if PROFILE.enabled:
+                        PROFILE.record(f"step:{step.axis}", True,
+                                       PROFILE.timer() - timer)
+                    return result
+                if PROFILE.enabled:
+                    PROFILE.record(f"step:{step.axis}", False)
         results: Sequence = []
         size = len(left)
         for position, item in enumerate(left, start=1):
@@ -440,9 +463,13 @@ class Evaluator:
                 f"axis step '{expr.axis}::' requires a node context item", code="XPTY0020"
             )
         matched = None
+        timer = PROFILE.timer() if PROFILE.enabled else 0.0
         if context.static.options.use_index:
             matched = indexed_step(node, expr.axis, expr.node_test.kind,
                                    expr.node_test.name)
+        if PROFILE.enabled:
+            PROFILE.record(f"axis:{expr.axis}", matched is not None,
+                           PROFILE.timer() - timer)
         if matched is None:
             candidates = self._axis_nodes(node, expr.axis)
             matched = [candidate for candidate in candidates
@@ -509,16 +536,63 @@ class Evaluator:
     def _apply_predicates(self, items: Sequence, predicates: tuple[ast.Expr, ...],
                           context: DynamicContext) -> Sequence:
         current = list(items)
+        use_pushdown = context.static.options.use_pushdown
+        index_set = None
         for predicate in predicates:
+            if use_pushdown and current:
+                filtered = self._apply_predicate_batch(current, predicate,
+                                                       context, index_set)
+                if filtered is not None:
+                    current, index_set = filtered
+                    continue
             retained: Sequence = []
             size = len(current)
+            timer = PROFILE.timer() if PROFILE.enabled else 0.0
             for position, item in enumerate(current, start=1):
                 focused = context.with_focus(item, position, size)
                 value = self.evaluate(predicate, focused)
                 if self._predicate_holds(value, position):
                     retained.append(item)
+            if PROFILE.enabled:
+                PROFILE.record("pred:fallback", False, PROFILE.timer() - timer)
             current = retained
         return current
+
+    def _apply_predicate_batch(self, items: Sequence, predicate: ast.Expr,
+                               context: DynamicContext, index_set):
+        """Filter *items* through a batch predicate kernel.
+
+        Returns ``(filtered items, index set)`` — the index set is threaded
+        so consecutive value predicates share the per-tree index resolution
+        — or ``None`` when the predicate (or its runtime operand types)
+        requires the per-item focus loop.
+        """
+        shape = pushdown.recognize_predicate(predicate)
+        if shape is None:
+            return None
+        timer = PROFILE.timer() if PROFILE.enabled else 0.0
+        if isinstance(shape, PositionShape):
+            result = pushdown.positional_filter(list(items), shape)
+            if PROFILE.enabled:
+                PROFILE.record("pred:positional", True, PROFILE.timer() - timer)
+            return result, index_set
+        if not all(is_node(item) for item in items):
+            return None  # the focus loop raises the proper type error
+        values = pushdown.resolve_rhs(
+            shape, lambda name: context.variables.get(name))
+        if values is None:
+            return None  # non-string operands: numeric promotion semantics
+        use_index = context.static.options.use_index
+        if use_index and index_set is None:
+            from repro.xdm.index import IndexSet
+
+            index_set = IndexSet()
+        result = pushdown.apply_value_shape(list(items), shape, values,
+                                            use_index=use_index,
+                                            index_set=index_set)
+        if PROFILE.enabled:
+            PROFILE.record(f"pred:{shape.kind}", True, PROFILE.timer() - timer)
+        return result, index_set
 
     def _predicate_holds(self, value: Sequence, position: int) -> bool:
         if len(value) == 1 and is_numeric(value[0]) and not isinstance(value[0], bool):

@@ -237,12 +237,17 @@ class TestCompilerAndFixpoint:
     def test_unsupported_constructs_raise_algebra_errors(self, curriculum_document):
         compiler = AlgebraCompiler(document=curriculum_document)
         with pytest.raises(AlgebraError):
-            compiler.compile(parse_expression("$doc/a[3]"),
-                             compiler.initial_context({"doc": RecursionInput("doc")}))
-        with pytest.raises(AlgebraError):
             compiler.compile(parse_expression("some $y in (1,2) satisfies $y = 1"))
         with pytest.raises(AlgebraError):
             compiler.compile(parse_expression("$missing"))
+        # Positional predicates compile via pushdown (attached to the step
+        # macro); without pushdown they still hit the classical rejection.
+        compiler.compile(parse_expression("$doc/a[3]"),
+                         compiler.initial_context({"doc": RecursionInput("doc")}))
+        no_push = AlgebraCompiler(document=curriculum_document, push_predicates=False)
+        with pytest.raises(AlgebraError):
+            no_push.compile(parse_expression("$doc/a[3]"),
+                            no_push.initial_context({"doc": RecursionInput("doc")}))
 
     def test_fixpoint_under_iteration_is_rejected(self, curriculum_document, curriculum_resolver):
         compiler = AlgebraCompiler(documents=curriculum_resolver, document=curriculum_document)

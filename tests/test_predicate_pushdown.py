@@ -1,0 +1,302 @@
+"""Predicate pushdown: batch kernels vs the naive focus loop, all engines.
+
+The property suite generates randomized documents and runs every pushable
+predicate shape — attribute/child value comparisons (literal and variable
+right-hand sides), existence tests, positional predicates — through each
+engine with pushdown on and off, cross-checking against the fully naive
+interpreter (no index, no pushdown).  Results must be *item-identical*
+(same node objects in the same order), which is the contract that lets the
+engines switch paths freely.
+
+The invalidation tests pin the value-mutation hooks: after ``set_value``
+on an attribute or text node the value inverted indexes must never serve
+stale entries, while the structural arrays survive untouched.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import evaluate
+from repro.errors import AlgebraError
+from repro.xdm import index as xdm_index
+from repro.xdm.node import ElementNode, TextNode
+from repro.xmlio.parser import parse_xml
+from repro.xquery import pushdown
+from repro.xquery.context import DocumentResolver
+from repro.xquery.parser import parse_expression
+
+ENGINES = ("interpreter", "algebra", "sql")
+
+
+# ---------------------------------------------------------------------------
+# randomized documents
+# ---------------------------------------------------------------------------
+
+
+def random_document(seed: int):
+    """A random small tree over a fixed name/value pool (parsed XML)."""
+    rng = random.Random(seed)
+    names = ["item", "sub", "wrap"]
+    attr_names = ["k", "m"]
+    values = [f"v{i}" for i in range(4)]
+    texts = [f"t{i}" for i in range(3)]
+
+    def element(depth: int) -> str:
+        name = rng.choice(names)
+        attributes = "".join(
+            f' {attr}="{rng.choice(values)}"'
+            for attr in attr_names if rng.random() < 0.6
+        )
+        if rng.random() < 0.5:
+            attributes += f' n="{rng.randrange(4)}"'
+        if depth >= 3 or rng.random() < 0.3:
+            return f"<{name}{attributes}>{rng.choice(texts)}</{name}>"
+        children = "".join(element(depth + 1)
+                           for _ in range(rng.randrange(1, 4)))
+        return f"<{name}{attributes}>{children}</{name}>"
+
+    body = "".join(element(1) for _ in range(rng.randrange(3, 7)))
+    return parse_xml(f"<root>{body}</root>")
+
+
+#: Query bodies over the random documents; {d} is the fn:doc call.
+PREDICATE_QUERIES = [
+    '{d}//item[@k = "v1"]',
+    '{d}//item[@k = $v]',
+    '{d}//item[@m]',
+    '{d}//item[sub = "t1"]',
+    '{d}//item[sub = $v]',
+    '{d}//wrap[sub]',
+    '{d}//item[2]',
+    '{d}//item[last()]',
+    '{d}//item[position() < 3]',
+    '{d}//wrap/item[position() >= 2]',
+    '{d}//item[@k = "v2"][2]',
+    '{d}//item[@k = "v0"][sub]',
+    '{d}//sub/ancestor::item[1]',
+    '{d}//item/preceding-sibling::item[1]',
+    '{d}//item[@n = 2]',          # numeric rhs: must fall back, still agree
+    '{d}//item[@k = "v1"][count(sub) >= 0]',  # unrecognized tail predicate
+]
+
+VARIABLES = {"v": ["v1", "t1"]}
+
+
+def _has_positional(query: str) -> bool:
+    expr = parse_expression(
+        query.format(d='doc("r.xml")').replace("$v", '"v1"'))
+    return any(
+        isinstance(pushdown.recognize_predicate(predicate), pushdown.PositionShape)
+        for sub in expr.iter_subexpressions()
+        if hasattr(sub, "predicates")
+        for predicate in sub.predicates
+    )
+
+
+def _evaluate(query: str, resolver, engine: str, use_pushdown: bool,
+              use_index: bool = True):
+    prolog = "declare variable $v external;\n" if "$v" in query else ""
+    return evaluate(prolog + query.format(d='doc("r.xml")'),
+                    documents=resolver, variables=VARIABLES, engine=engine,
+                    use_pushdown=use_pushdown, use_index=use_index,
+                    use_cache=False).items
+
+
+class TestPropertyCrossEngine:
+    @pytest.mark.parametrize("doc_seed", range(6))
+    @pytest.mark.parametrize("query", PREDICATE_QUERIES)
+    def test_all_engines_match_naive_interpreter(self, doc_seed, query):
+        resolver = DocumentResolver()
+        resolver.register("r.xml", random_document(doc_seed))
+        # Ground truth: per-item focus loops over naive axis walks.
+        expected = _evaluate(query, resolver, "interpreter",
+                             use_pushdown=False, use_index=False)
+        positional = _has_positional(query)
+        for engine in ENGINES:
+            for use_pushdown in (True, False):
+                if engine == "algebra" and positional and not use_pushdown:
+                    # The classical algebra compiler rejects positional
+                    # predicates; pushdown is what added the capability.
+                    with pytest.raises(AlgebraError):
+                        _evaluate(query, resolver, engine, use_pushdown)
+                    continue
+                got = _evaluate(query, resolver, engine, use_pushdown)
+                assert len(got) == len(expected), (
+                    f"{engine} pushdown={use_pushdown}: "
+                    f"{len(got)} items, expected {len(expected)}")
+                assert all(a is b for a, b in zip(got, expected)), (
+                    f"{engine} pushdown={use_pushdown}: items differ")
+
+
+FIXPOINT_QUERY = """
+with $x seeded by doc("g.xml")//n[@id = "n0"]
+recurse $x/id(./next)/self::n[@kind = "even"]{using}
+"""
+
+
+def linked_document(step: int = 3, count: int = 20):
+    xml = "<g>" + "".join(
+        f'<n id="n{i}" kind="{"odd" if i % 2 else "even"}">'
+        f"<next>n{(i + step) % count}</next></n>"
+        for i in range(count)) + "</g>"
+    return parse_xml(xml, id_attributes=("id",))
+
+
+class TestFixpointCrossEngine:
+    @pytest.mark.parametrize("using", ["", " using naive", " using delta"])
+    def test_predicate_fixpoint_item_identical(self, using):
+        resolver = DocumentResolver()
+        resolver.register("g.xml", linked_document(step=2))
+        query = FIXPOINT_QUERY.format(using=using)
+        expected = None
+        for engine in ENGINES:
+            for use_pushdown in (True, False):
+                got = evaluate(query, documents=resolver, engine=engine,
+                               use_pushdown=use_pushdown, use_cache=False).items
+                if expected is None:
+                    expected = got
+                    assert got, "closure unexpectedly empty"
+                assert len(got) == len(expected)
+                assert all(a is b for a, b in zip(got, expected)), (
+                    f"{engine} pushdown={use_pushdown} using={using!r}")
+
+
+# ---------------------------------------------------------------------------
+# recognizer and positional kernel units
+# ---------------------------------------------------------------------------
+
+
+class TestRecognizer:
+    @pytest.mark.parametrize("source, kind", [
+        ('@a = "x"', "attr-eq"),
+        ('"x" = @a', "attr-eq"),
+        ('name = $v', "child-eq"),
+        ("@a", "attr-exists"),
+        ("child::name", "child-exists"),
+    ])
+    def test_value_shapes(self, source, kind):
+        shape = pushdown.recognize_predicate(parse_expression(source))
+        assert isinstance(shape, pushdown.ValueShape) and shape.kind == kind
+
+    @pytest.mark.parametrize("source, op, value", [
+        ("3", "=", 3),
+        ("last()", "=", None),
+        ("position() < 4", "<", 4),
+        ("2 <= position()", ">=", 2),
+    ])
+    def test_positional_shapes(self, source, op, value):
+        shape = pushdown.recognize_predicate(parse_expression(source))
+        assert isinstance(shape, pushdown.PositionShape)
+        assert (shape.op, shape.value) == (op, value)
+
+    @pytest.mark.parametrize("source", [
+        '@a != "x"',            # existential != is not set membership
+        'a/b = "x"',            # nested path
+        '@a = 1',               # recognized shape, numeric rhs resolved later
+        "position() = last()",  # unsupported comparison operand
+        ". = 'x'",              # context-item comparison
+        "count(a)",             # arbitrary function
+    ])
+    def test_rejections(self, source):
+        shape = pushdown.recognize_predicate(parse_expression(source))
+        if source == "@a = 1":
+            # Recognized as a shape, but resolution rejects the numeric rhs.
+            assert isinstance(shape, pushdown.ValueShape)
+            assert pushdown.resolve_rhs(shape, lambda name: None) is None
+        else:
+            assert shape is None
+
+    def test_positional_filter_matches_enumeration(self):
+        items = list(range(1, 8))
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            for n in (-1, 0, 1, 3, 7, 9):
+                shape = pushdown.PositionShape(op, n)
+                expected = [item for position, item in enumerate(items, start=1)
+                            if _holds(op, position, n)]
+                assert pushdown.positional_filter(items, shape) == expected
+        assert pushdown.positional_filter(items, pushdown.PositionShape("=", None)) == [7]
+        assert pushdown.positional_filter([], pushdown.PositionShape("=", None)) == []
+
+
+def _holds(op: str, position: int, n: int) -> bool:
+    return {"=": position == n, "!=": position != n, "<": position < n,
+            "<=": position <= n, ">": position > n, ">=": position >= n}[op]
+
+
+# ---------------------------------------------------------------------------
+# value-index invalidation (the mutation hooks)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    xdm_index.clear_index_registry()
+    yield
+    xdm_index.clear_index_registry()
+
+
+def _ids(items):
+    return [node.get_attribute("id").value for node in items]
+
+
+class TestValueIndexInvalidation:
+    def build(self):
+        return parse_xml(
+            '<r>'
+            '<n id="a" k="x"><t>alpha</t></n>'
+            '<n id="b" k="y"><t>beta</t></n>'
+            '<n id="c" k="x"><t>alpha</t></n>'
+            '</r>')
+
+    def test_attribute_rewrite_invalidates(self):
+        doc = self.build()
+        resolver = DocumentResolver()
+        resolver.register("r.xml", doc)
+        query = 'doc("r.xml")//n[@k = "x"]'
+        assert _ids(evaluate(query, documents=resolver, use_cache=False).items) == ["a", "c"]
+        first = doc.document_element().children[0]
+        first.get_attribute("k").set_value("y")
+        assert _ids(evaluate(query, documents=resolver, use_cache=False).items) == ["c"]
+
+    def test_text_rewrite_invalidates(self):
+        doc = self.build()
+        resolver = DocumentResolver()
+        resolver.register("r.xml", doc)
+        query = 'doc("r.xml")//n[t = "alpha"]'
+        assert _ids(evaluate(query, documents=resolver, use_cache=False).items) == ["a", "c"]
+        text = doc.document_element().children[2].children[0].children[0]
+        assert isinstance(text, TextNode)
+        text.set_value("gamma")
+        assert _ids(evaluate(query, documents=resolver, use_cache=False).items) == ["a"]
+
+    def test_value_mutation_keeps_structural_arrays(self):
+        doc = self.build()
+        idx = xdm_index.index_for(doc)
+        assert idx.attr_value_owner_pres("k", "x")  # build the value index
+        first = doc.document_element().children[0]
+        first.get_attribute("k").set_value("z")
+        # Same index object (structure untouched), fresh value sets.
+        assert xdm_index.index_for(doc) is idx
+        assert idx.attr_value_owner_pres("k", "z") == {idx.pre(first)}
+        assert idx.pre(first) not in idx.attr_value_owner_pres("k", "x")
+
+    def test_index_level_sets(self):
+        doc = self.build()
+        idx = xdm_index.index_for(doc)
+        root_element = doc.document_element()
+        n_pres = {idx.pre(child) for child in root_element.children}
+        assert idx.attr_owner_pres("k") == n_pres
+        assert idx.child_name_parent_pres("t") == n_pres
+        alpha_parents = idx.child_value_parent_pres("t", "alpha")
+        assert alpha_parents == {idx.pre(root_element.children[0]),
+                                 idx.pre(root_element.children[2])}
+
+    def test_structural_mutation_still_drops_whole_index(self):
+        doc = self.build()
+        idx = xdm_index.index_for(doc)
+        assert idx.attr_value_owner_pres("k", "x")
+        doc.document_element().append_child(ElementNode("n"))
+        assert xdm_index.cached_index(doc) is None

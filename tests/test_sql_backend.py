@@ -160,6 +160,9 @@ class TestEmitter:
         "$x/descendant::a/child::b",       # descendant range join
         "$x/ancestor::a",                  # ancestor range join
         "$x/id(./pre_code)",               # id hop
+        "$x/child::a[@id = 'x']",          # pushed attribute comparison
+        "$x/descendant::a[name = 'v']",    # pushed child-value comparison
+        "$x/child::a[@id][b]",             # pushed existence tests
     ])
     def test_linear_step_chains_are_emittable(self, body):
         assert emit_fixpoint_sql(parse_expression(body), "x") is not None
@@ -168,13 +171,26 @@ class TestEmitter:
         "bidder($x)",                                    # user-defined function
         "if (count($x/self::a)) then $x/* else ()",      # conditional (Q2)
         "$x/child::a[1]",                                # positional predicate
-        "$x/child::a[@id = 'x']",                        # any predicate
+        "$x/child::a[@id != 'x']",                       # unsupported operator
+        "$x/child::a[b/c = 'v']",                        # nested path predicate
         "($x/a, $x/b)",                                  # sequence body
         "count($x)",                                     # aggregate
         "$y/child::a",                                   # wrong variable
     ])
     def test_non_chain_bodies_fall_back(self, body):
         assert emit_fixpoint_sql(parse_expression(body), "x") is None
+
+    def test_predicates_not_pushed_without_pushdown(self):
+        body = parse_expression("$x/child::a[@id = 'x']")
+        assert emit_fixpoint_sql(body, "x", push_predicates=False) is None
+
+    def test_variable_rhs_inlined_from_bindings(self):
+        body = parse_expression("$x/child::a[@id = $v]")
+        assert emit_fixpoint_sql(body, "x") is None  # binding unknown
+        emitted = emit_fixpoint_sql(body, "x", variables={"v": ["k1", "k2"]})
+        assert emitted is not None
+        assert "IN ('k1', 'k2')" in emitted.member("seed")
+        assert emit_fixpoint_sql(body, "x", variables={"v": [7]}) is None
 
     def test_fixpoint_statements_lists_every_fixpoint(self, documents):
         pairs = fixpoint_statements(parse_query(QUERY_Q1))
