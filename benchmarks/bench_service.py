@@ -1,0 +1,233 @@
+"""Bench: warm-cache throughput of the HTTP query service.
+
+Starts ``repro-serve`` in a subprocess (so client and server do not share
+a GIL), registers a generated curriculum, and measures requests per second
+at 1, 4 and 8 concurrent client threads for each engine.  Every client
+thread keeps one persistent HTTP/1.1 connection and warms its server
+worker (caches, structural indexes, per-thread SQLite shred) before the
+timed window::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --requests 60 --engines sql
+
+Two query classes per engine:
+
+* ``warm-count`` — a cached aggregation; per-request evaluation is cheap,
+  so concurrent clients overlap their client/kernel time with server
+  compute and throughput *scales* with threads;
+* ``fixpoint-tc`` — the full transitive-closure recursion; evaluation is
+  CPython-bound on the server, so throughput stays roughly flat (the GIL
+  ceiling) — recorded to keep the report honest about both regimes.
+
+Writes the machine-readable ``BENCH_service.json`` report (same envelope
+as the other ``BENCH_*.json`` files) including a final ``/stats`` scrape,
+so cache hit rates ship with the timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import platform
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The transitive closure of the first course's prerequisites — a real
+#: multi-round fixpoint on every engine.
+TC_QUERY = ('with $x seeded by doc("curriculum.xml")'
+            '/curriculum/course[@code="c1"] '
+            'recurse $x/id(./prerequisites/pre_code)')
+
+#: A light, fully cache-served aggregation.
+COUNT_QUERY = 'count(doc("curriculum.xml")//pre_code)'
+
+QUERIES = (("warm-count", COUNT_QUERY), ("fixpoint-tc", TC_QUERY))
+ENGINES = ("interpreter", "algebra", "sql")
+DEFAULT_THREADS = (1, 4, 8)
+WARMUP_PER_CONNECTION = 5
+
+
+def make_curriculum(courses: int) -> str:
+    """A prerequisite chain with a fan-out edge every third course."""
+    parts = ["<curriculum>"]
+    for index in range(1, courses + 1):
+        pres = []
+        if index < courses:
+            pres.append(f"<pre_code>c{index + 1}</pre_code>")
+        if index % 3 == 0 and index + 2 <= courses:
+            pres.append(f"<pre_code>c{index + 2}</pre_code>")
+        parts.append(f'<course code="c{index}">'
+                     f"<prerequisites>{''.join(pres)}</prerequisites></course>")
+    parts.append("</curriculum>")
+    return "".join(parts)
+
+
+def start_server(document_path: str) -> tuple[subprocess.Popen, str]:
+    """Launch ``repro-serve`` on an ephemeral port; return (process, URL)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [sys.executable, "-c",
+         "from repro.service.server import main; raise SystemExit(main())",
+         "--port", "0", "--doc", f"curriculum.xml={document_path}",
+         "--id-attribute", "code", "--sql-store", "wal"],
+        env=env, stderr=subprocess.PIPE, text=True)
+    lines = []
+    for _ in range(10):
+        line = process.stderr.readline()
+        lines.append(line)
+        match = re.search(r"listening on (http://[^\s]+)", line)
+        if match:
+            return process, match.group(1)
+        if not line:
+            break
+    process.kill()
+    raise RuntimeError(f"server did not start: {lines!r}")
+
+
+def get_json(base_url: str, path: str) -> dict:
+    with urllib.request.urlopen(base_url + path, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def run_clients(base_url: str, query: str, engine: str, threads: int,
+                requests: int) -> tuple[float, int]:
+    """Fire *requests* queries from *threads* clients.
+
+    Each client thread keeps one persistent HTTP/1.1 connection (as a real
+    service client would) and sends a few untimed warm-up requests first —
+    keep-alive pins a connection to one server worker thread, so this also
+    warms that worker's thread-local SQLite store.  Returns (wall seconds,
+    items per response).
+    """
+    host, port = base_url.removeprefix("http://").split(":")
+    body = json.dumps({"query": query, "engine": engine})
+    headers = {"Content-Type": "application/json"}
+    per_thread = requests // threads
+    barrier = threading.Barrier(threads + 1)
+    failures: list[str] = []
+    counts: set[int] = set()
+
+    def client() -> None:
+        connection = http.client.HTTPConnection(host, int(port), timeout=120)
+        connection.connect()
+        connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            for _ in range(WARMUP_PER_CONNECTION):
+                connection.request("POST", "/query", body, headers)
+                response = json.loads(connection.getresponse().read())
+                if not response.get("ok"):
+                    failures.append(response.get("error", "unknown"))
+                    break
+                counts.add(response["count"])
+            barrier.wait()
+            for _ in range(per_thread):
+                connection.request("POST", "/query", body, headers)
+                response = json.loads(connection.getresponse().read())
+                if not response.get("ok"):
+                    failures.append(response.get("error", "unknown"))
+        finally:
+            connection.close()
+
+    workers = [threading.Thread(target=client) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - started
+    if failures:
+        raise RuntimeError(f"{len(failures)} failed requests: {failures[0]}")
+    assert len(counts) == 1, f"responses disagreed on item count: {counts}"
+    return elapsed, counts.pop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--courses", type=int, default=40,
+                        help="size of the generated curriculum (default 40)")
+    parser.add_argument("--requests", type=int, default=96,
+                        help="fixpoint requests per (engine, thread-count) "
+                             "cell, split across the client threads "
+                             "(default 96; the light query sends 5x)")
+    parser.add_argument("--threads", type=int, nargs="+",
+                        default=list(DEFAULT_THREADS),
+                        help="client thread counts (default: 1 4 8)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="measurements per cell; the best (shortest) "
+                             "wall time is reported (default 3)")
+    parser.add_argument("--engines", nargs="+", default=list(ENGINES),
+                        choices=list(ENGINES))
+    parser.add_argument("--json-dir", default=str(REPO_ROOT),
+                        help="directory for BENCH_service.json")
+    arguments = parser.parse_args(argv)
+
+    with tempfile.NamedTemporaryFile("w", suffix=".xml", delete=False) as handle:
+        handle.write(make_curriculum(arguments.courses))
+        document_path = handle.name
+    process, base_url = start_server(document_path)
+    results = []
+    try:
+        for engine in arguments.engines:
+            for label, query in QUERIES:
+                requests = (arguments.requests * 5 if label == "warm-count"
+                            else arguments.requests)
+                baseline = None
+                for threads in arguments.threads:
+                    elapsed, items = min(
+                        (run_clients(base_url, query, engine, threads, requests)
+                         for _ in range(max(arguments.repeats, 1))),
+                        key=lambda pair: pair[0])
+                    rps = requests / elapsed
+                    baseline = baseline if baseline is not None else rps
+                    results.append({
+                        "query": label,
+                        "engine": engine,
+                        "client_threads": threads,
+                        "requests": requests,
+                        "items": items,
+                        "seconds": round(elapsed, 4),
+                        "requests_per_second": round(rps, 1),
+                        "speedup_vs_1_thread": round(rps / baseline, 2),
+                        "repeats": arguments.repeats,
+                    })
+                    print(f"{engine:<12} {label:<12} "
+                          f"{threads} client thread(s): {rps:8.1f} req/s "
+                          f"({results[-1]['speedup_vs_1_thread']}x vs 1 thread)")
+        stats = get_json(base_url, "/stats")
+    finally:
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=15)
+        os.unlink(document_path)
+
+    payload = {
+        "schema": "repro-bench-service",
+        "schema_version": 1,
+        "label": "service",
+        "python": platform.python_version(),
+        "courses": arguments.courses,
+        "results": results,
+        "server_stats": stats,
+    }
+    path = Path(arguments.json_dir) / "BENCH_service.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,7 +100,7 @@ def main() -> None:
     # engine="sql" shreds the document into SQLite pre/post tables and runs
     # the (distributive) recursion as a single recursive CTE.  The same SQL
     # is printable without executing: repro-xquery --emit-sql query.xq
-    result = evaluate(QUERY_Q1, documents=documents, engine="sql")
+    result = evaluate(QUERY_Q1, documents=documents, settings={"engine": "sql"})
     print("prerequisites of c1 via SQLite:", codes(result))
     from repro.sqlbackend import fixpoint_statements
     from repro.xquery.parser import parse_query
@@ -132,13 +132,34 @@ def main() -> None:
     # (DESIGN.md §7).  The A/B escape hatch is use_pushdown=False (CLI
     # --no-pushdown); profile=True (CLI --profile) shows which kernels ran.
     needle = 'doc("curriculum.xml")//course[@code = "c6"]/prerequisites/pre_code'
-    result = evaluate(needle, documents=documents, profile=True)
+    result = evaluate(needle, documents=documents, settings={"profile": True})
     print("  prerequisites of c6:", [item.string_value() for item in result])
     for kernel, counters in (result.profile or {}).items():
         print(f"  {kernel}: {counters['batch']} batch / "
               f"{counters['fallback']} fallback")
-    slow = evaluate(needle, documents=documents, use_pushdown=False)
+    slow = evaluate(needle, documents=documents, settings={"use_pushdown": False})
     assert list(slow.items) == list(result.items)  # item-identical either way
+
+    print("\n== Sessions and the query service (DESIGN.md §8) ==")
+    # A Session owns its own documents, caches and SQLite pool — the unit
+    # the HTTP daemon (repro-serve) serves.  prepare() parses once and
+    # reuses module + compiled plan across runs; register_document() is
+    # the mutation model (snapshot semantics: in-flight queries finish on
+    # the corpus they captured).
+    from repro import EvalSettings, Session
+
+    with Session(documents={"curriculum.xml": CURRICULUM_XML},
+                 id_attributes=("code",),
+                 settings=EvalSettings(engine="sql")) as session:
+        prepared = session.prepare(QUERY_Q1)
+        print("  prepared run 1:", codes(prepared()))
+        print("  prepared run 2:", codes(prepared()))
+        print("  generation:", session.generation,
+              " module cache:", session.cache_stats()["module"])
+    # The HTTP daemon over the same machinery:
+    #   repro-serve --doc curriculum.xml=data/curriculum.xml --id-attribute code
+    #   curl -X POST localhost:8720/query -d '{"query": "...", "engine": "sql"}'
+    #   curl localhost:8720/stats
 
 
 if __name__ == "__main__":

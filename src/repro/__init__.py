@@ -24,8 +24,12 @@ directory of the repository for runnable scenarios.
 
 from repro.api import (
     Engine,
+    EvalSettings,
+    PreparedQuery,
     QueryResult,
+    Session,
     clear_query_caches,
+    default_session,
     evaluate,
     evaluate_query,
     ifp,
@@ -39,12 +43,16 @@ from repro.api import (
 )
 from repro.xmlio.parser import parse_xml, parse_xml_file
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Engine",
+    "EvalSettings",
+    "PreparedQuery",
     "QueryResult",
+    "Session",
     "clear_query_caches",
+    "default_session",
     "evaluate",
     "evaluate_query",
     "ifp",

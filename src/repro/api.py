@@ -9,89 +9,47 @@ own; this module wires them together behind a handful of functions:
 >>> result = evaluate('count(//a)', documents={"doc.xml": doc}, context_item=doc)
 >>> result.items
 [2]
+
+Since PR 6 the evaluation state (module/plan caches, document registry,
+per-worker SQLite stores) lives in :class:`repro.session.Session` objects;
+the functions here operate on one process-wide *default session*
+(:func:`repro.session.default_session`), so scripts keep working unchanged
+while services construct their own sessions.  The nine historical tuning
+keywords of :func:`evaluate` are deprecated in favor of a single frozen
+:class:`~repro.settings.EvalSettings` value passed as ``settings=``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from enum import Enum
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro import plancache
 from repro.fixpoint.engine import FixpointEngine, FixpointResult
-from repro.fixpoint.stats import StatisticsCollector
-from repro.xdm.node import DocumentNode, Node
-from repro.xmlio.parser import parse_xml, parse_xml_file
-from repro.xquery import ast
-from repro.xquery.context import (
-    DocumentResolver,
-    DynamicContext,
-    EvaluationOptions,
-    StaticContext,
+from repro.session import (
+    PreparedQuery,
+    QueryResult,
+    Session,
+    build_resolver,
+    default_session,
 )
+from repro.settings import Engine, EvalSettings, merge_legacy_kwargs
+from repro.xdm.node import DocumentNode, Node
+from repro.xmlio.parser import parse_xml_file
+from repro.xquery import ast
+from repro.xquery.context import DocumentResolver, DynamicContext
 from repro.xquery.evaluator import Evaluator
-from repro.xquery.optimizer import optimize_module
 from repro.xquery.parser import parse_expression, parse_query
 
-
-#: Process-wide caches of the serving path (see :mod:`repro.plancache`):
-#: query text → parsed/optimized module, and (module, backend, documents) →
-#: compiled algebra plan.  ``evaluate(..., use_cache=False)`` bypasses both.
-_MODULE_CACHE = plancache.LRUCache(256)
-_PLAN_CACHE = plancache.LRUCache(64)
+_build_resolver = build_resolver  # pre-PR 6 private name, kept for callers
 
 
 def clear_query_caches() -> None:
-    """Drop every cached parsed module and compiled plan."""
-    _MODULE_CACHE.clear()
-    _PLAN_CACHE.clear()
+    """Drop every cached parsed module and compiled plan (default session)."""
+    default_session().clear_caches()
 
 
 def query_cache_stats() -> dict:
-    """Hit/miss/size counters of the module and plan caches."""
-    return {"module": _MODULE_CACHE.stats(), "plan": _PLAN_CACHE.stats()}
-
-
-class Engine(str, Enum):
-    """Which execution backend evaluates a query."""
-
-    #: The tree-walking interpreter with the native IFP operator.
-    INTERPRETER = "interpreter"
-    #: The Relational XQuery backend (compile to algebra, evaluate plans).
-    ALGEBRA = "algebra"
-    #: The SQLite backend: documents shredded into pre/post tables and each
-    #: fixpoint run as a recursive CTE (or the temp-table driver loop).
-    SQL = "sql"
-
-
-@dataclass
-class QueryResult:
-    """The outcome of :func:`evaluate` / :func:`evaluate_query`."""
-
-    items: list
-    statistics: StatisticsCollector = field(default_factory=StatisticsCollector)
-    #: Batch-vs-fallback kernel counters (``evaluate(..., profile=True)``).
-    profile: dict | None = None
-
-    @property
-    def nodes_fed_back(self) -> int:
-        """Total nodes fed into recursion bodies across all IFPs in the query."""
-        return self.statistics.total_nodes_fed_back
-
-    @property
-    def recursion_depth(self) -> int:
-        return self.statistics.max_recursion_depth
-
-    def string_values(self) -> list[str]:
-        from repro.xdm.items import string_value_of_item
-
-        return [string_value_of_item(item) for item in self.items]
-
-    def __iter__(self):
-        return iter(self.items)
-
-    def __len__(self) -> int:
-        return len(self.items)
+    """Hit/miss/size counters of the default session's caches."""
+    return default_session().cache_stats()
 
 
 def parse_query_text(text: str) -> ast.Module:
@@ -104,33 +62,22 @@ def parse_query_text(text: str) -> ast.Module:
     return parse_query(text)
 
 
-def _build_resolver(documents: Mapping[str, DocumentNode | str] | DocumentResolver | None,
-                    id_attributes: Iterable[str]) -> DocumentResolver:
-    if isinstance(documents, DocumentResolver):
-        return documents
-    resolver = DocumentResolver()
-    for uri, doc in (documents or {}).items():
-        if isinstance(doc, str):
-            doc = parse_xml(doc, id_attributes=id_attributes)
-        resolver.register(uri, doc)
-    return resolver
-
-
 def evaluate(query: str,
              documents: Mapping[str, DocumentNode | str] | DocumentResolver | None = None,
              variables: Mapping[str, Sequence[Any] | Any] | None = None,
              context_item: Any = None,
-             ifp_algorithm: str = "auto",
-             distributivity_checker: str = "syntactic",
-             engine: Engine | str = Engine.INTERPRETER,
+             ifp_algorithm: str | None = None,
+             distributivity_checker: str | None = None,
+             engine: Engine | str | None = None,
              backend: str | None = None,
-             optimize: bool = True,
-             use_index: bool = True,
-             use_pushdown: bool = True,
-             use_cache: bool = True,
-             profile: bool = False,
-             id_attributes: Iterable[str] = ("id", "xml:id")) -> QueryResult:
-    """Parse and evaluate an XQuery query.
+             optimize: bool | None = None,
+             use_index: bool | None = None,
+             use_pushdown: bool | None = None,
+             use_cache: bool | None = None,
+             profile: bool | None = None,
+             id_attributes: Iterable[str] = ("id", "xml:id"),
+             settings: EvalSettings | Mapping[str, Any] | None = None) -> QueryResult:
+    """Parse and evaluate an XQuery query on the default session.
 
     Parameters
     ----------
@@ -138,62 +85,40 @@ def evaluate(query: str,
         The query text (LiXQuery-style subset plus ``with … recurse``).
     documents:
         Documents available to ``fn:doc``: a mapping from URI to a parsed
-        document or XML text, or a pre-built resolver.
+        document or XML text, or a pre-built resolver.  Defaults to the
+        default session's registered corpus (empty unless populated).
     variables:
         External variable bindings (``declare variable $x external``).
     context_item:
         Initial context item (usually a document or element node).
-    ifp_algorithm:
-        ``"auto"`` (choose Delta when the distributivity check allows),
-        ``"naive"`` or ``"delta"``.
-    distributivity_checker:
-        ``"syntactic"`` (Figure 5), ``"algebraic"`` (Section 4) or ``"never"``.
-    engine:
-        :class:`Engine.INTERPRETER` (default), :class:`Engine.ALGEBRA` or
-        :class:`Engine.SQL` (shred into SQLite, run fixpoints as
-        ``WITH RECURSIVE``; see :mod:`repro.sqlbackend`).
-    backend:
-        Table storage backend of the algebra engine: ``"row"`` or
-        ``"columnar"`` (default; see :mod:`repro.algebra.storage`).  Only
-        meaningful with :class:`Engine.ALGEBRA`.
-    optimize:
-        Apply the AST-level rewrites of :mod:`repro.xquery.optimizer`.
-    use_index:
-        Answer axis steps from the per-document structural index
-        (:mod:`repro.xdm.index`); disable for A/B comparisons.
-    use_pushdown:
-        Route recognized predicate shapes through the batch predicate
-        kernels / pushed step filters (:mod:`repro.xquery.pushdown`) in
-        every engine; disable for A/B comparisons.
-    profile:
-        Collect per-axis/per-kernel batch-vs-fallback hit and timing
-        counters during this evaluation and attach the snapshot as
-        ``QueryResult.profile``.
-    use_cache:
-        Serve the parsed module (all engines) and the compiled plan
-        (algebra engine) from the process-wide LRU caches, keyed by the
-        query text and document identities — the repeated-``evaluate``
-        serving pattern then skips lexing/parsing/compiling entirely.
+    settings:
+        An :class:`EvalSettings` value (or mapping of its fields) bundling
+        every tuning knob: engine, backend, IFP algorithm policy,
+        index/pushdown/cache usage, profiling.  This is the preferred
+        spelling; see :class:`EvalSettings` for the field semantics.
+    ifp_algorithm, distributivity_checker, engine, backend, optimize, \
+use_index, use_pushdown, use_cache, profile:
+        .. deprecated:: PR 6
+           The pre-``EvalSettings`` tuning keywords.  Still accepted (a
+           :class:`DeprecationWarning` is emitted) and applied on top of
+           ``settings``.
     id_attributes:
         Attribute names treated as IDs when XML text is parsed here.
     """
-    if use_cache:
-        module_key = (query, bool(optimize))
-        module = _MODULE_CACHE.get(module_key)
-        if module is None:
-            module = parse_query(query)
-            if optimize:
-                module = optimize_module(module)
-            _MODULE_CACHE.put(module_key, module)
-        # The cached module is already optimized; do not rewrite it again.
-        optimize = False
-    else:
-        module = parse_query(query)
-    return evaluate_query(
-        module, documents=documents, variables=variables, context_item=context_item,
-        ifp_algorithm=ifp_algorithm, distributivity_checker=distributivity_checker,
-        engine=engine, backend=backend, optimize=optimize, use_index=use_index,
-        use_pushdown=use_pushdown, use_cache=use_cache, profile=profile,
+    settings = merge_legacy_kwargs(settings, {
+        "ifp_algorithm": ifp_algorithm,
+        "distributivity_checker": distributivity_checker,
+        "engine": engine,
+        "backend": backend,
+        "optimize": optimize,
+        "use_index": use_index,
+        "use_pushdown": use_pushdown,
+        "use_cache": use_cache,
+        "profile": profile,
+    })
+    return default_session().evaluate(
+        query, documents=documents, variables=variables,
+        context_item=context_item, settings=settings,
         id_attributes=id_attributes,
     )
 
@@ -202,134 +127,40 @@ def evaluate_query(module: ast.Module,
                    documents: Mapping[str, DocumentNode | str] | DocumentResolver | None = None,
                    variables: Mapping[str, Sequence[Any] | Any] | None = None,
                    context_item: Any = None,
-                   ifp_algorithm: str = "auto",
-                   distributivity_checker: str = "syntactic",
-                   engine: Engine | str = Engine.INTERPRETER,
+                   ifp_algorithm: str | None = None,
+                   distributivity_checker: str | None = None,
+                   engine: Engine | str | None = None,
                    backend: str | None = None,
-                   optimize: bool = True,
-                   use_index: bool = True,
-                   use_pushdown: bool = True,
-                   use_cache: bool = True,
-                   profile: bool = False,
-                   id_attributes: Iterable[str] = ("id", "xml:id")) -> QueryResult:
+                   optimize: bool | None = None,
+                   use_index: bool | None = None,
+                   use_pushdown: bool | None = None,
+                   use_cache: bool | None = None,
+                   profile: bool | None = None,
+                   id_attributes: Iterable[str] = ("id", "xml:id"),
+                   settings: EvalSettings | Mapping[str, Any] | None = None) -> QueryResult:
     """Evaluate an already-parsed query module (see :func:`evaluate`).
 
     The plan cache keys on the module *object*, so repeated calls benefit
     only when the same parsed module is passed again (as :func:`evaluate`
-    arranges via its module cache).
+    arranges via its module cache, and :meth:`repro.session.Session.prepare`
+    exposes directly).
     """
-    if profile:
-        from repro.xquery.pushdown import PROFILE
-
-        PROFILE.reset()
-        PROFILE.enabled = True
-        try:
-            result = evaluate_query(
-                module, documents=documents, variables=variables,
-                context_item=context_item, ifp_algorithm=ifp_algorithm,
-                distributivity_checker=distributivity_checker, engine=engine,
-                backend=backend, optimize=optimize, use_index=use_index,
-                use_pushdown=use_pushdown, use_cache=use_cache,
-                profile=False, id_attributes=id_attributes,
-            )
-        finally:
-            PROFILE.enabled = False
-        result.profile = PROFILE.snapshot()
-        return result
-
-    engine = Engine(engine)
-    if optimize:
-        module = optimize_module(module)
-    resolver = _build_resolver(documents, id_attributes)
-    statistics = StatisticsCollector()
-    options = EvaluationOptions(
-        ifp_algorithm=ifp_algorithm,
-        distributivity_checker=distributivity_checker,
-        use_index=use_index,
-        use_pushdown=use_pushdown,
+    settings = merge_legacy_kwargs(settings, {
+        "ifp_algorithm": ifp_algorithm,
+        "distributivity_checker": distributivity_checker,
+        "engine": engine,
+        "backend": backend,
+        "optimize": optimize,
+        "use_index": use_index,
+        "use_pushdown": use_pushdown,
+        "use_cache": use_cache,
+        "profile": profile,
+    })
+    return default_session().evaluate_query(
+        module, documents=documents, variables=variables,
+        context_item=context_item, settings=settings,
+        id_attributes=id_attributes,
     )
-    context = DynamicContext(
-        static=StaticContext(options=options),
-        documents=resolver,
-        statistics=statistics,
-    )
-    for name, value in (variables or {}).items():
-        context = context.bind(name, list(value) if isinstance(value, (list, tuple)) else [value])
-    if context_item is not None:
-        context = context.with_focus(context_item, 1, 1)
-
-    if engine is Engine.INTERPRETER:
-        evaluator = Evaluator()
-        items = evaluator.evaluate_module(module, context)
-        return QueryResult(items=items, statistics=statistics)
-
-    if engine is Engine.SQL:
-        from repro.sqlbackend.executor import SQLEvaluator
-
-        evaluator = SQLEvaluator()
-        items = evaluator.evaluate_module(module, context)
-        return QueryResult(items=items, statistics=statistics)
-
-    # Algebra backend: compile the body (prolog functions are inlined).
-    from repro.algebra.compiler import AlgebraCompiler
-    from repro.algebra.evaluator import AlgebraEvaluator
-    from repro.algebra.storage import resolve_backend
-
-    plan = None
-    plan_key = None
-    # The plan cache keys on module identity, so it only helps when the
-    # caller passes a stable module object (as evaluate() does, with
-    # optimize already applied).  When this function optimized the module
-    # itself, the object is fresh per call: caching would only fill the LRU
-    # with entries that can never hit, each pinning documents.  Pushdown
-    # changes the compiled plan shape, so the flag is part of the key.
-    if use_cache and not optimize and plancache.module_cache_safe(module):
-        plan_key = (
-            plancache.fingerprint([module]),
-            resolve_backend(backend).backend_name,
-            plancache.documents_fingerprint(resolver),
-            bool(use_pushdown),
-        )
-        plan = _PLAN_CACHE.get(plan_key)
-    if plan is None:
-        default_document = None
-        known = resolver.known_uris()
-        if known:
-            default_document = resolver.resolve(known[0])
-        compiler = AlgebraCompiler(documents=resolver, document=default_document,
-                                   functions=module.function_map(), backend=backend,
-                                   push_predicates=use_pushdown)
-        from repro.algebra.operators import LiteralTable
-
-        evaluator = Evaluator()
-        compile_context = compiler.initial_context()
-        bound_variables = {name: list(value) if isinstance(value, (list, tuple)) else [value]
-                           for name, value in (variables or {}).items()}
-        for declaration in module.variables:
-            if declaration.value is None:
-                # External declaration: inline the caller's binding (such
-                # modules are never plan-cached — see module_cache_safe).
-                if not declaration.external or declaration.name not in bound_variables:
-                    continue
-                value = bound_variables[declaration.name]
-            else:
-                value = evaluator.evaluate(declaration.value, DynamicContext(documents=resolver))
-            rows = [(1, position, item) for position, item in enumerate(value, start=1)]
-            compile_context = compile_context.bind(
-                declaration.name,
-                LiteralTable(compiler.storage(("iter", "pos", "item"), rows)),
-            )
-        plan = compiler.compile(module.body, compile_context)
-        if plan_key is not None:
-            _PLAN_CACHE.put(plan_key, plan)
-    algebra_engine = AlgebraEvaluator(backend=backend, use_index=use_index)
-    table = algebra_engine.evaluate_plan(plan)
-    from repro.sqlbackend.decode import decode_result_table
-
-    items = decode_result_table(table)
-    result = QueryResult(items=items, statistics=statistics)
-    result.statistics.runs.extend(algebra_engine.statistics.fixpoint_runs)
-    return result
 
 
 def ifp(body: Callable[[list], list] | str,
@@ -347,7 +178,7 @@ def ifp(body: Callable[[list], list] | str,
     seeds = list(seed) if isinstance(seed, (list, tuple)) else [seed]
     if isinstance(body, str):
         expression = parse_expression(body)
-        resolver = _build_resolver(documents, ("id", "xml:id"))
+        resolver = build_resolver(documents, ("id", "xml:id"))
         evaluator = Evaluator()
         base_context = DynamicContext(documents=resolver)
 
@@ -392,7 +223,7 @@ def is_distributive_algebraic(body: str | ast.Expr, variable: str = "x",
     from repro.algebra.distributivity import is_distributive_algebraic as _check
 
     expression = parse_expression(body) if isinstance(body, str) else body
-    resolver = _build_resolver(documents, ("id", "xml:id"))
+    resolver = build_resolver(documents, ("id", "xml:id"))
     return _check(expression, variable, functions=functions, documents=resolver,
                   document=document, strict=strict)
 
@@ -404,3 +235,23 @@ def load_documents(paths: Mapping[str, str],
     for uri, path in paths.items():
         resolver.register(uri, parse_xml_file(path, id_attributes=id_attributes))
     return resolver
+
+
+__all__ = [
+    "Engine",
+    "EvalSettings",
+    "PreparedQuery",
+    "QueryResult",
+    "Session",
+    "clear_query_caches",
+    "default_session",
+    "evaluate",
+    "evaluate_query",
+    "ifp",
+    "is_distributive_algebraic",
+    "is_distributive_syntactic",
+    "load_documents",
+    "parse_query_text",
+    "query_cache_stats",
+    "transitive_closure",
+]

@@ -16,6 +16,7 @@ import argparse
 import sys
 
 from repro.api import evaluate, is_distributive_algebraic, is_distributive_syntactic
+from repro.settings import EvalSettings
 from repro.xmlio.parser import parse_xml_file
 from repro.xmlio.serializer import serialize_sequence
 from repro.xquery.context import DocumentResolver
@@ -103,9 +104,7 @@ def main(argv: list[str] | None = None) -> int:
     for uri, path in arguments.doc:
         resolver.register(uri, parse_xml_file(path, id_attributes=arguments.id_attribute))
 
-    result = evaluate(
-        query,
-        documents=resolver,
+    settings = EvalSettings(
         ifp_algorithm=arguments.algorithm,
         distributivity_checker=arguments.checker,
         engine=arguments.engine,
@@ -115,6 +114,7 @@ def main(argv: list[str] | None = None) -> int:
         use_cache=not arguments.no_plan_cache,
         profile=arguments.profile,
     )
+    result = evaluate(query, documents=resolver, settings=settings)
     print(serialize_sequence(result.items))
     if arguments.stats:
         print(

@@ -35,24 +35,46 @@ from repro.xquery import ast
 
 
 class LRUCache:
-    """A small thread-safe LRU mapping with hit/miss accounting."""
+    """A small thread-safe LRU mapping with hit/miss accounting.
 
-    __slots__ = ("capacity", "_entries", "_lock", "hits", "misses")
+    Every operation — including :meth:`stats`, :meth:`clear` and
+    :meth:`__len__` — runs under one lock, so concurrent ``evaluate()``
+    traffic can never observe a half-updated cache (the PR 3 version
+    locked ``get``/``put`` but read counters and size unlocked, which let
+    ``query_cache_stats()`` race with eviction).
+
+    Entries carry a *generation* stamped at :meth:`put` time.  Bumping the
+    cache generation (:meth:`bump_generation`) makes every existing entry
+    stale without touching it: a stale entry is reported as a miss and
+    evicted lazily on the next ``get``.  :class:`~repro.session.Session`
+    uses this for snapshot semantics — re-registering a document bumps the
+    plan-cache generation, in-flight evaluations keep the plan objects they
+    already fetched, and new requests rebuild lazily.
+    """
+
+    __slots__ = ("capacity", "_entries", "_lock", "hits", "misses",
+                 "generation")
 
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        #: key → (value, generation at put time)
+        self._entries: "OrderedDict[Hashable, tuple[Any, int]]" = OrderedDict()
         self._lock = Lock()
         self.hits = 0
         self.misses = 0
+        self.generation = 0
 
     def get(self, key: Hashable) -> Optional[Any]:
         with self._lock:
             try:
-                value = self._entries[key]
+                value, generation = self._entries[key]
             except KeyError:
+                self.misses += 1
+                return None
+            if generation != self.generation:
+                del self._entries[key]
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)
@@ -61,10 +83,16 @@ class LRUCache:
 
     def put(self, key: Hashable, value: Any) -> None:
         with self._lock:
-            self._entries[key] = value
+            self._entries[key] = (value, self.generation)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+
+    def bump_generation(self) -> int:
+        """Invalidate every current entry; return the new generation."""
+        with self._lock:
+            self.generation += 1
+            return self.generation
 
     def clear(self) -> None:
         with self._lock:
@@ -73,15 +101,18 @@ class LRUCache:
             self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> dict:
-        return {
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "generation": self.generation,
+            }
 
 
 def iter_expressions(expr: Any):

@@ -1,0 +1,17 @@
+"""The concurrent query service: a threaded HTTP daemon over a Session.
+
+``repro-serve`` turns the library into a long-running server.  See
+:mod:`repro.service.server` for the endpoints (``POST /query``,
+``POST /batch``, ``POST /documents``, ``GET /health``, ``GET /stats``)
+and DESIGN.md §8 for the architecture.
+"""
+
+from repro.service.server import (
+    QueryService,
+    ServiceError,
+    create_server,
+    main,
+    serve,
+)
+
+__all__ = ["QueryService", "ServiceError", "create_server", "main", "serve"]

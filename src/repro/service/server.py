@@ -1,0 +1,458 @@
+"""The HTTP query daemon: many clients, one hot :class:`Session`.
+
+Architecture (stdlib only — ``http.server.ThreadingHTTPServer`` spawns one
+worker thread per connection; the shared state underneath is the
+thread-safe machinery PR 6 built):
+
+* one :class:`~repro.session.Session` holds the corpus, the module/plan
+  LRUs, the structural-index registry entries and the per-worker SQLite
+  stores — everything stays warm across requests;
+* every request resolves a corpus *snapshot* up front, so a concurrent
+  ``POST /documents`` re-registration never changes the documents under a
+  running evaluation (it bumps the session generation; later requests see
+  the new corpus and rebuild indexes/shreds lazily);
+* ``POST /batch`` captures one snapshot for the whole list of queries,
+  amortizing capture and cache traffic across the batch;
+* :class:`ServiceStats` keeps an in-flight gauge and per-engine latency
+  counters under its own lock; ``GET /stats`` merges them with the
+  session's cache/pool counters.
+
+Endpoints
+---------
+``POST /query``
+    ``{"query": "...", "engine"?: "interpreter|algebra|sql",
+    "variables"?: {name: value-or-list}, "context"?: "<registered uri>",
+    "settings"?: {EvalSettings fields}}`` →
+    ``{"ok": true, "items": [...], "count": n, "engine": "...",
+    "elapsed_ms": t}``.  Items are serialized per item — nodes as XML
+    text, atomics as XQuery lexical values.
+``POST /batch``
+    ``{"queries": [<query payloads>], "settings"?: {defaults}}`` →
+    ``{"ok": true, "results": [<per-query responses>], "count": n}``.
+    Per-query failures do not fail the batch; each result carries its own
+    ``ok`` flag.
+``POST /documents``
+    ``{"uri": "...", "xml": "<...>", "id_attributes"?: [...]}`` registers
+    or replaces a document (the mutation path) → new generation.
+``GET /health``
+    liveness + generation + in-flight gauge.
+``GET /stats``
+    cache hit rates, per-engine latency counters, SQLite pool state.
+
+Graceful shutdown: SIGINT/SIGTERM stop the accept loop, then the server
+waits (bounded) for in-flight requests to drain before closing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+from repro.session import Session
+from repro.settings import EvalSettings, coerce_settings
+from repro.xdm.items import format_atomic, is_node
+from repro.xmlio.parser import parse_xml_file
+from repro.xmlio.serializer import serialize
+
+
+class ServiceError(Exception):
+    """A request the service rejects (bad payload, unknown field…)."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def serialize_items(items: list) -> list[str]:
+    """Per-item serialization: nodes as XML text, atomics lexically."""
+    return [serialize(item) if is_node(item) else format_atomic(item)
+            for item in items]
+
+
+class ServiceStats:
+    """Lock-protected request counters: in-flight gauge, per-engine latency."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.requests = 0
+        self.errors = 0
+        #: engine name → {count, errors, total_seconds, max_seconds}
+        self.engines: dict[str, dict[str, float]] = {}
+
+    def enter(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+
+    def exit(self, engine: str | None, seconds: float, error: bool) -> None:
+        with self._lock:
+            self.in_flight -= 1
+            self.requests += 1
+            if error:
+                self.errors += 1
+            if engine is not None:
+                counters = self.engines.setdefault(engine, {
+                    "count": 0, "errors": 0,
+                    "total_seconds": 0.0, "max_seconds": 0.0,
+                })
+                counters["count"] += 1
+                if error:
+                    counters["errors"] += 1
+                counters["total_seconds"] += seconds
+                counters["max_seconds"] = max(counters["max_seconds"], seconds)
+
+    def drained(self) -> bool:
+        with self._lock:
+            return self.in_flight == 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            engines = {
+                name: {
+                    **counters,
+                    "mean_seconds": (counters["total_seconds"] / counters["count"]
+                                     if counters["count"] else 0.0),
+                }
+                for name, counters in self.engines.items()
+            }
+            return {
+                "uptime_seconds": time.time() - self.started_at,
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+                "requests": self.requests,
+                "errors": self.errors,
+                "engines": engines,
+            }
+
+
+class QueryService:
+    """The HTTP-agnostic request handlers over one session.
+
+    Separated from the transport so the integration tests (and the batch
+    endpoint) can call the handlers directly; the HTTP layer only decodes
+    JSON and picks the handler.
+    """
+
+    def __init__(self, session: Session | None = None,
+                 settings: EvalSettings | Mapping[str, Any] | None = None):
+        self.session = session if session is not None else Session()
+        if settings is not None:
+            self.session.settings = coerce_settings(settings, self.session.settings)
+        self.stats = ServiceStats()
+
+    # -- handlers ------------------------------------------------------------
+
+    def handle_query(self, payload: Mapping[str, Any],
+                     resolver=None) -> dict:
+        """Evaluate one query payload (see the module docstring schema).
+
+        *resolver* lets ``/batch`` share one corpus snapshot across its
+        queries; standalone requests capture their own.
+        """
+        if not isinstance(payload, Mapping):
+            raise ServiceError("request body must be a JSON object")
+        query = payload.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise ServiceError('"query" must be a non-empty string')
+        unknown = set(payload) - {"query", "engine", "variables", "context",
+                                  "settings"}
+        if unknown:
+            raise ServiceError(f"unknown request field(s): {sorted(unknown)}")
+
+        settings = self._settings_of(payload)
+        variables = payload.get("variables")
+        if variables is not None and not isinstance(variables, Mapping):
+            raise ServiceError('"variables" must be an object')
+
+        if resolver is None:
+            resolver = self.session.snapshot()
+        context_item = None
+        context_uri = payload.get("context")
+        if context_uri is not None:
+            try:
+                context_item = resolver.resolve(context_uri)
+            except ReproError:
+                raise ServiceError(f'"context" document {context_uri!r} '
+                                   f"is not registered")
+
+        engine = settings.engine.value
+        started = time.perf_counter()
+        error = True
+        self.stats.enter()
+        try:
+            result = self.session.evaluate(
+                query, documents=resolver, variables=variables,
+                context_item=context_item, settings=settings)
+            elapsed = time.perf_counter() - started
+            error = False
+        except ReproError as exc:
+            raise ServiceError(f"{type(exc).__name__}: {exc}", status=422)
+        finally:
+            self.stats.exit(engine, time.perf_counter() - started, error)
+        response = {
+            "ok": True,
+            "items": serialize_items(result.items),
+            "count": len(result.items),
+            "engine": engine,
+            "elapsed_ms": round(elapsed * 1000.0, 3),
+        }
+        if result.profile is not None:
+            response["profile"] = result.profile
+        return response
+
+    def handle_batch(self, payload: Mapping[str, Any]) -> dict:
+        """Evaluate many queries against one shared corpus snapshot."""
+        if not isinstance(payload, Mapping):
+            raise ServiceError("request body must be a JSON object")
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise ServiceError('"queries" must be a non-empty array')
+        unknown = set(payload) - {"queries", "settings"}
+        if unknown:
+            raise ServiceError(f"unknown request field(s): {sorted(unknown)}")
+        defaults = payload.get("settings")
+
+        resolver = self.session.snapshot()  # one snapshot for the whole batch
+        results = []
+        for entry in queries:
+            if defaults and isinstance(entry, Mapping) and "settings" not in entry:
+                entry = {**entry, "settings": defaults}
+            try:
+                results.append(self.handle_query(entry, resolver=resolver))
+            except ServiceError as exc:
+                results.append({"ok": False, "error": str(exc)})
+        return {"ok": True, "results": results, "count": len(results)}
+
+    def handle_register(self, payload: Mapping[str, Any]) -> dict:
+        """Register/replace a document — the service's mutation path."""
+        if not isinstance(payload, Mapping):
+            raise ServiceError("request body must be a JSON object")
+        uri = payload.get("uri")
+        xml = payload.get("xml")
+        if not isinstance(uri, str) or not uri:
+            raise ServiceError('"uri" must be a non-empty string')
+        if not isinstance(xml, str) or not xml.strip():
+            raise ServiceError('"xml" must be a non-empty XML string')
+        id_attributes = payload.get("id_attributes")
+        try:
+            generation = self.session.register_document(
+                uri, xml, id_attributes=id_attributes)
+        except ReproError as exc:
+            raise ServiceError(f"{type(exc).__name__}: {exc}", status=422)
+        return {"ok": True, "uri": uri, "generation": generation}
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "generation": self.session.generation,
+            "documents": self.session.document_uris(),
+            "in_flight": self.stats.snapshot()["in_flight"],
+        }
+
+    def stats_report(self) -> dict:
+        return {"service": self.stats.snapshot(), "session": self.session.stats()}
+
+    def _settings_of(self, payload: Mapping[str, Any]) -> EvalSettings:
+        raw = payload.get("settings")
+        if raw is not None and not isinstance(raw, Mapping):
+            raise ServiceError('"settings" must be an object of '
+                               "EvalSettings fields")
+        try:
+            settings = coerce_settings(raw, self.session.settings)
+            engine = payload.get("engine")
+            if engine is not None:
+                settings = settings.replace(engine=engine)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"bad settings: {exc}")
+        return settings
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP plumbing; all logic lives in :class:`QueryService`."""
+
+    protocol_version = "HTTP/1.1"
+    #: Headers and body flush as separate small sends; without TCP_NODELAY,
+    #: Nagle + delayed ACK stalls every keep-alive response by ~40ms.
+    disable_nagle_algorithm = True
+    #: Maximum accepted request body (a corpus re-registration can be big).
+    MAX_BODY = 64 * 1024 * 1024
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            sys.stderr.write("%s - %s\n" % (self.address_string(), format % args))
+
+    def do_GET(self):
+        if self.path == "/health":
+            self._respond(200, self.service.health())
+        elif self.path == "/stats":
+            self._respond(200, self.service.stats_report())
+        else:
+            self._respond(404, {"ok": False, "error": f"unknown path {self.path}"})
+
+    def do_POST(self):
+        routes = {
+            "/query": self.service.handle_query,
+            "/batch": self.service.handle_batch,
+            "/documents": self.service.handle_register,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._respond(404, {"ok": False, "error": f"unknown path {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length > self.MAX_BODY:
+                raise ServiceError("request body too large", status=413)
+            body = self.rfile.read(length) if length else b""
+            try:
+                payload = json.loads(body or b"{}")
+            except json.JSONDecodeError as exc:
+                raise ServiceError(f"invalid JSON body: {exc}")
+            self._respond(200, handler(payload))
+        except ServiceError as exc:
+            self._respond(exc.status, {"ok": False, "error": str(exc)})
+        except Exception as exc:  # a bug, not a bad request — say so
+            self._respond(500, {"ok": False,
+                                "error": f"internal error: {type(exc).__name__}: {exc}"})
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class QueryServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer wired to a :class:`QueryService`.
+
+    Worker threads are daemonic so a hung client cannot block process
+    exit; :meth:`graceful_shutdown` gives in-flight requests a bounded
+    drain window first.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: QueryService, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+    def graceful_shutdown(self, timeout: float = 10.0) -> bool:
+        """Stop accepting, drain in-flight requests, close sockets.
+
+        Returns ``True`` when the drain completed inside *timeout*.
+        """
+        self.shutdown()            # stops the accept loop (thread-safe)
+        deadline = time.time() + timeout
+        drained = self.service.stats.drained()
+        while not drained and time.time() < deadline:
+            time.sleep(0.02)
+            drained = self.service.stats.drained()
+        self.server_close()
+        return drained
+
+
+def create_server(service: QueryService | None = None,
+                  host: str = "127.0.0.1", port: int = 0,
+                  verbose: bool = False) -> QueryServer:
+    """A ready-to-run server (``port=0`` picks an ephemeral port)."""
+    return QueryServer((host, port), service or QueryService(), verbose=verbose)
+
+
+def serve(server: QueryServer) -> threading.Thread:
+    """Run *server*'s accept loop on a daemon thread; returns the thread."""
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-serve-accept", daemon=True)
+    thread.start()
+    return thread
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve XQuery evaluation over HTTP "
+                    "(POST /query, POST /batch, GET /health, GET /stats)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8720)
+    parser.add_argument("--doc", action="append", default=[], metavar="URI=PATH",
+                        help="register a document at startup (repeatable)")
+    parser.add_argument("--id-attribute", action="append", default=["id", "xml:id"],
+                        help="attribute names to treat as IDs (repeatable)")
+    parser.add_argument("--engine", choices=["interpreter", "algebra", "sql"],
+                        default="interpreter",
+                        help="default engine for requests that name none")
+    parser.add_argument("--sql-store", choices=["memory", "wal"], default="wal",
+                        help="per-worker SQLite stores: in-memory or "
+                             "file-backed WAL databases (default: wal)")
+    parser.add_argument("--sql-store-dir", default=None,
+                        help="directory for WAL store files "
+                             "(default: a private tempdir)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request line to stderr")
+    arguments = parser.parse_args(argv)
+
+    session = Session(settings=EvalSettings(engine=arguments.engine),
+                      id_attributes=tuple(arguments.id_attribute),
+                      sql_store=arguments.sql_store,
+                      sql_store_dir=arguments.sql_store_dir)
+    for spec in arguments.doc:
+        if "=" not in spec:
+            parser.error("--doc expects URI=PATH")
+        uri, path = spec.split("=", 1)
+        session.register_document(
+            uri, parse_xml_file(path, id_attributes=tuple(arguments.id_attribute)))
+
+    service = QueryService(session=session)
+    server = create_server(service, host=arguments.host, port=arguments.port,
+                           verbose=arguments.verbose)
+    host, port = server.server_address[:2]
+    print(f"repro-serve: listening on http://{host}:{port} "
+          f"(docs: {session.document_uris() or 'none'}, "
+          f"default engine: {arguments.engine}, "
+          f"sql stores: {arguments.sql_store})", file=sys.stderr)
+
+    stop_signal = {"received": None}
+
+    def request_shutdown(signum, frame):
+        stop_signal["received"] = signum
+        # shutdown() must not run on the serve_forever thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGINT, request_shutdown)
+    signal.signal(signal.SIGTERM, request_shutdown)
+    try:
+        server.serve_forever()
+    finally:
+        deadline = time.time() + 10.0
+        while not service.stats.drained() and time.time() < deadline:
+            time.sleep(0.02)
+        server.server_close()
+        session.close()
+        final = service.stats.snapshot()
+        print(f"repro-serve: stopped "
+              f"(signal {stop_signal['received']}, "
+              f"{final['requests']} requests, {final['errors']} errors, "
+              f"drained: {final['in_flight'] == 0})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

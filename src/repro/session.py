@@ -1,0 +1,496 @@
+"""Session-owned evaluation state: caches, documents, SQLite pool.
+
+Until PR 6 every piece of serving state was a module-level global — the
+parsed-module and compiled-plan LRUs in :mod:`repro.api`, the structural
+index registry, and a fresh in-memory SQLite store per SQL evaluation.
+That is workable for scripts but wrong for a long-running concurrent
+service: callers cannot isolate corpora, cannot drop one tenant's caches,
+and cannot keep the SQL shred warm across requests.
+
+A :class:`Session` owns all of it explicitly:
+
+* its **document registry** (URI → document) with *snapshot semantics*:
+  :meth:`Session.register_document` bumps a generation and invalidates the
+  plan cache and SQLite pool; evaluations in flight finish against the
+  snapshot resolver they captured, new requests see the new corpus and
+  rebuild indexes/shreds lazily;
+* its **module and plan caches** (:class:`repro.plancache.LRUCache`,
+  fully lock-protected), keyed by query text and by the normalized
+  :class:`~repro.settings.EvalSettings` plan key respectively;
+* its **SQLite store pool** (:class:`repro.sqlbackend.pool.SqlStorePool`):
+  one store per worker thread, shredded relations reused across requests;
+* its **default settings**, overridable per call
+  (``session.evaluate(query, engine="sql")``).
+
+The module-level :func:`repro.api.evaluate` is a thin wrapper over one
+process-wide default session, so existing code keeps its behavior.
+
+Lock order (narrowest first, see DESIGN.md §8): an evaluation thread may
+take the session lock, then a cache lock, then the structural-index
+registry lock — never the reverse.  No lock is held while a query body
+actually evaluates.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro import plancache
+from repro.fixpoint.stats import StatisticsCollector
+from repro.settings import Engine, EvalSettings, coerce_settings
+from repro.xdm.node import DocumentNode
+from repro.xmlio.parser import parse_xml
+from repro.xquery import ast
+from repro.xquery.context import DocumentResolver, DynamicContext, StaticContext
+from repro.xquery.evaluator import Evaluator
+from repro.xquery.optimizer import optimize_module
+from repro.xquery.parser import parse_query
+
+
+@dataclass
+class QueryResult:
+    """The outcome of an evaluation (:meth:`Session.evaluate` and the
+    module-level :func:`repro.api.evaluate`)."""
+
+    items: list
+    statistics: StatisticsCollector = field(default_factory=StatisticsCollector)
+    #: Batch-vs-fallback kernel counters (``profile=True`` runs).
+    profile: dict | None = None
+
+    @property
+    def nodes_fed_back(self) -> int:
+        """Total nodes fed into recursion bodies across all IFPs in the query."""
+        return self.statistics.total_nodes_fed_back
+
+    @property
+    def recursion_depth(self) -> int:
+        return self.statistics.max_recursion_depth
+
+    def string_values(self) -> list[str]:
+        from repro.xdm.items import string_value_of_item
+
+        return [string_value_of_item(item) for item in self.items]
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def build_resolver(documents, id_attributes: Iterable[str]) -> DocumentResolver:
+    """Normalize a documents argument (mapping / resolver / None)."""
+    if isinstance(documents, DocumentResolver):
+        return documents
+    resolver = DocumentResolver()
+    for uri, doc in (documents or {}).items():
+        if isinstance(doc, str):
+            doc = parse_xml(doc, id_attributes=id_attributes)
+        resolver.register(uri, doc)
+    return resolver
+
+
+class Session:
+    """An isolated evaluation context: documents, caches, SQLite pool.
+
+    Parameters
+    ----------
+    documents:
+        Initial corpus: mapping from URI to a parsed document or XML text
+        (registered via :meth:`register_document`).
+    settings / options:
+        Default :class:`EvalSettings` of this session (``options`` is an
+        accepted alias; a mapping of field names also works).  Per-call
+        settings/overrides take precedence.
+    id_attributes:
+        Attribute names treated as IDs when XML text is parsed here.
+    module_cache_size / plan_cache_size:
+        Capacities of the per-session LRU caches.
+    sql_store:
+        ``"memory"`` (default) or ``"wal"`` — how the per-worker SQLite
+        stores of the SQL engine are backed (see
+        :class:`~repro.sqlbackend.pool.SqlStorePool`).
+    sql_store_dir:
+        Directory for ``"wal"`` store files (default: a private tempdir).
+    """
+
+    def __init__(self,
+                 documents: Mapping[str, DocumentNode | str] | None = None,
+                 *,
+                 settings: EvalSettings | Mapping[str, Any] | None = None,
+                 options: EvalSettings | Mapping[str, Any] | None = None,
+                 id_attributes: Iterable[str] = ("id", "xml:id"),
+                 module_cache_size: int = 256,
+                 plan_cache_size: int = 64,
+                 sql_store: str = "memory",
+                 sql_store_dir: str | None = None):
+        from repro.sqlbackend.pool import SqlStorePool
+
+        if settings is not None and options is not None:
+            raise TypeError("pass either settings= or options=, not both")
+        self.settings = coerce_settings(settings if settings is not None else options)
+        self.id_attributes = tuple(id_attributes)
+        self._lock = threading.RLock()
+        self._documents: dict[str, DocumentNode] = {}
+        self._generation = 0
+        self._snapshot: DocumentResolver | None = None
+        self._module_cache = plancache.LRUCache(module_cache_size)
+        self._plan_cache = plancache.LRUCache(plan_cache_size)
+        self._sql_pool = SqlStorePool(mode=sql_store, directory=sql_store_dir)
+        #: Serializes ``profile=True`` runs: the pushdown profiler is a
+        #: process-global accumulator, so profiled evaluations must not
+        #: interleave with each other (concurrent unprofiled traffic still
+        #: runs, its kernel hits simply land in the active snapshot).
+        self._profile_lock = threading.Lock()
+        self._closed = False
+        for uri, doc in (documents or {}).items():
+            self.register_document(uri, doc)
+
+    # -- documents & snapshots ----------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter of document-registry changes."""
+        with self._lock:
+            return self._generation
+
+    def register_document(self, uri: str,
+                          document: DocumentNode | str,
+                          id_attributes: Iterable[str] | None = None) -> int:
+        """Register (or replace) *document* under *uri*; returns the new
+        generation.
+
+        Replacing a document is the service's mutation model: queries in
+        flight finish on the snapshot they captured, the compiled-plan
+        cache and the SQLite store pool are invalidated, and the next
+        request rebuilds lazily against the new corpus.
+        """
+        if isinstance(document, str):
+            document = parse_xml(
+                document,
+                id_attributes=tuple(id_attributes or self.id_attributes))
+        with self._lock:
+            self._documents[uri] = document
+            self._generation += 1
+            self._snapshot = None
+            self._plan_cache.bump_generation()
+            self._sql_pool.invalidate()
+            return self._generation
+
+    def remove_document(self, uri: str) -> int:
+        """Remove *uri* from the corpus; returns the new generation."""
+        with self._lock:
+            self._documents.pop(uri, None)
+            self._generation += 1
+            self._snapshot = None
+            self._plan_cache.bump_generation()
+            self._sql_pool.invalidate()
+            return self._generation
+
+    def document_uris(self) -> list[str]:
+        with self._lock:
+            return sorted(self._documents)
+
+    def snapshot(self) -> DocumentResolver:
+        """An immutable view of the current corpus.
+
+        The returned resolver never changes: evaluations started against it
+        keep seeing exactly these documents even while
+        :meth:`register_document` moves the session forward.  A batch of
+        queries can share one snapshot to amortize the capture.
+        """
+        with self._lock:
+            resolver = self._snapshot
+            if resolver is None:
+                resolver = DocumentResolver()
+                for uri, doc in self._documents.items():
+                    resolver.register(uri, doc)
+                self._snapshot = resolver
+            return resolver
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, query: str,
+                 documents=None,
+                 variables: Mapping[str, Sequence[Any] | Any] | None = None,
+                 context_item: Any = None,
+                 settings: EvalSettings | Mapping[str, Any] | None = None,
+                 id_attributes: Iterable[str] | None = None,
+                 **overrides: Any) -> QueryResult:
+        """Parse (through the module cache) and evaluate *query*.
+
+        ``documents`` defaults to the session's current snapshot;
+        *overrides* are :class:`EvalSettings` field names applied on top of
+        ``settings`` (which itself defaults to the session settings), e.g.
+        ``session.evaluate(q, engine="sql", use_index=False)``.
+        """
+        settings = self._resolve_settings(settings, overrides)
+        module = self._module_for(query, settings)
+        return self._evaluate(module, documents, variables, context_item,
+                              settings, id_attributes, pre_optimized=True)
+
+    def evaluate_query(self, module: ast.Module,
+                       documents=None,
+                       variables: Mapping[str, Sequence[Any] | Any] | None = None,
+                       context_item: Any = None,
+                       settings: EvalSettings | Mapping[str, Any] | None = None,
+                       id_attributes: Iterable[str] | None = None,
+                       **overrides: Any) -> QueryResult:
+        """Evaluate an already-parsed module (see :meth:`evaluate`).
+
+        With ``settings.optimize`` the module is rewritten here per call
+        (the fresh object cannot be plan-cached); :meth:`prepare` is the
+        parse-once path that keeps the plan cache effective.
+        """
+        settings = self._resolve_settings(settings, overrides)
+        return self._evaluate(module, documents, variables, context_item,
+                              settings, id_attributes, pre_optimized=False)
+
+    def prepare(self, query: str,
+                settings: EvalSettings | Mapping[str, Any] | None = None,
+                **overrides: Any) -> "PreparedQuery":
+        """Parse and optimize *query* once; bind-and-run many times.
+
+        The returned :class:`PreparedQuery` shares this session's caches,
+        so repeated ``prepared(variables=...)`` calls skip lexing, parsing
+        and (on the algebra engine, for cache-safe modules) compilation.
+        """
+        settings = self._resolve_settings(settings, overrides)
+        module = self._module_for(query, settings)
+        return PreparedQuery(session=self, query=query, module=module,
+                             settings=settings)
+
+    def _resolve_settings(self, settings, overrides: Mapping[str, Any]) -> EvalSettings:
+        resolved = coerce_settings(settings, self.settings)
+        if overrides:
+            resolved = resolved.replace(**overrides)
+        return resolved
+
+    def _module_for(self, query: str, settings: EvalSettings) -> ast.Module:
+        """Parse *query*, serving repeated texts from the module cache."""
+        if not settings.use_cache:
+            module = parse_query(query)
+            return optimize_module(module) if settings.optimize else module
+        key = settings.module_key(query)
+        module = self._module_cache.get(key)
+        if module is None:
+            module = parse_query(query)
+            if settings.optimize:
+                module = optimize_module(module)
+            self._module_cache.put(key, module)
+        return module
+
+    def _evaluate(self, module: ast.Module, documents, variables, context_item,
+                  settings: EvalSettings, id_attributes,
+                  pre_optimized: bool) -> QueryResult:
+        if settings.profile:
+            from repro.xquery.pushdown import PROFILE
+
+            with self._profile_lock:
+                PROFILE.reset()
+                PROFILE.enabled = True
+                try:
+                    result = self._evaluate(
+                        module, documents, variables, context_item,
+                        settings.replace(profile=False), id_attributes,
+                        pre_optimized)
+                finally:
+                    PROFILE.enabled = False
+                result.profile = PROFILE.snapshot()
+                return result
+
+        plan_cacheable = pre_optimized or not settings.optimize
+        if settings.optimize and not pre_optimized:
+            module = optimize_module(module)
+        if documents is None:
+            resolver = self.snapshot()
+        else:
+            resolver = build_resolver(
+                documents, tuple(id_attributes or self.id_attributes))
+
+        statistics = StatisticsCollector()
+        context = DynamicContext(
+            static=StaticContext(options=settings.to_options()),
+            documents=resolver,
+            statistics=statistics,
+        )
+        for name, value in (variables or {}).items():
+            context = context.bind(
+                name, list(value) if isinstance(value, (list, tuple)) else [value])
+        if context_item is not None:
+            context = context.with_focus(context_item, 1, 1)
+
+        if settings.engine is Engine.INTERPRETER:
+            evaluator = Evaluator()
+            items = evaluator.evaluate_module(module, context)
+            return QueryResult(items=items, statistics=statistics)
+
+        if settings.engine is Engine.SQL:
+            from repro.sqlbackend.executor import SQLEvaluator
+
+            evaluator = SQLEvaluator(store=self._sql_pool.store())
+            items = evaluator.evaluate_module(module, context)
+            return QueryResult(items=items, statistics=statistics)
+
+        return self._evaluate_algebra(module, resolver, variables, statistics,
+                                      settings, plan_cacheable)
+
+    def _evaluate_algebra(self, module: ast.Module, resolver: DocumentResolver,
+                          variables, statistics, settings: EvalSettings,
+                          plan_cacheable: bool) -> QueryResult:
+        """Compile (or fetch) and run the algebra plan of *module*."""
+        from repro.algebra.compiler import AlgebraCompiler
+        from repro.algebra.evaluator import AlgebraEvaluator
+        from repro.algebra.operators import LiteralTable
+        from repro.algebra.storage import resolve_backend
+        from repro.sqlbackend.decode import decode_result_table
+
+        plan = None
+        plan_key = None
+        # The plan cache keys on module identity, so it only helps when the
+        # caller passes a stable module object (as evaluate()/prepare()
+        # arrange via the module cache).  A module this call just rewrote is
+        # fresh per call: caching would only fill the LRU with entries that
+        # can never hit, each pinning documents.  The settings component is
+        # the normalized EvalSettings plan key — backend and pushdown shape
+        # the compiled plan, everything else is evaluation-time.
+        if settings.use_cache and plan_cacheable and plancache.module_cache_safe(module):
+            plan_key = (
+                plancache.fingerprint([module]),
+                settings.plan_key(resolve_backend(settings.backend).backend_name),
+                plancache.documents_fingerprint(resolver),
+            )
+            plan = self._plan_cache.get(plan_key)
+        if plan is None:
+            default_document = None
+            known = resolver.known_uris()
+            if known:
+                default_document = resolver.resolve(known[0])
+            compiler = AlgebraCompiler(documents=resolver, document=default_document,
+                                       functions=module.function_map(),
+                                       backend=settings.backend,
+                                       push_predicates=settings.use_pushdown)
+            evaluator = Evaluator()
+            compile_context = compiler.initial_context()
+            bound_variables = {name: list(value) if isinstance(value, (list, tuple)) else [value]
+                               for name, value in (variables or {}).items()}
+            for declaration in module.variables:
+                if declaration.value is None:
+                    # External declaration: inline the caller's binding (such
+                    # modules are never plan-cached — see module_cache_safe).
+                    if not declaration.external or declaration.name not in bound_variables:
+                        continue
+                    value = bound_variables[declaration.name]
+                else:
+                    value = evaluator.evaluate(declaration.value,
+                                               DynamicContext(documents=resolver))
+                rows = [(1, position, item) for position, item in enumerate(value, start=1)]
+                compile_context = compile_context.bind(
+                    declaration.name,
+                    LiteralTable(compiler.storage(("iter", "pos", "item"), rows)),
+                )
+            plan = compiler.compile(module.body, compile_context)
+            if plan_key is not None:
+                self._plan_cache.put(plan_key, plan)
+        algebra_engine = AlgebraEvaluator(backend=settings.backend,
+                                          use_index=settings.use_index)
+        table = algebra_engine.evaluate_plan(plan)
+        items = decode_result_table(table)
+        result = QueryResult(items=items, statistics=statistics)
+        result.statistics.runs.extend(algebra_engine.statistics.fixpoint_runs)
+        return result
+
+    # -- caches & lifecycle --------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Drop every cached parsed module and compiled plan."""
+        self._module_cache.clear()
+        self._plan_cache.clear()
+
+    def cache_stats(self) -> dict:
+        """Hit/miss/size counters of the module and plan caches."""
+        return {"module": self._module_cache.stats(),
+                "plan": self._plan_cache.stats()}
+
+    def stats(self) -> dict:
+        """One snapshot of everything the session keeps hot."""
+        with self._lock:
+            generation = self._generation
+            documents = len(self._documents)
+        stats = self.cache_stats()
+        stats.update({
+            "generation": generation,
+            "documents": documents,
+            "sql_pool": self._sql_pool.stats(),
+        })
+        return stats
+
+    def close(self) -> None:
+        """Release pooled SQLite stores and drop the caches."""
+        if self._closed:
+            return
+        self._closed = True
+        self._sql_pool.close()
+        self.clear_caches()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A parsed, optimized query bound to a session: run without re-parsing.
+
+    Created by :meth:`Session.prepare`.  ``run`` (also ``__call__``)
+    accepts fresh variable bindings, a context item, per-run documents and
+    settings overrides; everything else — parsed module, session caches,
+    compiled plan (algebra engine, cache-safe modules) — is reused.
+    """
+
+    session: Session
+    query: str
+    module: ast.Module
+    settings: EvalSettings
+
+    def run(self, documents=None,
+            variables: Mapping[str, Sequence[Any] | Any] | None = None,
+            context_item: Any = None,
+            settings: EvalSettings | Mapping[str, Any] | None = None,
+            **overrides: Any) -> QueryResult:
+        resolved = coerce_settings(settings, self.settings)
+        if overrides:
+            resolved = resolved.replace(**overrides)
+        return self.session._evaluate(self.module, documents, variables,
+                                      context_item, resolved, None,
+                                      pre_optimized=True)
+
+    __call__ = run
+
+
+# ---------------------------------------------------------------------------
+# the default process session behind the module-level API
+# ---------------------------------------------------------------------------
+
+_DEFAULT_SESSION: Session | None = None
+_DEFAULT_SESSION_LOCK = threading.Lock()
+
+
+def default_session() -> Session:
+    """The process-wide session serving :func:`repro.api.evaluate`."""
+    global _DEFAULT_SESSION
+    session = _DEFAULT_SESSION
+    if session is None:
+        with _DEFAULT_SESSION_LOCK:
+            session = _DEFAULT_SESSION
+            if session is None:
+                session = _DEFAULT_SESSION = Session()
+    return session
+
+
+__all__ = ["Session", "PreparedQuery", "QueryResult", "build_resolver",
+           "default_session"]

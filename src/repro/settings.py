@@ -1,0 +1,187 @@
+"""Evaluation settings: one frozen object instead of nine tuning kwargs.
+
+:func:`repro.api.evaluate` grew a knob per PR — engine, backend, algorithm
+policy, index/pushdown/cache escape hatches, profiling — and every layer
+that forwards a query (the CLI, the benchmark harness, the service) had to
+thread all of them through by hand.  :class:`EvalSettings` collapses them
+into a single immutable, hashable value:
+
+* immutable, so a settings object can be shared between threads and stored
+  inside cache keys without defensive copying;
+* hashable, so the compiled-plan cache keys on it directly
+  (:meth:`EvalSettings.plan_key` normalizes away the fields that do not
+  change the compiled plan's shape);
+* convertible, so the engine-facing
+  :class:`~repro.xquery.context.EvaluationOptions` is derived from it in
+  exactly one place (:meth:`EvalSettings.to_options`) — the two cannot
+  drift apart silently (a test asserts the shared fields stay in sync).
+
+The legacy keyword arguments of ``evaluate()``/``evaluate_query()`` keep
+working through :func:`merge_legacy_kwargs`, which emits a
+:class:`DeprecationWarning` and folds them into a settings value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Mapping
+
+
+class Engine(str, Enum):
+    """Which execution backend evaluates a query."""
+
+    #: The tree-walking interpreter with the native IFP operator.
+    INTERPRETER = "interpreter"
+    #: The Relational XQuery backend (compile to algebra, evaluate plans).
+    ALGEBRA = "algebra"
+    #: The SQLite backend: documents shredded into pre/post tables and each
+    #: fixpoint run as a recursive CTE (or the temp-table driver loop).
+    SQL = "sql"
+
+
+#: The tuning knobs ``evaluate()`` historically took as keyword arguments,
+#: in their historical order — the deprecation shim accepts exactly these.
+LEGACY_TUNING_KWARGS = (
+    "ifp_algorithm", "distributivity_checker", "engine", "backend",
+    "optimize", "use_index", "use_pushdown", "use_cache", "profile",
+)
+
+
+@dataclass(frozen=True)
+class EvalSettings:
+    """Immutable bundle of every engine/tuning knob of an evaluation.
+
+    Attributes
+    ----------
+    ifp_algorithm:
+        ``"auto"`` (choose Delta when the distributivity check allows),
+        ``"naive"`` or ``"delta"``.
+    distributivity_checker:
+        ``"syntactic"`` (Figure 5), ``"algebraic"`` (Section 4) or
+        ``"never"``.
+    engine:
+        :class:`Engine` member (strings are coerced).
+    backend:
+        Table storage backend of the algebra engine (``"row"`` /
+        ``"columnar"``); ``None`` picks the default.
+    optimize:
+        Apply the AST-level rewrites of :mod:`repro.xquery.optimizer`.
+    use_index:
+        Answer axis steps from the per-document structural index.
+    use_pushdown:
+        Route recognized predicate shapes through the batch kernels.
+    use_cache:
+        Serve parsed modules / compiled plans from the session caches.
+    profile:
+        Collect per-kernel batch-vs-fallback counters for this run.
+    max_ifp_iterations / max_recursion_depth:
+        Safety bounds, forwarded to
+        :class:`~repro.xquery.context.EvaluationOptions`.
+    collect_statistics:
+        Record per-IFP iteration traces (nodes fed back, depth).
+    """
+
+    ifp_algorithm: str = "auto"
+    distributivity_checker: str = "syntactic"
+    engine: Engine = Engine.INTERPRETER
+    backend: str | None = None
+    optimize: bool = True
+    use_index: bool = True
+    use_pushdown: bool = True
+    use_cache: bool = True
+    profile: bool = False
+    max_ifp_iterations: int = 100_000
+    max_recursion_depth: int = 500
+    collect_statistics: bool = True
+
+    def __post_init__(self):
+        # Coerce engine strings ("sql") into the enum so equality/hashing
+        # of settings values never depends on how the caller spelled it.
+        if not isinstance(self.engine, Engine):
+            object.__setattr__(self, "engine", Engine(self.engine))
+
+    def replace(self, **changes: Any) -> "EvalSettings":
+        """A copy with *changes* applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_options(self):
+        """The engine-facing :class:`EvaluationOptions` of these settings."""
+        from repro.xquery.context import EvaluationOptions
+
+        return EvaluationOptions(
+            ifp_algorithm=self.ifp_algorithm,
+            distributivity_checker=self.distributivity_checker,
+            max_ifp_iterations=self.max_ifp_iterations,
+            max_recursion_depth=self.max_recursion_depth,
+            use_index=self.use_index,
+            use_pushdown=self.use_pushdown,
+            collect_statistics=self.collect_statistics,
+        )
+
+    def plan_key(self, resolved_backend: str) -> "EvalSettings":
+        """These settings normalized down to what shapes a compiled plan.
+
+        The algebra plan cache uses the returned value directly as the
+        settings component of its key: fields that only steer *evaluation*
+        (algorithm policy, index usage, profiling) are reset to defaults so
+        equivalent plans share one entry, while fields baked into the plan
+        (storage backend, predicate pushdown) survive.
+        """
+        return EvalSettings(
+            engine=Engine.ALGEBRA,
+            backend=resolved_backend,
+            use_pushdown=self.use_pushdown,
+        )
+
+    def module_key(self, query: str) -> tuple:
+        """The module-cache key of *query* under these settings."""
+        return (query, bool(self.optimize))
+
+
+def coerce_settings(value: "EvalSettings | Mapping[str, Any] | None",
+                    base: "EvalSettings | None" = None) -> EvalSettings:
+    """Normalize *value* (settings, mapping of fields, or None) onto *base*."""
+    base = base if base is not None else EvalSettings()
+    if value is None:
+        return base
+    if isinstance(value, EvalSettings):
+        return value
+    if isinstance(value, Mapping):
+        return base.replace(**dict(value))
+    raise TypeError(
+        f"settings must be an EvalSettings, a mapping of its fields or None "
+        f"(got {type(value).__name__})"
+    )
+
+
+def merge_legacy_kwargs(settings: "EvalSettings | Mapping[str, Any] | None",
+                        legacy: Mapping[str, Any],
+                        stacklevel: int = 3) -> EvalSettings:
+    """Fold the pre-``EvalSettings`` tuning kwargs into a settings value.
+
+    *legacy* maps kwarg name → value-or-None; only non-``None`` entries are
+    applied (the public functions default every legacy kwarg to ``None`` so
+    "not passed" is distinguishable).  Passing any of them emits a
+    :class:`DeprecationWarning` pointing at ``settings=``.
+    """
+    passed = {name: value for name, value in legacy.items() if value is not None}
+    unknown = set(passed) - set(LEGACY_TUNING_KWARGS)
+    if unknown:
+        raise TypeError(f"unknown tuning keyword(s): {sorted(unknown)}")
+    base = coerce_settings(settings)
+    if not passed:
+        return base
+    warnings.warn(
+        f"the tuning keyword(s) {sorted(passed)} are deprecated; pass "
+        f"settings=EvalSettings(...) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return base.replace(**passed)
+
+
+__all__ = ["Engine", "EvalSettings", "LEGACY_TUNING_KWARGS",
+           "coerce_settings", "merge_legacy_kwargs"]

@@ -49,11 +49,23 @@ from repro.xquery.pushdown import PROFILE
 class SqlFixpointExecutor:
     """Runs ``with … recurse`` fixpoints against a SQLite store."""
 
+    #: Most recent statements kept in :attr:`executed_statements`.  A
+    #: long-lived executor on a pooled store (the query service reuses
+    #: shredded stores across requests) would otherwise accumulate the
+    #: transcript without bound.
+    MAX_RECORDED_STATEMENTS = 128
+
     def __init__(self, store: SqlDocumentStore | None = None):
         self.store = store or SqlDocumentStore()
-        #: ``WITH RECURSIVE`` statements executed so far (for tests/--stats).
+        #: ``WITH RECURSIVE`` statements executed so far (for tests/--stats);
+        #: only the last :attr:`MAX_RECORDED_STATEMENTS` are retained.
         self.executed_statements: list[str] = []
         self._run_ids = itertools.count(1)
+
+    def _record_statement(self, statement: str) -> None:
+        self.executed_statements.append(statement)
+        if len(self.executed_statements) > self.MAX_RECORDED_STATEMENTS:
+            del self.executed_statements[:-self.MAX_RECORDED_STATEMENTS]
 
     def run(self, expr: ast.WithExpr, seed: list,
             body: Callable[[list], list], algorithm: str,
@@ -113,13 +125,13 @@ class SqlFixpointExecutor:
                     f"INSERT INTO {seed_table} (pre) VALUES (?)",
                     [(pre,) for pre in seed_pres])
                 statement = emitted.statement_from_table(seed_table)
-                self.executed_statements.append(statement)
+                self._record_statement(statement)
                 rows = connection.execute(statement).fetchall()
             finally:
                 connection.execute(f"DROP TABLE IF EXISTS {seed_table}")
         else:
             statement = emitted.statement(len(seed_pres))
-            self.executed_statements.append(statement)
+            self._record_statement(statement)
             parameters = seed_pres or [-1]  # VALUES needs a row; -1 matches nothing
             rows = connection.execute(statement, parameters).fetchall()
         nodes = decode_pres(self.store, (row[0] for row in rows))

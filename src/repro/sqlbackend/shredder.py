@@ -32,14 +32,24 @@ class SqlDocumentStore:
     path:
         SQLite database path; the default ``":memory:"`` keeps the store
         in-process, a file path persists the shredded relations.
+    wal:
+        Put a file-backed store into write-ahead-log mode (readers never
+        block the single shredding writer; ``synchronous=NORMAL`` keeps
+        commits cheap).  Ignored for ``":memory:"`` databases, which have
+        no journal.  The service's per-worker store pool
+        (:mod:`repro.sqlbackend.pool`) turns this on.
     """
 
     #: Minimum tree size (in nodes) for a post-shred ANALYZE.
     ANALYZE_THRESHOLD = 64
 
-    def __init__(self, path: str = ":memory:"):
+    def __init__(self, path: str = ":memory:", wal: bool = False):
+        self.path = path
         self.connection = sqlite3.connect(path)
         self.connection.execute("PRAGMA foreign_keys = OFF")
+        if wal and path != ":memory:":
+            self.connection.execute("PRAGMA journal_mode = WAL")
+            self.connection.execute("PRAGMA synchronous = NORMAL")
         create_schema(self.connection)
         self._counter = itertools.count(1)
         self._pre_of: dict[int, int] = {}

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
+from threading import RLock
 from typing import Optional
 
 from repro.xdm import node as _node_module
@@ -75,14 +76,18 @@ class StructuralIndex:
     attribute list directly.
     """
 
-    __slots__ = ("root", "nodes", "pre_of", "post", "level", "parent_pre",
-                 "size", "sib_pos", "name_pres", "elem_pres", "kind_pres",
-                 "_child_by_name", "_attr_owner_sets", "_attr_value_sets",
-                 "_child_parent_sets", "_elem_value_sets",
+    __slots__ = ("root", "generation", "nodes", "pre_of", "post", "level",
+                 "parent_pre", "size", "sib_pos", "name_pres", "elem_pres",
+                 "kind_pres", "_child_by_name", "_attr_owner_sets",
+                 "_attr_value_sets", "_child_parent_sets", "_elem_value_sets",
                  "_child_value_parent_sets")
 
     def __init__(self, root: Node):
         self.root = root
+        #: The global mutation generation this index was built at (see
+        #: :func:`mutation_generation`); lets holders tell a fresh index
+        #: from one built before the last structural change.
+        self.generation = _MUTATION_GENERATION
         nodes: list[Node] = []
         post: list[int] = []
         level: list[int] = []
@@ -166,7 +171,7 @@ class StructuralIndex:
         """Drop the lazy value indexes (after a value mutation)."""
         self._reset_value_indexes()
 
-    def _build_attr_indexes(self) -> None:
+    def _build_attr_indexes(self) -> tuple[dict, dict]:
         owner_sets: dict[str, set[int]] = {}
         value_sets: dict[str, dict[str, set[int]]] = {}
         nodes = self.nodes
@@ -177,18 +182,27 @@ class StructuralIndex:
                     attribute.value, set()).add(pre)
         self._attr_owner_sets = owner_sets
         self._attr_value_sets = value_sets
+        return owner_sets, value_sets
+
+    # The lazy accessors read the built structure into a local before use:
+    # a concurrent clear_value_indexes() then only costs a rebuild on the
+    # next call instead of a None dereference mid-lookup.  Two threads
+    # building the same index concurrently is benign (same content, last
+    # assignment wins).
 
     def attr_owner_pres(self, name: str) -> set[int]:
         """Pres of elements carrying an attribute called *name*."""
-        if self._attr_owner_sets is None:
-            self._build_attr_indexes()
-        return self._attr_owner_sets.get(name, _EMPTY_SET)
+        sets = self._attr_owner_sets
+        if sets is None:
+            sets, _ = self._build_attr_indexes()
+        return sets.get(name, _EMPTY_SET)
 
     def attr_value_owner_pres(self, name: str, value: str) -> set[int]:
         """Pres of elements carrying attribute *name* with exactly *value*."""
-        if self._attr_value_sets is None:
-            self._build_attr_indexes()
-        return self._attr_value_sets.get(name, _EMPTY_DICT).get(value, _EMPTY_SET)
+        sets = self._attr_value_sets
+        if sets is None:
+            _, sets = self._build_attr_indexes()
+        return sets.get(name, _EMPTY_DICT).get(value, _EMPTY_SET)
 
     def child_name_parent_pres(self, name: str) -> set[int]:
         """Pres of nodes having an element child called *name*."""
@@ -441,6 +455,20 @@ def _attribute_upward(node: AttributeNode, axis: str, kind: str,
 #: cached index is only useful while its document is reachable anyway.
 _REGISTRY: "OrderedDict[int, tuple[Node, StructuralIndex]]" = OrderedDict()
 
+#: Guards the registry against concurrent service traffic.  The lock is
+#: held only for registry bookkeeping, never while *building* would-be-hot
+#: state inside an index (the lazy value indexes build lock-free); the
+#: worst concurrent case is two threads building the same index and one
+#: winning the registry slot.  Lock order (see DESIGN.md §8): a thread
+#: holding a Session lock may take this lock; never the reverse.
+_REGISTRY_LOCK = RLock()
+
+#: Monotonic counter bumped on every structural or value mutation that
+#: reaches the hooks below.  Snapshot holders (the per-worker SQLite store
+#: pool, service stats) compare it against the generation they captured to
+#: detect that *any* indexed/shredded tree changed underneath them.
+_MUTATION_GENERATION = 0
+
 #: Bound on live indexes (evaluation constructs many small transient trees;
 #: their indexes must not accumulate).
 REGISTRY_LIMIT = 64
@@ -452,19 +480,32 @@ def _root_of(node: Node) -> Node:
     return node
 
 
+def mutation_generation() -> int:
+    """The current global mutation generation (monotonic, process-wide)."""
+    return _MUTATION_GENERATION
+
+
 def index_for(node: Node, build: bool = True) -> Optional[StructuralIndex]:
     """The structural index of *node*'s tree (built lazily, cached per root)."""
     root = _root_of(node)
-    entry = _REGISTRY.get(id(root))
-    if entry is not None and entry[0] is root:
-        _REGISTRY.move_to_end(id(root))
-        return entry[1]
+    with _REGISTRY_LOCK:
+        entry = _REGISTRY.get(id(root))
+        if entry is not None and entry[0] is root:
+            _REGISTRY.move_to_end(id(root))
+            return entry[1]
     if not build:
         return None
     built = StructuralIndex(root)
-    _REGISTRY[id(root)] = (root, built)
-    if len(_REGISTRY) > REGISTRY_LIMIT:
-        _REGISTRY.popitem(last=False)
+    with _REGISTRY_LOCK:
+        # A racing thread may have registered its own build meanwhile;
+        # serve that one so every caller shares a single index object.
+        entry = _REGISTRY.get(id(root))
+        if entry is not None and entry[0] is root:
+            _REGISTRY.move_to_end(id(root))
+            return entry[1]
+        _REGISTRY[id(root)] = (root, built)
+        if len(_REGISTRY) > REGISTRY_LIMIT:
+            _REGISTRY.popitem(last=False)
     return built
 
 
@@ -481,9 +522,12 @@ def invalidate_index(node: Node) -> None:
     (to catch the new one).  The empty-registry fast path keeps bulk
     document construction at O(1) per mutation until a first index exists.
     """
-    if not _REGISTRY:
-        return
-    _REGISTRY.pop(id(_root_of(node)), None)
+    global _MUTATION_GENERATION
+    with _REGISTRY_LOCK:
+        _MUTATION_GENERATION += 1
+        if not _REGISTRY:
+            return
+        _REGISTRY.pop(id(_root_of(node)), None)
 
 
 def invalidate_value_indexes(node: Node) -> None:
@@ -494,20 +538,27 @@ def invalidate_value_indexes(node: Node) -> None:
     valid — only the lazy value inverted indexes are reset, so the next
     value predicate rebuilds them from the current values.
     """
-    if not _REGISTRY:
-        return
-    entry = _REGISTRY.get(id(_root_of(node)))
-    if entry is not None:
-        entry[1].clear_value_indexes()
+    global _MUTATION_GENERATION
+    with _REGISTRY_LOCK:
+        _MUTATION_GENERATION += 1
+        if not _REGISTRY:
+            return
+        entry = _REGISTRY.get(id(_root_of(node)))
+        if entry is not None:
+            entry[1].clear_value_indexes()
 
 
 def clear_index_registry() -> None:
     """Drop every cached index (test isolation / memory pressure)."""
-    _REGISTRY.clear()
+    global _MUTATION_GENERATION
+    with _REGISTRY_LOCK:
+        _MUTATION_GENERATION += 1
+        _REGISTRY.clear()
 
 
 def registry_size() -> int:
-    return len(_REGISTRY)
+    with _REGISTRY_LOCK:
+        return len(_REGISTRY)
 
 
 _node_module._structure_change_hook = invalidate_index

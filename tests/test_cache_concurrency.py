@@ -1,0 +1,150 @@
+"""Thread-safety hammers for the serving caches (:mod:`repro.plancache`).
+
+Before PR 6, ``LRUCache`` mutated a plain ``OrderedDict`` with no lock, so
+concurrent ``evaluate()`` calls could corrupt the cache or the hit/miss
+counters (``RuntimeError: OrderedDict mutated during iteration``, lost
+entries, ``stats()`` torn between two updates).  These tests drive the
+cache — directly and through the public API — from many threads at once.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.plancache import LRUCache
+from repro.session import Session
+from repro.settings import EvalSettings
+from tests.conftest import CURRICULUM_XML, course_codes
+
+THREADS = 8
+ROUNDS = 60
+
+
+def _run_in_threads(worker, count: int = THREADS) -> list:
+    """Start *count* threads on *worker* behind a barrier; re-raise errors."""
+    barrier = threading.Barrier(count)
+    errors: list[BaseException] = []
+
+    def trampoline(index: int) -> None:
+        barrier.wait()
+        try:
+            worker(index)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=trampoline, args=(index,))
+               for index in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return errors
+
+
+class TestLRUCacheHammer:
+    def test_concurrent_get_put_keeps_counters_consistent(self):
+        cache = LRUCache(16)
+        per_thread = 400
+
+        def worker(index: int) -> None:
+            for round_number in range(per_thread):
+                key = (index * per_thread + round_number) % 24
+                if cache.get(key) is None:
+                    cache.put(key, key * 2)
+                stats = cache.stats()
+                assert stats["size"] <= 16
+                assert stats["hits"] >= 0 and stats["misses"] >= 0
+
+        _run_in_threads(worker)
+        stats = cache.stats()
+        # Every get() recorded exactly one hit or one miss — no lost updates.
+        assert stats["hits"] + stats["misses"] == THREADS * per_thread
+        assert len(cache) <= 16
+        for key in range(24):
+            value = cache.get(key)
+            assert value is None or value == key * 2
+
+    def test_concurrent_clear_and_put(self):
+        cache = LRUCache(8)
+
+        def worker(index: int) -> None:
+            for round_number in range(200):
+                if index == 0 and round_number % 10 == 0:
+                    cache.clear()
+                else:
+                    cache.put(round_number % 12, index)
+                    cache.get(round_number % 12)
+
+        _run_in_threads(worker)
+        assert len(cache) <= 8
+
+    def test_generation_bump_invalidates_between_threads(self):
+        cache = LRUCache(8)
+        cache.put("plan", "old")
+
+        def worker(index: int) -> None:
+            if index == 0:
+                cache.bump_generation()
+            else:
+                value = cache.get("plan")
+                assert value in ("old", None)
+
+        _run_in_threads(worker)
+        assert cache.get("plan") is None  # stale entry never outlives the bump
+
+
+class TestConcurrentEvaluate:
+    QUERIES = [
+        ('with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"] '
+         'recurse $x/id(./prerequisites/pre_code)',
+         ["c2", "c3", "c4", "c5"]),
+        ('with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c6"] '
+         'recurse $x/id(./prerequisites/pre_code)',
+         ["c6", "c7"]),
+        ('doc("curriculum.xml")//course[prerequisites/pre_code = "c4"]',
+         ["c2"]),
+        ('count(doc("curriculum.xml")//pre_code)', [6]),
+    ]
+
+    def test_mixed_queries_across_engines_under_load(self):
+        with Session(documents={"curriculum.xml": CURRICULUM_XML},
+                     id_attributes=("code",)) as session:
+            engines = ["interpreter", "algebra", "sql"]
+
+            def worker(index: int) -> None:
+                for round_number in range(ROUNDS):
+                    query, expected = self.QUERIES[
+                        (index + round_number) % len(self.QUERIES)]
+                    engine = engines[(index + round_number) % len(engines)]
+                    result = session.evaluate(query, engine=engine)
+                    got = (course_codes(result.items)
+                           if expected and isinstance(expected[0], str)
+                           else result.items)
+                    assert got == expected, (query, engine)
+
+            _run_in_threads(worker)
+
+            module = session.cache_stats()["module"]
+            # Four distinct query texts — every other parse was a cache hit,
+            # and no (hit|miss) increment was lost in the stampede.
+            assert module["size"] == len(self.QUERIES)
+            assert module["hits"] + module["misses"] == THREADS * ROUNDS
+            assert module["misses"] >= len(self.QUERIES)
+            # Each worker thread got (and kept) exactly one SQLite store.
+            assert session.stats()["sql_pool"]["live_stores"] <= THREADS
+
+    def test_prepared_query_shared_between_threads(self):
+        with Session(documents={"curriculum.xml": CURRICULUM_XML},
+                     id_attributes=("code",),
+                     settings=EvalSettings(engine="algebra")) as session:
+            prepared = session.prepare(self.QUERIES[0][0])
+
+            with ThreadPoolExecutor(max_workers=THREADS) as pool:
+                results = list(pool.map(lambda _: prepared(), range(32)))
+            for result in results:
+                assert course_codes(result.items) == ["c2", "c3", "c4", "c5"]
+            plan = session.cache_stats()["plan"]
+            assert plan["hits"] >= 32 - THREADS  # at most one compile per thread

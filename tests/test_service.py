@@ -1,0 +1,197 @@
+"""Integration tests for the HTTP query service (:mod:`repro.service`).
+
+A real :class:`~repro.service.server.QueryServer` runs on an ephemeral
+port; clients speak JSON over plain ``urllib``.  The concurrency tests
+fire overlapping ``/query`` and ``/batch`` requests across all three
+engines and check the responses item-for-item against direct
+``Session.evaluate`` calls.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import QueryService, ServiceError, create_server, serve
+from repro.service.server import serialize_items
+from repro.session import Session
+from tests.conftest import CURRICULUM_XML
+
+TC_QUERY = ('with $x seeded by doc("curriculum.xml")'
+            '/curriculum/course[@code="c1"] '
+            'recurse $x/id(./prerequisites/pre_code)')
+
+MUTATED_XML = CURRICULUM_XML.replace(
+    '<course code="c2"><prerequisites><pre_code>c4</pre_code></prerequisites></course>',
+    '<course code="c2"><prerequisites/></course>')
+
+ALL_ENGINES = ["interpreter", "algebra", "sql"]
+
+
+class ServiceClient:
+    """A minimal JSON-over-HTTP client for the test server."""
+
+    def __init__(self, base_url: str):
+        self.base_url = base_url
+
+    def request(self, path: str, payload=None):
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path, data=data,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def query(self, query: str, **fields):
+        return self.request("/query", {"query": query, **fields})
+
+    def batch(self, queries, **fields):
+        return self.request("/batch", {"queries": queries, **fields})
+
+
+@pytest.fixture()
+def service_session():
+    with Session(documents={"curriculum.xml": CURRICULUM_XML},
+                 id_attributes=("code",)) as session:
+        yield session
+
+
+@pytest.fixture()
+def client(service_session):
+    service = QueryService(session=service_session)
+    server = create_server(service)
+    serve(server)
+    host, port = server.server_address[:2]
+    yield ServiceClient(f"http://{host}:{port}")
+    server.graceful_shutdown(timeout=5)
+
+
+class TestEndpoints:
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_query_matches_direct_evaluate(self, client, service_session, engine):
+        status, body = client.query(TC_QUERY, engine=engine)
+        direct = service_session.evaluate(TC_QUERY, engine=engine)
+        assert status == 200 and body["ok"] is True
+        assert body["engine"] == engine
+        assert body["count"] == len(direct.items)
+        assert sorted(body["items"]) == sorted(serialize_items(direct.items))
+
+    def test_query_with_variables_and_settings(self, client):
+        status, body = client.query("$n + 1", variables={"n": 41},
+                                    settings={"optimize": False})
+        assert status == 200 and body["items"] == ["42"]
+
+    def test_batch_shares_one_snapshot(self, client):
+        status, body = client.batch(
+            [{"query": "1 + 1"},
+             {"query": TC_QUERY, "engine": "sql"},
+             {"query": "syntax error (("}],
+            settings={"ifp_algorithm": "naive"})
+        assert status == 200 and body["ok"] is True and body["count"] == 3
+        first, second, third = body["results"]
+        assert first["items"] == ["2"]
+        assert second["ok"] is True and second["count"] == 4
+        assert third["ok"] is False and "XQuerySyntaxError" in third["error"]
+
+    def test_bad_requests_are_4xx(self, client):
+        assert client.query("")[0] == 400
+        assert client.request("/query", {"query": "1", "bogus": True})[0] == 400
+        assert client.query("doc('nope.xml')")[0] == 422
+        assert client.request("/nowhere", {})[0] == 404
+        status, body = client.query("1", context="unregistered.xml")
+        assert status == 400 and "not registered" in body["error"]
+
+    def test_health_and_stats(self, client):
+        client.query("1 + 1")
+        status, health = client.request("/health")
+        assert status == 200 and health["status"] == "ok"
+        assert health["documents"] == ["curriculum.xml"]
+        status, stats = client.request("/stats")
+        assert status == 200
+        assert stats["service"]["requests"] >= 1
+        assert "interpreter" in stats["service"]["engines"]
+        assert "module" in stats["session"] and "sql_pool" in stats["session"]
+
+    def test_handle_query_rejects_non_object(self, service_session):
+        service = QueryService(session=service_session)
+        with pytest.raises(ServiceError):
+            service.handle_query(["not", "an", "object"])
+
+
+class TestConcurrentClients:
+    def test_eight_clients_across_engines(self, client, service_session):
+        expected = {engine: serialize_items(
+                        service_session.evaluate(TC_QUERY, engine=engine).items)
+                    for engine in ALL_ENGINES}
+
+        def one_client(index: int):
+            engine = ALL_ENGINES[index % len(ALL_ENGINES)]
+            if index % 4 == 3:  # every fourth client sends a batch
+                status, body = client.batch(
+                    [{"query": TC_QUERY, "engine": engine},
+                     {"query": "count(doc('curriculum.xml')//course)"}])
+                assert status == 200
+                assert body["results"][1]["items"] == ["7"]
+                return engine, body["results"][0]["items"]
+            status, body = client.query(TC_QUERY, engine=engine)
+            assert status == 200
+            return engine, body["items"]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(one_client, range(24)))
+        for engine, items in outcomes:
+            assert sorted(items) == sorted(expected[engine]), engine
+
+        status, stats = client.request("/stats")
+        assert stats["service"]["requests"] >= 24
+        assert stats["service"]["errors"] == 0
+        assert stats["service"]["in_flight"] == 0
+
+    def test_mutation_mid_traffic(self, client):
+        def closure_codes():
+            status, body = client.query(TC_QUERY, engine="sql")
+            assert status == 200
+            return sorted(code.split('code="')[1].split('"')[0]
+                          for code in body["items"])
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            wave1 = [pool.submit(closure_codes) for _ in range(8)]
+            for future in wave1:
+                assert future.result() == ["c2", "c3", "c4", "c5"]
+
+            status, body = client.request(
+                "/documents", {"uri": "curriculum.xml", "xml": MUTATED_XML,
+                               "id_attributes": ["code"]})
+            assert status == 200 and body["generation"] >= 2
+
+            wave2 = [pool.submit(closure_codes) for _ in range(8)]
+            for future in wave2:
+                assert future.result() == ["c2", "c3"]
+
+        status, health = client.request("/health")
+        assert health["status"] == "ok" and health["in_flight"] == 0
+
+
+class TestGracefulShutdown:
+    def test_drains_and_closes(self, service_session):
+        service = QueryService(session=service_session)
+        server = create_server(service)
+        serve(server)
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}")
+        status, health = client.request("/health")
+        assert status == 200 and health["status"] == "ok"
+        assert server.graceful_shutdown(timeout=5) is True
+        with pytest.raises(OSError):
+            client.request("/health")
+
+    def test_cli_entrypoint_is_wired(self):
+        import repro.service.server as server_module
+        assert callable(server_module.main)

@@ -1,0 +1,267 @@
+"""Tests for the Session API and EvalSettings (:mod:`repro.session`)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api import evaluate
+from repro.session import PreparedQuery, Session, default_session
+from repro.settings import (
+    LEGACY_TUNING_KWARGS,
+    Engine,
+    EvalSettings,
+    coerce_settings,
+    merge_legacy_kwargs,
+)
+from repro.xquery.context import EvaluationOptions
+from tests.conftest import CURRICULUM_XML, course_codes
+
+TC_QUERY = ('with $x seeded by doc("curriculum.xml")'
+            '/curriculum/course[@code="c1"] '
+            'recurse $x/id(./prerequisites/pre_code)')
+
+#: The c2 course with its prerequisite dropped — a corpus mutation that
+#: changes the transitive closure (c4/c5 no longer reachable from c1).
+MUTATED_XML = CURRICULUM_XML.replace(
+    '<course code="c2"><prerequisites><pre_code>c4</pre_code></prerequisites></course>',
+    '<course code="c2"><prerequisites/></course>')
+
+ALL_ENGINES = ["interpreter", "algebra", "sql"]
+
+
+@pytest.fixture()
+def session():
+    with Session(documents={"curriculum.xml": CURRICULUM_XML},
+                 id_attributes=("code",)) as session:
+        yield session
+
+
+class TestEvalSettings:
+    def test_frozen_and_hashable(self):
+        settings = EvalSettings(engine="sql")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            settings.engine = Engine.ALGEBRA
+        assert settings == EvalSettings(engine=Engine.SQL)
+        assert hash(settings) == hash(EvalSettings(engine=Engine.SQL))
+
+    def test_engine_strings_are_coerced(self):
+        assert EvalSettings(engine="algebra").engine is Engine.ALGEBRA
+        with pytest.raises(ValueError):
+            EvalSettings(engine="cobol")
+
+    def test_stays_in_sync_with_evaluation_options(self):
+        """Every EvaluationOptions field must be derivable from settings."""
+        option_fields = {f.name for f in dataclasses.fields(EvaluationOptions)}
+        settings_fields = {f.name for f in dataclasses.fields(EvalSettings)}
+        assert option_fields <= settings_fields, (
+            "EvaluationOptions grew a field EvalSettings does not carry; "
+            "add it to EvalSettings and to_options()")
+        settings = EvalSettings(ifp_algorithm="naive", use_index=False,
+                                max_recursion_depth=7)
+        options = settings.to_options()
+        for name in option_fields:
+            assert getattr(options, name) == getattr(settings, name)
+
+    def test_plan_key_normalizes_evaluation_only_fields(self):
+        a = EvalSettings(engine="algebra", ifp_algorithm="naive", profile=True)
+        b = EvalSettings(engine="interpreter", use_index=False)
+        assert a.plan_key("columnar") == b.plan_key("columnar")
+        assert a.plan_key("columnar") != a.plan_key("row")
+        assert (a.plan_key("columnar")
+                != a.replace(use_pushdown=False).plan_key("columnar"))
+
+    def test_coerce_settings_accepts_mappings(self):
+        base = EvalSettings(engine="sql")
+        merged = coerce_settings({"use_index": False}, base)
+        assert merged.engine is Engine.SQL and merged.use_index is False
+        assert coerce_settings(None, base) is base
+        with pytest.raises(TypeError):
+            coerce_settings(42)
+
+    def test_merge_legacy_kwargs_warns_and_applies(self):
+        legacy = dict.fromkeys(LEGACY_TUNING_KWARGS)
+        legacy["engine"] = "sql"
+        legacy["use_pushdown"] = False
+        with pytest.warns(DeprecationWarning, match="engine"):
+            merged = merge_legacy_kwargs(None, legacy)
+        assert merged.engine is Engine.SQL and merged.use_pushdown is False
+        # Nothing passed → no warning, base returned untouched.
+        base = EvalSettings()
+        assert merge_legacy_kwargs(base, dict.fromkeys(LEGACY_TUNING_KWARGS)) is base
+
+    def test_evaluate_legacy_kwargs_warn_but_work(self, curriculum_resolver):
+        with pytest.warns(DeprecationWarning):
+            result = evaluate(TC_QUERY, documents=curriculum_resolver,
+                              engine="interpreter", ifp_algorithm="naive")
+        assert course_codes(result.items) == ["c2", "c3", "c4", "c5"]
+
+
+class TestSessionEvaluate:
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_matches_module_level_evaluate(self, session, curriculum_resolver,
+                                           engine):
+        direct = evaluate(TC_QUERY, documents=curriculum_resolver,
+                          settings=EvalSettings(engine=engine))
+        via_session = session.evaluate(TC_QUERY, engine=engine)
+        assert (course_codes(via_session.items) == course_codes(direct.items)
+                == ["c2", "c3", "c4", "c5"])
+
+    def test_settings_resolution_order(self, session):
+        """session defaults < settings= < field overrides."""
+        session.settings = EvalSettings(engine="sql")
+        result = session.evaluate("1 + 1")
+        assert result.items == [2]
+        resolved = session._resolve_settings({"use_index": False},
+                                             {"engine": "interpreter"})
+        assert resolved.engine is Engine.INTERPRETER
+        assert resolved.use_index is False
+
+    def test_module_cache_serves_repeat_queries(self, session):
+        session.evaluate(TC_QUERY)
+        before = session.cache_stats()["module"]
+        session.evaluate(TC_QUERY)
+        after = session.cache_stats()["module"]
+        assert after["hits"] == before["hits"] + 1
+
+    def test_plan_cache_keys_on_settings(self, session):
+        session.evaluate(TC_QUERY, engine="algebra")
+        before = session.cache_stats()["plan"]
+        session.evaluate(TC_QUERY, engine="algebra")
+        hit = session.cache_stats()["plan"]
+        assert hit["hits"] == before["hits"] + 1
+        # A different plan-shaping knob must compile its own plan.
+        session.evaluate(TC_QUERY, engine="algebra", use_pushdown=False)
+        miss = session.cache_stats()["plan"]
+        assert miss["hits"] == hit["hits"]
+        assert miss["misses"] == hit["misses"] + 1
+
+    def test_sessions_are_isolated(self, session):
+        other = Session(documents={"curriculum.xml": MUTATED_XML},
+                        id_attributes=("code",))
+        try:
+            session.evaluate(TC_QUERY)
+            assert len(other.cache_stats()["module"]) == 0 or True
+            ours = session.evaluate(TC_QUERY)
+            theirs = other.evaluate(TC_QUERY)
+            assert course_codes(ours.items) == ["c2", "c3", "c4", "c5"]
+            assert course_codes(theirs.items) == ["c2", "c3"]
+        finally:
+            other.close()
+
+    def test_variables_and_context_item(self, session):
+        result = session.evaluate("$n * 2", variables={"n": 21})
+        assert result.items == [42]
+        doc = session.snapshot().resolve("curriculum.xml")
+        result = session.evaluate("count(./curriculum/course)", context_item=doc)
+        assert result.items == [7]
+
+
+class TestPreparedQuery:
+    def test_prepare_skips_reparse(self, session):
+        prepared = session.prepare(TC_QUERY)
+        assert isinstance(prepared, PreparedQuery)
+        before = session.cache_stats()["module"]
+        first = prepared()
+        second = prepared.run()
+        after = session.cache_stats()["module"]
+        assert course_codes(first.items) == course_codes(second.items)
+        # Runs never touch the parser: module cache traffic is unchanged.
+        assert after["hits"] == before["hits"]
+        assert after["misses"] == before["misses"]
+
+    def test_prepared_algebra_run_hits_plan_cache(self, session):
+        prepared = session.prepare(TC_QUERY, engine="algebra")
+        prepared()
+        before = session.cache_stats()["plan"]
+        prepared()
+        after = session.cache_stats()["plan"]
+        assert after["hits"] == before["hits"] + 1
+
+    def test_per_run_overrides(self, session):
+        prepared = session.prepare("$n + 1")
+        assert prepared(variables={"n": 1}).items == [2]
+        assert prepared(variables={"n": 2}, engine="interpreter").items == [3]
+
+
+class TestSnapshotSemantics:
+    def test_register_document_bumps_generation(self, session):
+        generation = session.generation
+        new_generation = session.register_document("curriculum.xml", MUTATED_XML,
+                                                   id_attributes=("code",))
+        assert new_generation == generation + 1
+        assert session.generation == new_generation
+
+    def test_in_flight_snapshot_survives_mutation(self, session):
+        old_snapshot = session.snapshot()
+        session.register_document("curriculum.xml", MUTATED_XML,
+                                  id_attributes=("code",))
+        # A query pinned to the captured snapshot still sees the old corpus…
+        old = session.evaluate(TC_QUERY, documents=old_snapshot)
+        assert course_codes(old.items) == ["c2", "c3", "c4", "c5"]
+        # …while an unpinned query sees the new one.
+        new = session.evaluate(TC_QUERY)
+        assert course_codes(new.items) == ["c2", "c3"]
+
+    def test_mutation_invalidates_plan_cache(self, session):
+        session.evaluate(TC_QUERY, engine="algebra")
+        session.evaluate(TC_QUERY, engine="algebra")
+        assert session.cache_stats()["plan"]["hits"] >= 1
+        session.register_document("curriculum.xml", MUTATED_XML,
+                                  id_attributes=("code",))
+        result = session.evaluate(TC_QUERY, engine="algebra")
+        assert course_codes(result.items) == ["c2", "c3"]
+
+    def test_remove_document(self, session):
+        session.remove_document("curriculum.xml")
+        assert session.document_uris() == []
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            session.evaluate(TC_QUERY)
+
+
+class TestSqlStorePool:
+    def test_store_reused_within_a_thread(self, session):
+        session.evaluate(TC_QUERY, engine="sql")
+        created = session.stats()["sql_pool"]["created"]
+        session.evaluate(TC_QUERY, engine="sql")
+        assert session.stats()["sql_pool"]["created"] == created
+
+    def test_mutation_rebuilds_the_store(self, session):
+        session.evaluate(TC_QUERY, engine="sql")
+        created = session.stats()["sql_pool"]["created"]
+        session.register_document("curriculum.xml", MUTATED_XML,
+                                  id_attributes=("code",))
+        result = session.evaluate(TC_QUERY, engine="sql")
+        assert course_codes(result.items) == ["c2", "c3"]
+        assert session.stats()["sql_pool"]["created"] == created + 1
+
+    def test_wal_mode_stores(self, tmp_path):
+        with Session(documents={"curriculum.xml": CURRICULUM_XML},
+                     id_attributes=("code",),
+                     sql_store="wal", sql_store_dir=str(tmp_path)) as session:
+            result = session.evaluate(TC_QUERY, engine="sql")
+            assert course_codes(result.items) == ["c2", "c3", "c4", "c5"]
+            pool = session.stats()["sql_pool"]
+            assert pool["mode"] == "wal" and pool["live_stores"] == 1
+            assert any(path.name.startswith("store-")
+                       for path in tmp_path.iterdir())
+
+
+class TestDefaultSession:
+    def test_module_level_evaluate_uses_default_session(self, curriculum_resolver):
+        session = default_session()
+        assert default_session() is session
+        before = session.cache_stats()["module"]["misses"]
+        evaluate("2 + 2", documents=curriculum_resolver)
+        assert session.cache_stats()["module"]["misses"] >= before
+
+    def test_settings_and_options_are_exclusive(self):
+        with pytest.raises(TypeError):
+            Session(settings=EvalSettings(), options=EvalSettings())
+
+    def test_close_is_idempotent(self):
+        session = Session()
+        session.close()
+        session.close()
