@@ -1,0 +1,244 @@
+"""CI guard: query tracing must be ~free while it is switched off.
+
+The observability layer instruments the hottest loops in the repo — the
+per-round fixpoint drivers and the engine dispatch around them — behind
+``if trace is not None`` guards.  This script verifies the promise that a
+query evaluated *without* ``trace=True`` pays (almost) nothing for those
+guards::
+
+    PYTHONPATH=src python benchmarks/check_trace_overhead.py
+
+It times the same workload twice, interleaved, taking the min over many
+samples (min-of-N cancels scheduler noise far better than means):
+
+* **instrumented** — the shipped code, ``trace`` left off;
+* **baseline** — the shipped code with the fixpoint drivers and
+  ``FixpointEngine.run`` monkey-patched to uninstrumented copies defined
+  in this file (the pre-observability hot loops, guard branches removed).
+
+The check fails (exit 1) when the instrumented variant is more than
+``--tolerance`` (default 2%) slower than the baseline.  Timings below the
+``--floor-ms`` noise floor abort with an error instead of silently
+passing, so the guard cannot degrade into a no-op on fast machines —
+raise ``--inner`` in that case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Sequence
+
+import repro.fixpoint.engine as fixpoint_engine
+from repro.bench.queries import get_workload
+from repro.errors import FixpointError
+from repro.fixpoint.engine import FixpointEngine, FixpointResult
+from repro.fixpoint.stats import FixpointStatistics
+from repro.session import Session
+from repro.settings import EvalSettings
+from repro.xdm.sequence import ensure_node_sequence, node_except, node_union
+
+
+# --------------------------------------------------------------------------
+# Uninstrumented baseline copies of the hot loops (no `trace` parameter, no
+# guard branches).  Kept in lock-step with repro.fixpoint.naive/delta minus
+# every line mentioning spans — the diff against those modules IS the cost
+# being measured.
+# --------------------------------------------------------------------------
+
+def _order_key(node):
+    return node.order_key
+
+
+def _merge_new(result: list, seen: set, produced: Sequence) -> int:
+    fresh = []
+    for node in produced:
+        key = node.order_key
+        if key not in seen:
+            seen.add(key)
+            fresh.append(node)
+    if fresh:
+        result.extend(fresh)
+        result.sort(key=_order_key)
+    return len(fresh)
+
+
+def _baseline_naive(body, seed, max_iterations=100_000, statistics=None,
+                    seed_is_initial_result=False, trace=None):
+    seed_nodes = ensure_node_sequence(list(seed), "inflationary fixed point seed")
+    result: list = []
+    seen: set = set()
+    if seed_is_initial_result:
+        _merge_new(result, seen, seed_nodes)
+        if statistics is not None:
+            statistics.algorithm = "naive"
+            statistics.record(0, 0, len(seed_nodes), len(result), len(result))
+    else:
+        fed = seed_nodes
+        produced = body(list(fed))
+        ensure_node_sequence(produced, "inflationary fixed point body result")
+        _merge_new(result, seen, produced)
+        if statistics is not None:
+            statistics.algorithm = "naive"
+            statistics.record(0, len(fed), len(produced), len(result), len(result))
+    iteration = 0
+    while True:
+        iteration += 1
+        if iteration > max_iterations:
+            raise FixpointError(
+                f"inflationary fixed point did not converge within {max_iterations} iterations"
+            )
+        fed_count = len(result)
+        produced = body(list(result))
+        ensure_node_sequence(produced, "inflationary fixed point body result")
+        new_nodes = _merge_new(result, seen, produced)
+        if statistics is not None:
+            statistics.record(iteration, fed_count, len(produced), new_nodes, len(result))
+        if new_nodes == 0:
+            return result
+
+
+def _baseline_delta(body, seed, max_iterations=100_000, statistics=None,
+                    seed_is_initial_result=False, trace=None):
+    seed_nodes = ensure_node_sequence(list(seed), "inflationary fixed point seed")
+    if seed_is_initial_result:
+        result = node_union(seed_nodes, [])
+        delta = list(result)
+        if statistics is not None:
+            statistics.algorithm = "delta"
+            statistics.record(0, 0, len(seed_nodes), len(result), len(result))
+    else:
+        fed = seed_nodes
+        produced = body(list(fed))
+        ensure_node_sequence(produced, "inflationary fixed point body result")
+        result = node_union(produced, [])
+        delta = list(result)
+        if statistics is not None:
+            statistics.algorithm = "delta"
+            statistics.record(0, len(fed), len(produced), len(result), len(result))
+    iteration = 0
+    while delta:
+        iteration += 1
+        if iteration > max_iterations:
+            raise FixpointError(
+                f"inflationary fixed point did not converge within {max_iterations} iterations"
+            )
+        fed = delta
+        produced = body(list(fed))
+        ensure_node_sequence(produced, "inflationary fixed point body result")
+        delta = node_except(produced, result)
+        combined = node_union(delta, result)
+        if statistics is not None:
+            statistics.record(iteration, len(fed), len(produced), len(delta), len(combined))
+        result = combined
+    return result
+
+
+def _baseline_run(self, body: Callable[[list], list], seed, algorithm="naive",
+                  seed_is_initial_result=False, trace=None) -> FixpointResult:
+    if algorithm not in fixpoint_engine.ALGORITHMS:
+        raise FixpointError(f"unknown fixed point algorithm '{algorithm}'")
+    statistics = FixpointStatistics(algorithm=algorithm) if self.collect_statistics else None
+    if algorithm == "delta":
+        value = _baseline_delta(body, seed, self.max_iterations, statistics,
+                                seed_is_initial_result=seed_is_initial_result)
+    else:
+        value = _baseline_naive(body, seed, self.max_iterations, statistics,
+                                seed_is_initial_result=seed_is_initial_result)
+    return FixpointResult(value=value,
+                          statistics=statistics or FixpointStatistics(algorithm=algorithm))
+
+
+class _patched_baseline:
+    """Context manager that swaps the uninstrumented copies in and out."""
+
+    def __enter__(self):
+        self._saved = (fixpoint_engine.naive_fixpoint,
+                       fixpoint_engine.delta_fixpoint,
+                       FixpointEngine.run)
+        fixpoint_engine.naive_fixpoint = _baseline_naive
+        fixpoint_engine.delta_fixpoint = _baseline_delta
+        FixpointEngine.run = _baseline_run
+        return self
+
+    def __exit__(self, *exc_info):
+        (fixpoint_engine.naive_fixpoint,
+         fixpoint_engine.delta_fixpoint,
+         FixpointEngine.run) = self._saved
+        return False
+
+
+# --------------------------------------------------------------------------
+# Measurement
+# --------------------------------------------------------------------------
+
+def _make_runner(inner: int):
+    """Build ``run()`` evaluating the workload *inner* times per sample."""
+    workload = get_workload("curriculum")
+    document = workload.size("tiny").build_document()
+    query = workload.ifp_query(algorithm="delta")
+    session = Session()
+    session.register_document(workload.document_uri, document)
+    settings = EvalSettings(engine="interpreter", ifp_algorithm="delta")
+    prepared = session.prepare(query, settings=settings)
+    prepared.run()  # warm the module/plan caches outside the measurement
+
+    def run() -> int:
+        count = 0
+        for _ in range(inner):
+            count += len(prepared.run().items)
+        return count
+
+    return run
+
+
+def measure(samples: int, inner: int) -> tuple[float, float]:
+    """Interleaved min-of-*samples* seconds for (instrumented, baseline)."""
+    run = _make_runner(inner)
+    best_instrumented = best_baseline = float("inf")
+    for _ in range(samples):
+        started = time.perf_counter()
+        run()
+        best_instrumented = min(best_instrumented, time.perf_counter() - started)
+        with _patched_baseline():
+            started = time.perf_counter()
+            run()
+            best_baseline = min(best_baseline, time.perf_counter() - started)
+    return best_instrumented, best_baseline
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--samples", type=int, default=12,
+                        help="interleaved A/B sample pairs (default 12)")
+    parser.add_argument("--inner", type=int, default=30,
+                        help="query evaluations per sample (default 30)")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="maximum allowed relative overhead (default 0.02)")
+    parser.add_argument("--floor-ms", type=float, default=5.0,
+                        help="fail if the baseline sample time is below this "
+                             "noise floor (default 5 ms); raise --inner instead")
+    arguments = parser.parse_args(argv)
+
+    instrumented, baseline = measure(arguments.samples, arguments.inner)
+    if baseline * 1000.0 < arguments.floor_ms:
+        print(f"trace overhead check INVALID: baseline sample "
+              f"{baseline * 1000.0:.2f} ms is below the {arguments.floor_ms:.1f} ms "
+              f"noise floor — raise --inner", file=sys.stderr)
+        return 1
+    overhead = instrumented / baseline - 1.0
+    verdict = "ok" if overhead <= arguments.tolerance else "FAILED"
+    print(f"instrumented (trace off): {instrumented * 1000.0:8.2f} ms")
+    print(f"uninstrumented baseline:  {baseline * 1000.0:8.2f} ms")
+    print(f"overhead: {overhead:+.2%} (allowed ≤ {arguments.tolerance:.0%}) — {verdict}")
+    if overhead > arguments.tolerance:
+        print("\ntrace overhead check FAILED: disabled tracing costs more than "
+              f"{arguments.tolerance:.0%} — audit the `if trace is not None` "
+              "guards on the hot paths", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

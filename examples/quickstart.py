@@ -161,6 +161,18 @@ def main() -> None:
     #   curl -X POST localhost:8720/query -d '{"query": "...", "engine": "sql"}'
     #   curl localhost:8720/stats
 
+    print("\n== Tracing: what did the query spend its time on? (DESIGN.md §9) ==")
+    # trace=True returns a span tree on result.trace: parse/compile/execute
+    # phases, one `fixpoint` span per IFP with a `round` child per iteration
+    # (fed/produced/new/result_size — the Table 2 quantities, live), SQL
+    # statement timings, kernel batch-vs-fallback summaries.  Same data:
+    # repro-xquery --trace, or '{"trace": true}' on POST /query; GET /metrics
+    # serves the service-level aggregates in Prometheus text format.
+    from repro.observability import format_span_tree
+
+    result = evaluate(QUERY_Q1, documents=documents, trace=True)
+    print(format_span_tree(result.trace))
+
 
 if __name__ == "__main__":
     main()

@@ -65,12 +65,13 @@ class _PlanRun(AlgebraEngineProtocol):
 
     def __init__(self, storage: type, max_iterations: int,
                  statistics: AlgebraStatistics | None = None,
-                 use_index: bool = True):
+                 use_index: bool = True, trace=None):
         self.storage = storage
         self.max_iterations = max_iterations
         self.statistics = statistics if statistics is not None else AlgebraStatistics()
         self.macro_cache: dict = {}
         self.use_index = use_index
+        self.trace = trace
         self._recursion_binding: Optional[TableStorage] = None
 
     # -- engine protocol ------------------------------------------------------
@@ -94,7 +95,7 @@ class _PlanRun(AlgebraEngineProtocol):
     def evaluate_plan(self, plan: Operator) -> TableStorage:
         """Evaluate a nested plan in a fresh run (no binding leaks into it)."""
         nested = _PlanRun(self.storage, self.max_iterations, statistics=self.statistics,
-                          use_index=self.use_index)
+                          use_index=self.use_index, trace=self.trace)
         return nested._evaluate(plan, cache={})
 
     # -- internals ---------------------------------------------------------------
@@ -116,10 +117,20 @@ class _PlanRun(AlgebraEngineProtocol):
         statistics = FixpointStatistics(
             algorithm="delta" if operator.variant == "mu_delta" else "naive"
         )
-        if operator.variant == "mu_delta":
-            result = self._run_mu_delta(operator, seed_table, statistics)
-        else:
-            result = self._run_mu(operator, seed_table, statistics)
+        trace = self.trace
+        span = (trace.begin("fixpoint", algorithm=statistics.algorithm,
+                            variant=operator.variant, seed=len(seed_table))
+                if trace is not None else None)
+        try:
+            if operator.variant == "mu_delta":
+                result = self._run_mu_delta(operator, seed_table, statistics)
+            else:
+                result = self._run_mu(operator, seed_table, statistics)
+        finally:
+            if span is not None:
+                trace.end(span)
+        if span is not None:
+            span.set(result_size=len(result), rounds=statistics.recursion_depth)
         self.statistics.fixpoint_runs.append(statistics)
         return result
 
@@ -138,9 +149,15 @@ class _PlanRun(AlgebraEngineProtocol):
 
     def _run_mu(self, operator: Fixpoint, seed: TableStorage,
                 statistics: FixpointStatistics) -> TableStorage:
+        trace = self.trace
+        span = trace.begin("round", iteration=0) if trace is not None else None
         produced = self._apply_body(operator, seed)
         accumulated = _ResultAccumulator()
         accumulated.add_new(_items(produced))
+        if span is not None:
+            span.set(fed=len(seed), produced=len(produced),
+                     new=len(accumulated), result_size=len(accumulated))
+            trace.end(span)
         statistics.record(0, len(seed), len(produced), len(accumulated), len(accumulated))
         iteration = 0
         while True:
@@ -148,8 +165,13 @@ class _PlanRun(AlgebraEngineProtocol):
             if iteration > self.max_iterations:
                 raise AlgebraError("µ did not reach a fixed point within the iteration bound")
             fed = self._items_table(accumulated.items)
+            span = trace.begin("round", iteration=iteration) if trace is not None else None
             produced = self._apply_body(operator, fed)
             new_items = accumulated.add_new(_items(produced))
+            if span is not None:
+                span.set(fed=len(fed), produced=len(produced),
+                         new=len(new_items), result_size=len(accumulated))
+                trace.end(span)
             statistics.record(iteration, len(fed), len(produced),
                               len(new_items), len(accumulated))
             if not new_items:
@@ -157,9 +179,15 @@ class _PlanRun(AlgebraEngineProtocol):
 
     def _run_mu_delta(self, operator: Fixpoint, seed: TableStorage,
                       statistics: FixpointStatistics) -> TableStorage:
+        trace = self.trace
+        span = trace.begin("round", iteration=0) if trace is not None else None
         produced = self._apply_body(operator, seed)
         accumulated = _ResultAccumulator()
         delta = accumulated.add_new(_items(produced))
+        if span is not None:
+            span.set(fed=len(seed), produced=len(produced),
+                     new=len(delta), result_size=len(accumulated))
+            trace.end(span)
         statistics.record(0, len(seed), len(produced), len(delta), len(accumulated))
         iteration = 0
         while delta:
@@ -167,8 +195,13 @@ class _PlanRun(AlgebraEngineProtocol):
             if iteration > self.max_iterations:
                 raise AlgebraError("µ∆ did not reach a fixed point within the iteration bound")
             fed = self._items_table(delta)
+            span = trace.begin("round", iteration=iteration) if trace is not None else None
             produced = self._apply_body(operator, fed)
             delta = accumulated.add_new(_items(produced))
+            if span is not None:
+                span.set(fed=len(fed), produced=len(produced),
+                         new=len(delta), result_size=len(accumulated))
+                trace.end(span)
             statistics.record(iteration, len(fed), len(produced), len(delta), len(accumulated))
         return self._items_table(ddo(accumulated.items))
 
@@ -218,13 +251,18 @@ class AlgebraEvaluator:
         Route the step macro through the per-document structural index's
         batch kernels (:mod:`repro.xdm.index`).  Defaults to on; disable
         for A/B comparisons against the per-node axis walks.
+    trace:
+        Optional :class:`~repro.observability.tracing.TraceContext`; when
+        present every µ/µ∆ run emits a ``fixpoint`` span with per-round
+        children carrying the fed/produced/new/result sizes.
     """
 
     def __init__(self, max_iterations: int = 100_000, backend: "str | type | None" = None,
-                 use_index: bool = True):
+                 use_index: bool = True, trace=None):
         self.max_iterations = max_iterations
         self.storage = resolve_backend(backend)
         self.use_index = use_index
+        self.trace = trace
         self.run_history: list[AlgebraStatistics] = []
 
     @property
@@ -235,7 +273,8 @@ class AlgebraEvaluator:
 
     def evaluate_plan(self, plan: Operator) -> TableStorage:
         """Evaluate *plan* in a fresh run and return its output table."""
-        run = _PlanRun(self.storage, self.max_iterations, use_index=self.use_index)
+        run = _PlanRun(self.storage, self.max_iterations, use_index=self.use_index,
+                       trace=self.trace)
         result = run._evaluate(plan, cache={})
         self.run_history.append(run.statistics)
         return result

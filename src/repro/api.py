@@ -75,6 +75,7 @@ def evaluate(query: str,
              use_pushdown: bool | None = None,
              use_cache: bool | None = None,
              profile: bool | None = None,
+             trace: bool | None = None,
              id_attributes: Iterable[str] = ("id", "xml:id"),
              settings: EvalSettings | Mapping[str, Any] | None = None) -> QueryResult:
     """Parse and evaluate an XQuery query on the default session.
@@ -96,6 +97,11 @@ def evaluate(query: str,
         every tuning knob: engine, backend, IFP algorithm policy,
         index/pushdown/cache usage, profiling.  This is the preferred
         spelling; see :class:`EvalSettings` for the field semantics.
+    trace:
+        Record a per-query span tree (phases, fixpoint rounds, SQL
+        statements) on ``result.trace`` — see
+        :mod:`repro.observability.tracing`.  A first-class keyword (not
+        deprecated): equivalent to ``settings={"trace": True}``.
     ifp_algorithm, distributivity_checker, engine, backend, optimize, \
 use_index, use_pushdown, use_cache, profile:
         .. deprecated:: PR 6
@@ -116,10 +122,11 @@ use_index, use_pushdown, use_cache, profile:
         "use_cache": use_cache,
         "profile": profile,
     })
+    overrides = {} if trace is None else {"trace": bool(trace)}
     return default_session().evaluate(
         query, documents=documents, variables=variables,
         context_item=context_item, settings=settings,
-        id_attributes=id_attributes,
+        id_attributes=id_attributes, **overrides,
     )
 
 
@@ -136,6 +143,7 @@ def evaluate_query(module: ast.Module,
                    use_pushdown: bool | None = None,
                    use_cache: bool | None = None,
                    profile: bool | None = None,
+                   trace: bool | None = None,
                    id_attributes: Iterable[str] = ("id", "xml:id"),
                    settings: EvalSettings | Mapping[str, Any] | None = None) -> QueryResult:
     """Evaluate an already-parsed query module (see :func:`evaluate`).
@@ -156,10 +164,11 @@ def evaluate_query(module: ast.Module,
         "use_cache": use_cache,
         "profile": profile,
     })
+    overrides = {} if trace is None else {"trace": bool(trace)}
     return default_session().evaluate_query(
         module, documents=documents, variables=variables,
         context_item=context_item, settings=settings,
-        id_attributes=id_attributes,
+        id_attributes=id_attributes, **overrides,
     )
 
 

@@ -37,6 +37,7 @@ from typing import Optional
 
 from repro.errors import ReproError
 from repro.fixpoint.stats import StatisticsCollector
+from repro.observability import TraceContext, maybe_span, phase_summary
 from repro.xdm.items import is_node, string_value_of_item
 from repro.xdm.node import DocumentNode
 from repro.xquery.context import DocumentResolver, DynamicContext, EvaluationOptions, StaticContext
@@ -71,6 +72,10 @@ class RunResult:
     #: Peak traced allocation (KiB) of one tracemalloc-instrumented run
     #: (measured separately from the timed runs — tracing skews time).
     peak_mem_kb: Optional[float] = None
+    #: Per-phase wall time of one span-traced run (name → {seconds,
+    #: count}; see :func:`repro.observability.tracing.phase_summary`) —
+    #: measured separately from the timed runs, like ``peak_mem_kb``.
+    phases: Optional[dict] = None
 
     def as_dict(self) -> dict:
         return {
@@ -89,6 +94,7 @@ class RunResult:
             "repeats": self.repeats,
             "warmup": self.warmup,
             "peak_mem_kb": self.peak_mem_kb,
+            "phases": self.phases,
         }
 
 
@@ -129,7 +135,8 @@ class BenchmarkHarness:
     def run(self, workload_name: str, size_label: str, engine: str = "ifp",
             algorithm: str = "delta", seed_limit: Optional[int] = None,
             backend: Optional[str] = None, repeats: int = 1,
-            warmup: int = 0, measure_memory: bool = True) -> RunResult:
+            warmup: int = 0, measure_memory: bool = True,
+            measure_phases: bool = True) -> RunResult:
         """Run one (workload, size, engine, algorithm) combination.
 
         ``backend`` selects the algebra engine's table storage (``"row"`` or
@@ -141,7 +148,10 @@ class BenchmarkHarness:
         ``measure_memory`` is off, one extra run executes under tracemalloc
         *after* the timed ones (tracing roughly doubles allocation costs, so
         it must never share a run with a timing) and reports the peak traced
-        allocation as ``peak_mem_kb``.
+        allocation as ``peak_mem_kb``.  Likewise ``measure_phases`` runs one
+        extra span-traced evaluation and attaches its
+        :func:`~repro.observability.tracing.phase_summary` as ``phases`` —
+        again separate from the timed runs, so tracing never skews times.
         """
         prepared = self.prepare(workload_name, size_label)
         workload = prepared.workload
@@ -150,16 +160,19 @@ class BenchmarkHarness:
         if repeats < 1:
             raise ReproError("repeats must be at least 1")
 
-        def once() -> RunResult:
+        def once(trace: Optional[TraceContext] = None) -> RunResult:
             if engine == "ifp":
-                return self._run_ifp(prepared, algorithm, limit, size.paper_row)
+                return self._run_ifp(prepared, algorithm, limit, size.paper_row,
+                                     trace=trace)
             if engine == "udf":
-                return self._run_udf(prepared, algorithm, limit, size.paper_row)
+                return self._run_udf(prepared, algorithm, limit, size.paper_row,
+                                     trace=trace)
             if engine == "algebra":
                 return self._run_algebra(prepared, algorithm, limit, size.paper_row,
-                                         backend=backend)
+                                         backend=backend, trace=trace)
             if engine == "sql":
-                return self._run_sql(prepared, algorithm, limit, size.paper_row)
+                return self._run_sql(prepared, algorithm, limit, size.paper_row,
+                                     trace=trace)
             raise ReproError(f"unknown engine '{engine}' (expected ifp, udf, algebra or sql)")
 
         for _ in range(warmup):
@@ -169,6 +182,11 @@ class BenchmarkHarness:
         best.warmup = warmup
         if measure_memory:
             best.peak_mem_kb = _measure_peak_memory(once)
+        if measure_phases:
+            trace = TraceContext("bench", engine=engine, algorithm=algorithm)
+            with trace.activate():
+                once(trace=trace)
+            best.phases = phase_summary(trace.finish())
         return best
 
     def compare(self, workload_name: str, size_label: str,
@@ -189,18 +207,21 @@ class BenchmarkHarness:
     # -- engines ------------------------------------------------------------------------
 
     def _run_ifp(self, prepared: _PreparedWorkload, algorithm: str,
-                 limit: Optional[int], paper_row: Optional[str]) -> RunResult:
+                 limit: Optional[int], paper_row: Optional[str],
+                 trace: Optional[TraceContext] = None) -> RunResult:
         query = prepared.workload.ifp_query(algorithm=algorithm, seed_limit=limit)
         module = self._module(prepared, ("ifp", algorithm, limit), query)
         statistics = StatisticsCollector()
         context = DynamicContext(
-            static=StaticContext(options=EvaluationOptions(collect_statistics=True)),
+            static=StaticContext(options=EvaluationOptions(collect_statistics=True,
+                                                           trace=trace)),
             documents=prepared.resolver,
             statistics=statistics,
         )
         evaluator = Evaluator()
         started = time.perf_counter()
-        result = evaluator.evaluate_module(module, context)
+        with maybe_span(trace, "execute"):
+            result = evaluator.evaluate_module(module, context)
         elapsed = time.perf_counter() - started
         return RunResult(
             workload=prepared.workload.name,
@@ -218,14 +239,18 @@ class BenchmarkHarness:
         )
 
     def _run_udf(self, prepared: _PreparedWorkload, algorithm: str,
-                 limit: Optional[int], paper_row: Optional[str]) -> RunResult:
+                 limit: Optional[int], paper_row: Optional[str],
+                 trace: Optional[TraceContext] = None) -> RunResult:
         variant = "delta" if algorithm == "delta" else "fix"
         query = prepared.workload.udf_query(variant=variant, seed_limit=limit)
         module = self._module(prepared, ("udf", variant, limit), query)
-        context = DynamicContext(documents=prepared.resolver)
+        context = DynamicContext(
+            static=StaticContext(options=EvaluationOptions(trace=trace)),
+            documents=prepared.resolver)
         evaluator = Evaluator()
         started = time.perf_counter()
-        result = evaluator.evaluate_module(module, context)
+        with maybe_span(trace, "execute"):
+            result = evaluator.evaluate_module(module, context)
         elapsed = time.perf_counter() - started
         return RunResult(
             workload=prepared.workload.name,
@@ -241,7 +266,8 @@ class BenchmarkHarness:
 
     def _run_algebra(self, prepared: _PreparedWorkload, algorithm: str,
                      limit: Optional[int], paper_row: Optional[str],
-                     backend: Optional[str] = None) -> RunResult:
+                     backend: Optional[str] = None,
+                     trace: Optional[TraceContext] = None) -> RunResult:
         from repro.algebra.compiler import AlgebraCompiler
         from repro.algebra.evaluator import AlgebraEvaluator
         from repro.xquery.parser import parse_expression
@@ -266,10 +292,11 @@ class BenchmarkHarness:
         variant = "delta" if algorithm == "delta" else "naive"
         compiler = AlgebraCompiler(documents=prepared.resolver, document=prepared.document,
                                    functions=functions, backend=backend)
-        algebra_engine = AlgebraEvaluator(backend=backend)
+        algebra_engine = AlgebraEvaluator(backend=backend, trace=trace)
         total_items = 0
         digest_parts: list[str] = []
         started = time.perf_counter()
+        execute_span = trace.begin("execute") if trace is not None else None
         for seed in seeds:
             from repro.algebra.operators import DocumentRoot
 
@@ -286,6 +313,8 @@ class BenchmarkHarness:
             digest_parts.extend(
                 sorted(string_value_of_item(item) for item in table.column_values("item"))
             )
+        if execute_span is not None:
+            trace.end(execute_span)
         elapsed = time.perf_counter() - started
         statistics = algebra_engine.statistics
         return RunResult(
@@ -305,7 +334,8 @@ class BenchmarkHarness:
         )
 
     def _run_sql(self, prepared: _PreparedWorkload, algorithm: str,
-                 limit: Optional[int], paper_row: Optional[str]) -> RunResult:
+                 limit: Optional[int], paper_row: Optional[str],
+                 trace: Optional[TraceContext] = None) -> RunResult:
         from repro.sqlbackend.executor import SQLEvaluator
         from repro.sqlbackend.shredder import SqlDocumentStore
 
@@ -317,13 +347,15 @@ class BenchmarkHarness:
             prepared.sql_store = store
         statistics = StatisticsCollector()
         context = DynamicContext(
-            static=StaticContext(options=EvaluationOptions(collect_statistics=True)),
+            static=StaticContext(options=EvaluationOptions(collect_statistics=True,
+                                                           trace=trace)),
             documents=prepared.resolver,
             statistics=statistics,
         )
         evaluator = SQLEvaluator(store=prepared.sql_store)
         started = time.perf_counter()
-        result = evaluator.evaluate_module(module, context)
+        with maybe_span(trace, "execute"):
+            result = evaluator.evaluate_module(module, context)
         elapsed = time.perf_counter() - started
         return RunResult(
             workload=prepared.workload.name,

@@ -39,13 +39,18 @@ def format_count(value: int | None) -> str:
 
 
 def results_to_csv(results: Iterable[RunResult]) -> str:
-    """Serialize raw results to CSV (one row per run)."""
+    """Serialize raw results to CSV (one row per run).
+
+    Structured fields that have no flat-column representation (the
+    ``phases`` breakdown) stay in the JSON report only
+    (``extrasaction="ignore"``).
+    """
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=[
         "workload", "size", "engine", "algorithm", "backend", "seconds", "items",
         "nodes_fed_back", "recursion_depth", "ifp_evaluations", "seed_limit", "paper_row",
         "repeats", "warmup", "peak_mem_kb",
-    ])
+    ], extrasaction="ignore")
     writer.writeheader()
     for result in results:
         writer.writerow(result.as_dict())

@@ -64,6 +64,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="print per-axis/per-kernel batch-vs-fallback hit "
                              "and timing counters after evaluation")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the query's span tree (parse/compile/execute "
+                             "phases, per-fixpoint-round sizes, SQL statement "
+                             "timings) after evaluation")
     parser.add_argument("--emit-sql", action="store_true",
                         help="print the SQL the sql engine generates for every "
                              "with … recurse fixpoint in the query, then exit")
@@ -113,9 +117,15 @@ def main(argv: list[str] | None = None) -> int:
         use_pushdown=not arguments.no_pushdown,
         use_cache=not arguments.no_plan_cache,
         profile=arguments.profile,
+        trace=arguments.trace,
     )
     result = evaluate(query, documents=resolver, settings=settings)
     print(serialize_sequence(result.items))
+    if arguments.trace and result.trace is not None:
+        from repro.observability import format_span_tree
+
+        print("\n-- query trace", file=sys.stderr)
+        print(format_span_tree(result.trace), file=sys.stderr)
     if arguments.stats:
         print(
             f"\n-- IFP evaluations: {result.statistics.ifp_evaluations}, "

@@ -29,13 +29,15 @@ from repro.fixpoint.stats import FixpointStatistics
 def delta_fixpoint(body: Callable[[list], list], seed: Sequence,
                    max_iterations: int = 100_000,
                    statistics: FixpointStatistics | None = None,
-                   seed_is_initial_result: bool = False) -> list:
+                   seed_is_initial_result: bool = False,
+                   trace=None) -> list:
     """Compute the IFP of *body* seeded by *seed* with algorithm Delta.
 
     The signature mirrors :func:`repro.fixpoint.naive.naive_fixpoint`; see
     there for parameter semantics (including ``seed_is_initial_result``,
     which selects the Example 2.4 reading where the seed itself is the
-    initial result and initial delta).
+    initial result and initial delta, and ``trace``, which attaches one
+    ``round`` span per iteration carrying the frontier/delta sizes).
     """
     seed_nodes = ensure_node_sequence(list(seed), "inflationary fixed point seed")
 
@@ -47,10 +49,15 @@ def delta_fixpoint(body: Callable[[list], list], seed: Sequence,
             statistics.record(0, 0, len(seed_nodes), len(result), len(result))
     else:
         fed = seed_nodes
+        span = trace.begin("round", iteration=0) if trace is not None else None
         produced = body(list(fed))
         ensure_node_sequence(produced, "inflationary fixed point body result")
         result = node_union(produced, [])
         delta = list(result)
+        if span is not None:
+            span.set(fed=len(fed), produced=len(produced),
+                     new=len(delta), result_size=len(result))
+            trace.end(span)
         if statistics is not None:
             statistics.algorithm = "delta"
             statistics.record(0, len(fed), len(produced), len(result), len(result))
@@ -63,10 +70,15 @@ def delta_fixpoint(body: Callable[[list], list], seed: Sequence,
                 f"inflationary fixed point did not converge within {max_iterations} iterations"
             )
         fed = delta
+        span = trace.begin("round", iteration=iteration) if trace is not None else None
         produced = body(list(fed))
         ensure_node_sequence(produced, "inflationary fixed point body result")
         delta = node_except(produced, result)
         combined = node_union(delta, result)
+        if span is not None:
+            span.set(fed=len(fed), produced=len(produced),
+                     new=len(delta), result_size=len(combined))
+            trace.end(span)
         if statistics is not None:
             statistics.record(iteration, len(fed), len(produced), len(delta), len(combined))
         result = combined

@@ -50,7 +50,8 @@ class FixpointEngine:
         self.collect_statistics = collect_statistics
 
     def run(self, body: Callable[[list], list], seed: Sequence,
-            algorithm: str = "naive", seed_is_initial_result: bool = False) -> FixpointResult:
+            algorithm: str = "naive", seed_is_initial_result: bool = False,
+            trace=None) -> FixpointResult:
         """Compute the IFP of *body* seeded by *seed*.
 
         ``algorithm`` must be ``"naive"`` or ``"delta"``; deciding *which*
@@ -58,16 +59,29 @@ class FixpointEngine:
         distributivity analyses, benchmarks pin it explicitly).
         ``seed_is_initial_result`` selects the Example 2.4 reading where the
         seed itself is ``res_0`` (see :func:`~repro.fixpoint.naive.naive_fixpoint`).
+        ``trace`` (a :class:`~repro.observability.tracing.TraceContext`)
+        wraps the run in a ``fixpoint`` span with per-round children.
         """
         if algorithm not in ALGORITHMS:
             raise FixpointError(f"unknown fixed point algorithm '{algorithm}'")
         statistics = FixpointStatistics(algorithm=algorithm) if self.collect_statistics else None
-        if algorithm == "delta":
-            value = delta_fixpoint(body, seed, self.max_iterations, statistics,
-                                   seed_is_initial_result=seed_is_initial_result)
-        else:
-            value = naive_fixpoint(body, seed, self.max_iterations, statistics,
-                                   seed_is_initial_result=seed_is_initial_result)
+        span = (trace.begin("fixpoint", algorithm=algorithm, seed=len(seed))
+                if trace is not None else None)
+        try:
+            if algorithm == "delta":
+                value = delta_fixpoint(body, seed, self.max_iterations, statistics,
+                                       seed_is_initial_result=seed_is_initial_result,
+                                       trace=trace)
+            else:
+                value = naive_fixpoint(body, seed, self.max_iterations, statistics,
+                                       seed_is_initial_result=seed_is_initial_result,
+                                       trace=trace)
+        finally:
+            if span is not None:
+                trace.end(span)
+        if span is not None:
+            span.set(result_size=len(value),
+                     rounds=statistics.recursion_depth if statistics else None)
         return FixpointResult(value=value, statistics=statistics or FixpointStatistics(algorithm=algorithm))
 
     def run_both(self, body: Callable[[list], list], seed: Sequence,

@@ -51,7 +51,8 @@ def _merge_new(result: list, seen: set, produced: Sequence) -> int:
 def naive_fixpoint(body: Callable[[list], list], seed: Sequence,
                    max_iterations: int = 100_000,
                    statistics: FixpointStatistics | None = None,
-                   seed_is_initial_result: bool = False) -> list:
+                   seed_is_initial_result: bool = False,
+                   trace=None) -> list:
     """Compute the IFP of *body* seeded by *seed* with algorithm Naive.
 
     Parameters
@@ -71,6 +72,10 @@ def naive_fixpoint(body: Callable[[list], list], seed: Sequence,
         table of Example 2.4, however, treats the seed itself as ``res_0``.
         Setting this flag selects the latter reading: the seed is taken as
         the initial result (and is therefore always contained in the IFP).
+    trace:
+        Optional :class:`~repro.observability.tracing.TraceContext`; when
+        present every round becomes a ``round`` span carrying the fed /
+        produced / new / accumulated sizes alongside its wall time.
 
     Returns
     -------
@@ -88,9 +93,14 @@ def naive_fixpoint(body: Callable[[list], list], seed: Sequence,
             statistics.record(0, 0, len(seed_nodes), len(result), len(result))
     else:
         fed = seed_nodes
+        span = trace.begin("round", iteration=0) if trace is not None else None
         produced = body(list(fed))
         ensure_node_sequence(produced, "inflationary fixed point body result")
         _merge_new(result, seen, produced)  # normalise: distinct, document order
+        if span is not None:
+            span.set(fed=len(fed), produced=len(produced),
+                     new=len(result), result_size=len(result))
+            trace.end(span)
         if statistics is not None:
             statistics.algorithm = "naive"
             statistics.record(0, len(fed), len(produced), len(result), len(result))
@@ -103,9 +113,14 @@ def naive_fixpoint(body: Callable[[list], list], seed: Sequence,
                 f"inflationary fixed point did not converge within {max_iterations} iterations"
             )
         fed_count = len(result)
+        span = trace.begin("round", iteration=iteration) if trace is not None else None
         produced = body(list(result))
         ensure_node_sequence(produced, "inflationary fixed point body result")
         new_nodes = _merge_new(result, seen, produced)
+        if span is not None:
+            span.set(fed=fed_count, produced=len(produced),
+                     new=new_nodes, result_size=len(result))
+            trace.end(span)
         if statistics is not None:
             statistics.record(iteration, fed_count, len(produced), new_nodes, len(result))
         if new_nodes == 0:

@@ -13,19 +13,24 @@ thread-safe machinery PR 6 built):
   the new corpus and rebuild indexes/shreds lazily);
 * ``POST /batch`` captures one snapshot for the whole list of queries,
   amortizing capture and cache traffic across the batch;
-* :class:`ServiceStats` keeps an in-flight gauge and per-engine latency
-  counters under its own lock; ``GET /stats`` merges them with the
-  session's cache/pool counters.
+* :class:`ServiceStats` records every request into a
+  :class:`~repro.observability.metrics.MetricsRegistry` (per-engine
+  request/error counters, latency and fixpoint-round histograms, an
+  in-flight gauge); ``GET /stats`` serves the JSON view, ``GET /metrics``
+  the Prometheus text exposition with scrape-time session gauges (cache
+  hit ratios, pool counters, uptime) merged in.
 
 Endpoints
 ---------
 ``POST /query``
     ``{"query": "...", "engine"?: "interpreter|algebra|sql",
     "variables"?: {name: value-or-list}, "context"?: "<registered uri>",
-    "settings"?: {EvalSettings fields}}`` →
+    "settings"?: {EvalSettings fields}, "trace"?: true}`` →
     ``{"ok": true, "items": [...], "count": n, "engine": "...",
-    "elapsed_ms": t}``.  Items are serialized per item — nodes as XML
-    text, atomics as XQuery lexical values.
+    "elapsed_ms": t, "trace"?: {span tree}}``.  Items are serialized per
+    item — nodes as XML text, atomics as XQuery lexical values; with
+    ``"trace": true`` the response carries the query's span tree
+    (:meth:`repro.observability.tracing.Span.to_dict` schema).
 ``POST /batch``
     ``{"queries": [<query payloads>], "settings"?: {defaults}}`` →
     ``{"ok": true, "results": [<per-query responses>], "count": n}``.
@@ -38,6 +43,8 @@ Endpoints
     liveness + generation + in-flight gauge.
 ``GET /stats``
     cache hit rates, per-engine latency counters, SQLite pool state.
+``GET /metrics``
+    the same telemetry in Prometheus text exposition format 0.0.4.
 
 Graceful shutdown: SIGINT/SIGTERM stop the accept loop, then the server
 waits (bounded) for in-flight requests to drain before closing.
@@ -47,6 +54,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import signal
 import sys
 import threading
@@ -55,11 +63,61 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
 from repro.errors import ReproError
+from repro.observability import FIXPOINT_ROUND_BUCKETS, MetricsRegistry
 from repro.session import Session
 from repro.settings import EvalSettings, coerce_settings
 from repro.xdm.items import format_atomic, is_node
 from repro.xmlio.parser import parse_xml_file
 from repro.xmlio.serializer import serialize
+
+#: Request and slow-query log lines go through this logger: INFO carries
+#: one record per request (``--verbose``), WARNING carries slow queries
+#: (``--slow-query-ms``).  :func:`configure_logging` attaches the handler.
+LOGGER = logging.getLogger("repro.service")
+
+
+class _JsonLineFormatter(logging.Formatter):
+    """One JSON object per log line (``--log-json``)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload.update(fields)
+        else:
+            payload["message"] = record.getMessage()
+        return json.dumps(payload, sort_keys=True)
+
+
+class _LineFormatter(logging.Formatter):
+    """Human-readable request lines (the default)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        fields = getattr(record, "fields", None)
+        if fields:
+            rendered = " ".join(f"{key}={value}" for key, value in fields.items())
+            return f"{self.formatTime(record)} {record.levelname} {rendered}"
+        return f"{self.formatTime(record)} {record.levelname} {record.getMessage()}"
+
+
+def configure_logging(verbose: bool = False, log_json: bool = False) -> logging.Logger:
+    """Install the service log handler on ``repro.service``.
+
+    ``verbose`` lowers the level to INFO so every request logs one
+    structured record; otherwise only WARNING (slow queries, handler
+    plumbing problems) is emitted.  ``log_json`` switches the formatter
+    to JSON lines.
+    """
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(_JsonLineFormatter() if log_json else _LineFormatter())
+    LOGGER.handlers[:] = [handler]
+    LOGGER.setLevel(logging.INFO if verbose else logging.WARNING)
+    LOGGER.propagate = False
+    return LOGGER
 
 
 class ServiceError(Exception):
@@ -77,62 +135,94 @@ def serialize_items(items: list) -> list[str]:
 
 
 class ServiceStats:
-    """Lock-protected request counters: in-flight gauge, per-engine latency."""
+    """Request telemetry over a :class:`MetricsRegistry`.
 
-    def __init__(self):
+    Every mutation goes through the registry's single lock, so counter
+    reads are exact (N threads × M requests always shows N·M).  The
+    JSON shape of :meth:`snapshot` — what ``GET /stats`` serves — is
+    unchanged from the pre-registry implementation; ``GET /metrics``
+    renders the same families in Prometheus text format.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self.started_at = time.time()
-        self.in_flight = 0
+        #: Monotonic start mark — wall-clock (``time.time``) jumps with NTP
+        #: steps and would make uptime/drain arithmetic wrong.
+        self.started_at = time.monotonic()
         self.peak_in_flight = 0
-        self.requests = 0
-        self.errors = 0
-        #: engine name → {count, errors, total_seconds, max_seconds}
-        self.engines: dict[str, dict[str, float]] = {}
+        self._requests_total = 0
+        self._errors_total = 0
+        self._max_seconds: dict[str, float] = {}
+        self._requests = self.registry.counter(
+            "repro_requests_total", "Queries handled, by engine.", ("engine",))
+        self._errors = self.registry.counter(
+            "repro_request_errors_total", "Failed queries, by engine.", ("engine",))
+        self._latency = self.registry.histogram(
+            "repro_request_seconds", "Query latency in seconds, by engine.",
+            ("engine",))
+        self._in_flight = self.registry.gauge(
+            "repro_requests_in_flight", "Queries currently evaluating.")
+        self._rounds = self.registry.histogram(
+            "repro_fixpoint_rounds", "Recursion depth per IFP evaluation, by engine.",
+            ("engine",), buckets=FIXPOINT_ROUND_BUCKETS)
+
+    @property
+    def in_flight(self) -> int:
+        return int(self._in_flight.value)
 
     def enter(self) -> None:
+        self._in_flight.inc()
         with self._lock:
-            self.in_flight += 1
             self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
 
     def exit(self, engine: str | None, seconds: float, error: bool) -> None:
+        self._in_flight.dec()
         with self._lock:
-            self.in_flight -= 1
-            self.requests += 1
+            self._requests_total += 1
             if error:
-                self.errors += 1
-            if engine is not None:
-                counters = self.engines.setdefault(engine, {
-                    "count": 0, "errors": 0,
-                    "total_seconds": 0.0, "max_seconds": 0.0,
-                })
-                counters["count"] += 1
-                if error:
-                    counters["errors"] += 1
-                counters["total_seconds"] += seconds
-                counters["max_seconds"] = max(counters["max_seconds"], seconds)
+                self._errors_total += 1
+        if engine is not None:
+            self._requests.labels(engine=engine).inc()
+            if error:
+                self._errors.labels(engine=engine).inc()
+            self._latency.labels(engine=engine).observe(seconds)
+            with self._lock:
+                if seconds > self._max_seconds.get(engine, 0.0):
+                    self._max_seconds[engine] = seconds
+
+    def observe_rounds(self, engine: str, rounds: int) -> None:
+        """Record one IFP evaluation's recursion depth."""
+        self._rounds.labels(engine=engine).observe(rounds)
 
     def drained(self) -> bool:
-        with self._lock:
-            return self.in_flight == 0
+        return self.in_flight == 0
 
     def snapshot(self) -> dict:
+        engines = {}
+        for (name,), child in self._requests.children().items():
+            count = int(child.value)
+            latency = self._latency.labels(engine=name).snapshot()
+            with self._lock:
+                max_seconds = self._max_seconds.get(name, 0.0)
+            engines[name] = {
+                "count": count,
+                "errors": int(self._errors.labels(engine=name).value),
+                "total_seconds": latency["sum"],
+                "max_seconds": max_seconds,
+                "mean_seconds": latency["sum"] / count if count else 0.0,
+            }
         with self._lock:
-            engines = {
-                name: {
-                    **counters,
-                    "mean_seconds": (counters["total_seconds"] / counters["count"]
-                                     if counters["count"] else 0.0),
-                }
-                for name, counters in self.engines.items()
-            }
-            return {
-                "uptime_seconds": time.time() - self.started_at,
-                "in_flight": self.in_flight,
-                "peak_in_flight": self.peak_in_flight,
-                "requests": self.requests,
-                "errors": self.errors,
-                "engines": engines,
-            }
+            requests, errors = self._requests_total, self._errors_total
+            peak = self.peak_in_flight
+        return {
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "in_flight": self.in_flight,
+            "peak_in_flight": peak,
+            "requests": requests,
+            "errors": errors,
+            "engines": engines,
+        }
 
 
 class QueryService:
@@ -144,11 +234,15 @@ class QueryService:
     """
 
     def __init__(self, session: Session | None = None,
-                 settings: EvalSettings | Mapping[str, Any] | None = None):
+                 settings: EvalSettings | Mapping[str, Any] | None = None,
+                 slow_query_ms: float | None = None):
         self.session = session if session is not None else Session()
         if settings is not None:
             self.session.settings = coerce_settings(settings, self.session.settings)
         self.stats = ServiceStats()
+        #: Queries slower than this (milliseconds) log one JSON-lines
+        #: WARNING record; ``None`` disables the slow-query log.
+        self.slow_query_ms = slow_query_ms
 
     # -- handlers ------------------------------------------------------------
 
@@ -165,11 +259,16 @@ class QueryService:
         if not isinstance(query, str) or not query.strip():
             raise ServiceError('"query" must be a non-empty string')
         unknown = set(payload) - {"query", "engine", "variables", "context",
-                                  "settings"}
+                                  "settings", "trace"}
         if unknown:
             raise ServiceError(f"unknown request field(s): {sorted(unknown)}")
 
+        trace_requested = payload.get("trace", False)
+        if not isinstance(trace_requested, bool):
+            raise ServiceError('"trace" must be a boolean')
         settings = self._settings_of(payload)
+        if trace_requested:
+            settings = settings.replace(trace=True)
         variables = payload.get("variables")
         if variables is not None and not isinstance(variables, Mapping):
             raise ServiceError('"variables" must be an object')
@@ -199,15 +298,30 @@ class QueryService:
             raise ServiceError(f"{type(exc).__name__}: {exc}", status=422)
         finally:
             self.stats.exit(engine, time.perf_counter() - started, error)
+        for run in result.statistics.runs:
+            self.stats.observe_rounds(engine, run.recursion_depth)
+        elapsed_ms = round(elapsed * 1000.0, 3)
+        if self.slow_query_ms is not None and elapsed_ms >= self.slow_query_ms:
+            LOGGER.warning("slow query", extra={"fields": {
+                "event": "slow_query",
+                "engine": engine,
+                "elapsed_ms": elapsed_ms,
+                "threshold_ms": self.slow_query_ms,
+                "count": len(result.items),
+                "generation": self.session.generation,
+                "query": query if len(query) <= 500 else query[:499] + "…",
+            }})
         response = {
             "ok": True,
             "items": serialize_items(result.items),
             "count": len(result.items),
             "engine": engine,
-            "elapsed_ms": round(elapsed * 1000.0, 3),
+            "elapsed_ms": elapsed_ms,
         }
         if result.profile is not None:
             response["profile"] = result.profile
+        if trace_requested and result.trace is not None:
+            response["trace"] = result.trace.to_dict()
         return response
 
     def handle_batch(self, payload: Mapping[str, Any]) -> dict:
@@ -262,6 +376,56 @@ class QueryService:
     def stats_report(self) -> dict:
         return {"service": self.stats.snapshot(), "session": self.session.stats()}
 
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition served at ``GET /metrics``.
+
+        Request counters/histograms live in the registry permanently;
+        session-derived values (uptime, generation, cache hit ratios,
+        SQLite pool counters) are gauges refreshed at scrape time.
+        """
+        registry = self.stats.registry
+        session_stats = self.session.stats()
+        registry.gauge("repro_uptime_seconds",
+                       "Seconds since service start (monotonic clock).").set(
+            time.monotonic() - self.stats.started_at)
+        registry.gauge("repro_generation",
+                       "Document-registry generation of the session.").set(
+            session_stats["generation"])
+        registry.gauge("repro_documents",
+                       "Documents registered in the session.").set(
+            session_stats["documents"])
+        registry.gauge("repro_peak_requests_in_flight",
+                       "High-water mark of concurrent queries.").set(
+            self.stats.peak_in_flight)
+
+        hits = registry.gauge("repro_cache_hits",
+                              "Cumulative cache hits, by cache.", ("cache",))
+        misses = registry.gauge("repro_cache_misses",
+                                "Cumulative cache misses, by cache.", ("cache",))
+        ratio = registry.gauge("repro_cache_hit_ratio",
+                               "hits / (hits + misses), by cache.", ("cache",))
+        size = registry.gauge("repro_cache_size",
+                              "Live entries, by cache.", ("cache",))
+        for name in ("module", "plan"):
+            cache = session_stats[name]
+            hits.labels(cache=name).set(cache["hits"])
+            misses.labels(cache=name).set(cache["misses"])
+            lookups = cache["hits"] + cache["misses"]
+            ratio.labels(cache=name).set(cache["hits"] / lookups if lookups else 0.0)
+            size.labels(cache=name).set(cache["size"])
+
+        pool = session_stats["sql_pool"]
+        registry.gauge("repro_sql_pool_live_stores",
+                       "Per-worker SQLite stores currently pooled.").set(
+            pool["live_stores"])
+        registry.gauge("repro_sql_pool_created_total",
+                       "SQLite stores built since start (rebuilds included).").set(
+            pool["created"])
+        registry.gauge("repro_sql_pool_invalidated_total",
+                       "Pool invalidations (corpus mutations).").set(
+            pool["invalidated"])
+        return registry.render()
+
     def _settings_of(self, payload: Mapping[str, Any]) -> EvalSettings:
         raw = payload.get("settings")
         if raw is not None and not isinstance(raw, Mapping):
@@ -292,18 +456,44 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        if getattr(self.server, "verbose", False):
-            sys.stderr.write("%s - %s\n" % (self.address_string(), format % args))
+        # stdlib plumbing messages (expect-100, socket errors): DEBUG only.
+        LOGGER.debug("%s - %s", self.address_string(), format % args)
+
+    def _log_request(self, status: int, started: float,
+                     engine: str | None = None) -> None:
+        """One structured record per request (INFO — enabled by --verbose)."""
+        if not LOGGER.isEnabledFor(logging.INFO):
+            return
+        fields = {
+            "event": "request",
+            "method": self.command,
+            "path": self.path,
+            "status": status,
+            "elapsed_ms": round((time.monotonic() - started) * 1000.0, 3),
+            "generation": self.service.session.generation,
+            "client": self.address_string(),
+        }
+        if engine is not None:
+            fields["engine"] = engine
+        LOGGER.info("%s %s -> %d", self.command, self.path, status,
+                    extra={"fields": fields})
 
     def do_GET(self):
+        started = time.monotonic()
+        status = 200
         if self.path == "/health":
             self._respond(200, self.service.health())
         elif self.path == "/stats":
             self._respond(200, self.service.stats_report())
+        elif self.path == "/metrics":
+            self._respond_text(200, self.service.metrics_text())
         else:
+            status = 404
             self._respond(404, {"ok": False, "error": f"unknown path {self.path}"})
+        self._log_request(status, started)
 
     def do_POST(self):
+        started = time.monotonic()
         routes = {
             "/query": self.service.handle_query,
             "/batch": self.service.handle_batch,
@@ -312,7 +502,10 @@ class _Handler(BaseHTTPRequestHandler):
         handler = routes.get(self.path)
         if handler is None:
             self._respond(404, {"ok": False, "error": f"unknown path {self.path}"})
+            self._log_request(404, started)
             return
+        status = 500
+        engine = None
         try:
             length = int(self.headers.get("Content-Length", 0))
             if length > self.MAX_BODY:
@@ -322,17 +515,33 @@ class _Handler(BaseHTTPRequestHandler):
                 payload = json.loads(body or b"{}")
             except json.JSONDecodeError as exc:
                 raise ServiceError(f"invalid JSON body: {exc}")
-            self._respond(200, handler(payload))
+            response = handler(payload)
+            status = 200
+            if isinstance(response, Mapping):
+                engine = response.get("engine")
+            self._respond(200, response)
         except ServiceError as exc:
+            status = exc.status
             self._respond(exc.status, {"ok": False, "error": str(exc)})
         except Exception as exc:  # a bug, not a bad request — say so
+            status = 500
             self._respond(500, {"ok": False,
                                 "error": f"internal error: {type(exc).__name__}: {exc}"})
+        finally:
+            self._log_request(status, started, engine)
 
     def _respond(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send(status, "application/json", body)
+
+    def _respond_text(self, status: int, text: str) -> None:
+        # The Prometheus exposition content type (text format 0.0.4).
+        self._send(status, "text/plain; version=0.0.4; charset=utf-8",
+                   text.encode("utf-8"))
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -360,9 +569,9 @@ class QueryServer(ThreadingHTTPServer):
         Returns ``True`` when the drain completed inside *timeout*.
         """
         self.shutdown()            # stops the accept loop (thread-safe)
-        deadline = time.time() + timeout
+        deadline = time.monotonic() + timeout
         drained = self.service.stats.drained()
-        while not drained and time.time() < deadline:
+        while not drained and time.monotonic() < deadline:
             time.sleep(0.02)
             drained = self.service.stats.drained()
         self.server_close()
@@ -406,8 +615,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="directory for WAL store files "
                              "(default: a private tempdir)")
     parser.add_argument("--verbose", action="store_true",
-                        help="log every request line to stderr")
+                        help="log one structured record per request to stderr")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit log records as JSON lines instead of text")
+    parser.add_argument("--slow-query-ms", type=float, default=None, metavar="MS",
+                        help="log a WARNING record for queries slower than MS "
+                             "milliseconds (default: disabled)")
     arguments = parser.parse_args(argv)
+    configure_logging(verbose=arguments.verbose, log_json=arguments.log_json)
 
     session = Session(settings=EvalSettings(engine=arguments.engine),
                       id_attributes=tuple(arguments.id_attribute),
@@ -420,7 +635,8 @@ def main(argv: list[str] | None = None) -> int:
         session.register_document(
             uri, parse_xml_file(path, id_attributes=tuple(arguments.id_attribute)))
 
-    service = QueryService(session=session)
+    service = QueryService(session=session,
+                           slow_query_ms=arguments.slow_query_ms)
     server = create_server(service, host=arguments.host, port=arguments.port,
                            verbose=arguments.verbose)
     host, port = server.server_address[:2]
@@ -441,8 +657,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         server.serve_forever()
     finally:
-        deadline = time.time() + 10.0
-        while not service.stats.drained() and time.time() < deadline:
+        deadline = time.monotonic() + 10.0
+        while not service.stats.drained() and time.monotonic() < deadline:
             time.sleep(0.02)
         server.server_close()
         session.close()

@@ -34,11 +34,13 @@ actually evaluates.
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro import plancache
 from repro.fixpoint.stats import StatisticsCollector
+from repro.observability.tracing import Span, TraceContext, maybe_span
 from repro.settings import Engine, EvalSettings, coerce_settings
 from repro.xdm.node import DocumentNode
 from repro.xmlio.parser import parse_xml
@@ -58,6 +60,10 @@ class QueryResult:
     statistics: StatisticsCollector = field(default_factory=StatisticsCollector)
     #: Batch-vs-fallback kernel counters (``profile=True`` runs).
     profile: dict | None = None
+    #: Root :class:`~repro.observability.tracing.Span` of ``trace=True``
+    #: runs (``None`` otherwise): the query span tree — parse, compile,
+    #: execute, decode phases with per-fixpoint-round children.
+    trace: Span | None = None
 
     @property
     def nodes_fed_back(self) -> int:
@@ -227,9 +233,12 @@ class Session:
         ``session.evaluate(q, engine="sql", use_index=False)``.
         """
         settings = self._resolve_settings(settings, overrides)
-        module = self._module_for(query, settings)
+        trace = (TraceContext("query", engine=str(settings.engine.value))
+                 if settings.trace else None)
+        module = self._module_for(query, settings, trace)
         return self._evaluate(module, documents, variables, context_item,
-                              settings, id_attributes, pre_optimized=True)
+                              settings, id_attributes, pre_optimized=True,
+                              trace=trace)
 
     def evaluate_query(self, module: ast.Module,
                        documents=None,
@@ -268,42 +277,74 @@ class Session:
             resolved = resolved.replace(**overrides)
         return resolved
 
-    def _module_for(self, query: str, settings: EvalSettings) -> ast.Module:
+    def _module_for(self, query: str, settings: EvalSettings,
+                    trace: TraceContext | None = None) -> ast.Module:
         """Parse *query*, serving repeated texts from the module cache."""
-        if not settings.use_cache:
-            module = parse_query(query)
-            return optimize_module(module) if settings.optimize else module
-        key = settings.module_key(query)
-        module = self._module_cache.get(key)
-        if module is None:
-            module = parse_query(query)
-            if settings.optimize:
-                module = optimize_module(module)
-            self._module_cache.put(key, module)
-        return module
+        with maybe_span(trace, "parse") as span:
+            if not settings.use_cache:
+                if span is not None:
+                    span.set(module_cache="bypass")
+                module = parse_query(query)
+                return optimize_module(module) if settings.optimize else module
+            key = settings.module_key(query)
+            module = self._module_cache.get(key)
+            if module is None:
+                if span is not None:
+                    span.set(module_cache="miss")
+                module = parse_query(query)
+                if settings.optimize:
+                    module = optimize_module(module)
+                self._module_cache.put(key, module)
+            elif span is not None:
+                span.set(module_cache="hit")
+            return module
 
     def _evaluate(self, module: ast.Module, documents, variables, context_item,
                   settings: EvalSettings, id_attributes,
-                  pre_optimized: bool) -> QueryResult:
+                  pre_optimized: bool, trace: TraceContext | None = None) -> QueryResult:
+        if settings.trace and trace is None:
+            # evaluate_query()/PreparedQuery.run() land here without a
+            # context (no parse phase to cover) — open the root now.
+            trace = TraceContext("query", engine=str(settings.engine.value))
+        if not settings.profile and trace is None:
+            return self._evaluate_inner(module, documents, variables, context_item,
+                                        settings, id_attributes, pre_optimized, None)
+
+        from repro.xquery.pushdown import PROFILE
+
+        # Profiled *and* traced runs serialize here: the pushdown profiler
+        # is a process-global accumulator, so such evaluations must not
+        # interleave with each other (concurrent plain traffic still runs,
+        # its kernel hits simply land in the active snapshot).  Traced runs
+        # borrow the same window to absorb the kernel counters as spans.
+        with self._profile_lock:
+            PROFILE.reset()
+            PROFILE.enabled = True
+            try:
+                result = self._evaluate_inner(
+                    module, documents, variables, context_item,
+                    settings.replace(profile=False), id_attributes,
+                    pre_optimized, trace)
+            finally:
+                PROFILE.enabled = False
+            counters = PROFILE.snapshot()
         if settings.profile:
-            from repro.xquery.pushdown import PROFILE
+            result.profile = counters
+        if trace is not None:
+            for name, entry in counters.items():
+                attrs = {key: (round(value, 6) if isinstance(value, float) else value)
+                         for key, value in entry.items()}
+                trace.end(trace.begin(f"kernel:{name}", **attrs))
+            result.trace = trace.finish()
+        return result
 
-            with self._profile_lock:
-                PROFILE.reset()
-                PROFILE.enabled = True
-                try:
-                    result = self._evaluate(
-                        module, documents, variables, context_item,
-                        settings.replace(profile=False), id_attributes,
-                        pre_optimized)
-                finally:
-                    PROFILE.enabled = False
-                result.profile = PROFILE.snapshot()
-                return result
-
+    def _evaluate_inner(self, module: ast.Module, documents, variables, context_item,
+                        settings: EvalSettings, id_attributes,
+                        pre_optimized: bool, trace: TraceContext | None) -> QueryResult:
         plan_cacheable = pre_optimized or not settings.optimize
         if settings.optimize and not pre_optimized:
-            module = optimize_module(module)
+            with maybe_span(trace, "optimize"):
+                module = optimize_module(module)
         if documents is None:
             resolver = self.snapshot()
         else:
@@ -311,8 +352,13 @@ class Session:
                 documents, tuple(id_attributes or self.id_attributes))
 
         statistics = StatisticsCollector()
+        options = settings.to_options()
+        if trace is not None:
+            # Swap the live context in over the boolean that to_options()
+            # copied (see EvaluationOptions.trace).
+            options.trace = trace
         context = DynamicContext(
-            static=StaticContext(options=settings.to_options()),
+            static=StaticContext(options=options),
             documents=resolver,
             statistics=statistics,
         )
@@ -322,24 +368,29 @@ class Session:
         if context_item is not None:
             context = context.with_focus(context_item, 1, 1)
 
-        if settings.engine is Engine.INTERPRETER:
-            evaluator = Evaluator()
-            items = evaluator.evaluate_module(module, context)
-            return QueryResult(items=items, statistics=statistics)
+        activation = trace.activate() if trace is not None else nullcontext()
+        with activation:
+            if settings.engine is Engine.INTERPRETER:
+                evaluator = Evaluator()
+                with maybe_span(trace, "execute"):
+                    items = evaluator.evaluate_module(module, context)
+                return QueryResult(items=items, statistics=statistics)
 
-        if settings.engine is Engine.SQL:
-            from repro.sqlbackend.executor import SQLEvaluator
+            if settings.engine is Engine.SQL:
+                from repro.sqlbackend.executor import SQLEvaluator
 
-            evaluator = SQLEvaluator(store=self._sql_pool.store())
-            items = evaluator.evaluate_module(module, context)
-            return QueryResult(items=items, statistics=statistics)
+                evaluator = SQLEvaluator(store=self._sql_pool.store())
+                with maybe_span(trace, "execute"):
+                    items = evaluator.evaluate_module(module, context)
+                return QueryResult(items=items, statistics=statistics)
 
-        return self._evaluate_algebra(module, resolver, variables, statistics,
-                                      settings, plan_cacheable)
+            return self._evaluate_algebra(module, resolver, variables, statistics,
+                                          settings, plan_cacheable, trace)
 
     def _evaluate_algebra(self, module: ast.Module, resolver: DocumentResolver,
                           variables, statistics, settings: EvalSettings,
-                          plan_cacheable: bool) -> QueryResult:
+                          plan_cacheable: bool,
+                          trace: TraceContext | None = None) -> QueryResult:
         """Compile (or fetch) and run the algebra plan of *module*."""
         from repro.algebra.compiler import AlgebraCompiler
         from repro.algebra.evaluator import AlgebraEvaluator
@@ -349,6 +400,8 @@ class Session:
 
         plan = None
         plan_key = None
+        compile_span = trace.begin("compile") if trace is not None else None
+        plan_cache_state = "bypass"
         # The plan cache keys on module identity, so it only helps when the
         # caller passes a stable module object (as evaluate()/prepare()
         # arrange via the module cache).  A module this call just rewrote is
@@ -363,6 +416,7 @@ class Session:
                 plancache.documents_fingerprint(resolver),
             )
             plan = self._plan_cache.get(plan_key)
+            plan_cache_state = "hit" if plan is not None else "miss"
         if plan is None:
             default_document = None
             known = resolver.known_uris()
@@ -394,10 +448,16 @@ class Session:
             plan = compiler.compile(module.body, compile_context)
             if plan_key is not None:
                 self._plan_cache.put(plan_key, plan)
+        if compile_span is not None:
+            compile_span.set(plan_cache=plan_cache_state)
+            trace.end(compile_span)
         algebra_engine = AlgebraEvaluator(backend=settings.backend,
-                                          use_index=settings.use_index)
-        table = algebra_engine.evaluate_plan(plan)
-        items = decode_result_table(table)
+                                          use_index=settings.use_index,
+                                          trace=trace)
+        with maybe_span(trace, "execute"):
+            table = algebra_engine.evaluate_plan(plan)
+        with maybe_span(trace, "decode", rows=len(table)):
+            items = decode_result_table(table)
         result = QueryResult(items=items, statistics=statistics)
         result.statistics.runs.extend(algebra_engine.statistics.fixpoint_runs)
         return result

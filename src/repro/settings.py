@@ -77,6 +77,12 @@ class EvalSettings:
         Serve parsed modules / compiled plans from the session caches.
     profile:
         Collect per-kernel batch-vs-fallback counters for this run.
+    trace:
+        Collect a per-query trace span tree
+        (:mod:`repro.observability.tracing`): phase spans, per-fixpoint
+        round spans with delta sizes, kernel counters.  The session
+        builds the live :class:`~repro.observability.tracing.TraceContext`
+        and returns the tree as ``QueryResult.trace``.
     max_ifp_iterations / max_recursion_depth:
         Safety bounds, forwarded to
         :class:`~repro.xquery.context.EvaluationOptions`.
@@ -93,6 +99,7 @@ class EvalSettings:
     use_pushdown: bool = True
     use_cache: bool = True
     profile: bool = False
+    trace: bool = False
     max_ifp_iterations: int = 100_000
     max_recursion_depth: int = 500
     collect_statistics: bool = True
@@ -111,6 +118,10 @@ class EvalSettings:
         """The engine-facing :class:`EvaluationOptions` of these settings."""
         from repro.xquery.context import EvaluationOptions
 
+        # ``trace`` is copied as the *boolean* here (keeping the two
+        # dataclasses field-for-field in sync); the session swaps the live
+        # TraceContext in before evaluation.  Engine sites normalize via
+        # :func:`repro.observability.tracing.active_trace`.
         return EvaluationOptions(
             ifp_algorithm=self.ifp_algorithm,
             distributivity_checker=self.distributivity_checker,
@@ -119,6 +130,7 @@ class EvalSettings:
             use_index=self.use_index,
             use_pushdown=self.use_pushdown,
             collect_statistics=self.collect_statistics,
+            trace=self.trace,
         )
 
     def plan_key(self, resolved_backend: str) -> "EvalSettings":

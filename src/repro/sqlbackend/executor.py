@@ -34,6 +34,7 @@ from typing import Callable, Optional
 
 from repro.errors import FixpointError
 from repro.fixpoint.engine import FixpointResult
+from repro.observability import active_trace, maybe_span
 from repro.xdm.node import AttributeNode
 from repro.fixpoint.stats import FixpointStatistics
 from repro.sqlbackend.decode import decode_pres
@@ -44,6 +45,12 @@ from repro.xquery import ast
 from repro.xquery.context import DynamicContext
 from repro.xquery.evaluator import Evaluator
 from repro.xquery.pushdown import PROFILE
+
+
+def _abbreviate(statement: str, limit: int = 200) -> str:
+    """Statement text condensed for span attributes (whitespace folded)."""
+    text = " ".join(statement.split())
+    return text if len(text) <= limit else text[: limit - 1] + "…"
 
 
 class SqlFixpointExecutor:
@@ -71,7 +78,8 @@ class SqlFixpointExecutor:
             body: Callable[[list], list], algorithm: str,
             max_iterations: int = 100_000,
             variables: dict | None = None,
-            push_predicates: bool = True) -> FixpointResult:
+            push_predicates: bool = True,
+            trace=None) -> FixpointResult:
         """Evaluate the fixpoint of *expr* seeded by *seed*.
 
         ``algorithm`` is the decision of the usual Naive/Delta procedure
@@ -80,7 +88,10 @@ class SqlFixpointExecutor:
         emittable, ``"naive"`` always iterates the driver loop.
         ``variables`` are the caller's in-scope bindings — the emitter
         inlines them into pushed predicate probes; ``push_predicates``
-        mirrors the engine's ``use_pushdown`` option.
+        mirrors the engine's ``use_pushdown`` option.  ``trace`` (a
+        :class:`~repro.observability.tracing.TraceContext`) wraps the run
+        in a ``fixpoint`` span whose ``path`` attribute records whether the
+        CTE or the driver loop executed it.
         """
         seed_nodes = ensure_node_sequence(list(seed), "inflationary fixed point seed")
         seed_pres = self.store.encode(seed_nodes)
@@ -93,14 +104,26 @@ class SqlFixpointExecutor:
             emitted = emit_fixpoint_sql(expr.body, expr.var,
                                         variables=variables,
                                         push_predicates=push_predicates)
-        if emitted is not None and not self._guards_trip(emitted):
-            if PROFILE.enabled:
-                PROFILE.record("sql:fixpoint", True)
-            return self._run_cte(emitted, seed_pres)
+        use_cte = emitted is not None and not self._guards_trip(emitted)
         if PROFILE.enabled:
-            PROFILE.record("sql:fixpoint", False)
-        return self._run_driver_loop(seed_nodes, seed_pres, body, algorithm,
-                                     max_iterations)
+            PROFILE.record("sql:fixpoint", use_cte)
+        span = (trace.begin("fixpoint", algorithm=algorithm,
+                            path="cte" if use_cte else "driver",
+                            seed=len(seed_nodes))
+                if trace is not None else None)
+        try:
+            if use_cte:
+                result = self._run_cte(emitted, seed_pres, trace=trace)
+            else:
+                result = self._run_driver_loop(seed_nodes, seed_pres, body, algorithm,
+                                               max_iterations, trace=trace)
+        finally:
+            if span is not None:
+                trace.end(span)
+        if span is not None:
+            span.set(result_size=len(result.value),
+                     rounds=result.statistics.recursion_depth)
+        return result
 
     def _guards_trip(self, emitted: FixpointSql) -> bool:
         """True when the store holds data the emitted chain would mishandle
@@ -115,7 +138,8 @@ class SqlFixpointExecutor:
     #: placeholders (SQLite's host-parameter limit is 999 before 3.32).
     MAX_SEED_PARAMETERS = 500
 
-    def _run_cte(self, emitted: FixpointSql, seed_pres: list[int]) -> FixpointResult:
+    def _run_cte(self, emitted: FixpointSql, seed_pres: list[int],
+                 trace=None) -> FixpointResult:
         connection = self.store.connection
         if len(seed_pres) > self.MAX_SEED_PARAMETERS:
             seed_table = f"fix_seed_{next(self._run_ids)}"
@@ -126,15 +150,22 @@ class SqlFixpointExecutor:
                     [(pre,) for pre in seed_pres])
                 statement = emitted.statement_from_table(seed_table)
                 self._record_statement(statement)
-                rows = connection.execute(statement).fetchall()
+                with maybe_span(trace, "sql", statement=_abbreviate(statement)) as span:
+                    rows = connection.execute(statement).fetchall()
+                    if span is not None:
+                        span.set(rows=len(rows))
             finally:
                 connection.execute(f"DROP TABLE IF EXISTS {seed_table}")
         else:
             statement = emitted.statement(len(seed_pres))
             self._record_statement(statement)
             parameters = seed_pres or [-1]  # VALUES needs a row; -1 matches nothing
-            rows = connection.execute(statement, parameters).fetchall()
-        nodes = decode_pres(self.store, (row[0] for row in rows))
+            with maybe_span(trace, "sql", statement=_abbreviate(statement)) as span:
+                rows = connection.execute(statement, parameters).fetchall()
+                if span is not None:
+                    span.set(rows=len(rows))
+        with maybe_span(trace, "decode", rows=len(rows)):
+            nodes = decode_pres(self.store, (row[0] for row in rows))
         statistics = FixpointStatistics(algorithm="cte")
         return FixpointResult(value=nodes, statistics=statistics)
 
@@ -142,7 +173,8 @@ class SqlFixpointExecutor:
 
     def _run_driver_loop(self, seed_nodes: list, seed_pres: list[int],
                          body: Callable[[list], list],
-                         algorithm: str, max_iterations: int) -> FixpointResult:
+                         algorithm: str, max_iterations: int,
+                         trace=None) -> FixpointResult:
         connection = self.store.connection
         run_id = next(self._run_ids)
         result_table = f"fix_result_{run_id}"
@@ -156,10 +188,15 @@ class SqlFixpointExecutor:
             # Round 0: res_0 = e_rec(e_seed) (Definition 2.1).  The seed is
             # fed in its original sequence order — the interpreter does the
             # same, and order-sensitive bodies can observe the difference.
+            span = trace.begin("round", iteration=0) if trace is not None else None
             produced_count = apply_body(seed_nodes)
             delta_pres = self._new_pres(produced_table, result_table)
             self._accumulate(produced_table, result_table)
             result_size = self._count(result_table)
+            if span is not None:
+                span.set(fed=len(seed_pres), produced=produced_count,
+                         new=len(delta_pres), result_size=result_size)
+                trace.end(span)
             statistics.record(0, len(seed_pres), produced_count,
                               len(delta_pres), result_size)
 
@@ -178,18 +215,24 @@ class SqlFixpointExecutor:
                 else:
                     feed_pres = [row[0] for row in connection.execute(
                         f"SELECT pre FROM {result_table} ORDER BY pre")]
+                span = trace.begin("round", iteration=iteration) if trace is not None else None
                 produced_count = apply_body(decode_pres(self.store, feed_pres))
                 delta_pres = self._new_pres(produced_table, result_table)
                 self._accumulate(produced_table, result_table)
                 result_size = self._count(result_table)
+                if span is not None:
+                    span.set(fed=len(feed_pres), produced=produced_count,
+                             new=len(delta_pres), result_size=result_size)
+                    trace.end(span)
                 statistics.record(iteration, len(feed_pres), produced_count,
                                   len(delta_pres), result_size)
                 if algorithm == "naive" and not delta_pres:
                     break
             final_pres = [row[0] for row in connection.execute(
                 f"SELECT pre FROM {result_table}")]
-            return FixpointResult(value=decode_pres(self.store, final_pres),
-                                  statistics=statistics)
+            with maybe_span(trace, "decode", rows=len(final_pres)):
+                value = decode_pres(self.store, final_pres)
+            return FixpointResult(value=value, statistics=statistics)
         finally:
             connection.execute(f"DROP TABLE IF EXISTS {result_table}")
             connection.execute(f"DROP TABLE IF EXISTS {produced_table}")
@@ -257,6 +300,7 @@ class SQLEvaluator(Evaluator):
             max_iterations=context.options.max_ifp_iterations,
             variables=context.variables,
             push_predicates=context.options.use_pushdown,
+            trace=active_trace(context.options.trace),
         )
         if context.statistics is not None and hasattr(context.statistics, "record_ifp"):
             context.statistics.record_ifp(result.statistics)

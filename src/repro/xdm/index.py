@@ -39,6 +39,7 @@ from collections import OrderedDict
 from threading import RLock
 from typing import Optional
 
+from repro.observability.tracing import current_trace
 from repro.xdm import node as _node_module
 from repro.xdm.node import (
     AttributeNode,
@@ -495,7 +496,13 @@ def index_for(node: Node, build: bool = True) -> Optional[StructuralIndex]:
             return entry[1]
     if not build:
         return None
-    built = StructuralIndex(root)
+    trace = current_trace()
+    if trace is not None:
+        with trace.span("index-build") as span:
+            built = StructuralIndex(root)
+            span.set(nodes=len(built))
+    else:
+        built = StructuralIndex(root)
     with _REGISTRY_LOCK:
         # A racing thread may have registered its own build meanwhile;
         # serve that one so every caller shares a single index object.

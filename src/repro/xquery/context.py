@@ -47,6 +47,15 @@ class EvaluationOptions:
         focus loop.  On by default; the CLI's ``--no-pushdown`` switches it
         off for A/B runs.  With ``use_index`` off the kernels still apply,
         probing nodes directly instead of the value inverted indexes.
+    trace:
+        The live :class:`~repro.observability.tracing.TraceContext` of a
+        traced evaluation (``None``/``False`` otherwise).  The session
+        installs it; engines and fixpoint drivers attach phase and
+        per-round spans to it.  Sites must normalize through
+        :func:`repro.observability.tracing.active_trace`, since
+        :meth:`~repro.settings.EvalSettings.to_options` seeds the field
+        with the settings *boolean* before the session swaps the live
+        context in.
     """
 
     ifp_algorithm: str = "auto"
@@ -56,6 +65,7 @@ class EvaluationOptions:
     collect_statistics: bool = True
     use_index: bool = True
     use_pushdown: bool = True
+    trace: Any = None
 
 
 @dataclass

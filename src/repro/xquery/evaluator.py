@@ -357,6 +357,7 @@ class Evaluator:
 
     def _eval_with(self, expr: ast.WithExpr, context: DynamicContext) -> Sequence:
         from repro.fixpoint.engine import FixpointEngine
+        from repro.observability.tracing import active_trace
 
         seed = self.evaluate(expr.seed, context)
 
@@ -368,7 +369,8 @@ class Evaluator:
             collect_statistics=context.options.collect_statistics,
         )
         algorithm = self._choose_ifp_algorithm(expr, context)
-        result = engine.run(body, seed, algorithm=algorithm)
+        result = engine.run(body, seed, algorithm=algorithm,
+                            trace=active_trace(context.options.trace))
         if context.statistics is not None and hasattr(context.statistics, "record_ifp"):
             context.statistics.record_ifp(result.statistics)
         return list(result.value)

@@ -12,7 +12,9 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.observability import Span
 from repro.plancache import LRUCache
+from repro.service import QueryService
 from repro.session import Session
 from repro.settings import EvalSettings
 from tests.conftest import CURRICULUM_XML, course_codes
@@ -135,6 +137,65 @@ class TestConcurrentEvaluate:
             assert module["misses"] >= len(self.QUERIES)
             # Each worker thread got (and kept) exactly one SQLite store.
             assert session.stats()["sql_pool"]["live_stores"] <= THREADS
+
+    def test_metrics_registry_counters_exact_under_load(self):
+        """N threads × M queries must read exactly N·M on the registry.
+
+        The registry serializes every mutation under one lock; a lost
+        increment (the pre-registry dict-of-ints failure mode) shows up
+        here as a count below THREADS × ROUNDS.
+        """
+        with Session(documents={"curriculum.xml": CURRICULUM_XML},
+                     id_attributes=("code",)) as session:
+            service = QueryService(session=session)
+            engines = ["interpreter", "algebra", "sql"]
+
+            def worker(index: int) -> None:
+                for round_number in range(ROUNDS):
+                    engine = engines[(index + round_number) % len(engines)]
+                    response = service.handle_query(
+                        {"query": self.QUERIES[0][0], "engine": engine})
+                    assert response["ok"] is True
+
+            _run_in_threads(worker)
+
+            registry = service.stats.registry
+            per_engine = [int(registry.value("repro_requests_total", engine=name))
+                          for name in engines]
+            assert sum(per_engine) == THREADS * ROUNDS
+            snapshot = service.stats.snapshot()
+            assert snapshot["requests"] == THREADS * ROUNDS
+            assert snapshot["errors"] == 0
+            assert snapshot["in_flight"] == 0
+            assert 1 <= snapshot["peak_in_flight"] <= THREADS
+            for name in engines:
+                latency = service.stats._latency.labels(engine=name).snapshot()
+                assert latency["count"] == int(
+                    registry.value("repro_requests_total", engine=name))
+
+    def test_trace_schema_stable_across_engines_under_load(self):
+        """Concurrent traced queries return intact per-thread span trees."""
+        with Session(documents={"curriculum.xml": CURRICULUM_XML},
+                     id_attributes=("code",)) as session:
+            engines = ["interpreter", "algebra", "sql"]
+            expected = course_codes(session.evaluate(self.QUERIES[0][0]).items)
+
+            def worker(index: int) -> None:
+                for round_number in range(ROUNDS // 4):
+                    engine = engines[(index + round_number) % len(engines)]
+                    result = session.evaluate(self.QUERIES[0][0],
+                                              engine=engine, trace=True)
+                    assert course_codes(result.items) == expected
+                    root = result.trace
+                    assert isinstance(root, Span) and root.name == "query"
+                    assert root.attributes["engine"] == engine
+                    assert root.find("fixpoint") is not None
+                    assert root.find("execute") is not None
+                    tree = root.to_dict()
+                    assert set(tree) == {"name", "elapsed_ms", "attributes",
+                                         "children"}
+
+            _run_in_threads(worker)
 
     def test_prepared_query_shared_between_threads(self):
         with Session(documents={"curriculum.xml": CURRICULUM_XML},

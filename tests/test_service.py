@@ -119,6 +119,44 @@ class TestEndpoints:
         assert "interpreter" in stats["service"]["engines"]
         assert "module" in stats["session"] and "sql_pool" in stats["session"]
 
+    def test_query_with_trace_returns_span_tree(self, client):
+        status, body = client.query(TC_QUERY, engine="algebra", trace=True)
+        assert status == 200 and body["ok"] is True
+        tree = body["trace"]
+        assert tree["name"] == "query"
+        assert tree["attributes"]["engine"] == "algebra"
+        names = set()
+        stack = [tree]
+        while stack:
+            node = stack.pop()
+            assert set(node) == {"name", "elapsed_ms", "attributes", "children"}
+            names.add(node["name"])
+            stack.extend(node["children"])
+        assert {"parse", "execute", "fixpoint", "round"} <= names
+        # tracing is opt-in: the plain response carries no span tree
+        status, body = client.query(TC_QUERY, engine="algebra")
+        assert status == 200 and "trace" not in body
+        # and the field is validated
+        status, body = client.query(TC_QUERY, trace="yes")
+        assert status == 400 and "boolean" in body["error"]
+
+    def test_metrics_endpoint_serves_prometheus_text(self, client):
+        client.query(TC_QUERY, engine="interpreter")
+        client.query("syntax error ((")  # counted as an error
+        request = urllib.request.Request(client.base_url + "/metrics")
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4")
+            text = response.read().decode("utf-8")
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_requests_total{engine="interpreter"}' in text
+        assert 'repro_request_errors_total{engine="interpreter"} 1' in text
+        assert "# TYPE repro_request_seconds histogram" in text
+        assert "repro_requests_in_flight 0" in text
+        assert "repro_uptime_seconds" in text
+        assert 'repro_cache_hit_ratio{cache="module"}' in text
+
     def test_handle_query_rejects_non_object(self, service_session):
         service = QueryService(session=service_session)
         with pytest.raises(ServiceError):
