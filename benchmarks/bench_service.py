@@ -19,6 +19,13 @@ Two query classes per engine:
   CPython-bound on the server, so throughput stays roughly flat (the GIL
   ceiling) — recorded to keep the report honest about both regimes.
 
+The server runs with admission control enabled (``--max-concurrency``,
+default 6), so thread counts above the limit exercise the saturation
+path: clients honour ``503``'s ``Retry-After`` hint with capped
+exponential backoff and the per-cell rejection counts ship in the
+report, keeping the throughput numbers honest about how much admission
+pushback they absorbed.
+
 Writes the machine-readable ``BENCH_service.json`` report (same envelope
 as the other ``BENCH_*.json`` files) including a final ``/stats`` scrape,
 so cache hit rates ship with the timings.
@@ -74,16 +81,19 @@ def make_curriculum(courses: int) -> str:
     return "".join(parts)
 
 
-def start_server(document_path: str) -> tuple[subprocess.Popen, str]:
+def start_server(document_path: str,
+                 max_concurrency: int | None = None) -> tuple[subprocess.Popen, str]:
     """Launch ``repro-serve`` on an ephemeral port; return (process, URL)."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
-    process = subprocess.Popen(
-        [sys.executable, "-c",
-         "from repro.service.server import main; raise SystemExit(main())",
-         "--port", "0", "--doc", f"curriculum.xml={document_path}",
-         "--id-attribute", "code", "--sql-store", "wal"],
-        env=env, stderr=subprocess.PIPE, text=True)
+    command = [sys.executable, "-c",
+               "from repro.service.server import main; raise SystemExit(main())",
+               "--port", "0", "--doc", f"curriculum.xml={document_path}",
+               "--id-attribute", "code", "--sql-store", "wal"]
+    if max_concurrency is not None:
+        command += ["--max-concurrency", str(max_concurrency)]
+    process = subprocess.Popen(command, env=env, stderr=subprocess.PIPE,
+                               text=True)
     lines = []
     for _ in range(10):
         line = process.stderr.readline()
@@ -102,15 +112,26 @@ def get_json(base_url: str, path: str) -> dict:
         return json.loads(response.read())
 
 
+#: Capped exponential backoff for admission rejections: the first retry
+#: honours the server's ``Retry-After`` hint scaled down (the hint is a
+#: whole-second ceiling; a benchmark client that slept a full second per
+#: rejection would serialize), doubling per attempt up to the cap.
+RETRY_ATTEMPTS = 8
+RETRY_BASE_S = 0.01
+RETRY_CAP_S = 0.5
+
+
 def run_clients(base_url: str, query: str, engine: str, threads: int,
-                requests: int) -> tuple[float, int]:
+                requests: int) -> tuple[float, int, int]:
     """Fire *requests* queries from *threads* clients.
 
     Each client thread keeps one persistent HTTP/1.1 connection (as a real
     service client would) and sends a few untimed warm-up requests first —
     keep-alive pins a connection to one server worker thread, so this also
-    warms that worker's thread-local SQLite store.  Returns (wall seconds,
-    items per response).
+    warms that worker's thread-local SQLite store.  A ``503 Saturated``
+    admission rejection is not a failure: clients honour ``Retry-After``
+    with capped exponential backoff and re-send.  Returns (wall seconds,
+    items per response, admission rejections absorbed).
     """
     host, port = base_url.removeprefix("http://").split(":")
     body = json.dumps({"query": query, "engine": engine})
@@ -119,27 +140,59 @@ def run_clients(base_url: str, query: str, engine: str, threads: int,
     barrier = threading.Barrier(threads + 1)
     failures: list[str] = []
     counts: set[int] = set()
+    rejections = [0]
+    tally = threading.Lock()
+
+    def post(connection) -> dict:
+        """POST once, retrying admission rejections with backoff."""
+        for attempt in range(RETRY_ATTEMPTS):
+            connection.request("POST", "/query", body, headers)
+            raw = connection.getresponse()
+            status = raw.status
+            retry_after = raw.getheader("Retry-After")
+            response = json.loads(raw.read())
+            if status != 503:
+                return response
+            with tally:
+                rejections[0] += 1
+            hinted = float(retry_after) if retry_after else 1.0
+            delay = min(min(hinted, RETRY_BASE_S) * (2 ** attempt),
+                        RETRY_CAP_S)
+            time.sleep(delay)
+        raise RuntimeError(
+            f"server still saturated after {RETRY_ATTEMPTS} retries")
 
     def client() -> None:
-        connection = http.client.HTTPConnection(host, int(port), timeout=120)
-        connection.connect()
-        connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        connection = None
         try:
+            connection = http.client.HTTPConnection(host, int(port),
+                                                    timeout=120)
+            connection.connect()
+            connection.sock.setsockopt(socket.IPPROTO_TCP,
+                                       socket.TCP_NODELAY, 1)
             for _ in range(WARMUP_PER_CONNECTION):
-                connection.request("POST", "/query", body, headers)
-                response = json.loads(connection.getresponse().read())
+                response = post(connection)
                 if not response.get("ok"):
                     failures.append(response.get("error", "unknown"))
                     break
                 counts.add(response["count"])
-            barrier.wait()
-            for _ in range(per_thread):
-                connection.request("POST", "/query", body, headers)
-                response = json.loads(connection.getresponse().read())
-                if not response.get("ok"):
-                    failures.append(response.get("error", "unknown"))
+        except Exception as error:  # noqa: BLE001 - reported to the caller
+            failures.append(str(error))
         finally:
-            connection.close()
+            # Always reach the barrier, even on a failed warm-up — the
+            # main thread is parked on it.
+            barrier.wait()
+        try:
+            if not failures:
+                for _ in range(per_thread):
+                    response = post(connection)
+                    if not response.get("ok"):
+                        failures.append(response.get("error", "unknown"))
+        except Exception as error:  # noqa: BLE001 - reported to the caller
+            failures.append(str(error))
+        finally:
+            if connection is not None:
+                connection.close()
 
     workers = [threading.Thread(target=client) for _ in range(threads)]
     for worker in workers:
@@ -152,7 +205,7 @@ def run_clients(base_url: str, query: str, engine: str, threads: int,
     if failures:
         raise RuntimeError(f"{len(failures)} failed requests: {failures[0]}")
     assert len(counts) == 1, f"responses disagreed on item count: {counts}"
-    return elapsed, counts.pop()
+    return elapsed, counts.pop(), rejections[0]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -171,6 +224,10 @@ def main(argv: list[str] | None = None) -> int:
                              "wall time is reported (default 3)")
     parser.add_argument("--engines", nargs="+", default=list(ENGINES),
                         choices=list(ENGINES))
+    parser.add_argument("--max-concurrency", type=int, default=6,
+                        help="server admission limit; client thread counts "
+                             "above it exercise the 503/Retry-After backoff "
+                             "path (default 6, 0 disables admission control)")
     parser.add_argument("--json-dir", default=str(REPO_ROOT),
                         help="directory for BENCH_service.json")
     arguments = parser.parse_args(argv)
@@ -178,7 +235,9 @@ def main(argv: list[str] | None = None) -> int:
     with tempfile.NamedTemporaryFile("w", suffix=".xml", delete=False) as handle:
         handle.write(make_curriculum(arguments.courses))
         document_path = handle.name
-    process, base_url = start_server(document_path)
+    process, base_url = start_server(
+        document_path,
+        max_concurrency=arguments.max_concurrency or None)
     results = []
     try:
         for engine in arguments.engines:
@@ -187,10 +246,10 @@ def main(argv: list[str] | None = None) -> int:
                             else arguments.requests)
                 baseline = None
                 for threads in arguments.threads:
-                    elapsed, items = min(
+                    elapsed, items, rejections = min(
                         (run_clients(base_url, query, engine, threads, requests)
                          for _ in range(max(arguments.repeats, 1))),
-                        key=lambda pair: pair[0])
+                        key=lambda triple: triple[0])
                     rps = requests / elapsed
                     baseline = baseline if baseline is not None else rps
                     results.append({
@@ -202,11 +261,13 @@ def main(argv: list[str] | None = None) -> int:
                         "seconds": round(elapsed, 4),
                         "requests_per_second": round(rps, 1),
                         "speedup_vs_1_thread": round(rps / baseline, 2),
+                        "rejections_503": rejections,
                         "repeats": arguments.repeats,
                     })
                     print(f"{engine:<12} {label:<12} "
                           f"{threads} client thread(s): {rps:8.1f} req/s "
-                          f"({results[-1]['speedup_vs_1_thread']}x vs 1 thread)")
+                          f"({results[-1]['speedup_vs_1_thread']}x vs 1 "
+                          f"thread, {rejections} x 503 retried)")
         stats = get_json(base_url, "/stats")
     finally:
         process.send_signal(signal.SIGTERM)
@@ -219,6 +280,9 @@ def main(argv: list[str] | None = None) -> int:
         "label": "service",
         "python": platform.python_version(),
         "courses": arguments.courses,
+        "max_concurrency": arguments.max_concurrency or None,
+        "rejections_503_total": sum(cell["rejections_503"]
+                                    for cell in results),
         "results": results,
         "server_stats": stats,
     }

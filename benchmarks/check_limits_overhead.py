@@ -1,0 +1,155 @@
+"""CI guard: resource limits must be ~free while they never trigger.
+
+PR 8 threads a :class:`~repro.limits.Governor` through the execution
+paths of all three engines — cooperative checkpoints at the
+interpreter's FLWOR/function-call boundaries, per-round checks in the
+fixpoint drivers and the algebra µ/µ∆ loops.  The design promise is that
+a query governed by *generous* limits (a one-hour deadline, huge budgets
+— enabled but never tripping) pays (almost) nothing for the checks::
+
+    PYTHONPATH=src python benchmarks/check_limits_overhead.py
+
+It compares the same prepared workload under two settings:
+
+* **governed** — ``EvalSettings(limits=ResourceLimits(...))`` with limits
+  far beyond what the workload can reach;
+* **ungoverned** — identical settings with ``limits=None`` (the governor
+  construction and every checkpoint skipped).
+
+The measurement is built for noisy shared runners:
+
+* CPU seconds (``time.process_time``), not wall clock — CPU steal on a
+  virtualized host adds tens of percent of one-sided wall-clock noise
+  that would drown a 2% signal;
+* alternating *blocks* of same-settings runs with a few untimed warm-up
+  runs at each block start — CPython's adaptive interpreter
+  re-specializes the governor call sites when ``options.limits`` flips
+  between ``None`` and a live governor, and timing that re-specialization
+  would charge the A/B switch itself to the governed variant;
+* the **min** of several independent estimates — measurement noise only
+  ever inflates an estimate, so the min converges on the true overhead
+  while a genuine regression shows up in every estimate, including the
+  min.
+
+The check fails (exit 1) when the governed variant is more than
+``--tolerance`` (default 2%) slower.  Block times below the
+``--floor-ms`` noise floor abort with an error instead of silently
+passing, so the guard cannot degrade into a no-op on fast machines —
+raise ``--inner`` in that case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.queries import get_workload
+from repro.limits import ResourceLimits
+from repro.session import Session
+from repro.settings import EvalSettings
+
+#: Enabled-but-untriggered: nothing the tiny workload does comes within
+#: orders of magnitude of these, so every checkpoint runs and none trips.
+GENEROUS_LIMITS = ResourceLimits(timeout_s=3600.0,
+                                 max_fixpoint_rounds=1_000_000,
+                                 max_frontier_nodes=1_000_000_000,
+                                 max_result_items=1_000_000_000)
+
+#: Untimed runs at the start of every block, letting the adaptive
+#: interpreter re-specialize the governor sites for the block's variant.
+BLOCK_WARMUP = 3
+
+
+def _make_block_runner(inner: int):
+    """Build ``block(settings) -> CPU seconds`` over one warm session."""
+    workload = get_workload("curriculum")
+    document = workload.size("tiny").build_document()
+    query = workload.ifp_query(algorithm="delta")
+    session = Session()
+    session.register_document(workload.document_uri, document)
+    base = EvalSettings(engine="interpreter", ifp_algorithm="delta")
+    prepared = session.prepare(query, settings=base)
+    governed = base.replace(limits=GENEROUS_LIMITS)
+    prepared.run(settings=base)      # warm caches outside the measurement
+    prepared.run(settings=governed)  # warm the governed path too
+
+    def block(settings: EvalSettings) -> float:
+        for _ in range(BLOCK_WARMUP):
+            prepared.run(settings=settings)
+        started = time.process_time()
+        for _ in range(inner):
+            prepared.run(settings=settings)
+        return time.process_time() - started
+
+    return block, governed, base
+
+
+def measure(estimates: int, pairs: int, inner: int) -> list[tuple[float, float]]:
+    """Return *estimates* independent ``(governed, ungoverned)`` CPU totals.
+
+    Each estimate alternates *pairs* block pairs (governed block /
+    ungoverned block, order swapping every pair so drift cannot
+    systematically favour one side) and sums the block CPU times per
+    variant.
+    """
+    block, governed_settings, base_settings = _make_block_runner(inner)
+    results = []
+    for _ in range(estimates):
+        governed_total = ungoverned_total = 0.0
+        for index in range(pairs):
+            order = ((governed_settings, base_settings) if index % 2 == 0
+                     else (base_settings, governed_settings))
+            for settings in order:
+                elapsed = block(settings)
+                if settings is governed_settings:
+                    governed_total += elapsed
+                else:
+                    ungoverned_total += elapsed
+        results.append((governed_total, ungoverned_total))
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--estimates", type=int, default=5,
+                        help="independent overhead estimates; the min is "
+                             "the verdict (default 5)")
+    parser.add_argument("--pairs", type=int, default=4,
+                        help="alternating block pairs per estimate (default 4)")
+    parser.add_argument("--inner", type=int, default=30,
+                        help="timed query evaluations per block (default 30)")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="maximum allowed relative overhead (default 0.02)")
+    parser.add_argument("--floor-ms", type=float, default=20.0,
+                        help="fail if an ungoverned block total is below this "
+                             "noise floor (default 20 ms); raise --inner "
+                             "instead")
+    arguments = parser.parse_args(argv)
+
+    results = measure(arguments.estimates, arguments.pairs, arguments.inner)
+    floor_s = arguments.floor_ms / 1000.0 * arguments.pairs
+    slowest = max(ungoverned for _, ungoverned in results)
+    if slowest < floor_s:
+        print(f"limits overhead check INVALID: ungoverned estimate "
+              f"{slowest * 1000.0:.2f} CPU ms is below the noise floor "
+              f"({floor_s * 1000.0:.0f} ms) — raise --inner", file=sys.stderr)
+        return 1
+    overheads = sorted(governed / ungoverned - 1.0
+                       for governed, ungoverned in results)
+    overhead = overheads[0]
+    verdict = "ok" if overhead <= arguments.tolerance else "FAILED"
+    print("estimates: " + " ".join(f"{value:+.2%}" for value in overheads))
+    print(f"overhead (min of {arguments.estimates}): {overhead:+.2%} "
+          f"(allowed ≤ {arguments.tolerance:.0%}) — {verdict}")
+    if overhead > arguments.tolerance:
+        print("\nlimits overhead check FAILED: enabled-but-untriggered limits "
+              f"cost more than {arguments.tolerance:.0%} even in the most "
+              "favourable estimate — audit the `governor is not None` guards "
+              "and the checkpoint placement/stride", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,7 +65,7 @@ def _merge_new(result: list, seen: set, produced: Sequence) -> int:
 
 
 def _baseline_naive(body, seed, max_iterations=100_000, statistics=None,
-                    seed_is_initial_result=False, trace=None):
+                    seed_is_initial_result=False, trace=None, governor=None):
     seed_nodes = ensure_node_sequence(list(seed), "inflationary fixed point seed")
     result: list = []
     seen: set = set()
@@ -100,7 +100,7 @@ def _baseline_naive(body, seed, max_iterations=100_000, statistics=None,
 
 
 def _baseline_delta(body, seed, max_iterations=100_000, statistics=None,
-                    seed_is_initial_result=False, trace=None):
+                    seed_is_initial_result=False, trace=None, governor=None):
     seed_nodes = ensure_node_sequence(list(seed), "inflationary fixed point seed")
     if seed_is_initial_result:
         result = node_union(seed_nodes, [])
@@ -136,7 +136,7 @@ def _baseline_delta(body, seed, max_iterations=100_000, statistics=None,
 
 
 def _baseline_run(self, body: Callable[[list], list], seed, algorithm="naive",
-                  seed_is_initial_result=False, trace=None) -> FixpointResult:
+                  seed_is_initial_result=False, trace=None, governor=None) -> FixpointResult:
     if algorithm not in fixpoint_engine.ALGORITHMS:
         raise FixpointError(f"unknown fixed point algorithm '{algorithm}'")
     statistics = FixpointStatistics(algorithm=algorithm) if self.collect_statistics else None

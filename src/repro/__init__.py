@@ -23,10 +23,15 @@ directory of the repository for runnable scenarios.
 """
 
 from repro.api import (
+    BudgetExceeded,
+    CancelToken,
     Engine,
     EvalSettings,
     PreparedQuery,
+    QueryCancelled,
     QueryResult,
+    QueryTimeout,
+    ResourceLimits,
     Session,
     clear_query_caches,
     default_session,
@@ -46,10 +51,15 @@ from repro.xmlio.parser import parse_xml, parse_xml_file
 __version__ = "1.1.0"
 
 __all__ = [
+    "BudgetExceeded",
+    "CancelToken",
     "Engine",
     "EvalSettings",
     "PreparedQuery",
+    "QueryCancelled",
     "QueryResult",
+    "QueryTimeout",
+    "ResourceLimits",
     "Session",
     "clear_query_caches",
     "default_session",

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro import faults
 from repro.errors import AlgebraError
 from repro.algebra.operators import AlgebraEngineProtocol, Fixpoint, Operator
 from repro.algebra.storage import TableStorage, resolve_backend
@@ -65,13 +66,14 @@ class _PlanRun(AlgebraEngineProtocol):
 
     def __init__(self, storage: type, max_iterations: int,
                  statistics: AlgebraStatistics | None = None,
-                 use_index: bool = True, trace=None):
+                 use_index: bool = True, trace=None, governor=None):
         self.storage = storage
         self.max_iterations = max_iterations
         self.statistics = statistics if statistics is not None else AlgebraStatistics()
         self.macro_cache: dict = {}
         self.use_index = use_index
         self.trace = trace
+        self.governor = governor
         self._recursion_binding: Optional[TableStorage] = None
 
     # -- engine protocol ------------------------------------------------------
@@ -95,7 +97,8 @@ class _PlanRun(AlgebraEngineProtocol):
     def evaluate_plan(self, plan: Operator) -> TableStorage:
         """Evaluate a nested plan in a fresh run (no binding leaks into it)."""
         nested = _PlanRun(self.storage, self.max_iterations, statistics=self.statistics,
-                          use_index=self.use_index, trace=self.trace)
+                          use_index=self.use_index, trace=self.trace,
+                          governor=self.governor)
         return nested._evaluate(plan, cache={})
 
     # -- internals ---------------------------------------------------------------
@@ -103,6 +106,9 @@ class _PlanRun(AlgebraEngineProtocol):
     def _evaluate(self, operator: Operator, cache: dict[int, TableStorage]) -> TableStorage:
         if id(operator) in cache:
             return cache[id(operator)]
+        governor = self.governor
+        if governor is not None and governor.tick():
+            governor.check_now()
         if isinstance(operator, Fixpoint):
             result = self._evaluate_fixpoint(operator, cache)
         else:
@@ -164,6 +170,10 @@ class _PlanRun(AlgebraEngineProtocol):
             iteration += 1
             if iteration > self.max_iterations:
                 raise AlgebraError("µ did not reach a fixed point within the iteration bound")
+            if self.governor is not None:
+                self.governor.check_round(iteration, frontier=len(accumulated),
+                                          result_size=len(accumulated))
+            faults.trigger("slow-span")
             fed = self._items_table(accumulated.items)
             span = trace.begin("round", iteration=iteration) if trace is not None else None
             produced = self._apply_body(operator, fed)
@@ -194,6 +204,10 @@ class _PlanRun(AlgebraEngineProtocol):
             iteration += 1
             if iteration > self.max_iterations:
                 raise AlgebraError("µ∆ did not reach a fixed point within the iteration bound")
+            if self.governor is not None:
+                self.governor.check_round(iteration, frontier=len(delta),
+                                          result_size=len(accumulated))
+            faults.trigger("slow-span")
             fed = self._items_table(delta)
             span = trace.begin("round", iteration=iteration) if trace is not None else None
             produced = self._apply_body(operator, fed)
@@ -255,14 +269,19 @@ class AlgebraEvaluator:
         Optional :class:`~repro.observability.tracing.TraceContext`; when
         present every µ/µ∆ run emits a ``fixpoint`` span with per-round
         children carrying the fed/produced/new/result sizes.
+    governor:
+        Optional :class:`~repro.limits.Governor`; checked per operator
+        invocation (cheap stride checkpoint) and at every µ/µ∆ round
+        boundary (deadline, cancellation, round/frontier/result budgets).
     """
 
     def __init__(self, max_iterations: int = 100_000, backend: "str | type | None" = None,
-                 use_index: bool = True, trace=None):
+                 use_index: bool = True, trace=None, governor=None):
         self.max_iterations = max_iterations
         self.storage = resolve_backend(backend)
         self.use_index = use_index
         self.trace = trace
+        self.governor = governor
         self.run_history: list[AlgebraStatistics] = []
 
     @property
@@ -274,7 +293,7 @@ class AlgebraEvaluator:
     def evaluate_plan(self, plan: Operator) -> TableStorage:
         """Evaluate *plan* in a fresh run and return its output table."""
         run = _PlanRun(self.storage, self.max_iterations, use_index=self.use_index,
-                       trace=self.trace)
+                       trace=self.trace, governor=self.governor)
         result = run._evaluate(plan, cache={})
         self.run_history.append(run.statistics)
         return result

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro.errors import BudgetExceeded, QueryCancelled, QueryTimeout
 from repro.fixpoint.engine import FixpointEngine, FixpointResult
+from repro.limits import CancelToken, ResourceLimits
 from repro.session import (
     PreparedQuery,
     QueryResult,
@@ -247,10 +249,15 @@ def load_documents(paths: Mapping[str, str],
 
 
 __all__ = [
+    "BudgetExceeded",
+    "CancelToken",
     "Engine",
     "EvalSettings",
     "PreparedQuery",
+    "QueryCancelled",
     "QueryResult",
+    "QueryTimeout",
+    "ResourceLimits",
     "Session",
     "clear_query_caches",
     "default_session",

@@ -16,6 +16,8 @@ import argparse
 import sys
 
 from repro.api import evaluate, is_distributive_algebraic, is_distributive_syntactic
+from repro.errors import GovernanceError
+from repro.limits import ResourceLimits
 from repro.settings import EvalSettings
 from repro.xmlio.parser import parse_xml_file
 from repro.xmlio.serializer import serialize_sequence
@@ -68,6 +70,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="print the query's span tree (parse/compile/execute "
                              "phases, per-fixpoint-round sizes, SQL statement "
                              "timings) after evaluation")
+    parser.add_argument("--timeout-s", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock deadline for the evaluation; exceeding "
+                             "it exits with a QueryTimeout (status 3)")
+    parser.add_argument("--max-fixpoint-rounds", type=int, default=None, metavar="N",
+                        help="budget on fixpoint rounds per IFP evaluation; "
+                             "exceeding it exits with a BudgetExceeded (status 3)")
     parser.add_argument("--emit-sql", action="store_true",
                         help="print the SQL the sql engine generates for every "
                              "with … recurse fixpoint in the query, then exit")
@@ -108,6 +116,11 @@ def main(argv: list[str] | None = None) -> int:
     for uri, path in arguments.doc:
         resolver.register(uri, parse_xml_file(path, id_attributes=arguments.id_attribute))
 
+    limits = None
+    if arguments.timeout_s is not None or arguments.max_fixpoint_rounds is not None:
+        limits = ResourceLimits(timeout_s=arguments.timeout_s,
+                                max_fixpoint_rounds=arguments.max_fixpoint_rounds)
+
     settings = EvalSettings(
         ifp_algorithm=arguments.algorithm,
         distributivity_checker=arguments.checker,
@@ -118,8 +131,13 @@ def main(argv: list[str] | None = None) -> int:
         use_cache=not arguments.no_plan_cache,
         profile=arguments.profile,
         trace=arguments.trace,
+        limits=limits,
     )
-    result = evaluate(query, documents=resolver, settings=settings)
+    try:
+        result = evaluate(query, documents=resolver, settings=settings)
+    except GovernanceError as exc:
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 3
     print(serialize_sequence(result.items))
     if arguments.trace and result.trace is not None:
         from repro.observability import format_span_tree

@@ -17,6 +17,8 @@ The hierarchy mirrors the places errors can arise in the pipeline:
   relational algebra backend.
 * :class:`SqlBackendError` — problems in the SQLite execution backend
   (shredding, SQL emission, result decoding).
+* :class:`GovernanceError` — the resource-governance layer stopped a query
+  (:class:`QueryTimeout`, :class:`BudgetExceeded`, :class:`QueryCancelled`).
 
 All of these derive from :class:`ReproError` so callers can install a single
 ``except`` clause around the whole engine.
@@ -101,3 +103,78 @@ class SqlBackendError(ReproError):
 
 class DistributivityError(ReproError):
     """Raised when a distributivity analysis cannot be performed."""
+
+
+class GovernanceError(ReproError):
+    """Common base of every error raised by the resource-governance layer.
+
+    Governance errors carry the engine-independent reason a query was
+    stopped; the service layer maps each subclass onto an HTTP status
+    (timeout → 408, budget → 429, cancellation → 503).
+    """
+
+
+class QueryTimeout(GovernanceError):
+    """The query's wall-clock deadline (``ResourceLimits.timeout_s``) passed.
+
+    Raised cooperatively: the interpreter checks at FLWOR-iteration and
+    function-call boundaries, the fixpoint drivers and algebra µ/µ∆ loops
+    at round boundaries, and the SQLite backend through a progress handler
+    — so even a single ``WITH RECURSIVE`` statement honours the deadline.
+    """
+
+    def __init__(self, message: str | None = None, *, timeout_s: float | None = None):
+        self.timeout_s = timeout_s
+        if message is None:
+            message = "query exceeded its deadline"
+            if timeout_s is not None:
+                message = f"query exceeded its {timeout_s:g}s deadline"
+        super().__init__(message)
+
+
+class BudgetExceeded(GovernanceError):
+    """A non-time resource budget of :class:`ResourceLimits` was exhausted.
+
+    ``budget`` names which bound tripped (``max_fixpoint_rounds``,
+    ``max_frontier_nodes``, ``max_result_items`` or ``max_memory_kb``) so
+    callers can distinguish divergence from merely-large results.
+    """
+
+    def __init__(self, message: str, *, budget: str | None = None,
+                 limit: int | None = None, observed: int | None = None):
+        self.budget = budget
+        self.limit = limit
+        self.observed = observed
+        super().__init__(message)
+
+
+class QueryCancelled(GovernanceError):
+    """The query's :class:`CancelToken` was triggered mid-evaluation.
+
+    Cancellation arrives from outside the evaluating thread — a client
+    disconnect, a graceful service drain, or an explicit
+    ``CancelToken.cancel()`` — and is observed at the same cooperative
+    checkpoints as the deadline.
+    """
+
+    def __init__(self, message: str | None = None, *, reason: str | None = None):
+        self.reason = reason
+        if message is None:
+            message = "query was cancelled"
+            if reason:
+                message = f"query was cancelled ({reason})"
+        super().__init__(message)
+
+
+class InjectedFault(ReproError):
+    """An error raised on purpose by the fault-injection harness.
+
+    Chaos tests activate named fault points (:mod:`repro.faults`) and assert
+    that every injected failure surfaces as a typed :class:`ReproError` —
+    this class marks the generic injections so tests can tell deliberate
+    faults from real bugs.
+    """
+
+    def __init__(self, point: str, message: str | None = None):
+        self.point = point
+        super().__init__(message or f"injected fault at point '{point}'")

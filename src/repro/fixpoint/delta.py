@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro import faults
 from repro.errors import FixpointError
 from repro.xdm.sequence import ensure_node_sequence, node_except, node_union
 from repro.fixpoint.stats import FixpointStatistics
@@ -30,7 +31,7 @@ def delta_fixpoint(body: Callable[[list], list], seed: Sequence,
                    max_iterations: int = 100_000,
                    statistics: FixpointStatistics | None = None,
                    seed_is_initial_result: bool = False,
-                   trace=None) -> list:
+                   trace=None, governor=None) -> list:
     """Compute the IFP of *body* seeded by *seed* with algorithm Delta.
 
     The signature mirrors :func:`repro.fixpoint.naive.naive_fixpoint`; see
@@ -70,6 +71,10 @@ def delta_fixpoint(body: Callable[[list], list], seed: Sequence,
                 f"inflationary fixed point did not converge within {max_iterations} iterations"
             )
         fed = delta
+        if governor is not None:
+            governor.check_round(iteration, frontier=len(fed),
+                                 result_size=len(result))
+        faults.trigger("slow-span")
         span = trace.begin("round", iteration=iteration) if trace is not None else None
         produced = body(list(fed))
         ensure_node_sequence(produced, "inflationary fixed point body result")

@@ -51,7 +51,7 @@ class FixpointEngine:
 
     def run(self, body: Callable[[list], list], seed: Sequence,
             algorithm: str = "naive", seed_is_initial_result: bool = False,
-            trace=None) -> FixpointResult:
+            trace=None, governor=None) -> FixpointResult:
         """Compute the IFP of *body* seeded by *seed*.
 
         ``algorithm`` must be ``"naive"`` or ``"delta"``; deciding *which*
@@ -61,6 +61,8 @@ class FixpointEngine:
         seed itself is ``res_0`` (see :func:`~repro.fixpoint.naive.naive_fixpoint`).
         ``trace`` (a :class:`~repro.observability.tracing.TraceContext`)
         wraps the run in a ``fixpoint`` span with per-round children.
+        ``governor`` (a :class:`~repro.limits.Governor`) is consulted at
+        every round boundary for deadlines, cancellation and budgets.
         """
         if algorithm not in ALGORITHMS:
             raise FixpointError(f"unknown fixed point algorithm '{algorithm}'")
@@ -71,11 +73,11 @@ class FixpointEngine:
             if algorithm == "delta":
                 value = delta_fixpoint(body, seed, self.max_iterations, statistics,
                                        seed_is_initial_result=seed_is_initial_result,
-                                       trace=trace)
+                                       trace=trace, governor=governor)
             else:
                 value = naive_fixpoint(body, seed, self.max_iterations, statistics,
                                        seed_is_initial_result=seed_is_initial_result,
-                                       trace=trace)
+                                       trace=trace, governor=governor)
         finally:
             if span is not None:
                 trace.end(span)

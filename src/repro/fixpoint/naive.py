@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro import faults
 from repro.errors import FixpointError
 from repro.xdm.node import Node
 from repro.xdm.sequence import ensure_node_sequence
@@ -52,7 +53,7 @@ def naive_fixpoint(body: Callable[[list], list], seed: Sequence,
                    max_iterations: int = 100_000,
                    statistics: FixpointStatistics | None = None,
                    seed_is_initial_result: bool = False,
-                   trace=None) -> list:
+                   trace=None, governor=None) -> list:
     """Compute the IFP of *body* seeded by *seed* with algorithm Naive.
 
     Parameters
@@ -76,6 +77,10 @@ def naive_fixpoint(body: Callable[[list], list], seed: Sequence,
         Optional :class:`~repro.observability.tracing.TraceContext`; when
         present every round becomes a ``round`` span carrying the fed /
         produced / new / accumulated sizes alongside its wall time.
+    governor:
+        Optional :class:`~repro.limits.Governor`; consulted once per round
+        (deadline, cancellation, round/frontier/result budgets) with the
+        sizes this driver already computes.
 
     Returns
     -------
@@ -113,6 +118,10 @@ def naive_fixpoint(body: Callable[[list], list], seed: Sequence,
                 f"inflationary fixed point did not converge within {max_iterations} iterations"
             )
         fed_count = len(result)
+        if governor is not None:
+            governor.check_round(iteration, frontier=fed_count,
+                                 result_size=len(result))
+        faults.trigger("slow-span")
         span = trace.begin("round", iteration=iteration) if trace is not None else None
         produced = body(list(result))
         ensure_node_sequence(produced, "inflationary fixed point body result")

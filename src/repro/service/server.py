@@ -46,23 +46,40 @@ Endpoints
 ``GET /metrics``
     the same telemetry in Prometheus text exposition format 0.0.4.
 
+Resource governance (PR 8): ``--max-concurrency`` bounds admission — a
+saturated server answers ``503`` with a ``Retry-After`` header instead
+of queueing; requests may carry ``timeout_s`` (clamped by
+``--max-timeout``), and deadline/budget expiry maps to ``408`` /
+``429`` with structured bodies (``error_type``, budget details).  Every
+query evaluates under a :class:`~repro.limits.CancelToken`: a client
+that disconnects mid-query gets its evaluation cancelled (the worker is
+reclaimed), and graceful drain cancels whatever outlives
+``--drain-timeout``.  ``REPRO_FAULTS`` arms the fault-injection plan of
+:mod:`repro.faults` at startup for chaos drills.
+
 Graceful shutdown: SIGINT/SIGTERM stop the accept loop, then the server
-waits (bounded) for in-flight requests to drain before closing.
+waits (bounded by ``--drain-timeout``) for in-flight requests to drain,
+cancelling stragglers, before closing.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import logging
+import select
 import signal
+import socket
 import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
-from repro.errors import ReproError
+from repro import faults
+from repro.errors import BudgetExceeded, QueryCancelled, QueryTimeout, ReproError
+from repro.limits import CancelToken, ResourceLimits
 from repro.observability import FIXPOINT_ROUND_BUCKETS, MetricsRegistry
 from repro.session import Session
 from repro.settings import EvalSettings, coerce_settings
@@ -121,11 +138,24 @@ def configure_logging(verbose: bool = False, log_json: bool = False) -> logging.
 
 
 class ServiceError(Exception):
-    """A request the service rejects (bad payload, unknown field…)."""
+    """A request the service rejects (bad payload, unknown field…).
 
-    def __init__(self, message: str, status: int = 400):
+    ``headers`` are extra response headers (``Retry-After`` on 503);
+    ``body`` holds structured fields merged into the JSON error body
+    next to ``ok``/``error`` (``error_type``, budget details, …).
+    """
+
+    def __init__(self, message: str, status: int = 400,
+                 headers: Mapping[str, str] | None = None,
+                 body: Mapping[str, Any] | None = None):
         super().__init__(message)
         self.status = status
+        self.headers = dict(headers) if headers else {}
+        self.body = dict(body) if body else {}
+
+    def payload(self) -> dict:
+        """The JSON error body this rejection serializes to."""
+        return {"ok": False, "error": str(self), **self.body}
 
 
 def serialize_items(items: list) -> list[str]:
@@ -166,6 +196,17 @@ class ServiceStats:
         self._rounds = self.registry.histogram(
             "repro_fixpoint_rounds", "Recursion depth per IFP evaluation, by engine.",
             ("engine",), buckets=FIXPOINT_ROUND_BUCKETS)
+        self._rejections = self.registry.counter(
+            "repro_admission_rejections_total",
+            "Requests rejected with 503 at admission (server saturated).")
+        self._rejections.inc(0.0)  # render as 0 before the first rejection
+        self._timeouts = self.registry.counter(
+            "repro_query_timeouts_total",
+            "Queries that exceeded their deadline, by engine.", ("engine",))
+        self._cancellations = self.registry.counter(
+            "repro_query_cancellations_total",
+            "Queries cancelled in flight (disconnect, drain), by engine.",
+            ("engine",))
 
     @property
     def in_flight(self) -> int:
@@ -195,6 +236,18 @@ class ServiceStats:
         """Record one IFP evaluation's recursion depth."""
         self._rounds.labels(engine=engine).observe(rounds)
 
+    def rejected(self) -> None:
+        """Record one admission rejection (503, server saturated)."""
+        self._rejections.inc()
+
+    def timed_out(self, engine: str) -> None:
+        """Record one query deadline expiry (mapped to 408)."""
+        self._timeouts.labels(engine=engine).inc()
+
+    def cancelled(self, engine: str) -> None:
+        """Record one in-flight cancellation (disconnect or drain)."""
+        self._cancellations.labels(engine=engine).inc()
+
     def drained(self) -> bool:
         return self.in_flight == 0
 
@@ -221,6 +274,7 @@ class ServiceStats:
             "peak_in_flight": peak,
             "requests": requests,
             "errors": errors,
+            "rejections": int(self._rejections.value),
             "engines": engines,
         }
 
@@ -235,7 +289,9 @@ class QueryService:
 
     def __init__(self, session: Session | None = None,
                  settings: EvalSettings | Mapping[str, Any] | None = None,
-                 slow_query_ms: float | None = None):
+                 slow_query_ms: float | None = None,
+                 max_concurrency: int | None = None,
+                 max_timeout_s: float | None = None):
         self.session = session if session is not None else Session()
         if settings is not None:
             self.session.settings = coerce_settings(settings, self.session.settings)
@@ -243,15 +299,53 @@ class QueryService:
         #: Queries slower than this (milliseconds) log one JSON-lines
         #: WARNING record; ``None`` disables the slow-query log.
         self.slow_query_ms = slow_query_ms
+        #: Bounded admission: at most this many queries evaluate at once;
+        #: the rest are rejected immediately with ``503 + Retry-After``
+        #: instead of queueing behind a saturated worker pool.  ``None``
+        #: disables admission control.
+        self.max_concurrency = max_concurrency
+        self._admission = (threading.BoundedSemaphore(max_concurrency)
+                           if max_concurrency else None)
+        #: Server-wide ceiling on per-request ``timeout_s``: requests
+        #: asking for more (or for no deadline at all) are clamped to it.
+        self.max_timeout_s = max_timeout_s
+        #: Cancel tokens of in-flight queries, so graceful drain (and
+        #: anything else holding the service) can cancel them.
+        self._inflight_lock = threading.Lock()
+        self._inflight_tokens: dict[int, CancelToken] = {}
+        self._inflight_serial = 0
+
+    # -- in-flight cancellation ----------------------------------------------
+
+    def _track(self, token: CancelToken) -> int:
+        with self._inflight_lock:
+            self._inflight_serial += 1
+            self._inflight_tokens[self._inflight_serial] = token
+            return self._inflight_serial
+
+    def _untrack(self, handle: int) -> None:
+        with self._inflight_lock:
+            self._inflight_tokens.pop(handle, None)
+
+    def cancel_inflight(self, reason: str = "cancelled by server") -> int:
+        """Cancel every in-flight query; returns how many were signalled."""
+        with self._inflight_lock:
+            tokens = list(self._inflight_tokens.values())
+        for token in tokens:
+            token.cancel(reason)
+        return len(tokens)
 
     # -- handlers ------------------------------------------------------------
 
     def handle_query(self, payload: Mapping[str, Any],
-                     resolver=None) -> dict:
+                     resolver=None, cancel_token: CancelToken | None = None) -> dict:
         """Evaluate one query payload (see the module docstring schema).
 
         *resolver* lets ``/batch`` share one corpus snapshot across its
-        queries; standalone requests capture their own.
+        queries; standalone requests capture their own.  *cancel_token*
+        lets the transport cancel the evaluation mid-flight (client
+        disconnect); the service always registers a token so graceful
+        drain can cancel whatever is still running.
         """
         if not isinstance(payload, Mapping):
             raise ServiceError("request body must be a JSON object")
@@ -259,7 +353,7 @@ class QueryService:
         if not isinstance(query, str) or not query.strip():
             raise ServiceError('"query" must be a non-empty string')
         unknown = set(payload) - {"query", "engine", "variables", "context",
-                                  "settings", "trace"}
+                                  "settings", "trace", "timeout_s"}
         if unknown:
             raise ServiceError(f"unknown request field(s): {sorted(unknown)}")
 
@@ -269,6 +363,7 @@ class QueryService:
         settings = self._settings_of(payload)
         if trace_requested:
             settings = settings.replace(trace=True)
+        settings = self._govern(settings, payload.get("timeout_s"))
         variables = payload.get("variables")
         if variables is not None and not isinstance(variables, Mapping):
             raise ServiceError('"variables" must be an object')
@@ -285,19 +380,49 @@ class QueryService:
                                    f"is not registered")
 
         engine = settings.engine.value
+        if self._admission is not None and not self._admission.acquire(blocking=False):
+            self.stats.rejected()
+            raise ServiceError(
+                f"server saturated ({self.max_concurrency} queries in flight); "
+                f"retry later", status=503,
+                headers={"Retry-After": "1"},
+                body={"error_type": "Saturated", "retry_after": 1})
+        token = cancel_token if cancel_token is not None else CancelToken()
+        handle = self._track(token)
         started = time.perf_counter()
         error = True
         self.stats.enter()
         try:
             result = self.session.evaluate(
                 query, documents=resolver, variables=variables,
-                context_item=context_item, settings=settings)
+                context_item=context_item, settings=settings,
+                cancel_token=token)
             elapsed = time.perf_counter() - started
             error = False
+        except QueryTimeout as exc:
+            self.stats.timed_out(engine)
+            raise ServiceError(
+                str(exc), status=408,
+                body={"error_type": "QueryTimeout",
+                      "timeout_s": exc.timeout_s})
+        except BudgetExceeded as exc:
+            raise ServiceError(
+                str(exc), status=429,
+                body={"error_type": "BudgetExceeded", "budget": exc.budget,
+                      "limit": exc.limit, "observed": exc.observed})
+        except QueryCancelled as exc:
+            self.stats.cancelled(engine)
+            raise ServiceError(
+                str(exc), status=503,
+                headers={"Retry-After": "1"},
+                body={"error_type": "QueryCancelled", "reason": exc.reason})
         except ReproError as exc:
             raise ServiceError(f"{type(exc).__name__}: {exc}", status=422)
         finally:
             self.stats.exit(engine, time.perf_counter() - started, error)
+            self._untrack(handle)
+            if self._admission is not None:
+                self._admission.release()
         for run in result.statistics.runs:
             self.stats.observe_rounds(engine, run.recursion_depth)
         elapsed_ms = round(elapsed * 1000.0, 3)
@@ -324,7 +449,8 @@ class QueryService:
             response["trace"] = result.trace.to_dict()
         return response
 
-    def handle_batch(self, payload: Mapping[str, Any]) -> dict:
+    def handle_batch(self, payload: Mapping[str, Any],
+                     cancel_token: CancelToken | None = None) -> dict:
         """Evaluate many queries against one shared corpus snapshot."""
         if not isinstance(payload, Mapping):
             raise ServiceError("request body must be a JSON object")
@@ -342,9 +468,10 @@ class QueryService:
             if defaults and isinstance(entry, Mapping) and "settings" not in entry:
                 entry = {**entry, "settings": defaults}
             try:
-                results.append(self.handle_query(entry, resolver=resolver))
+                results.append(self.handle_query(entry, resolver=resolver,
+                                                 cancel_token=cancel_token))
             except ServiceError as exc:
-                results.append({"ok": False, "error": str(exc)})
+                results.append({**exc.payload(), "status": exc.status})
         return {"ok": True, "results": results, "count": len(results)}
 
     def handle_register(self, payload: Mapping[str, Any]) -> dict:
@@ -426,12 +553,36 @@ class QueryService:
             pool["invalidated"])
         return registry.render()
 
+    def _govern(self, settings: EvalSettings,
+                requested: Any) -> EvalSettings:
+        """Fold the request's ``timeout_s`` (clamped by ``max_timeout_s``)
+        into the settings' resource limits."""
+        if requested is not None:
+            if isinstance(requested, bool) or not isinstance(requested, (int, float)):
+                raise ServiceError('"timeout_s" must be a number')
+            if requested <= 0:
+                raise ServiceError('"timeout_s" must be positive')
+            requested = float(requested)
+        timeout = requested
+        if timeout is None and settings.limits is not None:
+            timeout = settings.limits.timeout_s
+        if self.max_timeout_s is not None:
+            timeout = (self.max_timeout_s if timeout is None
+                       else min(timeout, self.max_timeout_s))
+        if timeout is None:
+            return settings
+        base = settings.limits if settings.limits is not None else ResourceLimits()
+        return settings.replace(limits=dataclasses.replace(base, timeout_s=timeout))
+
     def _settings_of(self, payload: Mapping[str, Any]) -> EvalSettings:
         raw = payload.get("settings")
         if raw is not None and not isinstance(raw, Mapping):
             raise ServiceError('"settings" must be an object of '
                                "EvalSettings fields")
         try:
+            if raw is not None and isinstance(raw.get("limits"), Mapping):
+                # JSON clients spell resource limits as a plain object.
+                raw = {**raw, "limits": ResourceLimits(**raw["limits"])}
             settings = coerce_settings(raw, self.session.settings)
             engine = payload.get("engine")
             if engine is not None:
@@ -439,6 +590,32 @@ class QueryService:
         except (TypeError, ValueError) as exc:
             raise ServiceError(f"bad settings: {exc}")
         return settings
+
+
+def _watch_disconnect(connection, token: CancelToken, stop: threading.Event,
+                      interval: float = 0.05) -> None:
+    """Cancel *token* when the client hangs up mid-evaluation.
+
+    Polls the request socket: readable with a zero-byte peek means the
+    peer closed, so the evaluation's result has no recipient and the
+    worker should be reclaimed.  Readable with pending bytes is a
+    pipelined request on the keep-alive connection — not a disconnect —
+    so the watcher stands down (it cannot keep distinguishing a later
+    hang-up without consuming those bytes).
+    """
+    while not stop.wait(interval):
+        try:
+            readable, _, _ = select.select([connection], [], [], 0)
+            if not readable:
+                continue
+            data = connection.recv(1, socket.MSG_PEEK)
+        except (OSError, ValueError):
+            token.cancel("client disconnected")
+            return
+        if data == b"":
+            token.cancel("client disconnected")
+            return
+        return  # pipelined bytes: leave them to the handler loop
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -515,14 +692,30 @@ class _Handler(BaseHTTPRequestHandler):
                 payload = json.loads(body or b"{}")
             except json.JSONDecodeError as exc:
                 raise ServiceError(f"invalid JSON body: {exc}")
-            response = handler(payload)
+            if self.path in ("/query", "/batch"):
+                # Watch the socket while evaluating: a client that hangs
+                # up mid-query gets its evaluation cancelled instead of
+                # holding a worker until the deadline.
+                token = CancelToken()
+                stop = threading.Event()
+                watcher = threading.Thread(
+                    target=_watch_disconnect,
+                    args=(self.connection, token, stop),
+                    name="repro-serve-disconnect", daemon=True)
+                watcher.start()
+                try:
+                    response = handler(payload, cancel_token=token)
+                finally:
+                    stop.set()
+            else:
+                response = handler(payload)
             status = 200
             if isinstance(response, Mapping):
                 engine = response.get("engine")
             self._respond(200, response)
         except ServiceError as exc:
             status = exc.status
-            self._respond(exc.status, {"ok": False, "error": str(exc)})
+            self._respond(exc.status, exc.payload(), headers=exc.headers)
         except Exception as exc:  # a bug, not a bad request — say so
             status = 500
             self._respond(500, {"ok": False,
@@ -530,19 +723,23 @@ class _Handler(BaseHTTPRequestHandler):
         finally:
             self._log_request(status, started, engine)
 
-    def _respond(self, status: int, payload: dict) -> None:
+    def _respond(self, status: int, payload: dict,
+                 headers: Mapping[str, str] | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self._send(status, "application/json", body)
+        self._send(status, "application/json", body, headers=headers)
 
     def _respond_text(self, status: int, text: str) -> None:
         # The Prometheus exposition content type (text format 0.0.4).
         self._send(status, "text/plain; version=0.0.4; charset=utf-8",
                    text.encode("utf-8"))
 
-    def _send(self, status: int, content_type: str, body: bytes) -> None:
+    def _send(self, status: int, content_type: str, body: bytes,
+              headers: Mapping[str, str] | None = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -558,31 +755,56 @@ class QueryServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, service: QueryService, verbose: bool = False):
+    #: How long (seconds) drain waits for workers to unwind *after*
+    #: cancelling the still-running queries through their tokens.
+    DRAIN_CANCEL_GRACE_S = 2.0
+
+    def __init__(self, address, service: QueryService, verbose: bool = False,
+                 drain_timeout: float = 10.0):
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
+        self.drain_timeout = drain_timeout
 
-    def graceful_shutdown(self, timeout: float = 10.0) -> bool:
+    def graceful_shutdown(self, timeout: float | None = None) -> bool:
         """Stop accepting, drain in-flight requests, close sockets.
 
-        Returns ``True`` when the drain completed inside *timeout*.
+        Waits up to *timeout* (default: the server's ``drain_timeout``)
+        for in-flight queries to finish naturally; whatever still runs
+        then is cancelled through its :class:`CancelToken` and given a
+        short bounded grace to unwind through the typed error.  Returns
+        ``True`` when the drain completed (naturally or via
+        cancellation).
         """
+        if timeout is None:
+            timeout = self.drain_timeout
         self.shutdown()            # stops the accept loop (thread-safe)
         deadline = time.monotonic() + timeout
         drained = self.service.stats.drained()
         while not drained and time.monotonic() < deadline:
             time.sleep(0.02)
             drained = self.service.stats.drained()
+        if not drained:
+            cancelled = self.service.cancel_inflight("server draining")
+            grace = time.monotonic() + self.DRAIN_CANCEL_GRACE_S
+            while not drained and time.monotonic() < grace:
+                time.sleep(0.02)
+                drained = self.service.stats.drained()
+            if not drained:
+                LOGGER.warning("drain timed out", extra={"fields": {
+                    "event": "drain_timeout", "cancelled": cancelled,
+                    "in_flight": self.service.stats.in_flight}})
         self.server_close()
         return drained
 
 
 def create_server(service: QueryService | None = None,
                   host: str = "127.0.0.1", port: int = 0,
-                  verbose: bool = False) -> QueryServer:
+                  verbose: bool = False,
+                  drain_timeout: float = 10.0) -> QueryServer:
     """A ready-to-run server (``port=0`` picks an ephemeral port)."""
-    return QueryServer((host, port), service or QueryService(), verbose=verbose)
+    return QueryServer((host, port), service or QueryService(), verbose=verbose,
+                       drain_timeout=drain_timeout)
 
 
 def serve(server: QueryServer) -> threading.Thread:
@@ -621,8 +843,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--slow-query-ms", type=float, default=None, metavar="MS",
                         help="log a WARNING record for queries slower than MS "
                              "milliseconds (default: disabled)")
+    parser.add_argument("--max-concurrency", type=int, default=None, metavar="N",
+                        help="admit at most N concurrent queries; beyond that "
+                             "requests are rejected immediately with "
+                             "503 + Retry-After (default: unlimited)")
+    parser.add_argument("--max-timeout", type=float, default=None, metavar="SECONDS",
+                        help="server-wide ceiling on per-request timeout_s; "
+                             "requests asking for more (or for no deadline) "
+                             "are clamped to it (default: no ceiling)")
+    parser.add_argument("--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+                        help="how long graceful shutdown waits for in-flight "
+                             "queries before cancelling them (default: 10)")
     arguments = parser.parse_args(argv)
     configure_logging(verbose=arguments.verbose, log_json=arguments.log_json)
+    if arguments.max_concurrency is not None and arguments.max_concurrency < 1:
+        parser.error("--max-concurrency must be at least 1")
+
+    fault_plan = faults.plan_from_env()
+    if fault_plan is not None:
+        # Chaos drills: REPRO_FAULTS="sqlite-execute:error=oops,probability=0.1"
+        faults.activate(fault_plan)
+        print("repro-serve: fault injection armed from REPRO_FAULTS",
+              file=sys.stderr)
 
     session = Session(settings=EvalSettings(engine=arguments.engine),
                       id_attributes=tuple(arguments.id_attribute),
@@ -636,9 +878,12 @@ def main(argv: list[str] | None = None) -> int:
             uri, parse_xml_file(path, id_attributes=tuple(arguments.id_attribute)))
 
     service = QueryService(session=session,
-                           slow_query_ms=arguments.slow_query_ms)
+                           slow_query_ms=arguments.slow_query_ms,
+                           max_concurrency=arguments.max_concurrency,
+                           max_timeout_s=arguments.max_timeout)
     server = create_server(service, host=arguments.host, port=arguments.port,
-                           verbose=arguments.verbose)
+                           verbose=arguments.verbose,
+                           drain_timeout=arguments.drain_timeout)
     host, port = server.server_address[:2]
     print(f"repro-serve: listening on http://{host}:{port} "
           f"(docs: {session.document_uris() or 'none'}, "
@@ -657,10 +902,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         server.serve_forever()
     finally:
-        deadline = time.monotonic() + 10.0
-        while not service.stats.drained() and time.monotonic() < deadline:
-            time.sleep(0.02)
-        server.server_close()
+        # serve_forever already returned, so shutdown() inside
+        # graceful_shutdown is an immediate no-op; what remains is the
+        # bounded drain, the cancel-stragglers pass and the close.
+        server.graceful_shutdown(arguments.drain_timeout)
         session.close()
         final = service.stats.snapshot()
         print(f"repro-serve: stopped "

@@ -38,8 +38,10 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro import faults as faults_module
 from repro import plancache
 from repro.fixpoint.stats import StatisticsCollector
+from repro.limits import CancelToken, Governor, ResourceLimits
 from repro.observability.tracing import Span, TraceContext, maybe_span
 from repro.settings import Engine, EvalSettings, coerce_settings
 from repro.xdm.node import DocumentNode
@@ -120,6 +122,11 @@ class Session:
         :class:`~repro.sqlbackend.pool.SqlStorePool`).
     sql_store_dir:
         Directory for ``"wal"`` store files (default: a private tempdir).
+    faults:
+        Optional fault-injection plan (:class:`repro.faults.FaultPlan` or a
+        ``REPRO_FAULTS``-syntax string) activated process-wide for the
+        session's lifetime and deactivated on :meth:`close`.  Chaos-testing
+        hook; see :mod:`repro.faults`.
     """
 
     def __init__(self,
@@ -131,7 +138,8 @@ class Session:
                  module_cache_size: int = 256,
                  plan_cache_size: int = 64,
                  sql_store: str = "memory",
-                 sql_store_dir: str | None = None):
+                 sql_store_dir: str | None = None,
+                 faults: "faults_module.FaultPlan | str | None" = None):
         from repro.sqlbackend.pool import SqlStorePool
 
         if settings is not None and options is not None:
@@ -151,6 +159,12 @@ class Session:
         #: runs, its kernel hits simply land in the active snapshot).
         self._profile_lock = threading.Lock()
         self._closed = False
+        self._fault_plan: faults_module.FaultPlan | None = None
+        if faults is not None:
+            plan = (faults if isinstance(faults, faults_module.FaultPlan)
+                    else faults_module.parse_plan(faults))
+            self._fault_plan = plan
+            faults_module.activate(plan)
         for uri, doc in (documents or {}).items():
             self.register_document(uri, doc)
 
@@ -224,6 +238,7 @@ class Session:
                  context_item: Any = None,
                  settings: EvalSettings | Mapping[str, Any] | None = None,
                  id_attributes: Iterable[str] | None = None,
+                 cancel_token: CancelToken | None = None,
                  **overrides: Any) -> QueryResult:
         """Parse (through the module cache) and evaluate *query*.
 
@@ -231,6 +246,8 @@ class Session:
         *overrides* are :class:`EvalSettings` field names applied on top of
         ``settings`` (which itself defaults to the session settings), e.g.
         ``session.evaluate(q, engine="sql", use_index=False)``.
+        ``cancel_token`` lets another thread stop the evaluation
+        cooperatively (:class:`~repro.limits.CancelToken`).
         """
         settings = self._resolve_settings(settings, overrides)
         trace = (TraceContext("query", engine=str(settings.engine.value))
@@ -238,7 +255,7 @@ class Session:
         module = self._module_for(query, settings, trace)
         return self._evaluate(module, documents, variables, context_item,
                               settings, id_attributes, pre_optimized=True,
-                              trace=trace)
+                              trace=trace, cancel_token=cancel_token)
 
     def evaluate_query(self, module: ast.Module,
                        documents=None,
@@ -246,6 +263,7 @@ class Session:
                        context_item: Any = None,
                        settings: EvalSettings | Mapping[str, Any] | None = None,
                        id_attributes: Iterable[str] | None = None,
+                       cancel_token: CancelToken | None = None,
                        **overrides: Any) -> QueryResult:
         """Evaluate an already-parsed module (see :meth:`evaluate`).
 
@@ -255,7 +273,8 @@ class Session:
         """
         settings = self._resolve_settings(settings, overrides)
         return self._evaluate(module, documents, variables, context_item,
-                              settings, id_attributes, pre_optimized=False)
+                              settings, id_attributes, pre_optimized=False,
+                              cancel_token=cancel_token)
 
     def prepare(self, query: str,
                 settings: EvalSettings | Mapping[str, Any] | None = None,
@@ -301,14 +320,16 @@ class Session:
 
     def _evaluate(self, module: ast.Module, documents, variables, context_item,
                   settings: EvalSettings, id_attributes,
-                  pre_optimized: bool, trace: TraceContext | None = None) -> QueryResult:
+                  pre_optimized: bool, trace: TraceContext | None = None,
+                  cancel_token: CancelToken | None = None) -> QueryResult:
         if settings.trace and trace is None:
             # evaluate_query()/PreparedQuery.run() land here without a
             # context (no parse phase to cover) — open the root now.
             trace = TraceContext("query", engine=str(settings.engine.value))
         if not settings.profile and trace is None:
             return self._evaluate_inner(module, documents, variables, context_item,
-                                        settings, id_attributes, pre_optimized, None)
+                                        settings, id_attributes, pre_optimized, None,
+                                        cancel_token=cancel_token)
 
         from repro.xquery.pushdown import PROFILE
 
@@ -324,7 +345,7 @@ class Session:
                 result = self._evaluate_inner(
                     module, documents, variables, context_item,
                     settings.replace(profile=False), id_attributes,
-                    pre_optimized, trace)
+                    pre_optimized, trace, cancel_token=cancel_token)
             finally:
                 PROFILE.enabled = False
             counters = PROFILE.snapshot()
@@ -340,7 +361,8 @@ class Session:
 
     def _evaluate_inner(self, module: ast.Module, documents, variables, context_item,
                         settings: EvalSettings, id_attributes,
-                        pre_optimized: bool, trace: TraceContext | None) -> QueryResult:
+                        pre_optimized: bool, trace: TraceContext | None,
+                        cancel_token: CancelToken | None = None) -> QueryResult:
         plan_cacheable = pre_optimized or not settings.optimize
         if settings.optimize and not pre_optimized:
             with maybe_span(trace, "optimize"):
@@ -357,6 +379,14 @@ class Session:
             # Swap the live context in over the boolean that to_options()
             # copied (see EvaluationOptions.trace).
             options.trace = trace
+        governor = None
+        if settings.limits is not None or cancel_token is not None:
+            # Same swap pattern as trace: to_options() seeded the field
+            # with the frozen ResourceLimits; the live Governor (deadline
+            # started here, so compile time counts) replaces it.
+            governor = Governor(settings.limits or ResourceLimits(),
+                                token=cancel_token)
+            options.limits = governor
         context = DynamicContext(
             static=StaticContext(options=options),
             documents=resolver,
@@ -385,12 +415,14 @@ class Session:
                 return QueryResult(items=items, statistics=statistics)
 
             return self._evaluate_algebra(module, resolver, variables, statistics,
-                                          settings, plan_cacheable, trace)
+                                          settings, plan_cacheable, trace,
+                                          governor=governor)
 
     def _evaluate_algebra(self, module: ast.Module, resolver: DocumentResolver,
                           variables, statistics, settings: EvalSettings,
                           plan_cacheable: bool,
-                          trace: TraceContext | None = None) -> QueryResult:
+                          trace: TraceContext | None = None,
+                          governor: Governor | None = None) -> QueryResult:
         """Compile (or fetch) and run the algebra plan of *module*."""
         from repro.algebra.compiler import AlgebraCompiler
         from repro.algebra.evaluator import AlgebraEvaluator
@@ -453,7 +485,7 @@ class Session:
             trace.end(compile_span)
         algebra_engine = AlgebraEvaluator(backend=settings.backend,
                                           use_index=settings.use_index,
-                                          trace=trace)
+                                          trace=trace, governor=governor)
         with maybe_span(trace, "execute"):
             table = algebra_engine.evaluate_plan(plan)
         with maybe_span(trace, "decode", rows=len(table)):
@@ -492,6 +524,9 @@ class Session:
         if self._closed:
             return
         self._closed = True
+        if (self._fault_plan is not None
+                and faults_module.active_plan() is self._fault_plan):
+            faults_module.activate(None)
         self._sql_pool.close()
         self.clear_caches()
 
@@ -521,13 +556,15 @@ class PreparedQuery:
             variables: Mapping[str, Sequence[Any] | Any] | None = None,
             context_item: Any = None,
             settings: EvalSettings | Mapping[str, Any] | None = None,
+            cancel_token: CancelToken | None = None,
             **overrides: Any) -> QueryResult:
         resolved = coerce_settings(settings, self.settings)
         if overrides:
             resolved = resolved.replace(**overrides)
         return self.session._evaluate(self.module, documents, variables,
                                       context_item, resolved, None,
-                                      pre_optimized=True)
+                                      pre_optimized=True,
+                                      cancel_token=cancel_token)
 
     __call__ = run
 

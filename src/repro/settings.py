@@ -27,7 +27,9 @@ import dataclasses
 import warnings
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Mapping
+from typing import Any, Mapping, Optional
+
+from repro.limits import ResourceLimits
 
 
 class Engine(str, Enum):
@@ -88,6 +90,13 @@ class EvalSettings:
         :class:`~repro.xquery.context.EvaluationOptions`.
     collect_statistics:
         Record per-IFP iteration traces (nodes fed back, depth).
+    limits:
+        :class:`~repro.limits.ResourceLimits` governing the evaluation
+        (wall-clock deadline, fixpoint round/frontier/result budgets) or
+        ``None`` for unlimited.  The session builds the live
+        :class:`~repro.limits.Governor` from it (plus any per-call
+        ``cancel_token``) and swaps it into ``options.limits`` — the same
+        pattern as ``trace``.
     """
 
     ifp_algorithm: str = "auto"
@@ -103,6 +112,7 @@ class EvalSettings:
     max_ifp_iterations: int = 100_000
     max_recursion_depth: int = 500
     collect_statistics: bool = True
+    limits: Optional[ResourceLimits] = None
 
     def __post_init__(self):
         # Coerce engine strings ("sql") into the enum so equality/hashing
@@ -131,6 +141,7 @@ class EvalSettings:
             use_pushdown=self.use_pushdown,
             collect_statistics=self.collect_statistics,
             trace=self.trace,
+            limits=self.limits,
         )
 
     def plan_key(self, resolved_backend: str) -> "EvalSettings":

@@ -30,10 +30,13 @@ through this executor — the ``engine="sql"`` entry point of
 from __future__ import annotations
 
 import itertools
+import sqlite3
 from typing import Callable, Optional
 
-from repro.errors import FixpointError
+from repro import faults
+from repro.errors import FixpointError, SqlBackendError
 from repro.fixpoint.engine import FixpointResult
+from repro.limits import active_governor, sqlite_guard
 from repro.observability import active_trace, maybe_span
 from repro.xdm.node import AttributeNode
 from repro.fixpoint.stats import FixpointStatistics
@@ -79,7 +82,7 @@ class SqlFixpointExecutor:
             max_iterations: int = 100_000,
             variables: dict | None = None,
             push_predicates: bool = True,
-            trace=None) -> FixpointResult:
+            trace=None, governor=None) -> FixpointResult:
         """Evaluate the fixpoint of *expr* seeded by *seed*.
 
         ``algorithm`` is the decision of the usual Naive/Delta procedure
@@ -91,10 +94,16 @@ class SqlFixpointExecutor:
         mirrors the engine's ``use_pushdown`` option.  ``trace`` (a
         :class:`~repro.observability.tracing.TraceContext`) wraps the run
         in a ``fixpoint`` span whose ``path`` attribute records whether the
-        CTE or the driver loop executed it.
+        CTE or the driver loop executed it.  ``governor`` (a
+        :class:`~repro.limits.Governor`) makes the run interruptible: the
+        driver loop checks at round boundaries, and both paths install a
+        SQLite progress handler (:func:`repro.limits.sqlite_guard`) so a
+        single monster ``WITH RECURSIVE`` honours deadlines too.
         """
         seed_nodes = ensure_node_sequence(list(seed), "inflationary fixed point seed")
-        seed_pres = self.store.encode(seed_nodes)
+        # encode() may shred a large unseen document on demand; the
+        # governor makes that walk interruptible too.
+        seed_pres = self.store.encode(seed_nodes, governor=governor)
         emitted = None
         if algorithm == "delta" and not any(
                 isinstance(node, AttributeNode) for node in seed_nodes):
@@ -112,11 +121,22 @@ class SqlFixpointExecutor:
                             seed=len(seed_nodes))
                 if trace is not None else None)
         try:
-            if use_cte:
-                result = self._run_cte(emitted, seed_pres, trace=trace)
-            else:
-                result = self._run_driver_loop(seed_nodes, seed_pres, body, algorithm,
-                                               max_iterations, trace=trace)
+            # sqlite_guard sits innermost so it can translate an interrupted
+            # statement into the governor's typed error before the generic
+            # sqlite3.Error → SqlBackendError mapping sees it.
+            try:
+                faults.trigger("sqlite-execute")
+                with sqlite_guard(self.store.connection, governor):
+                    if use_cte:
+                        result = self._run_cte(emitted, seed_pres, trace=trace)
+                    else:
+                        result = self._run_driver_loop(
+                            seed_nodes, seed_pres, body, algorithm,
+                            max_iterations, trace=trace, governor=governor)
+            except sqlite3.Error as error:
+                raise SqlBackendError(
+                    f"SQLite error during fixpoint execution: {error}"
+                ) from error
         finally:
             if span is not None:
                 trace.end(span)
@@ -174,7 +194,7 @@ class SqlFixpointExecutor:
     def _run_driver_loop(self, seed_nodes: list, seed_pres: list[int],
                          body: Callable[[list], list],
                          algorithm: str, max_iterations: int,
-                         trace=None) -> FixpointResult:
+                         trace=None, governor=None) -> FixpointResult:
         connection = self.store.connection
         run_id = next(self._run_ids)
         result_table = f"fix_result_{run_id}"
@@ -183,7 +203,8 @@ class SqlFixpointExecutor:
         connection.execute(f"CREATE TEMP TABLE {produced_table} (pre INTEGER)")
         statistics = FixpointStatistics(algorithm=algorithm)
         try:
-            apply_body = self._body_application(body, produced_table)
+            apply_body = self._body_application(body, produced_table,
+                                                governor=governor)
 
             # Round 0: res_0 = e_rec(e_seed) (Definition 2.1).  The seed is
             # fed in its original sequence order — the interpreter does the
@@ -210,6 +231,10 @@ class SqlFixpointExecutor:
                         f"inflationary fixed point did not converge within "
                         f"{max_iterations} iterations"
                     )
+                if governor is not None:
+                    governor.check_round(iteration, frontier=len(delta_pres),
+                                         result_size=result_size)
+                faults.trigger("slow-span")
                 if algorithm == "delta":
                     feed_pres = delta_pres
                 else:
@@ -237,14 +262,16 @@ class SqlFixpointExecutor:
             connection.execute(f"DROP TABLE IF EXISTS {result_table}")
             connection.execute(f"DROP TABLE IF EXISTS {produced_table}")
 
-    def _body_application(self, body: Callable[[list], list], produced_table: str):
+    def _body_application(self, body: Callable[[list], list],
+                          produced_table: str, governor=None):
         """Build the round worker: body over nodes, produced rows into SQL."""
 
         def apply_body(feed_nodes: list) -> int:
             produced = body(list(feed_nodes))
             produced_nodes = ensure_node_sequence(
                 produced, "inflationary fixed point body result")
-            produced_pres = self.store.encode(produced_nodes)
+            produced_pres = self.store.encode(produced_nodes,
+                                              governor=governor)
             connection = self.store.connection
             connection.execute(f"DELETE FROM {produced_table}")
             connection.executemany(
@@ -301,6 +328,7 @@ class SQLEvaluator(Evaluator):
             variables=context.variables,
             push_predicates=context.options.use_pushdown,
             trace=active_trace(context.options.trace),
+            governor=active_governor(context.options.limits),
         )
         if context.statistics is not None and hasattr(context.statistics, "record_ifp"):
             context.statistics.record_ifp(result.statistics)

@@ -19,6 +19,7 @@ import itertools
 import sqlite3
 from typing import Iterable
 
+from repro import faults
 from repro.errors import SqlBackendError
 from repro.sqlbackend.schema import create_schema
 from repro.xdm.node import DocumentNode, ElementNode, Node, TextNode
@@ -58,11 +59,15 @@ class SqlDocumentStore:
 
     # -- shredding -----------------------------------------------------------
 
-    def shred(self, root: Node, uri: str | None = None) -> int:
+    def shred(self, root: Node, uri: str | None = None,
+              governor=None) -> int:
         """Shred the tree rooted at *root*; return its ``doc_id``.
 
         Shredding the same root twice is a no-op returning the original
-        ``doc_id``.
+        ``doc_id``.  When a *governor* is given, the walk checkpoints it
+        (amortized) so a deadline or cancellation interrupts a large
+        shred mid-walk; the failure path below rolls the store back to
+        its pre-shred state.
         """
         existing = self._doc_of_root.get(id(root))
         if existing is not None:
@@ -72,7 +77,13 @@ class SqlDocumentStore:
                                   f"(got a node with a parent: {root!r})")
         cursor = self.connection.execute("INSERT INTO doc (uri) VALUES (?)", (uri,))
         doc_id = cursor.lastrowid
-        self._doc_of_root[id(root)] = doc_id
+
+        # The node↔pre mappings are staged locally and merged into the
+        # store's dicts only after the bulk insert commits: a failure
+        # mid-load (I/O error, injected fault) must leave the store exactly
+        # as it was, never with mappings that denote uninserted rows.
+        local_pre: dict[int, int] = {}
+        local_node: dict[int, Node] = {}
 
         # node_rows entries are mutable: post (index 1) and the string value
         # (index 7) of container nodes are only known at subtree exit.  Text
@@ -86,18 +97,67 @@ class SqlDocumentStore:
         row_index: dict[int, int] = {}      # pre -> index into node_rows
         chunk_start: dict[int, int] = {}    # pre -> len(chunks) at entry
         stack: list[tuple[str, Node, int | None, int]] = [("enter", root, None, 0)]
+        try:
+            self._shred_walk(root, doc_id, local_pre, local_node, node_rows,
+                             attr_rows, chunks, row_index, chunk_start, stack,
+                             governor=governor)
+
+            id_rows: list[tuple] = []
+            if isinstance(root, DocumentNode):
+                for value in root.id_values():
+                    element = root.lookup_id(value)
+                    if element is not None:
+                        id_rows.append((doc_id, value, local_pre[id(element)]))
+
+            with self.connection:
+                self.connection.executemany(
+                    "INSERT INTO node (pre, post, doc_id, parent, level, kind, name, value) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)", node_rows)
+                self.connection.executemany(
+                    "INSERT INTO attr (pre, doc_id, owner, name, value, is_id) "
+                    "VALUES (?, ?, ?, ?, ?, ?)", attr_rows)
+                self.connection.executemany(
+                    "INSERT INTO id_attr (doc_id, value, pre) VALUES (?, ?, ?)", id_rows)
+        except BaseException:
+            # Abort the implicit transaction holding the doc row (walk-time
+            # failures happen before the `with self.connection` block, whose
+            # own rollback only covers the bulk inserts).
+            self.connection.rollback()
+            raise
+        self._pre_of.update(local_pre)
+        self._node_of.update(local_node)
+        self._doc_of_root[id(root)] = doc_id
+        # Refresh planner statistics: without them SQLite may drive child
+        # steps through the name index (scanning every element of that name
+        # per recursive round) instead of the (parent, name) index.  Trees
+        # below the threshold skip the refresh — driver-loop bodies that
+        # construct small subtrees shred them every round, and a full-store
+        # ANALYZE per round would dwarf the actual work.
+        if len(node_rows) >= self.ANALYZE_THRESHOLD:
+            self.connection.execute("ANALYZE")
+        return doc_id
+
+    def _shred_walk(self, root: Node, doc_id: int,
+                    local_pre: dict[int, int], local_node: dict[int, Node],
+                    node_rows: list[list], attr_rows: list[tuple],
+                    chunks: list[str], row_index: dict[int, int],
+                    chunk_start: dict[int, int], stack: list,
+                    governor=None) -> None:
         while stack:
             action, node, parent_pre, level = stack.pop()
             if action == "exit":
-                pre = self._pre_of[id(node)]
+                pre = local_pre[id(node)]
                 row = node_rows[row_index[pre]]
                 row[1] = next(self._counter)
                 if row[7] is None:
                     row[7] = "".join(chunks[chunk_start[pre]:])
                 continue
+            if governor is not None and governor.tick():
+                governor.check_now()
+            faults.trigger("shredder-load")
             pre = next(self._counter)
-            self._pre_of[id(node)] = pre
-            self._node_of[pre] = node
+            local_pre[id(node)] = pre
+            local_node[pre] = node
             if node.children:
                 value = None                       # filled at exit
                 chunk_start[pre] = len(chunks)
@@ -114,50 +174,30 @@ class SqlDocumentStore:
             if isinstance(node, ElementNode):
                 for attribute in node.attributes:
                     attr_pre = next(self._counter)
-                    self._pre_of[id(attribute)] = attr_pre
-                    self._node_of[attr_pre] = attribute
+                    local_pre[id(attribute)] = attr_pre
+                    local_node[attr_pre] = attribute
                     attr_rows.append((attr_pre, doc_id, pre, attribute.name,
                                       attribute.value, int(attribute.is_id)))
             stack.append(("exit", node, parent_pre, level))
             for child in reversed(node.children):
                 stack.append(("enter", child, pre, level + 1))
 
-        id_rows: list[tuple] = []
-        if isinstance(root, DocumentNode):
-            for value in root.id_values():
-                element = root.lookup_id(value)
-                if element is not None:
-                    id_rows.append((doc_id, value, self._pre_of[id(element)]))
-
-        with self.connection:
-            self.connection.executemany(
-                "INSERT INTO node (pre, post, doc_id, parent, level, kind, name, value) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)", node_rows)
-            self.connection.executemany(
-                "INSERT INTO attr (pre, doc_id, owner, name, value, is_id) "
-                "VALUES (?, ?, ?, ?, ?, ?)", attr_rows)
-            self.connection.executemany(
-                "INSERT INTO id_attr (doc_id, value, pre) VALUES (?, ?, ?)", id_rows)
-        # Refresh planner statistics: without them SQLite may drive child
-        # steps through the name index (scanning every element of that name
-        # per recursive round) instead of the (parent, name) index.  Trees
-        # below the threshold skip the refresh — driver-loop bodies that
-        # construct small subtrees shred them every round, and a full-store
-        # ANALYZE per round would dwarf the actual work.
-        if len(node_rows) >= self.ANALYZE_THRESHOLD:
-            self.connection.execute("ANALYZE")
-        return doc_id
-
     # -- encode / decode -----------------------------------------------------
 
-    def encode(self, nodes: Iterable[Node]) -> list[int]:
-        """Map nodes to ``pre`` ranks, shredding unseen trees on demand."""
+    def encode(self, nodes: Iterable[Node],
+               governor=None) -> list[int]:
+        """Map nodes to ``pre`` ranks, shredding unseen trees on demand.
+
+        *governor* (a :class:`~repro.limits.Governor`) makes an on-demand
+        shred of a large unseen tree interruptible — without it a cold
+        shred would run to completion before the deadline could fire.
+        """
         pres: list[int] = []
         for node in nodes:
             key = id(node)
             pre = self._pre_of.get(key)
             if pre is None:
-                self.shred(node.root())
+                self.shred(node.root(), governor=governor)
                 pre = self._pre_of.get(key)
                 if pre is None:  # pragma: no cover - defensive
                     raise SqlBackendError(f"node {node!r} is unreachable from its root")

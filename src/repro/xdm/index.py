@@ -39,6 +39,7 @@ from collections import OrderedDict
 from threading import RLock
 from typing import Optional
 
+from repro import faults
 from repro.observability.tracing import current_trace
 from repro.xdm import node as _node_module
 from repro.xdm.node import (
@@ -496,6 +497,7 @@ def index_for(node: Node, build: bool = True) -> Optional[StructuralIndex]:
             return entry[1]
     if not build:
         return None
+    faults.trigger("index-build")
     trace = current_trace()
     if trace is not None:
         with trace.span("index-build") as span:

@@ -56,6 +56,12 @@ class EvaluationOptions:
         :meth:`~repro.settings.EvalSettings.to_options` seeds the field
         with the settings *boolean* before the session swaps the live
         context in.
+    limits:
+        The live :class:`~repro.limits.Governor` of a governed evaluation
+        (``None`` or a frozen :class:`~repro.limits.ResourceLimits`
+        otherwise — same swap pattern as ``trace``).  Engines and fixpoint
+        drivers normalize through :func:`repro.limits.active_governor` and
+        call its cooperative checkpoints.
     """
 
     ifp_algorithm: str = "auto"
@@ -66,6 +72,7 @@ class EvaluationOptions:
     use_index: bool = True
     use_pushdown: bool = True
     trace: Any = None
+    limits: Any = None
 
 
 @dataclass

@@ -15,9 +15,13 @@ the paper describe.
 
 from __future__ import annotations
 
+import sys
+import threading
+from contextlib import contextmanager
 from typing import Any, Callable, Optional
 
 from repro.errors import XQueryDynamicError, XQueryStaticError, XQueryTypeError
+from repro.limits import active_governor
 from repro.xdm.comparison import atomic_equal, atomic_less_than
 from repro.xdm.document import copy_node
 from repro.xdm.index import batch_step, indexed_step
@@ -60,20 +64,53 @@ Sequence = list
 #: count along the axis (e.g. ``ancestor::*[1]`` is the parent).
 REVERSE_AXES = {"ancestor", "ancestor-or-self", "parent", "preceding", "preceding-sibling"}
 
+#: Python stack headroom: the engine's own recursion-depth bound (on
+#: user-defined function calls) is what limits recursion, so the Python
+#: interpreter limit is raised high enough never to fire first — but only
+#: for the duration of an evaluation, and restored afterwards, so embedding
+#: applications are not silently reconfigured.
+PYTHON_RECURSION_LIMIT = 100_000
+
+_RECURSION_LOCK = threading.Lock()
+_RECURSION_HOLDERS = 0
+_RECURSION_SAVED: int | None = None
+
+
+@contextmanager
+def recursion_headroom(limit: int = PYTHON_RECURSION_LIMIT):
+    """Temporarily raise the Python recursion limit to *limit*.
+
+    Ref-counted across threads: the first holder saves the process limit
+    and raises it, the last one restores the saved value — unless someone
+    else changed the limit in between, in which case their value wins and
+    we leave it alone.  A no-op when the process limit is already high
+    enough.
+    """
+    global _RECURSION_HOLDERS, _RECURSION_SAVED
+    with _RECURSION_LOCK:
+        if _RECURSION_HOLDERS == 0 and sys.getrecursionlimit() < limit:
+            _RECURSION_SAVED = sys.getrecursionlimit()
+            sys.setrecursionlimit(limit)
+        _RECURSION_HOLDERS += 1
+    try:
+        yield
+    finally:
+        with _RECURSION_LOCK:
+            _RECURSION_HOLDERS -= 1
+            if _RECURSION_HOLDERS == 0 and _RECURSION_SAVED is not None:
+                if sys.getrecursionlimit() == limit:
+                    sys.setrecursionlimit(_RECURSION_SAVED)
+                _RECURSION_SAVED = None
+
 
 class Evaluator:
     """Evaluates parsed queries against a dynamic context."""
 
-    #: Python stack headroom: the engine's own recursion-depth bound (on
-    #: user-defined function calls) is what limits recursion, so the Python
-    #: interpreter limit is raised high enough never to fire first.
-    PYTHON_RECURSION_LIMIT = 100_000
+    #: Kept as a class attribute for backwards compatibility with callers
+    #: that read the old knob; the module-level constant is authoritative.
+    PYTHON_RECURSION_LIMIT = PYTHON_RECURSION_LIMIT
 
     def __init__(self):
-        import sys
-
-        if sys.getrecursionlimit() < self.PYTHON_RECURSION_LIMIT:
-            sys.setrecursionlimit(self.PYTHON_RECURSION_LIMIT)
         self._dispatch: dict[type, Callable[[Any, DynamicContext], Sequence]] = {
             ast.Literal: self._eval_literal,
             ast.EmptySequence: lambda e, c: [],
@@ -113,20 +150,21 @@ class Evaluator:
 
     def evaluate_module(self, module: ast.Module, context: DynamicContext) -> Sequence:
         """Evaluate a complete query module (prolog + body)."""
-        static = context.static
-        for function in module.functions:
-            static.functions[(function.name, function.arity)] = function
-        for declaration in module.variables:
-            if declaration.external:
-                if declaration.name not in context.variables:
-                    raise XQueryDynamicError(
-                        f"external variable ${declaration.name} was not provided",
-                        code="XPDY0002",
-                    )
-                continue
-            value = self.evaluate(declaration.value, context)
-            context = context.bind(declaration.name, value)
-        return self.evaluate(module.body, context)
+        with recursion_headroom():
+            static = context.static
+            for function in module.functions:
+                static.functions[(function.name, function.arity)] = function
+            for declaration in module.variables:
+                if declaration.external:
+                    if declaration.name not in context.variables:
+                        raise XQueryDynamicError(
+                            f"external variable ${declaration.name} was not provided",
+                            code="XPDY0002",
+                        )
+                    continue
+                value = self.evaluate(declaration.value, context)
+                context = context.bind(declaration.name, value)
+            return self.evaluate(module.body, context)
 
     def evaluate(self, expr: ast.Expr, context: DynamicContext) -> Sequence:
         """Evaluate a single expression."""
@@ -315,8 +353,13 @@ class Evaluator:
 
     def _eval_for(self, expr: ast.ForExpr, context: DynamicContext) -> Sequence:
         sequence = self.evaluate(expr.sequence, context)
+        governor = active_governor(context.options.limits)
         result: Sequence = []
         for position, item in enumerate(sequence, start=1):
+            # Inline amortized checkpoint: tick() is a C-level stride
+            # counter, so the common case costs one slot read + one call.
+            if governor is not None and governor.tick():
+                governor.check_now()
             bound = context.bind(expr.var, [item])
             if expr.position_var:
                 bound = bound.bind(expr.position_var, [position])
@@ -370,7 +413,8 @@ class Evaluator:
         )
         algorithm = self._choose_ifp_algorithm(expr, context)
         result = engine.run(body, seed, algorithm=algorithm,
-                            trace=active_trace(context.options.trace))
+                            trace=active_trace(context.options.trace),
+                            governor=active_governor(context.options.limits))
         if context.statistics is not None and hasattr(context.statistics, "record_ifp"):
             context.statistics.record_ifp(result.statistics)
         return list(result.value)
@@ -404,6 +448,12 @@ class Evaluator:
     # ------------------------------------------------------------------ paths
 
     def _eval_path(self, expr: ast.PathExpr, context: DynamicContext) -> Sequence:
+        # Deliberately no governance checkpoint here: path evaluation is
+        # bounded by document size, and this is the hottest dispatch in the
+        # interpreter — a per-path-expression check costs ~3% on fixpoint
+        # workloads (benchmarks/check_limits_overhead.py).  Unbounded work
+        # always flows through a fixpoint round, a FLWOR iteration or a
+        # user-function call, all of which do checkpoint.
         left = self.evaluate(expr.left, context)
         # Vectorized fast path: an axis step applied to a whole node column
         # is one batch kernel call (dedup + document order included),
@@ -621,6 +671,9 @@ class Evaluator:
 
     def _call_user_function(self, declaration: ast.FunctionDecl, args: list[Sequence],
                             context: DynamicContext) -> Sequence:
+        governor = active_governor(context.options.limits)
+        if governor is not None and governor.tick():
+            governor.check_now()
         call_context = context.enter_function().without_focus()
         bindings = {param.name: arg for param, arg in zip(declaration.params, args)}
         call_context = call_context.bind_many(bindings)

@@ -12,6 +12,9 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+from repro import faults
+from repro.errors import GovernanceError, InjectedFault, ReproError
+from repro.limits import CancelToken, ResourceLimits
 from repro.observability import Span
 from repro.plancache import LRUCache
 from repro.service import QueryService
@@ -196,6 +199,95 @@ class TestConcurrentEvaluate:
                                          "children"}
 
             _run_in_threads(worker)
+
+    def test_chaos_hammer_with_faults_timeouts_and_cancellation(self):
+        """PR 8's governance chaos drill: N threads × mixed engines with
+        injected faults, tiny deadlines and mid-flight cancellations must
+        leave every shared structure consistent.
+
+        Each worker mixes four behaviours, picked deterministically from
+        its (thread, round) coordinates: clean queries (result checked),
+        queries under an impossible deadline, queries with a raising
+        fault armed, and queries cancelled via a pre-fired token.  After
+        the storm the caches, generation stamps and the SQLite store pool
+        must serve item-identical results on all three engines.
+        """
+        with Session(documents={"curriculum.xml": CURRICULUM_XML},
+                     id_attributes=("code",)) as session:
+            engines = ["interpreter", "algebra", "sql"]
+            plan = faults.FaultPlan([
+                # Every ~7th fixpoint round raises; every other one of the
+                # remaining behaviours exercises deadlines/cancellation.
+                faults.FaultSpec(point="slow-span", probability=1 / 7),
+            ])
+            outcomes = {"ok": 0, "fault": 0, "governed": 0}
+            tally = threading.Lock()
+
+            def worker(index: int) -> None:
+                for round_number in range(ROUNDS):
+                    query, expected = self.QUERIES[
+                        (index + round_number) % len(self.QUERIES)]
+                    engine = engines[(index + round_number) % len(engines)]
+                    mode = (index * 31 + round_number) % 4
+                    try:
+                        if mode == 3:
+                            token = CancelToken()
+                            token.cancel("chaos")
+                            session.evaluate(query, engine=engine,
+                                             cancel_token=token)
+                        elif mode == 2:
+                            session.evaluate(
+                                query, engine=engine, ifp_algorithm="naive",
+                                settings=EvalSettings(
+                                    engine=engine, ifp_algorithm="naive",
+                                    limits=ResourceLimits(
+                                        max_fixpoint_rounds=1)))
+                        else:
+                            result = session.evaluate(query, engine=engine)
+                            got = (course_codes(result.items)
+                                   if expected and isinstance(expected[0], str)
+                                   else result.items)
+                            assert got == expected, (query, engine)
+                            with tally:
+                                outcomes["ok"] += 1
+                    except InjectedFault:
+                        with tally:
+                            outcomes["fault"] += 1
+                    except GovernanceError:
+                        with tally:
+                            outcomes["governed"] += 1
+                    except ReproError:
+                        # Injected round faults may also surface through
+                        # engine-specific wrappers; typed is what matters.
+                        with tally:
+                            outcomes["fault"] += 1
+
+            previous = faults.activate(plan)
+            try:
+                _run_in_threads(worker)
+            finally:
+                faults.activate(previous)
+
+            assert outcomes["ok"] > 0
+            assert outcomes["governed"] > 0
+            # Aftermath: with the chaos disarmed, every engine answers
+            # every query correctly from the same warm session.
+            for query, expected in self.QUERIES:
+                reference = None
+                for engine in engines:
+                    result = session.evaluate(query, engine=engine)
+                    got = (course_codes(result.items)
+                           if expected and isinstance(expected[0], str)
+                           else result.items)
+                    assert got == expected, (query, engine)
+                    if reference is None:
+                        reference = got
+                    assert got == reference
+            # The pool never leaked a store and the counters stayed sane.
+            pool = session.stats()["sql_pool"]
+            assert pool["live_stores"] <= THREADS + 1
+            module = session.cache_stats()["module"]
+            assert module["size"] <= len(self.QUERIES)
 
     def test_prepared_query_shared_between_threads(self):
         with Session(documents={"curriculum.xml": CURRICULUM_XML},

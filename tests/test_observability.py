@@ -285,7 +285,8 @@ class TestServiceObservability:
             snapshot = service.stats.snapshot()
             assert set(snapshot) == {"uptime_seconds", "in_flight",
                                      "peak_in_flight", "requests", "errors",
-                                     "engines"}
+                                     "rejections", "engines"}
+            assert snapshot["rejections"] == 0
             assert snapshot["requests"] == 1 and snapshot["errors"] == 0
             engine = snapshot["engines"]["interpreter"]
             assert set(engine) == {"count", "errors", "total_seconds",

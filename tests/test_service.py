@@ -10,12 +10,16 @@ engines and check the responses item-for-item against direct
 from __future__ import annotations
 
 import json
+import socket
+import threading
+import time
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+from repro import faults
 from repro.service import QueryService, ServiceError, create_server, serve
 from repro.service.server import serialize_items
 from repro.session import Session
@@ -39,15 +43,20 @@ class ServiceClient:
         self.base_url = base_url
 
     def request(self, path: str, payload=None):
+        status, body, _ = self.request_full(path, payload)
+        return status, body
+
+    def request_full(self, path: str, payload=None):
+        """Like :meth:`request` but also returns the response headers."""
         data = None if payload is None else json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
             self.base_url + path, data=data,
             headers={"Content-Type": "application/json"} if data else {})
         try:
             with urllib.request.urlopen(request, timeout=30) as response:
-                return response.status, json.loads(response.read())
+                return response.status, json.loads(response.read()), dict(response.headers)
         except urllib.error.HTTPError as error:
-            return error.code, json.loads(error.read())
+            return error.code, json.loads(error.read()), dict(error.headers)
 
     def query(self, query: str, **fields):
         return self.request("/query", {"query": query, **fields})
@@ -233,3 +242,181 @@ class TestGracefulShutdown:
     def test_cli_entrypoint_is_wired(self):
         import repro.service.server as server_module
         assert callable(server_module.main)
+
+
+class TestResourceGovernance:
+    """PR 8: admission control, per-request deadlines, cancellation."""
+
+    def _serve(self, session, **service_kwargs):
+        service = QueryService(session=session, **service_kwargs)
+        server = create_server(service)
+        serve(server)
+        host, port = server.server_address[:2]
+        return service, server, ServiceClient(f"http://{host}:{port}")
+
+    def _metrics(self, client):
+        with urllib.request.urlopen(client.base_url + "/metrics",
+                                    timeout=10) as response:
+            return response.read().decode("utf-8")
+
+    def test_request_timeout_maps_to_408_with_structured_body(self, service_session):
+        service, server, client = self._serve(service_session)
+        try:
+            with faults.inject(faults.FaultSpec(point="slow-span", sleep_s=0.15)):
+                status, body = client.query(
+                    TC_QUERY, timeout_s=0.1,
+                    settings={"ifp_algorithm": "naive"})
+            assert status == 408
+            assert body["ok"] is False
+            assert body["error_type"] == "QueryTimeout"
+            assert body["timeout_s"] == 0.1
+            text = self._metrics(client)
+            assert 'repro_query_timeouts_total{engine="interpreter"} 1' in text
+            assert "repro_admission_rejections_total 0" in text
+            # The worker was reclaimed: a clean follow-up query succeeds.
+            status, body = client.query(TC_QUERY)
+            assert status == 200 and body["count"] == 4
+        finally:
+            server.graceful_shutdown(timeout=5)
+
+    def test_max_timeout_clamps_every_request(self, service_session):
+        service, server, client = self._serve(service_session, max_timeout_s=0.05)
+        try:
+            with faults.inject(faults.FaultSpec(point="slow-span", sleep_s=0.1)):
+                # No timeout_s at all: the server-wide ceiling still applies.
+                status, body = client.query(
+                    TC_QUERY, settings={"ifp_algorithm": "naive"})
+                assert status == 408 and body["timeout_s"] == 0.05
+                # Asking for more than the ceiling is clamped, not honoured.
+                status, body = client.query(
+                    TC_QUERY, timeout_s=100.0,
+                    settings={"ifp_algorithm": "naive"})
+                assert status == 408 and body["timeout_s"] == 0.05
+        finally:
+            server.graceful_shutdown(timeout=5)
+
+    def test_bad_timeout_field_is_400(self, service_session):
+        service, server, client = self._serve(service_session)
+        try:
+            assert client.query(TC_QUERY, timeout_s="soon")[0] == 400
+            assert client.query(TC_QUERY, timeout_s=-1)[0] == 400
+            assert client.query(TC_QUERY, timeout_s=True)[0] == 400
+        finally:
+            server.graceful_shutdown(timeout=5)
+
+    def test_budget_exceeded_maps_to_429(self, service_session):
+        service, server, client = self._serve(service_session)
+        try:
+            status, body = client.query(
+                TC_QUERY,
+                settings={"ifp_algorithm": "naive",
+                          "limits": {"max_fixpoint_rounds": 1}})
+            assert status == 429
+            assert body["error_type"] == "BudgetExceeded"
+            assert body["budget"] == "max_fixpoint_rounds"
+            assert body["limit"] == 1 and body["observed"] == 2
+        finally:
+            server.graceful_shutdown(timeout=5)
+
+    def test_saturated_server_rejects_with_503_and_retry_after(self, service_session):
+        service, server, client = self._serve(service_session, max_concurrency=1)
+        try:
+            with faults.inject(faults.FaultSpec(point="slow-span", sleep_s=0.2)):
+                slow_result = {}
+
+                def slow():
+                    slow_result["response"] = client.query(
+                        TC_QUERY, settings={"ifp_algorithm": "naive"})
+
+                thread = threading.Thread(target=slow)
+                thread.start()
+                time.sleep(0.15)  # let the slow query take the only slot
+                status, body, headers = client.request_full(
+                    "/query", {"query": "1 + 1"})
+                thread.join(timeout=30)
+            assert status == 503
+            assert body["error_type"] == "Saturated"
+            assert headers.get("Retry-After") == "1"
+            assert slow_result["response"][0] == 200  # admitted one finished
+            assert service.stats.snapshot()["rejections"] == 1
+            text = self._metrics(client)
+            assert "repro_admission_rejections_total 1" in text
+        finally:
+            server.graceful_shutdown(timeout=5)
+
+    def test_batch_carries_structured_per_query_errors(self, service_session):
+        service, server, client = self._serve(service_session)
+        try:
+            status, body = client.batch([
+                {"query": "1 + 1"},
+                {"query": TC_QUERY,
+                 "settings": {"ifp_algorithm": "naive",
+                              "limits": {"max_fixpoint_rounds": 1}}},
+            ])
+            assert status == 200
+            ok, failed = body["results"]
+            assert ok["ok"] is True and ok["items"] == ["2"]
+            assert failed["ok"] is False
+            assert failed["error_type"] == "BudgetExceeded"
+            assert failed["status"] == 429
+        finally:
+            server.graceful_shutdown(timeout=5)
+
+    def test_graceful_drain_cancels_in_flight_queries(self, service_session):
+        from tests.test_limits import ring_query, ring_xml
+
+        # A 60-round fixpoint at 50ms per round (~3s total): long enough
+        # that the drain below must cancel it rather than outwait it.
+        service_session.register_document("ring.xml", ring_xml(60))
+        service, server, client = self._serve(service_session)
+        outcome = {}
+        with faults.inject(faults.FaultSpec(point="slow-span", sleep_s=0.05)):
+
+            def long_query():
+                outcome["response"] = client.query(
+                    ring_query(), settings={"ifp_algorithm": "naive"})
+
+            thread = threading.Thread(target=long_query)
+            thread.start()
+            time.sleep(0.2)  # the query is mid-fixpoint now
+            drained = server.graceful_shutdown(timeout=0.05)
+            thread.join(timeout=30)
+        assert drained is True  # cancellation reclaimed the worker
+        status, body = outcome["response"]
+        assert status == 503
+        assert body["error_type"] == "QueryCancelled"
+        assert body["reason"] == "server draining"
+        assert service.stats.in_flight == 0
+
+    def test_client_disconnect_cancels_the_evaluation(self, service_session):
+        from tests.test_limits import ring_query, ring_xml
+
+        service_session.register_document("ring.xml", ring_xml(60))
+        service, server, client = self._serve(service_session)
+        try:
+            host, port = server.server_address[:2]
+            payload = json.dumps({
+                "query": ring_query(),
+                "settings": {"ifp_algorithm": "naive"},
+            }).encode("utf-8")
+            request = (f"POST /query HTTP/1.1\r\nHost: {host}\r\n"
+                       f"Content-Type: application/json\r\n"
+                       f"Content-Length: {len(payload)}\r\n\r\n"
+                       ).encode("ascii") + payload
+            with faults.inject(faults.FaultSpec(point="slow-span", sleep_s=0.05)):
+                raw = socket.create_connection((host, port), timeout=5)
+                raw.sendall(request)
+                time.sleep(0.2)   # evaluation is mid-fixpoint
+                raw.close()       # hang up without reading the response
+                deadline = time.monotonic() + 5.0
+                registry = service.stats.registry
+                while time.monotonic() < deadline:
+                    if registry.value("repro_query_cancellations_total",
+                                      engine="interpreter") >= 1:
+                        break
+                    time.sleep(0.05)
+            assert registry.value("repro_query_cancellations_total",
+                                  engine="interpreter") == 1
+            assert service.stats.in_flight == 0
+        finally:
+            server.graceful_shutdown(timeout=5)
