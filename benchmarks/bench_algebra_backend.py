@@ -26,7 +26,7 @@ import argparse
 import sys
 import time
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 try:
     import pytest

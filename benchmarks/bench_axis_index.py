@@ -23,7 +23,7 @@ import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from collections.abc import Callable
 
 from repro.api import clear_query_caches, evaluate, query_cache_stats
 from repro.datagen.hospital import HospitalConfig, generate_hospital

@@ -25,7 +25,7 @@ import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from collections.abc import Callable
 
 from repro.api import evaluate
 from repro.datagen.curriculum import CurriculumConfig, generate_curriculum

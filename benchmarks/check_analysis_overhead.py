@@ -1,0 +1,144 @@
+"""CI guard: the static analyzer must stay under 2% of query time.
+
+The analyzer (:mod:`repro.analysis`) runs in the compile pipeline of every
+evaluation — scopes, cardinality and distributivity before any engine
+dispatches — and its report is cached alongside the plan, keyed on the
+module fingerprint.  This script verifies the promise that the pass adds
+(almost) nothing to a steady-state query::
+
+    PYTHONPATH=src python benchmarks/check_analysis_overhead.py
+
+It compares the same prepared workload under two settings:
+
+* **analyzed** — the shipped default, ``EvalSettings(analyze=True)``:
+  every run pays the fingerprint + analysis-cache lookup;
+* **baseline** — identical settings with ``analyze=False``: the pass is
+  skipped entirely.
+
+The measurement follows :mod:`benchmarks.check_limits_overhead`, built
+for noisy shared runners:
+
+* CPU seconds (``time.process_time``), not wall clock — CPU steal on a
+  virtualized host adds one-sided wall-clock noise that would drown a
+  2% signal;
+* alternating *blocks* of same-settings runs with a few untimed warm-up
+  runs at each block start, order swapping every pair so drift cannot
+  systematically favour one side;
+* the **min** of several independent estimates — noise only ever
+  inflates an estimate, so the min converges on the true overhead while
+  a genuine regression shows up in every estimate, including the min.
+
+The check fails (exit 1) when the analyzed variant is more than
+``--tolerance`` (default 2%) slower than the baseline.  Block times
+below the ``--floor-ms`` noise floor abort with an error instead of
+silently passing, so the guard cannot degrade into a no-op on fast
+machines — raise ``--inner`` in that case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.queries import get_workload
+from repro.session import Session
+from repro.settings import EvalSettings
+
+#: Untimed runs at the start of every block, letting the adaptive
+#: interpreter re-specialize the analysis call sites for the variant.
+BLOCK_WARMUP = 3
+
+
+def _make_block_runner(inner: int):
+    """Build ``block(settings) -> CPU seconds`` over one warm session."""
+    workload = get_workload("curriculum")
+    document = workload.size("tiny").build_document()
+    query = workload.ifp_query(algorithm="delta")
+    session = Session()
+    session.register_document(workload.document_uri, document)
+    analyzed = EvalSettings(engine="interpreter", ifp_algorithm="delta",
+                            analyze=True)
+    baseline = analyzed.replace(analyze=False)
+    prepared = session.prepare(query, settings=analyzed)
+    prepared.run(settings=analyzed)  # warm the module/plan/analysis caches
+    prepared.run(settings=baseline)  # warm the analysis-off path too
+
+    def block(settings: EvalSettings) -> float:
+        for _ in range(BLOCK_WARMUP):
+            prepared.run(settings=settings)
+        started = time.process_time()
+        for _ in range(inner):
+            prepared.run(settings=settings)
+        return time.process_time() - started
+
+    return block, analyzed, baseline
+
+
+def measure(estimates: int, pairs: int, inner: int) -> list[tuple[float, float]]:
+    """Return *estimates* independent ``(analyzed, baseline)`` CPU totals.
+
+    Each estimate alternates *pairs* block pairs (analyzed block /
+    baseline block, order swapping every pair) and sums the block CPU
+    times per variant.
+    """
+    block, analyzed_settings, baseline_settings = _make_block_runner(inner)
+    results = []
+    for _ in range(estimates):
+        analyzed_total = baseline_total = 0.0
+        for index in range(pairs):
+            order = ((analyzed_settings, baseline_settings) if index % 2 == 0
+                     else (baseline_settings, analyzed_settings))
+            for settings in order:
+                elapsed = block(settings)
+                if settings is analyzed_settings:
+                    analyzed_total += elapsed
+                else:
+                    baseline_total += elapsed
+        results.append((analyzed_total, baseline_total))
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--estimates", type=int, default=5,
+                        help="independent overhead estimates; the min is "
+                             "the verdict (default 5)")
+    parser.add_argument("--pairs", type=int, default=4,
+                        help="alternating block pairs per estimate (default 4)")
+    parser.add_argument("--inner", type=int, default=30,
+                        help="timed query evaluations per block (default 30)")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="maximum allowed relative overhead (default 0.02)")
+    parser.add_argument("--floor-ms", type=float, default=20.0,
+                        help="fail if a baseline block total is below this "
+                             "noise floor (default 20 ms); raise --inner "
+                             "instead")
+    arguments = parser.parse_args(argv)
+
+    results = measure(arguments.estimates, arguments.pairs, arguments.inner)
+    floor_s = arguments.floor_ms / 1000.0 * arguments.pairs
+    slowest = max(baseline for _, baseline in results)
+    if slowest < floor_s:
+        print(f"analysis overhead check INVALID: baseline estimate "
+              f"{slowest * 1000.0:.2f} CPU ms is below the noise floor "
+              f"({floor_s * 1000.0:.0f} ms) — raise --inner", file=sys.stderr)
+        return 1
+    overheads = sorted(analyzed / baseline - 1.0
+                       for analyzed, baseline in results)
+    overhead = overheads[0]
+    verdict = "ok" if overhead <= arguments.tolerance else "FAILED"
+    print("estimates: " + " ".join(f"{value:+.2%}" for value in overheads))
+    print(f"overhead (min of {arguments.estimates}): {overhead:+.2%} "
+          f"(allowed ≤ {arguments.tolerance:.0%}) — {verdict}")
+    if overhead > arguments.tolerance:
+        print("\nanalysis overhead check FAILED: the static analyzer costs "
+              f"more than {arguments.tolerance:.0%} per evaluation even in "
+              "the most favourable estimate — audit Session._analysis_for "
+              "and the analysis-cache key", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import repro.fixpoint.engine as fixpoint_engine
 from repro.bench.queries import get_workload

@@ -33,12 +33,14 @@ from repro.api import (
     QueryTimeout,
     ResourceLimits,
     Session,
+    analyze_query_text,
     clear_query_caches,
     default_session,
     evaluate,
     evaluate_query,
     ifp,
     is_distributive_algebraic,
+    is_distributive_static,
     is_distributive_syntactic,
     load_documents,
     parse_query,
@@ -61,12 +63,14 @@ __all__ = [
     "QueryTimeout",
     "ResourceLimits",
     "Session",
+    "analyze_query_text",
     "clear_query_caches",
     "default_session",
     "evaluate",
     "evaluate_query",
     "ifp",
     "is_distributive_algebraic",
+    "is_distributive_static",
     "is_distributive_syntactic",
     "load_documents",
     "parse_query",

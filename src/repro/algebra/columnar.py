@@ -23,7 +23,8 @@ backends agree on equality semantics — the equivalence test suite in
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Any
 
 from repro.errors import AlgebraError
 from repro.algebra.storage import (
@@ -260,8 +261,8 @@ class ColumnarTable(TableStorage):
 
     # -- grouping ---------------------------------------------------------------------
 
-    def aggregate(self, kind: str, group_by: Sequence[str], source: Optional[str],
-                  result: str, loop_iters: Optional[list] = None) -> "ColumnarTable":
+    def aggregate(self, kind: str, group_by: Sequence[str], source: str | None,
+                  result: str, loop_iters: list | None = None) -> "ColumnarTable":
         group_by = tuple(group_by)
         group_columns = [self._data[self.column_index(c)] for c in group_by]
         source_column = (self._data[self.column_index(source)]

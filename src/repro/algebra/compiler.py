@@ -26,9 +26,8 @@ fixpoints under iteration raise :class:`~repro.errors.AlgebraError`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
-from repro.errors import AlgebraError
+from repro.errors import AlgebraError, XQueryDynamicError
 from repro.algebra.operators import (
     Aggregate,
     AtomizeValue,
@@ -67,7 +66,7 @@ class CompilationContext:
 
     loop: Operator
     environment: dict[str, Operator] = field(default_factory=dict)
-    focus: Optional[Operator] = None
+    focus: Operator | None = None
     loop_is_single: bool = True
 
     def bind(self, name: str, plan: Operator) -> "CompilationContext":
@@ -473,6 +472,17 @@ class AlgebraCompiler:
         computed = ScalarOp(joined, "result", ["item", "item_r"], function, name=expr.op)
         return self._with_pos(Project(computed, [("iter", "iter"), ("item", "result")]))
 
+    def _compile_UnaryExpr(self, expr: ast.UnaryExpr, context: CompilationContext) -> Operator:
+        inner = AtomizeValue([self._compile(expr.operand, context)])
+        negate = expr.op == "-"
+
+        def apply(value):
+            number = xs_double(value) if isinstance(value, (str, UntypedAtomic)) else value
+            return -number if negate else +number
+
+        computed = ScalarOp(inner, "result", ["item"], apply, name=f"unary{expr.op}")
+        return self._with_pos(Project(computed, [("iter", "iter"), ("item", "result")]))
+
     # ------------------------------------------------------------------ functions
 
     def _compile_FunctionCall(self, expr: ast.FunctionCall, context: CompilationContext) -> Operator:
@@ -481,6 +491,8 @@ class AlgebraCompiler:
         if declaration is not None:
             return self._inline_function(declaration, expr, context)
 
+        if name in ("true", "false") and not expr.args:
+            return self._attach_constant(context.loop, name == "true")
         if name == "count" and len(expr.args) == 1:
             inner = self._compile(expr.args[0], context)
             counted = Aggregate(inner, "count", ("iter",), "item", "item", loop=context.loop)
@@ -681,10 +693,18 @@ def _arithmetic_function(op: str):
         if op == "*":
             return left_n * right_n
         if op == "div":
+            if right_n == 0:
+                raise XQueryDynamicError("division by zero", code="FOAR0001")
             return left_n / right_n
         if op == "idiv":
-            return int(left_n // right_n)
+            if right_n == 0:
+                raise XQueryDynamicError("integer division by zero", code="FOAR0001")
+            # truncate toward zero, matching the interpreter and fn semantics
+            quotient = int(abs(left_n) // abs(right_n))
+            return quotient if (left_n >= 0) == (right_n >= 0) else -quotient
         if op == "mod":
+            if right_n == 0:
+                raise XQueryDynamicError("modulo by zero", code="FOAR0001")
             return left_n - right_n * int(left_n / right_n)
         raise AlgebraError(f"unsupported arithmetic operator {op!r}")
 

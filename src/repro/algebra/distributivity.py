@@ -25,7 +25,7 @@ Two refinements from the paper are implemented:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional
+from collections.abc import Iterable, Mapping
 
 from repro.errors import AlgebraError
 from repro.algebra.compiler import compile_recursion_body
@@ -131,7 +131,7 @@ def is_distributive_algebraic(body: ast.Expr, variable: str,
         return False
 
 
-def _normalize_functions(functions) -> Optional[dict[tuple[str, int], ast.FunctionDecl]]:
+def _normalize_functions(functions) -> dict[tuple[str, int], ast.FunctionDecl] | None:
     if functions is None:
         return None
     if isinstance(functions, Mapping):

@@ -33,7 +33,7 @@ instead of once per round.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro import faults
 from repro.errors import AlgebraError
@@ -74,7 +74,7 @@ class _PlanRun(AlgebraEngineProtocol):
         self.use_index = use_index
         self.trace = trace
         self.governor = governor
-        self._recursion_binding: Optional[TableStorage] = None
+        self._recursion_binding: TableStorage | None = None
 
     # -- engine protocol ------------------------------------------------------
 

@@ -24,7 +24,8 @@ macro as a whole.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.errors import AlgebraError
 from repro.algebra.storage import TableStorage
@@ -73,7 +74,7 @@ class Operator:
         self.children: tuple[Operator, ...] = tuple(children)
         self.operator_id: int = next(_operator_ids)
         #: Optional template tag (plan fragments the checker can big-step over).
-        self.template: Optional[str] = None
+        self.template: str | None = None
 
     # -- evaluation -----------------------------------------------------------
 
@@ -108,7 +109,7 @@ class AlgebraEngineProtocol:
     #: Per-run memo the macro operators may use (None disables caching).
     #: Entries keep a strong reference to their key object so ``id()`` reuse
     #: after garbage collection cannot alias cache entries.
-    macro_cache: Optional[dict] = None
+    macro_cache: dict | None = None
 
     #: Whether the step macro may answer from the structural index's batch
     #: kernels (:mod:`repro.xdm.index`).
@@ -364,7 +365,7 @@ class Aggregate(Operator):
     union_pushable = False
 
     def __init__(self, child: Operator, kind: str, group_by: Sequence[str],
-                 source: Optional[str], result: str, loop: Operator | None = None):
+                 source: str | None, result: str, loop: Operator | None = None):
         children = [child] + ([loop] if loop is not None else [])
         super().__init__(children)
         self.kind = kind
@@ -489,7 +490,7 @@ class StepJoin(Operator):
     union_pushable = True
 
     def __init__(self, child: Operator, axis: str, node_test_kind: str,
-                 node_test_name: Optional[str] = None, pushed: tuple = ()):
+                 node_test_name: str | None = None, pushed: tuple = ()):
         super().__init__([child])
         self.axis = axis
         self.node_test_kind = node_test_kind
@@ -680,7 +681,7 @@ class NodeConstructor(Operator):
     symbol = "ε"
     union_pushable = False
 
-    def __init__(self, child: Operator, kind: str, name: Optional[str] = None):
+    def __init__(self, child: Operator, kind: str, name: str | None = None):
         super().__init__([child])
         self.kind = kind
         self.name = name

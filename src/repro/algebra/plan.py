@@ -7,7 +7,7 @@ compute the ancestor relation the distributivity check is based on.
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.algebra.operators import Operator, RecursionInput
 

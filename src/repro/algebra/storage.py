@@ -27,7 +27,8 @@ compiler instantiate tables with.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Any
 
 from repro.errors import AlgebraError
 
@@ -288,8 +289,8 @@ class TableStorage:
 
     # -- grouping -------------------------------------------------------------------
 
-    def aggregate(self, kind: str, group_by: Sequence[str], source: Optional[str],
-                  result: str, loop_iters: Optional[list] = None) -> "TableStorage":
+    def aggregate(self, kind: str, group_by: Sequence[str], source: str | None,
+                  result: str, loop_iters: list | None = None) -> "TableStorage":
         """Grouping aggregate; *loop_iters* supplies empty groups (count = 0)."""
         group_by = tuple(group_by)
         groups: dict[tuple, list] = {}

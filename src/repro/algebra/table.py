@@ -17,7 +17,8 @@ equivalence against this one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
 
 from repro.errors import AlgebraError
 from repro.algebra.storage import TableStorage, hashable, register_backend, sort_key

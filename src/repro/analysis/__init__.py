@@ -1,0 +1,35 @@
+"""Static query analysis: scopes, cardinality, distributivity, reports.
+
+The compile-time facts layer of the engine (DESIGN.md §11).  The analyzer
+runs once per compiled module — before any of the three engines executes —
+and produces an :class:`~repro.analysis.report.AnalysisReport` that is
+cached alongside the plan, raised from (typed static errors), rendered by
+``repro-xquery --check`` / ``--explain-analysis`` and served over
+``POST /analyze``.
+"""
+
+from repro.analysis.analyzer import analyze_module, analyze_query
+from repro.analysis.cardinality import Cardinality, infer_cardinality
+from repro.analysis.distributivity import (
+    TRUSTED_DISTRIBUTIVE_BUILTINS,
+    StaticDistributivityJudgment,
+    analyze_distributivity_static,
+    is_distributive_static,
+)
+from repro.analysis.report import AnalysisDiagnostic, AnalysisReport, FixpointFact
+from repro.analysis.scopes import check_scopes
+
+__all__ = [
+    "AnalysisDiagnostic",
+    "AnalysisReport",
+    "Cardinality",
+    "FixpointFact",
+    "StaticDistributivityJudgment",
+    "TRUSTED_DISTRIBUTIVE_BUILTINS",
+    "analyze_distributivity_static",
+    "analyze_module",
+    "analyze_query",
+    "check_scopes",
+    "infer_cardinality",
+    "is_distributive_static",
+]

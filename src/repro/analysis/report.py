@@ -1,0 +1,154 @@
+"""Result types of the static analyzer: diagnostics, facts, the report.
+
+The analyzer (:mod:`repro.analysis.analyzer`) runs once per compiled module
+and produces one :class:`AnalysisReport` — an immutable value that is
+cached alongside the plan, attached to query results
+(``QueryResult.analysis``), rendered by ``repro-xquery --check`` /
+``--explain-analysis`` and served by ``POST /analyze``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import XQueryStaticError
+
+
+@dataclass(frozen=True)
+class AnalysisDiagnostic:
+    """One finding of a static pass.
+
+    ``severity`` is ``"error"`` (the query cannot run; a typed
+    :class:`~repro.errors.XQueryStaticError` is carried in ``error``) or
+    ``"warning"`` (the query runs, but an optimization opportunity was
+    rejected — e.g. a fixpoint body that failed the distributivity proof,
+    reported under the failing rule's name).
+    """
+
+    severity: str
+    code: str
+    rule: str
+    message: str
+    line: int | None = None
+    column: int | None = None
+    #: The ready-to-raise typed exception of an ``"error"`` diagnostic.
+    error: XQueryStaticError | None = field(default=None, compare=False)
+
+    def format(self) -> str:
+        where = f"{self.line}:{self.column}: " if self.line is not None else ""
+        return f"{self.severity}: {where}[{self.code}] {self.message} ({self.rule})"
+
+
+@dataclass(frozen=True)
+class FixpointFact:
+    """The distributivity facts derived for one ``with … recurse`` site."""
+
+    variable: str
+    #: The algorithm pinned in the query text (``"auto"`` unless ``using``).
+    declared_algorithm: str
+    #: Occurrence class of the seed expression (``empty``/``1``/``?``/``+``/``*``).
+    seed_cardinality: str
+    #: Did the paper's Figure-5 syntactic check alone accept the body?
+    syntactic_safe: bool
+    #: Did the strengthened (cardinality-assisted) proof accept the body?
+    safe: bool
+    #: The deciding rule: ``SYNTACTIC``, ``TRUSTED-BUILTIN``,
+    #: ``CARD-EMPTY-BASE``, ``CARD-SEED-NONEMPTY`` for proofs; the failing
+    #: syntactic rule name for rejections.
+    rule: str
+    detail: str
+    #: Cardinality facts the strengthened proof consumed, human-readable.
+    facts: tuple[str, ...] = ()
+    line: int | None = None
+    column: int | None = None
+
+    @property
+    def algorithm_hint(self) -> str:
+        """The algorithm ``auto`` mode resolves to under this proof."""
+        if self.declared_algorithm in ("naive", "delta"):
+            return self.declared_algorithm
+        return "delta" if self.safe else "naive"
+
+    def format(self) -> str:
+        where = f" at {self.line}:{self.column}" if self.line is not None else ""
+        status = "distributive" if self.safe else "not distributive"
+        lines = [f"fixpoint ${self.variable}{where}: {status} "
+                 f"[{self.rule}] -> {self.algorithm_hint}",
+                 f"  seed cardinality: {self.seed_cardinality}",
+                 f"  syntactic (Figure 5) verdict: "
+                 f"{'safe' if self.syntactic_safe else 'rejected'}"]
+        for fact in self.facts:
+            lines.append(f"  fact: {fact}")
+        if self.detail:
+            lines.append(f"  {self.detail}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything the static passes learned about one module."""
+
+    diagnostics: tuple[AnalysisDiagnostic, ...] = ()
+    fixpoints: tuple[FixpointFact, ...] = ()
+    #: Occurrence class of the module body (``empty``/``1``/``?``/``+``/``*``).
+    body_cardinality: str = "*"
+
+    def errors(self) -> tuple[AnalysisDiagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "error")
+
+    def warnings(self) -> tuple[AnalysisDiagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "warning")
+
+    def ok(self) -> bool:
+        """True when no static error was found (warnings do not count)."""
+        return not self.errors()
+
+    def raise_first(self) -> None:
+        """Raise the typed error of the first ``"error"`` diagnostic, if any."""
+        for diagnostic in self.diagnostics:
+            if diagnostic.severity != "error":
+                continue
+            if diagnostic.error is not None:
+                raise diagnostic.error
+            raise XQueryStaticError(diagnostic.message, code=diagnostic.code)
+
+    def format(self) -> str:
+        """The full human-readable report (``--explain-analysis``)."""
+        lines = [f"body cardinality: {self.body_cardinality}"]
+        if not self.diagnostics:
+            lines.append("diagnostics: none")
+        else:
+            lines.append("diagnostics:")
+            for diagnostic in self.diagnostics:
+                lines.append(f"  {diagnostic.format()}")
+        if self.fixpoints:
+            lines.append("fixpoints:")
+            for fact in self.fixpoints:
+                for row in fact.format().splitlines():
+                    lines.append(f"  {row}")
+        else:
+            lines.append("fixpoints: none")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (service ``POST /analyze``)."""
+        return {
+            "ok": self.ok(),
+            "body_cardinality": self.body_cardinality,
+            "diagnostics": [
+                {"severity": d.severity, "code": d.code, "rule": d.rule,
+                 "message": d.message, "line": d.line, "column": d.column}
+                for d in self.diagnostics
+            ],
+            "fixpoints": [
+                {"variable": f.variable, "declared_algorithm": f.declared_algorithm,
+                 "algorithm": f.algorithm_hint, "seed_cardinality": f.seed_cardinality,
+                 "syntactic_safe": f.syntactic_safe, "safe": f.safe,
+                 "rule": f.rule, "detail": f.detail, "facts": list(f.facts),
+                 "line": f.line, "column": f.column}
+                for f in self.fixpoints
+            ],
+        }
+
+
+__all__ = ["AnalysisDiagnostic", "FixpointFact", "AnalysisReport"]

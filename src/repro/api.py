@@ -21,7 +21,11 @@ keywords of :func:`evaluate` are deprecated in favor of a single frozen
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.analysis.report import AnalysisReport
 
 from repro.errors import BudgetExceeded, QueryCancelled, QueryTimeout
 from repro.fixpoint.engine import FixpointEngine, FixpointResult
@@ -216,6 +220,39 @@ def transitive_closure(path: str, context_nodes: Sequence[Node] | Node,
     return evaluate_regular_xpath(path, nodes, algorithm=algorithm)
 
 
+def analyze_query_text(query: str,
+                       variables: Iterable[str] = ()) -> "AnalysisReport":
+    """Statically analyze *query* without evaluating it (the lint entry).
+
+    Runs the full pass pipeline of :mod:`repro.analysis` — scope/arity
+    checking, cardinality inference, the strengthened distributivity proof
+    — over the *unoptimized* parse and returns the
+    :class:`~repro.analysis.report.AnalysisReport`.  Static errors are
+    *reported*, not raised; ``repro-xquery --check`` and the service's
+    ``POST /analyze`` are thin wrappers over this.
+
+    *variables* names the externally-bound variables (only the names
+    matter statically).
+    """
+    from repro.analysis import analyze_query
+
+    return analyze_query(query, bound_variables=tuple(variables))
+
+
+def is_distributive_static(body: str | ast.Expr, variable: str = "x",
+                           functions: Iterable[ast.FunctionDecl] | None = None) -> bool:
+    """The strengthened static distributivity check (cardinality-assisted).
+
+    Accepts everything Figure 5 accepts plus bodies it rejects for reasons
+    the cardinality facts discharge — see
+    :mod:`repro.analysis.distributivity` for the proof rules.
+    """
+    from repro.analysis.distributivity import is_distributive_static as _check
+
+    expression = parse_expression(body) if isinstance(body, str) else body
+    return _check(expression, variable, functions=functions)
+
+
 def is_distributive_syntactic(body: str | ast.Expr, variable: str = "x",
                               functions: Iterable[ast.FunctionDecl] | None = None) -> bool:
     """Figure 5's syntactic distributivity check on a recursion body."""
@@ -259,12 +296,14 @@ __all__ = [
     "QueryTimeout",
     "ResourceLimits",
     "Session",
+    "analyze_query_text",
     "clear_query_caches",
     "default_session",
     "evaluate",
     "evaluate_query",
     "ifp",
     "is_distributive_algebraic",
+    "is_distributive_static",
     "is_distributive_syntactic",
     "load_documents",
     "parse_query_text",

@@ -33,7 +33,6 @@ import hashlib
 import time
 import tracemalloc
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.errors import ReproError
 from repro.fixpoint.stats import StatisticsCollector
@@ -58,24 +57,24 @@ class RunResult:
     seconds: float
     item_count: int
     result_digest: str
-    nodes_fed_back: Optional[int] = None
-    recursion_depth: Optional[int] = None
-    ifp_evaluations: Optional[int] = None
-    seed_limit: Optional[int] = None
-    paper_row: Optional[str] = None
+    nodes_fed_back: int | None = None
+    recursion_depth: int | None = None
+    ifp_evaluations: int | None = None
+    seed_limit: int | None = None
+    paper_row: str | None = None
     #: Table storage backend (algebra engine only).
-    backend: Optional[str] = None
+    backend: str | None = None
     #: How many measured repetitions ``seconds`` is the best of, and how
     #: many unmeasured warmup runs preceded them.
     repeats: int = 1
     warmup: int = 0
     #: Peak traced allocation (KiB) of one tracemalloc-instrumented run
     #: (measured separately from the timed runs — tracing skews time).
-    peak_mem_kb: Optional[float] = None
+    peak_mem_kb: float | None = None
     #: Per-phase wall time of one span-traced run (name → {seconds,
     #: count}; see :func:`repro.observability.tracing.phase_summary`) —
     #: measured separately from the timed runs, like ``peak_mem_kb``.
-    phases: Optional[dict] = None
+    phases: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -133,8 +132,8 @@ class BenchmarkHarness:
     # -- running -------------------------------------------------------------------
 
     def run(self, workload_name: str, size_label: str, engine: str = "ifp",
-            algorithm: str = "delta", seed_limit: Optional[int] = None,
-            backend: Optional[str] = None, repeats: int = 1,
+            algorithm: str = "delta", seed_limit: int | None = None,
+            backend: str | None = None, repeats: int = 1,
             warmup: int = 0, measure_memory: bool = True,
             measure_phases: bool = True) -> RunResult:
         """Run one (workload, size, engine, algorithm) combination.
@@ -160,7 +159,7 @@ class BenchmarkHarness:
         if repeats < 1:
             raise ReproError("repeats must be at least 1")
 
-        def once(trace: Optional[TraceContext] = None) -> RunResult:
+        def once(trace: TraceContext | None = None) -> RunResult:
             if engine == "ifp":
                 return self._run_ifp(prepared, algorithm, limit, size.paper_row,
                                      trace=trace)
@@ -192,8 +191,8 @@ class BenchmarkHarness:
     def compare(self, workload_name: str, size_label: str,
                 engines: tuple[str, ...] = ("ifp", "udf"),
                 algorithms: tuple[str, ...] = ("naive", "delta"),
-                seed_limit: Optional[int] = None,
-                backend: Optional[str] = None, repeats: int = 1,
+                seed_limit: int | None = None,
+                backend: str | None = None, repeats: int = 1,
                 warmup: int = 0) -> list[RunResult]:
         """Run the full Naive-vs-Delta comparison for one workload size."""
         return [
@@ -207,8 +206,8 @@ class BenchmarkHarness:
     # -- engines ------------------------------------------------------------------------
 
     def _run_ifp(self, prepared: _PreparedWorkload, algorithm: str,
-                 limit: Optional[int], paper_row: Optional[str],
-                 trace: Optional[TraceContext] = None) -> RunResult:
+                 limit: int | None, paper_row: str | None,
+                 trace: TraceContext | None = None) -> RunResult:
         query = prepared.workload.ifp_query(algorithm=algorithm, seed_limit=limit)
         module = self._module(prepared, ("ifp", algorithm, limit), query)
         statistics = StatisticsCollector()
@@ -239,8 +238,8 @@ class BenchmarkHarness:
         )
 
     def _run_udf(self, prepared: _PreparedWorkload, algorithm: str,
-                 limit: Optional[int], paper_row: Optional[str],
-                 trace: Optional[TraceContext] = None) -> RunResult:
+                 limit: int | None, paper_row: str | None,
+                 trace: TraceContext | None = None) -> RunResult:
         variant = "delta" if algorithm == "delta" else "fix"
         query = prepared.workload.udf_query(variant=variant, seed_limit=limit)
         module = self._module(prepared, ("udf", variant, limit), query)
@@ -265,9 +264,9 @@ class BenchmarkHarness:
         )
 
     def _run_algebra(self, prepared: _PreparedWorkload, algorithm: str,
-                     limit: Optional[int], paper_row: Optional[str],
-                     backend: Optional[str] = None,
-                     trace: Optional[TraceContext] = None) -> RunResult:
+                     limit: int | None, paper_row: str | None,
+                     backend: str | None = None,
+                     trace: TraceContext | None = None) -> RunResult:
         from repro.algebra.compiler import AlgebraCompiler
         from repro.algebra.evaluator import AlgebraEvaluator
         from repro.xquery.parser import parse_expression
@@ -334,8 +333,8 @@ class BenchmarkHarness:
         )
 
     def _run_sql(self, prepared: _PreparedWorkload, algorithm: str,
-                 limit: Optional[int], paper_row: Optional[str],
-                 trace: Optional[TraceContext] = None) -> RunResult:
+                 limit: int | None, paper_row: str | None,
+                 trace: TraceContext | None = None) -> RunResult:
         from repro.sqlbackend.executor import SQLEvaluator
         from repro.sqlbackend.shredder import SqlDocumentStore
 
@@ -383,7 +382,7 @@ class BenchmarkHarness:
         return prepared.modules[key]
 
 
-def _measure_peak_memory(run) -> Optional[float]:
+def _measure_peak_memory(run) -> float | None:
     """Peak traced allocation of one *run* call, in KiB.
 
     Skipped (returns ``None``) when tracemalloc is already tracing — e.g.
@@ -430,6 +429,6 @@ def result_digest(result: list) -> str:
 def _digest_strings(parts: list[str]) -> str:
     digest = hashlib.sha256()
     for part in parts:
-        digest.update(part.encode("utf-8"))
+        digest.update(part.encode())
         digest.update(b"\x00")
     return digest.hexdigest()[:16]

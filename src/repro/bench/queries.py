@@ -20,7 +20,7 @@ derivation from the result).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.xdm.node import DocumentNode
 from repro.datagen.curriculum import CurriculumConfig, generate_curriculum
@@ -38,9 +38,9 @@ class WorkloadSize:
     #: Default number of seeds the harness iterates (None = all).  The paper
     #: ran full documents on compiled engines; the pure-Python default keeps
     #: run times reasonable while preserving the Naive/Delta ratios.
-    default_seed_limit: Optional[int] = None
+    default_seed_limit: int | None = None
     #: The Table 2 row this size reproduces (None for extra sizes).
-    paper_row: Optional[str] = None
+    paper_row: str | None = None
 
 
 @dataclass(frozen=True)
@@ -66,7 +66,7 @@ class Workload:
         return (f"(with ${self.recursion_variable} seeded by {self.seed_expression} "
                 f"recurse {self.recursion_body}{using})")
 
-    def ifp_query(self, algorithm: str = "auto", seed_limit: Optional[int] = None) -> str:
+    def ifp_query(self, algorithm: str = "auto", seed_limit: int | None = None) -> str:
         """The workload query in IFP form."""
         return "\n".join(
             part for part in (
@@ -75,7 +75,7 @@ class Workload:
             ) if part
         )
 
-    def udf_query(self, variant: str = "fix", seed_limit: Optional[int] = None) -> str:
+    def udf_query(self, variant: str = "fix", seed_limit: int | None = None) -> str:
         """The workload query in source-level ``fix``/``delta`` UDF form."""
         if variant not in ("fix", "delta"):
             raise ValueError(f"unknown UDF variant {variant!r}")
@@ -106,7 +106,7 @@ declare function delta ($x, $res) as node()*
             ) if part
         )
 
-    def _main(self, closure: str, seed_limit: Optional[int]) -> str:
+    def _main(self, closure: str, seed_limit: int | None) -> str:
         seeds = self.seeds_expression
         if seed_limit is not None:
             seeds = f"subsequence({seeds}, 1, {seed_limit})"

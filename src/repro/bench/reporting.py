@@ -15,7 +15,7 @@ import io
 import json
 import platform
 from pathlib import Path
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.bench.harness import RunResult
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Iterable
+from collections.abc import Iterable
 
 from pathlib import Path
 

@@ -47,7 +47,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="attribute names to treat as IDs (repeatable)")
     parser.add_argument("--algorithm", choices=["auto", "naive", "delta"], default="auto",
                         help="global IFP evaluation policy")
-    parser.add_argument("--checker", choices=["syntactic", "algebraic", "never"],
+    parser.add_argument("--checker",
+                        choices=["syntactic", "algebraic", "analysis", "never"],
                         default="syntactic", help="distributivity checker used by 'auto'")
     parser.add_argument("--engine", choices=["interpreter", "algebra", "sql"],
                         default="interpreter")
@@ -81,6 +82,15 @@ def main(argv: list[str] | None = None) -> int:
                              "with … recurse fixpoint in the query, then exit")
     parser.add_argument("--stats", action="store_true",
                         help="print IFP statistics (nodes fed back, recursion depth)")
+    parser.add_argument("--check", action="store_true",
+                        help="lint mode: run the static analyzer only (scopes, "
+                             "arity, cardinality, distributivity), print "
+                             "diagnostics with line:column, and exit 1 on "
+                             "static errors without evaluating anything")
+    parser.add_argument("--explain-analysis", action="store_true",
+                        help="print the full static-analysis report (diagnostics, "
+                             "per-fixpoint distributivity facts, cardinality) "
+                             "after evaluation")
     parser.add_argument("--check-distributivity", metavar="BODY",
                         help="only analyse the given recursion body for $x and exit")
     arguments = parser.parse_args(argv)
@@ -95,18 +105,25 @@ def main(argv: list[str] | None = None) -> int:
         body = arguments.check_distributivity
         syntactic = is_distributive_syntactic(body, "x")
         algebraic = is_distributive_algebraic(body, "x", strict=False)
+        judgment = _static_judgment(body)
         print(f"syntactic (Figure 5):   {'distributive' if syntactic else 'not inferred'}")
         print(f"algebraic (Section 4):  {'distributive' if algebraic else 'not inferred'}")
+        print(f"static analysis:        "
+              f"{'distributive' if judgment.safe else 'not inferred'} "
+              f"[{judgment.rule}]")
         return 0
 
     if arguments.expression:
         query = arguments.expression
     elif arguments.query_file:
-        with open(arguments.query_file, "r", encoding="utf-8") as handle:
+        with open(arguments.query_file, encoding="utf-8") as handle:
             query = handle.read()
     else:
         parser.error("provide a query file or -e EXPRESSION")
         return 2
+
+    if arguments.check:
+        return _check_query(query)
 
     if arguments.emit_sql:
         return _emit_sql(query, arguments.algorithm,
@@ -139,6 +156,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
         return 3
     print(serialize_sequence(result.items))
+    if arguments.explain_analysis and result.analysis is not None:
+        print("\n-- static analysis", file=sys.stderr)
+        print(result.analysis.format(), file=sys.stderr)
     if arguments.trace and result.trace is not None:
         from repro.observability import format_span_tree
 
@@ -156,6 +176,35 @@ def main(argv: list[str] | None = None) -> int:
 
         print("\n-- pushdown profile (batch vs fallback)", file=sys.stderr)
         print(format_profile(result.profile or {}), file=sys.stderr)
+    return 0
+
+
+def _static_judgment(body: str):
+    """The strengthened static distributivity judgment for a ``$x`` body."""
+    from repro.analysis import analyze_distributivity_static
+    from repro.xquery.parser import parse_expression
+
+    return analyze_distributivity_static(
+        parse_expression(body), "x", functions=None, seed=None, env=None
+    )
+
+
+def _check_query(query: str) -> int:
+    """``--check``: lint the query statically, never evaluate it."""
+    from repro.analysis import analyze_query
+    from repro.errors import XQueryError
+
+    try:
+        report = analyze_query(query)
+    except XQueryError as exc:
+        # parse errors surface through the same lint channel
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for diagnostic in report.diagnostics:
+        print(diagnostic.format(), file=sys.stderr)
+    if not report.ok():
+        return 1
+    print(f"ok: no static errors ({len(report.warnings())} warning(s))")
     return 0
 
 

@@ -21,7 +21,7 @@ observations made in the accompanying text:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.xquery import ast
 

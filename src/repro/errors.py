@@ -54,6 +54,8 @@ class XQueryError(ReproError):
 
     def __init__(self, message: str, code: str | None = None):
         self.code = code or self.default_code
+        #: the message without the ``[code]`` prefix (diagnostics reuse it)
+        self.bare_message = message
         super().__init__(f"[{self.code}] {message}")
 
 
@@ -73,6 +75,83 @@ class XQueryDynamicError(XQueryError):
     """A runtime error raised while evaluating a query."""
 
     default_code = "FORG0001"
+
+
+def _at(message: str, line: int | None, column: int | None) -> str:
+    if line is None:
+        return message
+    return f"{message} (line {line}, column {column})"
+
+
+class UndefinedVariableError(XQueryStaticError, XQueryDynamicError):
+    """A query references a variable that is bound nowhere in scope.
+
+    Per the W3C rules this is the static error ``XPST0008``; the static
+    analyzer (:mod:`repro.analysis`) raises it before any engine runs, so
+    the class, code and message are identical across interpreter, algebra
+    and SQL evaluations.  Historically the engines surfaced the condition
+    mid-evaluation as a *dynamic* error, so the class also keeps
+    :class:`XQueryDynamicError` in its bases for compatibility with callers
+    that catch the old type.
+    """
+
+    default_code = "XPST0008"
+
+    def __init__(self, name: str, line: int | None = None,
+                 column: int | None = None):
+        self.name = name
+        self.line = line
+        self.column = column
+        self.plain_message = f"undefined variable ${name}"
+        super().__init__(_at(self.plain_message, line, column), code="XPST0008")
+
+
+class UndefinedFunctionError(XQueryStaticError):
+    """A query calls a function that is neither declared nor built in."""
+
+    default_code = "XPST0017"
+
+    def __init__(self, name: str, arity: int, line: int | None = None,
+                 column: int | None = None):
+        self.name = name
+        self.arity = arity
+        self.line = line
+        self.column = column
+        self.plain_message = f"unknown function {name}#{arity}"
+        super().__init__(_at(self.plain_message, line, column), code="XPST0017")
+
+
+class WrongArityError(XQueryStaticError):
+    """A known function is called with an argument count it does not accept."""
+
+    default_code = "XPST0017"
+
+    def __init__(self, name: str, arity: int, expected: str,
+                 line: int | None = None, column: int | None = None):
+        self.name = name
+        self.arity = arity
+        self.expected = expected
+        self.line = line
+        self.column = column
+        self.plain_message = (f"function {name} called with {arity} argument(s), "
+                              f"expected {expected}")
+        super().__init__(_at(self.plain_message, line, column), code="XPST0017")
+
+
+class DuplicateDeclarationError(XQueryStaticError):
+    """The prolog declares the same variable or function (name, arity) twice."""
+
+    default_code = "XQST0049"
+
+    def __init__(self, kind: str, name: str, line: int | None = None,
+                 column: int | None = None, code: str | None = None):
+        self.kind = kind
+        self.name = name
+        self.line = line
+        self.column = column
+        self.plain_message = f"duplicate {kind} declaration: {name}"
+        super().__init__(_at(self.plain_message, line, column),
+                         code=code or ("XQST0034" if kind == "function" else "XQST0049"))
 
 
 class XQueryTypeError(XQueryDynamicError):

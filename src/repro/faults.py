@@ -43,7 +43,7 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.errors import InjectedFault
 
@@ -78,7 +78,7 @@ class FaultSpec:
 
     point: str
     sleep_s: float | None = None
-    error: Optional[object] = None
+    error: object | None = None
     probability: float = 1.0
     after: int = 0
     limit: int | None = None

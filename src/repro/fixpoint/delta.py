@@ -19,7 +19,7 @@ distributivity check (or when explicitly forced).
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro import faults
 from repro.errors import FixpointError

@@ -10,7 +10,7 @@ from Python (see ``examples/``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.errors import FixpointError
 from repro.fixpoint.delta import delta_fixpoint

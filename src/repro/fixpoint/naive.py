@@ -14,7 +14,7 @@ redundant work that motivates the Delta variant.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro import faults
 from repro.errors import FixpointError

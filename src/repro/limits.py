@@ -42,7 +42,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any
 
 from repro.errors import BudgetExceeded, QueryCancelled, QueryTimeout
 
@@ -92,11 +92,11 @@ class ResourceLimits:
         but cannot attribute memory between concurrent queries.
     """
 
-    timeout_s: Optional[float] = None
-    max_fixpoint_rounds: Optional[int] = None
-    max_frontier_nodes: Optional[int] = None
-    max_result_items: Optional[int] = None
-    max_memory_kb: Optional[int] = None
+    timeout_s: float | None = None
+    max_fixpoint_rounds: int | None = None
+    max_frontier_nodes: int | None = None
+    max_result_items: int | None = None
+    max_memory_kb: int | None = None
 
     def unlimited(self) -> bool:
         """True when every field is ``None`` (no governance needed)."""

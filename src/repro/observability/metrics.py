@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 import threading
 from collections import OrderedDict
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 #: Latency histogram boundaries in seconds (Prometheus client defaults,
 #: trimmed to the sub-10s range a query service lives in).

@@ -37,7 +37,8 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager, nullcontext
-from typing import Any, Iterator, Optional
+from collections.abc import Iterator
+from typing import Any
 
 _CLOCK = time.perf_counter
 
@@ -79,7 +80,7 @@ class Span:
             yield span
             stack.extend(reversed(span.children))
 
-    def find(self, name: str) -> Optional["Span"]:
+    def find(self, name: str) -> "Span" | None:
         """First descendant (or self) with the given name, pre-order."""
         for span in self.iter_spans():
             if span.name == name:
@@ -180,12 +181,12 @@ class TraceContext:
 _ACTIVE = threading.local()
 
 
-def current_trace() -> Optional[TraceContext]:
+def current_trace() -> TraceContext | None:
     """The trace activated on this thread (``None`` outside traced runs)."""
     return getattr(_ACTIVE, "trace", None)
 
 
-def active_trace(value: Any) -> Optional[TraceContext]:
+def active_trace(value: Any) -> TraceContext | None:
     """Normalize an options-carried trace value to a context or ``None``.
 
     :meth:`EvalSettings.to_options` copies the *boolean* ``trace`` field
@@ -197,7 +198,7 @@ def active_trace(value: Any) -> Optional[TraceContext]:
     return value if isinstance(value, TraceContext) else None
 
 
-def maybe_span(trace: Optional[TraceContext], name: str, **attributes: Any):
+def maybe_span(trace: TraceContext | None, name: str, **attributes: Any):
     """``trace.span(...)`` or a null context yielding ``None``."""
     if trace is None:
         return nullcontext(None)

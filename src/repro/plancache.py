@@ -29,7 +29,8 @@ from __future__ import annotations
 import dataclasses
 from collections import OrderedDict
 from threading import Lock
-from typing import Any, Hashable, Iterable, Optional
+from collections.abc import Hashable, Iterable
+from typing import Any
 
 from repro.xquery import ast
 
@@ -66,7 +67,7 @@ class LRUCache:
         self.misses = 0
         self.generation = 0
 
-    def get(self, key: Hashable) -> Optional[Any]:
+    def get(self, key: Hashable) -> Any | None:
         with self._lock:
             try:
                 value, generation = self._entries[key]

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 
 class RPExpr:
@@ -67,7 +66,7 @@ class RPFilter(RPExpr):
 
     operand: RPExpr
     filter: RPExpr
-    name_filter: Optional[str] = None
+    name_filter: str | None = None
 
     def __str__(self) -> str:
         return f"{self.operand}[{self.filter}]"

@@ -14,7 +14,7 @@ distributivity check makes that call, or the caller may force an algorithm.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import XQueryStaticError
 from repro.xdm.node import Node

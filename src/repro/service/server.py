@@ -36,6 +36,13 @@ Endpoints
     ``{"ok": true, "results": [<per-query responses>], "count": n}``.
     Per-query failures do not fail the batch; each result carries its own
     ``ok`` flag.
+``POST /analyze``
+    ``{"query": "...", "variables"?: {name: ...} | [names]}`` runs the
+    static analyzer only (:mod:`repro.analysis`) — scope/arity errors with
+    line:column, per-fixpoint distributivity facts, cardinality — without
+    evaluating anything → ``{"ok": true, "analysis": {report}}``.  Static
+    errors are part of the report (the request itself succeeds); only a
+    parse failure maps to 422.
 ``POST /documents``
     ``{"uri": "...", "xml": "<...>", "id_attributes"?: [...]}`` registers
     or replaces a document (the mutation path) → new generation.
@@ -75,10 +82,17 @@ import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro import faults
-from repro.errors import BudgetExceeded, QueryCancelled, QueryTimeout, ReproError
+from repro.errors import (
+    BudgetExceeded,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+    XQueryStaticError,
+)
 from repro.limits import CancelToken, ResourceLimits
 from repro.observability import FIXPOINT_ROUND_BUCKETS, MetricsRegistry
 from repro.session import Session
@@ -207,6 +221,14 @@ class ServiceStats:
             "repro_query_cancellations_total",
             "Queries cancelled in flight (disconnect, drain), by engine.",
             ("engine",))
+        self._analyses = self.registry.counter(
+            "repro_analyze_requests_total",
+            "Static-analysis requests served (POST /analyze).")
+        self._analyses.inc(0.0)
+        self._static_errors = self.registry.counter(
+            "repro_static_errors_total",
+            "Static errors reported by the analyzer (lint and query paths).")
+        self._static_errors.inc(0.0)
 
     @property
     def in_flight(self) -> int:
@@ -247,6 +269,16 @@ class ServiceStats:
     def cancelled(self, engine: str) -> None:
         """Record one in-flight cancellation (disconnect or drain)."""
         self._cancellations.labels(engine=engine).inc()
+
+    def analyzed(self, error_count: int) -> None:
+        """Record one ``POST /analyze`` request and its static errors."""
+        self._analyses.inc()
+        if error_count:
+            self._static_errors.inc(float(error_count))
+
+    def static_error(self) -> None:
+        """Record one static error aborting a ``POST /query`` evaluation."""
+        self._static_errors.inc()
 
     def drained(self) -> bool:
         return self.in_flight == 0
@@ -417,6 +449,8 @@ class QueryService:
                 headers={"Retry-After": "1"},
                 body={"error_type": "QueryCancelled", "reason": exc.reason})
         except ReproError as exc:
+            if isinstance(exc, XQueryStaticError):
+                self.stats.static_error()
             raise ServiceError(f"{type(exc).__name__}: {exc}", status=422)
         finally:
             self.stats.exit(engine, time.perf_counter() - started, error)
@@ -473,6 +507,32 @@ class QueryService:
             except ServiceError as exc:
                 results.append({**exc.payload(), "status": exc.status})
         return {"ok": True, "results": results, "count": len(results)}
+
+    def handle_analyze(self, payload: Mapping[str, Any]) -> dict:
+        """Run the static analyzer only — never evaluate (``POST /analyze``)."""
+        if not isinstance(payload, Mapping):
+            raise ServiceError("request body must be a JSON object")
+        query = payload.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise ServiceError('"query" must be a non-empty string')
+        unknown = set(payload) - {"query", "variables"}
+        if unknown:
+            raise ServiceError(f"unknown request field(s): {sorted(unknown)}")
+        variables = payload.get("variables")
+        if variables is not None and not isinstance(variables, (Mapping, list)):
+            raise ServiceError('"variables" must be an object (or array) '
+                               "of external variable names")
+        bound = tuple(variables) if variables else ()
+        from repro.analysis import analyze_query
+
+        try:
+            report = analyze_query(query, bound_variables=bound)
+        except ReproError as exc:
+            # only parse failures land here; static errors are reported
+            # inside the analysis body below
+            raise ServiceError(f"{type(exc).__name__}: {exc}", status=422)
+        self.stats.analyzed(len(report.errors()))
+        return {"ok": True, "analysis": report.to_dict()}
 
     def handle_register(self, payload: Mapping[str, Any]) -> dict:
         """Register/replace a document — the service's mutation path."""
@@ -674,6 +734,7 @@ class _Handler(BaseHTTPRequestHandler):
         routes = {
             "/query": self.service.handle_query,
             "/batch": self.service.handle_batch,
+            "/analyze": self.service.handle_analyze,
             "/documents": self.service.handle_register,
         }
         handler = routes.get(self.path)
@@ -725,13 +786,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _respond(self, status: int, payload: dict,
                  headers: Mapping[str, str] | None = None) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        body = json.dumps(payload).encode()
         self._send(status, "application/json", body, headers=headers)
 
     def _respond_text(self, status: int, text: str) -> None:
         # The Prometheus exposition content type (text format 0.0.4).
         self._send(status, "text/plain; version=0.0.4; charset=utf-8",
-                   text.encode("utf-8"))
+                   text.encode())
 
     def _send(self, status: int, content_type: str, body: bytes,
               headers: Mapping[str, str] | None = None) -> None:

@@ -36,7 +36,8 @@ from __future__ import annotations
 import threading
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any, TYPE_CHECKING
 
 from repro import faults as faults_module
 from repro import plancache
@@ -52,6 +53,9 @@ from repro.xquery.evaluator import Evaluator
 from repro.xquery.optimizer import optimize_module
 from repro.xquery.parser import parse_query
 
+if TYPE_CHECKING:
+    from repro.analysis.report import AnalysisReport
+
 
 @dataclass
 class QueryResult:
@@ -66,6 +70,10 @@ class QueryResult:
     #: runs (``None`` otherwise): the query span tree — parse, compile,
     #: execute, decode phases with per-fixpoint-round children.
     trace: Span | None = None
+    #: The static-analysis report of the compiled module
+    #: (``settings.analyze`` runs, ``None`` otherwise): scope diagnostics,
+    #: per-fixpoint distributivity facts, cardinality classes.
+    analysis: "AnalysisReport | None" = None
 
     @property
     def nodes_fed_back(self) -> int:
@@ -152,6 +160,7 @@ class Session:
         self._snapshot: DocumentResolver | None = None
         self._module_cache = plancache.LRUCache(module_cache_size)
         self._plan_cache = plancache.LRUCache(plan_cache_size)
+        self._analysis_cache = plancache.LRUCache(module_cache_size)
         self._sql_pool = SqlStorePool(mode=sql_store, directory=sql_store_dir)
         #: Serializes ``profile=True`` runs: the pushdown profiler is a
         #: process-global accumulator, so profiled evaluations must not
@@ -373,6 +382,20 @@ class Session:
             resolver = build_resolver(
                 documents, tuple(id_attributes or self.id_attributes))
 
+        analysis = None
+        if settings.analyze:
+            # One engine-independent static pass before dispatch: typed
+            # static errors (undefined variable/function, wrong arity,
+            # duplicate declaration) raise here — identically for the
+            # interpreter, algebra and SQL paths — and the report rides
+            # along on the result.
+            with maybe_span(trace, "analyze") as span:
+                analysis = self._analysis_for(module, variables, settings, span)
+                if span is not None:
+                    span.set(diagnostics=len(analysis.diagnostics),
+                             fixpoints=len(analysis.fixpoints))
+            analysis.raise_first()
+
         statistics = StatisticsCollector()
         options = settings.to_options()
         if trace is not None:
@@ -404,19 +427,47 @@ class Session:
                 evaluator = Evaluator()
                 with maybe_span(trace, "execute"):
                     items = evaluator.evaluate_module(module, context)
-                return QueryResult(items=items, statistics=statistics)
-
-            if settings.engine is Engine.SQL:
+                result = QueryResult(items=items, statistics=statistics)
+            elif settings.engine is Engine.SQL:
                 from repro.sqlbackend.executor import SQLEvaluator
 
                 evaluator = SQLEvaluator(store=self._sql_pool.store())
                 with maybe_span(trace, "execute"):
                     items = evaluator.evaluate_module(module, context)
-                return QueryResult(items=items, statistics=statistics)
+                result = QueryResult(items=items, statistics=statistics)
+            else:
+                result = self._evaluate_algebra(module, resolver, variables,
+                                                statistics, settings,
+                                                plan_cacheable, trace,
+                                                governor=governor)
+        result.analysis = analysis
+        return result
 
-            return self._evaluate_algebra(module, resolver, variables, statistics,
-                                          settings, plan_cacheable, trace,
-                                          governor=governor)
+    def _analysis_for(self, module: ast.Module, variables,
+                      settings: EvalSettings, span=None) -> "AnalysisReport":
+        """Run (or fetch) the static analysis of *module*.
+
+        Cached like the plan: keyed on the module fingerprint plus the
+        caller-bound variable *names* (values never matter statically),
+        but only for modules whose shape makes fingerprinting sound.
+        """
+        from repro.analysis import analyze_module
+
+        bound = frozenset((variables or {}).keys())
+        if not (settings.use_cache and plancache.module_cache_safe(module)):
+            if span is not None:
+                span.set(analysis_cache="bypass")
+            return analyze_module(module, bound)
+        key = settings.analysis_key(plancache.fingerprint([module]), bound)
+        report = self._analysis_cache.get(key)
+        if report is None:
+            if span is not None:
+                span.set(analysis_cache="miss")
+            report = analyze_module(module, bound)
+            self._analysis_cache.put(key, report)
+        elif span is not None:
+            span.set(analysis_cache="hit")
+        return report
 
     def _evaluate_algebra(self, module: ast.Module, resolver: DocumentResolver,
                           variables, statistics, settings: EvalSettings,
@@ -497,14 +548,16 @@ class Session:
     # -- caches & lifecycle --------------------------------------------------
 
     def clear_caches(self) -> None:
-        """Drop every cached parsed module and compiled plan."""
+        """Drop every cached parsed module, compiled plan and analysis."""
         self._module_cache.clear()
         self._plan_cache.clear()
+        self._analysis_cache.clear()
 
     def cache_stats(self) -> dict:
-        """Hit/miss/size counters of the module and plan caches."""
+        """Hit/miss/size counters of the module, plan and analysis caches."""
         return {"module": self._module_cache.stats(),
-                "plan": self._plan_cache.stats()}
+                "plan": self._plan_cache.stats(),
+                "analysis": self._analysis_cache.stats()}
 
     def stats(self) -> dict:
         """One snapshot of everything the session keeps hot."""

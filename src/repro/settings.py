@@ -27,7 +27,8 @@ import dataclasses
 import warnings
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Mapping, Optional
+from collections.abc import Mapping
+from typing import Any
 
 from repro.limits import ResourceLimits
 
@@ -62,8 +63,9 @@ class EvalSettings:
         ``"auto"`` (choose Delta when the distributivity check allows),
         ``"naive"`` or ``"delta"``.
     distributivity_checker:
-        ``"syntactic"`` (Figure 5), ``"algebraic"`` (Section 4) or
-        ``"never"``.
+        ``"syntactic"`` (Figure 5), ``"algebraic"`` (Section 4),
+        ``"analysis"`` (the strengthened cardinality-assisted proof of
+        :mod:`repro.analysis.distributivity`) or ``"never"``.
     engine:
         :class:`Engine` member (strings are coerced).
     backend:
@@ -71,6 +73,12 @@ class EvalSettings:
         ``"columnar"``); ``None`` picks the default.
     optimize:
         Apply the AST-level rewrites of :mod:`repro.xquery.optimizer`.
+    analyze:
+        Run the static analyzer (:mod:`repro.analysis`) over the compiled
+        module before execution: typed static errors (undefined variables/
+        functions, wrong arity, duplicates) surface engine-independently
+        and the :class:`~repro.analysis.report.AnalysisReport` is attached
+        to the result.  The report is cached alongside the plan.
     use_index:
         Answer axis steps from the per-document structural index.
     use_pushdown:
@@ -104,6 +112,7 @@ class EvalSettings:
     engine: Engine = Engine.INTERPRETER
     backend: str | None = None
     optimize: bool = True
+    analyze: bool = True
     use_index: bool = True
     use_pushdown: bool = True
     use_cache: bool = True
@@ -112,7 +121,7 @@ class EvalSettings:
     max_ifp_iterations: int = 100_000
     max_recursion_depth: int = 500
     collect_statistics: bool = True
-    limits: Optional[ResourceLimits] = None
+    limits: ResourceLimits | None = None
 
     def __post_init__(self):
         # Coerce engine strings ("sql") into the enum so equality/hashing
@@ -157,11 +166,22 @@ class EvalSettings:
             engine=Engine.ALGEBRA,
             backend=resolved_backend,
             use_pushdown=self.use_pushdown,
+            analyze=self.analyze,
         )
 
     def module_key(self, query: str) -> tuple:
         """The module-cache key of *query* under these settings."""
         return (query, bool(self.optimize))
+
+    def analysis_key(self, module_fingerprint: str,
+                     bound_variables: frozenset) -> tuple:
+        """The analysis-cache key of a compiled module under these settings.
+
+        Keyed on the module shape and the caller-bound variable *names*
+        (their values never matter statically); the ``analyze`` flag itself
+        gates the lookup, so it needs no component here.
+        """
+        return (module_fingerprint, bound_variables)
 
 
 def coerce_settings(value: "EvalSettings | Mapping[str, Any] | None",

@@ -17,7 +17,7 @@ Two decoders live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.xdm.node import Node
 

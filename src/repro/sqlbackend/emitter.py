@@ -139,32 +139,52 @@ class FixpointSql:
 
 def emit_fixpoint_sql(body: ast.Expr, variable: str,
                       variables: dict | None = None,
-                      push_predicates: bool = True) -> FixpointSql | None:
+                      push_predicates: bool = True,
+                      anchor_doc_id=None) -> FixpointSql | None:
     """Emit the recursive-CTE step member for *body*, or ``None``.
 
     *body* must be a linear step chain over *variable*: axis steps with
     name/kind tests, optionally ending in (or passing through) an ``fn:id``
-    call whose argument is itself a step chain from the context item.
-    Step predicates are pushed as ``EXISTS`` probes when they are
-    recognized value/existence shapes (*push_predicates*); *variables*
-    supplies bindings used to inline variable right-hand sides.
+    call whose argument is itself a step chain from the context item — or a
+    top-level ``id(chain-from-$var)`` call (the Q1 shape the strengthened
+    static analysis proves distributive).  Step predicates are pushed as
+    ``EXISTS`` probes when they are recognized value/existence shapes
+    (*push_predicates*); *variables* supplies bindings used to inline
+    variable right-hand sides.
+
+    *anchor_doc_id* scopes top-level ``id(...)`` lookups: ``fn:id`` anchors
+    at the evaluation's context node, whose document is unknown to the SQL
+    text, so the executor passes its ``doc_id`` — as an ``int`` or a
+    zero-argument callable resolved only if the body actually needs it.
+    Without one, top-level ``id(...)`` bodies are not emittable (the driver
+    loop gives them the interpreter's semantics).
     """
     try:
-        return _Emitter(variable, variables, push_predicates).emit(body)
+        return _Emitter(variable, variables, push_predicates,
+                        anchor_doc_id=anchor_doc_id).emit(body)
     except _NotEmittable:
         return None
 
 
 class _Emitter:
     def __init__(self, variable: str, variables: dict | None = None,
-                 push_predicates: bool = True):
+                 push_predicates: bool = True, anchor_doc_id=None):
         self.variable = variable
         self.variables = variables or {}
         self.push_predicates = push_predicates
+        self.anchor_doc_id = anchor_doc_id
         self.joins: list[str] = []
         self.guards: list[str] = []
         self._tests: dict[str, ast.NodeTest] = {}
         self._aliases = 0
+
+    def _resolve_anchor(self) -> int:
+        """The ``doc_id`` anchoring top-level ``id(...)`` lookups."""
+        if callable(self.anchor_doc_id):
+            self.anchor_doc_id = self.anchor_doc_id()
+        if not isinstance(self.anchor_doc_id, int):
+            raise _NotEmittable
+        return self.anchor_doc_id
 
     # -- infrastructure ------------------------------------------------------
 
@@ -219,6 +239,13 @@ class _Emitter:
         if isinstance(expr, ast.PathExpr):
             left = self._chain(expr.left, context_alias, in_id_argument)
             return self._apply_step(expr.right, left)
+        if (isinstance(expr, ast.FunctionCall) and not in_id_argument
+                and expr.name in ("id", "fn:id") and len(expr.args) == 1):
+            # Top-level ``id(chain-from-$var)``: the argument walks from the
+            # recursion variable, the lookup anchors at the context node's
+            # document (supplied by the executor as anchor_doc_id).
+            return self._id_join(expr.args[0], context_alias,
+                                 from_variable=True)
         if isinstance(expr, ast.AxisStep):
             # A bare step is relative to the context item (inside id()).
             if not in_id_argument:
@@ -309,17 +336,25 @@ class _Emitter:
             return clauses
         raise _NotEmittable
 
-    def _id_join(self, argument: ast.Expr, context_alias: str) -> str:
+    def _id_join(self, argument: ast.Expr, context_alias: str,
+                 from_variable: bool = False) -> str:
         """``fn:id(arg)``: join the ID table on the argument's string value.
 
-        The argument must be a step chain from the context item; its string
-        values come straight from the materialised ``value`` column.  The
-        lookup is scoped to the document of the context node, matching
-        ``fn:id``'s anchoring at the context item.
+        In step position (``…/id(./chain)``) the argument walks from the
+        context item and the lookup is scoped to the context node's
+        document.  In top-level position (``id(chain-from-$var)``,
+        *from_variable*) the argument walks from the recursion variable and
+        the lookup is scoped to the anchor document the executor supplies —
+        ``fn:id`` anchors at the evaluation's context node, which the SQL
+        cannot otherwise see.  Either way the string values come straight
+        from the materialised ``value`` column.
         """
-        value_alias = self._chain(argument, context_alias, in_id_argument=True)
+        value_alias = self._chain(argument, context_alias,
+                                  in_id_argument=not from_variable)
         if value_alias == context_alias:
-            raise _NotEmittable  # id(.) — not produced by the supported fragment
+            raise _NotEmittable  # id(.) / id($x) — outside the fragment
+        doc_scope = (str(self._resolve_anchor()) if from_variable
+                     else f"{context_alias}.doc_id")
         self.guards.append(self._multi_token_guard(value_alias))
         alias = self._fresh()
         # TRIM matches the interpreter's whitespace handling for a single ID
@@ -327,7 +362,7 @@ class _Emitter:
         # still drives the (doc_id, value) index.
         self._join(
             "id_attr", alias,
-            f"{alias}.doc_id = {context_alias}.doc_id "
+            f"{alias}.doc_id = {doc_scope} "
             f"AND {alias}.value = TRIM({value_alias}.value, ' ' || char(9, 10, 13))",
         )
         # id_attr.pre is an element pre; downstream steps need node columns.

@@ -31,13 +31,14 @@ from __future__ import annotations
 
 import itertools
 import sqlite3
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro import faults
 from repro.errors import FixpointError, SqlBackendError
 from repro.fixpoint.engine import FixpointResult
 from repro.limits import active_governor, sqlite_guard
 from repro.observability import active_trace, maybe_span
+from repro.xdm.items import is_node
 from repro.xdm.node import AttributeNode
 from repro.fixpoint.stats import FixpointStatistics
 from repro.sqlbackend.decode import decode_pres
@@ -71,6 +72,11 @@ class SqlFixpointExecutor:
         #: only the last :attr:`MAX_RECORDED_STATEMENTS` are retained.
         self.executed_statements: list[str] = []
         self._run_ids = itertools.count(1)
+        #: Guard-probe verdicts keyed on (guard SQL, store version): the
+        #: multi-token IDREFS probes are data-dependent EXISTS scans, so a
+        #: hot executor (service pool, repeated fixpoints in one query)
+        #: re-proves them only after the store actually changes.
+        self._guard_verdicts: dict[tuple[tuple[str, ...], int], bool] = {}
 
     def _record_statement(self, statement: str) -> None:
         self.executed_statements.append(statement)
@@ -82,7 +88,8 @@ class SqlFixpointExecutor:
             max_iterations: int = 100_000,
             variables: dict | None = None,
             push_predicates: bool = True,
-            trace=None, governor=None) -> FixpointResult:
+            trace=None, governor=None,
+            anchor_document=None) -> FixpointResult:
         """Evaluate the fixpoint of *expr* seeded by *seed*.
 
         ``algorithm`` is the decision of the usual Naive/Delta procedure
@@ -99,6 +106,9 @@ class SqlFixpointExecutor:
         driver loop checks at round boundaries, and both paths install a
         SQLite progress handler (:func:`repro.limits.sqlite_guard`) so a
         single monster ``WITH RECURSIVE`` honours deadlines too.
+        ``anchor_document`` is the context node's document (or ``None``):
+        top-level ``id(...)`` bodies scope their ID lookups to it, so
+        without one they fall back to the driver loop.
         """
         seed_nodes = ensure_node_sequence(list(seed), "inflationary fixed point seed")
         # encode() may shred a large unseen document on demand; the
@@ -110,9 +120,11 @@ class SqlFixpointExecutor:
             # Attribute seeds cannot enter the CTE: their pre ranks live in
             # the attr table, which the emitted chain never reads — the
             # driver loop gives them the interpreter's semantics instead.
-            emitted = emit_fixpoint_sql(expr.body, expr.var,
-                                        variables=variables,
-                                        push_predicates=push_predicates)
+            emitted = emit_fixpoint_sql(
+                expr.body, expr.var, variables=variables,
+                push_predicates=push_predicates,
+                anchor_doc_id=self._anchor_resolver(anchor_document,
+                                                    governor=governor))
         use_cte = emitted is not None and not self._guards_trip(emitted)
         if PROFILE.enabled:
             PROFILE.record("sql:fixpoint", use_cte)
@@ -145,12 +157,41 @@ class SqlFixpointExecutor:
                      rounds=result.statistics.recursion_depth)
         return result
 
+    def _anchor_resolver(self, anchor_document, governor=None):
+        """A lazy ``doc_id`` supplier for top-level ``id(...)`` emission.
+
+        Resolved only when the body actually contains a top-level ``id``
+        call: shredding the anchor document just in case would be wasted
+        work for every other body shape.
+        """
+        def resolve():
+            if anchor_document is None:
+                return None
+            self.store.encode([anchor_document], governor=governor)
+            return self.store.doc_id_of(anchor_document)
+
+        return resolve
+
     def _guards_trip(self, emitted: FixpointSql) -> bool:
         """True when the store holds data the emitted chain would mishandle
-        (multi-token IDREFS content) — the driver loop takes over then."""
-        connection = self.store.connection
-        return any(connection.execute(guard).fetchone()[0]
-                   for guard in emitted.guards)
+        (multi-token IDREFS content) — the driver loop takes over then.
+
+        Verdicts are cached per store version: the probes only depend on
+        shredded content, so they hold until the next shred.
+        """
+        guards = tuple(emitted.guards)
+        if not guards:
+            return False
+        key = (guards, self.store.version)
+        verdict = self._guard_verdicts.get(key)
+        if verdict is None:
+            connection = self.store.connection
+            verdict = any(connection.execute(guard).fetchone()[0]
+                          for guard in guards)
+            if len(self._guard_verdicts) > 256:
+                self._guard_verdicts.clear()
+            self._guard_verdicts[key] = verdict
+        return verdict
 
     # -- the recursive CTE path ---------------------------------------------
 
@@ -322,6 +363,9 @@ class SQLEvaluator(Evaluator):
             return self.evaluate(expr.body, context.bind(expr.var, nodes))
 
         algorithm = self._choose_ifp_algorithm(expr, context)
+        anchor_document = None
+        if context.focus.defined and is_node(context.focus.item):
+            anchor_document = context.focus.item.document()
         result = self.executor.run(
             expr, seed, body, algorithm,
             max_iterations=context.options.max_ifp_iterations,
@@ -329,6 +373,7 @@ class SQLEvaluator(Evaluator):
             push_predicates=context.options.use_pushdown,
             trace=active_trace(context.options.trace),
             governor=active_governor(context.options.limits),
+            anchor_document=anchor_document,
         )
         if context.statistics is not None and hasattr(context.statistics, "record_ifp"):
             context.statistics.record_ifp(result.statistics)
@@ -337,7 +382,7 @@ class SQLEvaluator(Evaluator):
 
 def fixpoint_statements(module_or_expr, optimize: bool = True,
                         ifp_algorithm: str = "auto",
-                        push_predicates: bool = True) -> list[tuple[ast.WithExpr, Optional[FixpointSql]]]:
+                        push_predicates: bool = True) -> list[tuple[ast.WithExpr, FixpointSql | None]]:
     """All ``with … recurse`` forms of a query plus their emitted SQL.
 
     Returns ``(expr, emitted)`` pairs where ``emitted`` is ``None`` for
@@ -363,7 +408,7 @@ def fixpoint_statements(module_or_expr, optimize: bool = True,
     else:
         expressions.append(module_or_expr)
 
-    pairs: list[tuple[ast.WithExpr, Optional[FixpointSql]]] = []
+    pairs: list[tuple[ast.WithExpr, FixpointSql | None]] = []
     for expression in expressions:
         for sub in expression.iter_subexpressions():
             if isinstance(sub, ast.WithExpr):

@@ -33,7 +33,6 @@ import os
 import shutil
 import tempfile
 import threading
-from typing import Optional
 
 from repro.sqlbackend.shredder import SqlDocumentStore
 from repro.xdm import index as _index_module
@@ -157,7 +156,7 @@ class SqlStorePool:
                 "generation": self._generation,
             }
 
-    def journal_mode(self) -> Optional[str]:
+    def journal_mode(self) -> str | None:
         """The journal mode of this thread's store (for tests/stats)."""
         row = self.store().connection.execute("PRAGMA journal_mode").fetchone()
         return row[0] if row else None

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 import sqlite3
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro import faults
 from repro.errors import SqlBackendError
@@ -56,6 +56,17 @@ class SqlDocumentStore:
         self._pre_of: dict[int, int] = {}
         self._node_of: dict[int, Node] = {}
         self._doc_of_root: dict[int, int] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Bumped on every successful shred.
+
+        Data-dependent verdicts derived from the store's content (the
+        executor's EXISTS guard probes) stay valid exactly while this
+        number is unchanged, so they key their caches on it.
+        """
+        return self._version
 
     # -- shredding -----------------------------------------------------------
 
@@ -127,6 +138,7 @@ class SqlDocumentStore:
         self._pre_of.update(local_pre)
         self._node_of.update(local_node)
         self._doc_of_root[id(root)] = doc_id
+        self._version += 1
         # Refresh planner statistics: without them SQLite may drive child
         # steps through the name index (scanning every element of that name
         # per recursive round) instead of the (parent, name) index.  Trees
@@ -183,6 +195,10 @@ class SqlDocumentStore:
                 stack.append(("enter", child, pre, level + 1))
 
     # -- encode / decode -----------------------------------------------------
+
+    def doc_id_of(self, root: Node) -> int | None:
+        """The ``doc_id`` of a shredded tree's root (``None`` if unseen)."""
+        return self._doc_of_root.get(id(root))
 
     def encode(self, nodes: Iterable[Node],
                governor=None) -> list[int]:

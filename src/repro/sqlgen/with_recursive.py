@@ -11,7 +11,7 @@ draws with XQuery, where distributivity must be checked.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.errors import FixpointError
 from repro.sqlgen.relation import Relation

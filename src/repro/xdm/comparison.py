@@ -8,7 +8,8 @@ value-based joins of the benchmark queries.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.xdm.items import UntypedAtomic, is_node, is_numeric, xs_double
 from repro.xdm.node import (

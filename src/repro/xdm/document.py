@@ -12,7 +12,7 @@ Construction happens in document (pre-)order so that the global
 
 from __future__ import annotations
 
-from typing import Iterable, Union
+from collections.abc import Iterable
 
 from repro.errors import XQueryTypeError
 from repro.xdm.node import (
@@ -26,7 +26,7 @@ from repro.xdm.node import (
 )
 
 #: Things accepted as element content by :func:`element`.
-Content = Union[Node, str, int, float, bool, "Iterable[object]"]
+Content = Node | str | int | float | bool | Iterable[object]
 
 
 def document(*children: Content, base_uri: str | None = None) -> DocumentNode:

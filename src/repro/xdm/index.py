@@ -37,7 +37,6 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from threading import RLock
-from typing import Optional
 
 from repro import faults
 from repro.observability.tracing import current_trace
@@ -159,9 +158,9 @@ class StructuralIndex:
 
     def _reset_value_indexes(self) -> None:
         #: attribute name → set of owner-element pres
-        self._attr_owner_sets: Optional[dict[str, set[int]]] = None
+        self._attr_owner_sets: dict[str, set[int]] | None = None
         #: attribute name → value → set of owner-element pres
-        self._attr_value_sets: Optional[dict[str, dict[str, set[int]]]] = None
+        self._attr_value_sets: dict[str, dict[str, set[int]]] | None = None
         #: element name → set of parent pres (child-existence tests)
         self._child_parent_sets: dict[str, set[int]] = {}
         #: element name → string value → set of element pres
@@ -244,7 +243,7 @@ class StructuralIndex:
     def __len__(self) -> int:
         return len(self.nodes)
 
-    def pre(self, node: Node) -> Optional[int]:
+    def pre(self, node: Node) -> int | None:
         """The pre rank of *node* in this tree, or ``None`` (attributes,
         nodes of other trees)."""
         return self.pre_of.get(id(node))
@@ -263,7 +262,7 @@ class StructuralIndex:
     # ``None`` when this index cannot answer (node not covered).
 
     def step(self, node: Node, axis: str, kind: str,
-             name: Optional[str]) -> Optional[list[Node]]:
+             name: str | None) -> list[Node] | None:
         """One axis step with node test, answered from the index."""
         if axis == "attribute":
             return _match_attributes(node, kind, name)
@@ -327,7 +326,7 @@ class StructuralIndex:
         return None
 
     def descendant_interval(self, node: Node,
-                            or_self: bool = False) -> Optional[tuple[int, int]]:
+                            or_self: bool = False) -> tuple[int, int] | None:
         """The inclusive pre-order interval covering *node*'s subtree."""
         pre = self.pre_of.get(id(node))
         if pre is None:
@@ -335,14 +334,14 @@ class StructuralIndex:
         return (pre if or_self else pre + 1, pre + self.size[pre])
 
     def range_matches(self, lo: int, hi: int, kind: str,
-                      name: Optional[str]) -> list[Node]:
+                      name: str | None) -> list[Node]:
         """Nodes in the inclusive pre interval ``[lo, hi]`` passing the test."""
         return self._range_matches(lo, hi, kind, name)
 
     # -- internals ------------------------------------------------------------
 
     def _range_matches(self, lo: int, hi: int, kind: str,
-                       name: Optional[str]) -> list[Node]:
+                       name: str | None) -> list[Node]:
         if hi < lo:
             return []
         nodes = self.nodes
@@ -356,7 +355,7 @@ class StructuralIndex:
         stop = bisect_right(pres, hi, start)
         return [nodes[p] for p in pres[start:stop]]
 
-    def _test_pres(self, kind: str, name: Optional[str]) -> Optional[list[int]]:
+    def _test_pres(self, kind: str, name: str | None) -> list[int] | None:
         """The sorted pre list matching a node test, or ``None``."""
         if kind == "name":
             if name == "*":
@@ -376,7 +375,7 @@ class StructuralIndex:
         return self.kind_pres.get(cls, [])
 
     def _children(self, pre: int, node: Node, kind: str,
-                  name: Optional[str]) -> list[Node]:
+                  name: str | None) -> list[Node]:
         if kind in ("name", "element") and name not in (None, "*"):
             by_name = self._child_by_name.get(pre)
             if by_name is None:
@@ -395,7 +394,7 @@ class StructuralIndex:
 # ---------------------------------------------------------------------------
 
 
-def _matches(node: Node, kind: str, name: Optional[str], axis: str) -> bool:
+def _matches(node: Node, kind: str, name: str | None, axis: str) -> bool:
     if kind == "name":
         if axis == "attribute":
             if not isinstance(node, AttributeNode):
@@ -421,13 +420,13 @@ def _matches(node: Node, kind: str, name: Optional[str], axis: str) -> bool:
     return False
 
 
-def _match_attributes(node: Node, kind: str, name: Optional[str]) -> list[Node]:
+def _match_attributes(node: Node, kind: str, name: str | None) -> list[Node]:
     attributes = node.attribute_axis()
     return [a for a in attributes if _matches(a, kind, name, "attribute")]
 
 
 def _attribute_upward(node: AttributeNode, axis: str, kind: str,
-                      name: Optional[str]) -> Optional[list[Node]]:
+                      name: str | None) -> list[Node] | None:
     if axis in ("descendant", "child", "following-sibling", "preceding-sibling"):
         return []
     if axis == "descendant-or-self":
@@ -487,7 +486,7 @@ def mutation_generation() -> int:
     return _MUTATION_GENERATION
 
 
-def index_for(node: Node, build: bool = True) -> Optional[StructuralIndex]:
+def index_for(node: Node, build: bool = True) -> StructuralIndex | None:
     """The structural index of *node*'s tree (built lazily, cached per root)."""
     root = _root_of(node)
     with _REGISTRY_LOCK:
@@ -518,7 +517,7 @@ def index_for(node: Node, build: bool = True) -> Optional[StructuralIndex]:
     return built
 
 
-def cached_index(node: Node) -> Optional[StructuralIndex]:
+def cached_index(node: Node) -> StructuralIndex | None:
     """The cached index of *node*'s tree, or ``None`` (never builds)."""
     return index_for(node, build=False)
 
@@ -593,7 +592,7 @@ _SINGLE_NODE_AXES = {"descendant", "descendant-or-self", "following",
 
 
 def indexed_step(node: Node, axis: str, kind: str,
-                 name: Optional[str]) -> Optional[list[Node]]:
+                 name: str | None) -> list[Node] | None:
     """One context node's axis step via the structural index.
 
     Returns the matched nodes in the axis's natural order, or ``None`` when
@@ -631,7 +630,7 @@ class IndexSet:
         return idx
 
     def step(self, node: Node, axis: str, kind: str,
-             name: Optional[str]) -> Optional[list[Node]]:
+             name: str | None) -> list[Node] | None:
         """One node's axis step, any axis, in the axis's natural order."""
         if axis == "attribute":
             return _match_attributes(node, kind, name)
@@ -643,7 +642,7 @@ class IndexSet:
 
 
 def batch_step(nodes: list[Node], axis: str, kind: str,
-               name: Optional[str]) -> Optional[list[Node]]:
+               name: str | None) -> list[Node] | None:
     """A whole column of context nodes through one axis step.
 
     Returns the union of the per-node step results, deduplicated and in
@@ -734,7 +733,7 @@ def _ddo_by_order_key(collected: list[Node], already_unique: bool) -> list[Node]
 
 
 def _batch_plane(distinct: list[Node], axis: str, kind: str,
-                 name: Optional[str]) -> Optional[list[Node]]:
+                 name: str | None) -> list[Node] | None:
     """Batch kernels over the pre-order plane (descendant axes, following)."""
     indexes = IndexSet()
     by_index: "OrderedDict[int, tuple[StructuralIndex, list[int]]]" = OrderedDict()

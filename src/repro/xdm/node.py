@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from enum import Enum
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.errors import XQueryTypeError
 from repro.xdm.items import UntypedAtomic
@@ -91,7 +91,7 @@ class Node:
 
     def __init__(self) -> None:
         self.order_key: int = _next_order_key()
-        self.parent: Optional[Node] = None
+        self.parent: Node | None = None
 
     # -- identity and order -------------------------------------------------
 
@@ -115,7 +115,7 @@ class Node:
         return []
 
     @property
-    def name(self) -> Optional[str]:
+    def name(self) -> str | None:
         """The node name (elements, attributes, PIs) or ``None``."""
         return None
 
@@ -126,7 +126,7 @@ class Node:
             node = node.parent
         return node
 
-    def document(self) -> Optional["DocumentNode"]:
+    def document(self) -> "DocumentNode" | None:
         """The containing document node, if the tree is document-rooted."""
         root = self.root()
         return root if isinstance(root, DocumentNode) else None
@@ -270,7 +270,7 @@ class DocumentNode(Node):
         self._children.append(child)
         _notify_structure_change(self)
 
-    def document_element(self) -> Optional["ElementNode"]:
+    def document_element(self) -> "ElementNode" | None:
         """The single element child of the document, if any."""
         for child in self._children:
             if isinstance(child, ElementNode):
@@ -288,7 +288,7 @@ class DocumentNode(Node):
         """Register *element* as the bearer of ID *value* (first one wins)."""
         self._id_map.setdefault(value, element)
 
-    def lookup_id(self, value: str) -> Optional["ElementNode"]:
+    def lookup_id(self, value: str) -> "ElementNode" | None:
         """Return the element carrying ID *value*, or ``None``."""
         return self._id_map.get(value)
 
@@ -339,7 +339,7 @@ class ElementNode(Node):
     def attribute_axis(self) -> list["AttributeNode"]:
         return list(self._attributes)
 
-    def get_attribute(self, name: str) -> Optional["AttributeNode"]:
+    def get_attribute(self, name: str) -> "AttributeNode" | None:
         """Look up an attribute node by name, or ``None``."""
         for attribute in self._attributes:
             if attribute.name == name:

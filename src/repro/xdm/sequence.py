@@ -16,7 +16,8 @@ written in:
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from repro.errors import XQueryTypeError
 from repro.xdm.items import atomize_item, is_atomic, is_node, is_numeric

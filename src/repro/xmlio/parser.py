@@ -21,7 +21,7 @@ line/column information.
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.errors import XMLSyntaxError
 from repro.xdm.document import register_ids

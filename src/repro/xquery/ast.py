@@ -16,7 +16,7 @@ the evaluation algorithm.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence, Union
+from collections.abc import Iterator, Sequence
 
 
 # ---------------------------------------------------------------------------
@@ -38,7 +38,7 @@ class SequenceType:
 
     item_type: str
     occurrence: str = ""
-    name: Optional[str] = None
+    name: str | None = None
 
     def __str__(self) -> str:
         if self.item_type == "empty-sequence":
@@ -110,7 +110,7 @@ class Expr:
 class Literal(Expr):
     """A string or numeric literal."""
 
-    value: Union[str, int, float]
+    value: str | int | float
 
 
 @dataclass(frozen=True)
@@ -289,7 +289,7 @@ class ForExpr(Expr):
     var: str
     sequence: Expr
     body: Expr
-    position_var: Optional[str] = None
+    position_var: str | None = None
 
     def children(self):
         bound = {self.var}
@@ -348,7 +348,7 @@ class TypeswitchCase(Expr):
 
     sequence_type: SequenceType
     body: Expr
-    var: Optional[str] = None
+    var: str | None = None
 
     def children(self):
         bound = frozenset({self.var}) if self.var else frozenset()
@@ -362,7 +362,7 @@ class TypeswitchExpr(Expr):
     operand: Expr
     cases: tuple[TypeswitchCase, ...]
     default: Expr
-    default_var: Optional[str] = None
+    default_var: str | None = None
 
     def children(self):
         result: list[tuple[Expr, frozenset[str]]] = [(self.operand, frozenset())]
@@ -412,7 +412,7 @@ class NodeTest(Expr):
     """
 
     kind: str
-    name: Optional[str] = None
+    name: str | None = None
 
 
 @dataclass(frozen=True)
@@ -519,8 +519,8 @@ class ComputedConstructor(Expr):
     """
 
     kind: str
-    name: Optional[Expr] = None
-    content: Optional[Expr] = None
+    name: Expr | None = None
+    content: Expr | None = None
 
     def children(self):
         result = []
@@ -575,7 +575,7 @@ class Param:
     """A function parameter ``$name as type``."""
 
     name: str
-    declared_type: Optional[SequenceType] = None
+    declared_type: SequenceType | None = None
 
 
 @dataclass(frozen=True)
@@ -585,7 +585,7 @@ class FunctionDecl:
     name: str
     params: tuple[Param, ...]
     body: Expr
-    return_type: Optional[SequenceType] = None
+    return_type: SequenceType | None = None
 
     @property
     def arity(self) -> int:
@@ -597,9 +597,9 @@ class VariableDecl:
     """A prolog variable declaration ``declare variable $x := e;``."""
 
     name: str
-    value: Optional[Expr]
+    value: Expr | None
     external: bool = False
-    declared_type: Optional[SequenceType] = None
+    declared_type: SequenceType | None = None
 
 
 @dataclass(frozen=True)
@@ -618,6 +618,25 @@ class Module:
 # ---------------------------------------------------------------------------
 # helpers used across the analyses
 # ---------------------------------------------------------------------------
+
+
+def set_position(node: object, line: int, column: int) -> None:
+    """Stamp a 1-based source (line, column) onto an AST node.
+
+    Positions ride outside the dataclass fields (``object.__setattr__`` on
+    the frozen instances), so structural equality, hashing and
+    ``dataclasses.replace`` are unaffected; a node rebuilt by the optimizer
+    simply loses its stamp and :func:`get_position` returns ``None``.
+    """
+    object.__setattr__(node, "_pos", (line, column))
+
+
+def get_position(node: object) -> tuple[int, int] | None:
+    """The (line, column) stamped by the parser, or ``None``."""
+    position = getattr(node, "_pos", None)
+    if isinstance(position, tuple) and len(position) == 2:
+        return position
+    return None
 
 
 def substitute_variable(expr: Expr, var: str, replacement: Expr) -> Expr:

@@ -9,9 +9,10 @@ available documents) plus engine options and statistics hooks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
-from repro.errors import XQueryDynamicError
+from repro.errors import UndefinedVariableError, XQueryDynamicError
 from repro.xquery.ast import FunctionDecl
 
 
@@ -82,7 +83,7 @@ class StaticContext:
     functions: dict[tuple[str, int], FunctionDecl] = field(default_factory=dict)
     options: EvaluationOptions = field(default_factory=EvaluationOptions)
 
-    def lookup_function(self, name: str, arity: int) -> Optional[FunctionDecl]:
+    def lookup_function(self, name: str, arity: int) -> FunctionDecl | None:
         return self.functions.get((name, arity))
 
 
@@ -95,7 +96,7 @@ class DocumentResolver:
     return the *same* node identities, as XQuery requires.
     """
 
-    def __init__(self, loader: Optional[Callable[[str], Any]] = None):
+    def __init__(self, loader: Callable[[str], Any] | None = None):
         self._documents: dict[str, Any] = {}
         self._loader = loader
 
@@ -199,7 +200,10 @@ class DynamicContext:
         try:
             return self.variables[name]
         except KeyError:
-            raise XQueryDynamicError(f"variable ${name} is not bound", code="XPDY0002") from None
+            # The static analyzer catches this before evaluation (with a
+            # source position); this is the engine-side backstop for raw
+            # Evaluator use and analyze=False runs.
+            raise UndefinedVariableError(name) from None
 
     def context_item(self) -> Any:
         if not self.focus.defined:

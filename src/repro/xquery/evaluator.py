@@ -18,9 +18,15 @@ from __future__ import annotations
 import sys
 import threading
 from contextlib import contextmanager
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
-from repro.errors import XQueryDynamicError, XQueryStaticError, XQueryTypeError
+from repro.errors import (
+    UndefinedFunctionError,
+    XQueryDynamicError,
+    XQueryStaticError,
+    XQueryTypeError,
+)
 from repro.limits import active_governor
 from repro.xdm.comparison import atomic_equal, atomic_less_than
 from repro.xdm.document import copy_node
@@ -320,7 +326,7 @@ class Evaluator:
             ]
         raise XQueryStaticError(f"unknown arithmetic operator {op!r}")  # pragma: no cover
 
-    def _numeric_operand(self, sequence: Sequence) -> Optional[float]:
+    def _numeric_operand(self, sequence: Sequence) -> float | None:
         values = atomize(sequence)
         if not values:
             return None
@@ -341,7 +347,7 @@ class Evaluator:
             return []
         return [-value if expr.op == "-" else +value]
 
-    def _singleton_integer(self, sequence: Sequence) -> Optional[int]:
+    def _singleton_integer(self, sequence: Sequence) -> int | None:
         values = atomize(sequence)
         if not values:
             return None
@@ -428,7 +434,14 @@ class Evaluator:
         checker = options.distributivity_checker
         if checker == "never":
             return "naive"
-        if checker == "algebraic":
+        if checker == "analysis":
+            from repro.analysis.distributivity import is_distributive_static
+
+            distributive = is_distributive_static(
+                expr.body, expr.var, functions=context.static.functions,
+                seed=expr.seed,
+            )
+        elif checker == "algebraic":
             from repro.algebra.distributivity import is_distributive_algebraic
 
             try:
@@ -665,9 +678,8 @@ class Evaluator:
         builtin = lookup_builtin(expr.name, len(args))
         if builtin is not None:
             return builtin.implementation(context, *args)
-        raise XQueryStaticError(
-            f"unknown function {expr.name}#{len(args)}", code="XPST0017"
-        )
+        position = ast.get_position(expr) or (None, None)
+        raise UndefinedFunctionError(expr.name, len(args), *position)
 
     def _call_user_function(self, declaration: ast.FunctionDecl, args: list[Sequence],
                             context: DynamicContext) -> Sequence:

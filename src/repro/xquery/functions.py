@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 from repro.errors import XQueryDynamicError, XQueryTypeError
 from repro.xdm.comparison import atomic_equal, deep_equal
@@ -60,7 +61,7 @@ def register(name: str, min_arity: int, max_arity: int | None = None):
     return decorator
 
 
-def lookup_builtin(name: str, arity: int) -> Optional[Builtin]:
+def lookup_builtin(name: str, arity: int) -> Builtin | None:
     """Find a built-in by (possibly prefixed) name and arity."""
     local = name
     if ":" in name:
@@ -73,6 +74,25 @@ def lookup_builtin(name: str, arity: int) -> Optional[Builtin]:
     if builtin is not None and builtin.accepts_arity(arity):
         return builtin
     return None
+
+
+def builtin_arity_range(name: str) -> tuple[int, int] | None:
+    """The (min, max) arity a built-in *name* accepts, or ``None`` if unknown.
+
+    Same prefix rules as :func:`lookup_builtin`; used by the static scope
+    checker to distinguish a wrong-arity call from an unknown function.
+    """
+    local = name
+    if ":" in name:
+        prefix, local = name.split(":", 1)
+        if prefix not in ("fn", "xs", "fs"):
+            return None
+        if prefix in ("xs", "fs"):
+            local = name
+    builtin = _REGISTRY.get(local)
+    if builtin is None:
+        return None
+    return builtin.min_arity, builtin.max_arity
 
 
 def builtin_names() -> list[str]:
@@ -99,7 +119,7 @@ def _single_node(sequence: Sequence, function: str) -> Node:
     return sequence[0]
 
 
-def _optional_numeric(sequence: Sequence) -> Optional[float]:
+def _optional_numeric(sequence: Sequence) -> float | None:
     if not sequence:
         return None
     if len(sequence) > 1:

@@ -41,10 +41,15 @@ class Lexer:
 
     # -- character-level helpers (also used by the parser for constructors) --
 
+    def line_column(self, pos: int) -> tuple[int, int]:
+        """1-based (line, column) of character offset *pos* in the query."""
+        line = self.text.count("\n", 0, pos) + 1
+        column = pos - self.text.rfind("\n", 0, pos)
+        return line, column
+
     def error(self, message: str, pos: int | None = None) -> XQuerySyntaxError:
         position = self.pos if pos is None else pos
-        line = self.text.count("\n", 0, position) + 1
-        column = position - self.text.rfind("\n", 0, position)
+        line, column = self.line_column(position)
         return XQuerySyntaxError(f"{message} at line {line}, column {column}")
 
     def at_end(self) -> bool:

@@ -5,15 +5,32 @@ them in the convenience API and the benchmark harness so that the
 interpreter spends its time on the recursion behaviour under study rather
 than on avoidable axis work.
 
-Currently implemented:
+Currently implemented (the rewrite catalog, see DESIGN.md §11):
 
 * ``e/descendant-or-self::node()/child::t``  →  ``e/descendant::t``
   (the standard ``//`` abbreviation fusion), including the variant where a
   predicate list sits on the final step.
+* **constant folding** — arithmetic, unary minus and comparisons over
+  literal operands, skipping anything that could raise (division by zero,
+  mixed-type comparisons).
+* **dead-branch elimination** — ``if (c) then a else b`` collapses to the
+  live branch when the condition's effective boolean value is statically
+  known (literals, ``()``, ``true()``/``false()``).
+* **unused-let pruning** — ``let $v := e return b`` with ``$v`` not free in
+  ``b`` collapses to ``b`` when ``e`` provably cannot raise (literals,
+  ``()`` and sequences thereof; paths and calls are kept, they can error).
+* **unused-function pruning** (:func:`optimize_module`) — declarations not
+  reachable through the call graph from the query body, the variable
+  initializers or another reachable function are dropped.
+
+Every rewrite is verified item-identical across the interpreter, algebra
+and SQL engines by randomized property tests
+(``tests/test_optimizer_rewrites.py``), rewrites on versus off.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import fields, replace
 
 from repro.xquery import ast
@@ -22,11 +39,15 @@ from repro.xquery import ast
 def optimize(expr: ast.Expr) -> ast.Expr:
     """Return an optimized copy of *expr* (the input is never mutated)."""
     rewritten = _rewrite_children(expr)
-    return _fuse_descendant_step(rewritten)
+    rewritten = _fold_constants(rewritten)
+    rewritten = _eliminate_dead_branch(rewritten)
+    rewritten = _fuse_descendant_step(rewritten)
+    return _prune_unused_let(rewritten)
 
 
 def optimize_module(module: ast.Module) -> ast.Module:
-    """Optimize every function body, variable initializer and the query body."""
+    """Optimize every function body, variable initializer and the query body,
+    then drop function declarations the call graph cannot reach."""
     functions = tuple(
         replace(function, body=optimize(function.body)) for function in module.functions
     )
@@ -34,7 +55,9 @@ def optimize_module(module: ast.Module) -> ast.Module:
         replace(decl, value=optimize(decl.value)) if decl.value is not None else decl
         for decl in module.variables
     )
-    return ast.Module(functions=functions, variables=variables, body=optimize(module.body))
+    body = optimize(module.body)
+    functions = _prune_unused_functions(functions, variables, body)
+    return ast.Module(functions=functions, variables=variables, body=body)
 
 
 def _rewrite_children(expr: ast.Expr) -> ast.Expr:
@@ -78,3 +101,178 @@ def _fuse_descendant_step(expr: ast.Expr) -> ast.Expr:
         fused_step = ast.AxisStep("descendant", right.node_test, right.predicates)
         return ast.PathExpr(left.left, fused_step)
     return expr
+
+
+# ---------------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------------
+
+
+def _numeric_literal(expr: ast.Expr) -> int | float | None:
+    """The numeric value of a literal operand (bools are not numbers here)."""
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, (int, float)) \
+            and not isinstance(expr.value, bool):
+        return expr.value
+    return None
+
+
+def _fold_constants(expr: ast.Expr) -> ast.Expr:
+    if isinstance(expr, ast.UnaryExpr):
+        value = _numeric_literal(expr.operand)
+        if value is not None:
+            return ast.Literal(-value if expr.op == "-" else +value)
+        return expr
+    if isinstance(expr, ast.ArithmeticExpr):
+        left = _numeric_literal(expr.left)
+        right = _numeric_literal(expr.right)
+        if left is None or right is None:
+            return expr
+        if expr.op == "+":
+            return ast.Literal(left + right)
+        if expr.op == "-":
+            return ast.Literal(left - right)
+        if expr.op == "*":
+            return ast.Literal(left * right)
+        # division family: only with a provably non-zero divisor, and only
+        # matching the evaluator's semantics exactly
+        if right == 0 or (isinstance(right, float) and math.isnan(right)):
+            return expr
+        if expr.op == "div":
+            return ast.Literal(left / right)
+        if expr.op == "idiv" and isinstance(left, int) and isinstance(right, int):
+            quotient = abs(left) // abs(right)
+            return ast.Literal(quotient if (left >= 0) == (right >= 0) else -quotient)
+        if expr.op == "mod" and isinstance(left, int) and isinstance(right, int):
+            remainder = abs(left) % abs(right)
+            return ast.Literal(remainder if left >= 0 else -remainder)
+        return expr
+    if isinstance(expr, (ast.ValueComparison, ast.GeneralComparison)):
+        return _fold_comparison(expr)
+    return expr
+
+
+_COMPARISON_OPS = {
+    "=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    "eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+}
+
+
+def _fold_comparison(expr: ast.Expr) -> ast.Expr:
+    op = _COMPARISON_OPS.get(expr.op)
+    if op is None:
+        return expr
+    left = _numeric_literal(expr.left)
+    right = _numeric_literal(expr.right)
+    if left is None or right is None:
+        # same-type string comparison folds too; anything else is left
+        # alone (mixed-type comparisons raise at runtime)
+        if not (isinstance(expr.left, ast.Literal) and isinstance(expr.right, ast.Literal)
+                and isinstance(expr.left.value, str) and isinstance(expr.right.value, str)):
+            return expr
+        left, right = expr.left.value, expr.right.value
+    result = {
+        "==": left == right, "!=": left != right,
+        "<": left < right, "<=": left <= right,
+        ">": left > right, ">=": left >= right,
+    }[op]
+    return ast.Literal(result)
+
+
+# ---------------------------------------------------------------------------
+# dead-branch elimination
+# ---------------------------------------------------------------------------
+
+
+def _static_ebv(condition: ast.Expr) -> bool | None:
+    """The effective boolean value of *condition* if statically known."""
+    if isinstance(condition, ast.EmptySequence):
+        return False
+    if isinstance(condition, ast.Literal):
+        value = condition.value
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str):
+            return bool(value)
+        if isinstance(value, (int, float)):
+            return bool(value) and not (isinstance(value, float) and math.isnan(value))
+        return None
+    if isinstance(condition, ast.FunctionCall) and not condition.args:
+        name = condition.name[3:] if condition.name.startswith("fn:") else condition.name
+        if name == "true":
+            return True
+        if name == "false":
+            return False
+    return None
+
+
+def _eliminate_dead_branch(expr: ast.Expr) -> ast.Expr:
+    if not isinstance(expr, ast.IfExpr):
+        return expr
+    verdict = _static_ebv(expr.condition)
+    if verdict is None:
+        return expr
+    return expr.then_branch if verdict else expr.else_branch
+
+
+# ---------------------------------------------------------------------------
+# unused-let pruning
+# ---------------------------------------------------------------------------
+
+
+def _provably_error_free(expr: ast.Expr) -> bool:
+    """Can evaluating *expr* never raise (and never construct nodes)?
+
+    Deliberately tiny: literals, the empty sequence and sequences thereof.
+    Variable references are excluded (an unbound one raises), as are paths
+    (stepping from an atomic raises XPTY0019) and every function call.
+    """
+    if isinstance(expr, (ast.Literal, ast.EmptySequence)):
+        return True
+    if isinstance(expr, ast.SequenceExpr):
+        return all(_provably_error_free(item) for item in expr.items)
+    return False
+
+
+def _prune_unused_let(expr: ast.Expr) -> ast.Expr:
+    if not isinstance(expr, ast.LetExpr):
+        return expr
+    if expr.var in expr.body.free_variables():
+        return expr
+    if not _provably_error_free(expr.value):
+        return expr
+    return expr.body
+
+
+# ---------------------------------------------------------------------------
+# unused-function pruning
+# ---------------------------------------------------------------------------
+
+
+def _called_keys(expr: ast.Expr) -> set[tuple[str, int]]:
+    keys: set[tuple[str, int]] = set()
+    for node in expr.iter_subexpressions():
+        if isinstance(node, ast.FunctionCall):
+            keys.add((node.name, len(node.args)))
+    return keys
+
+
+def _prune_unused_functions(functions: tuple[ast.FunctionDecl, ...],
+                            variables: tuple[ast.VariableDecl, ...],
+                            body: ast.Expr) -> tuple[ast.FunctionDecl, ...]:
+    if not functions:
+        return functions
+    declared = {(function.name, function.arity) for function in functions}
+    worklist = _called_keys(body)
+    for declaration in variables:
+        if declaration.value is not None:
+            worklist |= _called_keys(declaration.value)
+    reachable: set[tuple[str, int]] = set()
+    while worklist:
+        key = worklist.pop()
+        if key in reachable or key not in declared:
+            continue
+        reachable.add(key)
+        for function in functions:
+            if (function.name, function.arity) == key:
+                worklist |= _called_keys(function.body)
+    return tuple(f for f in functions if (f.name, f.arity) in reachable)

@@ -18,7 +18,6 @@ character content interleaved with ``{ enclosed expressions }``.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import XQuerySyntaxError
 from repro.xquery import ast
@@ -66,6 +65,16 @@ class Parser:
     def _error(self, message: str, token: Token | None = None) -> XQuerySyntaxError:
         position = token.start if token is not None else self._peek().start
         return self.lexer.error(message, position)
+
+    def _stamp(self, node: ast.Expr, token: Token) -> ast.Expr:
+        """Record *token*'s source position on *node* (see ast.set_position).
+
+        The static analyzer (:mod:`repro.analysis`) reads these stamps to
+        report undefined variables/functions with line/column information.
+        """
+        line, column = self.lexer.line_column(token.start)
+        ast.set_position(node, line, column)
+        return node
 
     def _expect_symbol(self, symbol: str) -> Token:
         token = self._peek()
@@ -121,7 +130,8 @@ class Parser:
     def _parse_function_decl(self) -> ast.FunctionDecl:
         self._expect_name("declare")
         self._expect_name("function")
-        name = self._expect_name().value
+        name_token = self._expect_name()
+        name = name_token.value
         self._expect_symbol("(")
         params: list[ast.Param] = []
         if not self._peek().is_symbol(")"):
@@ -142,23 +152,33 @@ class Parser:
         body = self.parse_expr()
         self._expect_symbol("}")
         self._expect_symbol(";")
-        return ast.FunctionDecl(name=name, params=tuple(params), body=body, return_type=return_type)
+        declaration = ast.FunctionDecl(name=name, params=tuple(params), body=body,
+                                       return_type=return_type)
+        line, column = self.lexer.line_column(name_token.start)
+        ast.set_position(declaration, line, column)
+        return declaration
 
     def _parse_variable_decl(self) -> ast.VariableDecl:
         self._expect_name("declare")
         self._expect_name("variable")
         self._expect_symbol("$")
-        name = self._expect_name().value
+        name_token = self._expect_name()
+        name = name_token.value
         declared_type = None
         if self._accept_name("as"):
             declared_type = self._parse_sequence_type()
         if self._accept_name("external"):
             self._expect_symbol(";")
-            return ast.VariableDecl(name=name, value=None, external=True, declared_type=declared_type)
-        self._expect_symbol(":=")
-        value = self.parse_expr_single()
-        self._expect_symbol(";")
-        return ast.VariableDecl(name=name, value=value, declared_type=declared_type)
+            declaration = ast.VariableDecl(name=name, value=None, external=True,
+                                           declared_type=declared_type)
+        else:
+            self._expect_symbol(":=")
+            value = self.parse_expr_single()
+            self._expect_symbol(";")
+            declaration = ast.VariableDecl(name=name, value=value, declared_type=declared_type)
+        line, column = self.lexer.line_column(name_token.start)
+        ast.set_position(declaration, line, column)
+        return declaration
 
     def _parse_sequence_type(self) -> ast.SequenceType:
         token = self._expect_name()
@@ -167,7 +187,7 @@ class Parser:
             self._expect_symbol("(")
             self._expect_symbol(")")
             return ast.SequenceType("empty-sequence")
-        name: Optional[str] = None
+        name: str | None = None
         if type_name in KIND_TESTS or type_name == "item":
             self._expect_symbol("(")
             if not self._peek().is_symbol(")"):
@@ -218,29 +238,31 @@ class Parser:
                 self._advance()
                 while True:
                     self._expect_symbol("$")
-                    var = self._expect_name().value
+                    var_token = self._expect_name()
+                    var = var_token.value
                     position_var = None
                     if self._accept_name("at"):
                         self._expect_symbol("$")
                         position_var = self._expect_name().value
                     self._expect_name("in")
                     sequence = self.parse_expr_single()
-                    clauses.append(("for", var, position_var, sequence))
+                    clauses.append(("for", var, position_var, sequence, var_token))
                     if not self._accept_symbol(","):
                         break
             elif token.is_name("let") and self._peek(1).is_symbol("$"):
                 self._advance()
                 while True:
                     self._expect_symbol("$")
-                    var = self._expect_name().value
+                    var_token = self._expect_name()
+                    var = var_token.value
                     self._expect_symbol(":=")
                     value = self.parse_expr_single()
-                    clauses.append(("let", var, None, value))
+                    clauses.append(("let", var, None, value, var_token))
                     if not self._accept_symbol(","):
                         break
             else:
                 break
-        where: Optional[ast.Expr] = None
+        where: ast.Expr | None = None
         if self._accept_name("where"):
             where = self.parse_expr_single()
         if self._peek().is_name("order") or self._peek().is_name("stable"):
@@ -249,11 +271,12 @@ class Parser:
         body = self.parse_expr_single()
         if where is not None:
             body = ast.IfExpr(where, body, ast.EmptySequence())
-        for kind, var, position_var, expr in reversed(clauses):
+        for kind, var, position_var, expr, var_token in reversed(clauses):
             if kind == "for":
                 body = ast.ForExpr(var=var, sequence=expr, body=body, position_var=position_var)
             else:
                 body = ast.LetExpr(var=var, value=expr, body=body)
+            self._stamp(body, var_token)
         return body
 
     def _parse_quantified(self) -> ast.Expr:
@@ -314,7 +337,7 @@ class Parser:
         return ast.IfExpr(condition, then_branch, else_branch)
 
     def _parse_with(self) -> ast.Expr:
-        self._expect_name("with")
+        with_token = self._expect_name("with")
         self._expect_symbol("$")
         var = self._expect_name().value
         self._expect_name("seeded")
@@ -326,7 +349,8 @@ class Parser:
         if self._peek().is_name("using"):
             self._advance()
             algorithm = self._expect_name("naive", "delta", "auto").value
-        return ast.WithExpr(var=var, seed=seed, body=body, algorithm=algorithm)
+        return self._stamp(
+            ast.WithExpr(var=var, seed=seed, body=body, algorithm=algorithm), with_token)
 
     # -- operator precedence chain ------------------------------------------------
 
@@ -450,7 +474,7 @@ class Parser:
             return True
         return token.is_symbol("$", "(", ".", "..", "@", "*", "<")
 
-    def _parse_relative_path(self, left: Optional[ast.Expr]) -> ast.Expr:
+    def _parse_relative_path(self, left: ast.Expr | None) -> ast.Expr:
         expr = self._parse_step() if left is None else ast.PathExpr(left, self._parse_step())
         while True:
             if self._peek().is_symbol("/"):
@@ -520,7 +544,7 @@ class Parser:
         name = name_token.value
         if self._peek().is_symbol("(") and name in KIND_TESTS:
             self._advance()
-            inner: Optional[str] = None
+            inner: str | None = None
             if not self._peek().is_symbol(")"):
                 if self._peek().is_symbol("*"):
                     self._advance()
@@ -554,7 +578,7 @@ class Parser:
         if token.is_symbol("$"):
             self._advance()
             name = self._expect_name().value
-            return ast.VarRef(name)
+            return self._stamp(ast.VarRef(name), token)
         if token.is_symbol("("):
             self._advance()
             if self._accept_symbol(")"):
@@ -587,7 +611,7 @@ class Parser:
                 if not self._accept_symbol(","):
                     break
         self._expect_symbol(")")
-        return ast.FunctionCall(name, tuple(args))
+        return self._stamp(ast.FunctionCall(name, tuple(args)), name_token)
 
     def _parse_computed_constructor(self) -> ast.Expr:
         keyword = self._expect_name().value
@@ -596,7 +620,7 @@ class Parser:
             body = self.parse_expr()
             self._expect_symbol("}")
             return ast.OrderedExpr(keyword, body)
-        name_expr: Optional[ast.Expr] = None
+        name_expr: ast.Expr | None = None
         if keyword in ("element", "attribute"):
             if self._peek().kind == TokenKind.NAME:
                 name_expr = ast.Literal(self._advance().value)
@@ -605,7 +629,7 @@ class Parser:
                 name_expr = self.parse_expr()
                 self._expect_symbol("}")
         self._expect_symbol("{")
-        content: Optional[ast.Expr] = None
+        content: ast.Expr | None = None
         if not self._peek().is_symbol("}"):
             content = self.parse_expr()
         self._expect_symbol("}")

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Union
+from collections.abc import Callable, Iterable
 
 from repro.xdm.index import IndexSet
 from repro.xdm.items import UntypedAtomic, is_node
@@ -72,8 +72,8 @@ class ValueShape:
 
     target: str
     name: str
-    rhs: Optional[ast.Expr] = None
-    values: Optional[tuple[str, ...]] = None
+    rhs: ast.Expr | None = None
+    values: tuple[str, ...] | None = None
 
     @property
     def kind(self) -> str:
@@ -90,14 +90,14 @@ class PositionShape:
     """
 
     op: str
-    value: Optional[int]
+    value: int | None
 
     @property
     def kind(self) -> str:
         return "positional"
 
 
-Shape = Union[ValueShape, PositionShape]
+Shape = ValueShape | PositionShape
 
 
 # ---------------------------------------------------------------------------
@@ -105,7 +105,7 @@ Shape = Union[ValueShape, PositionShape]
 # ---------------------------------------------------------------------------
 
 
-def _value_step_shape(expr: ast.Expr) -> Optional[tuple[str, str]]:
+def _value_step_shape(expr: ast.Expr) -> tuple[str, str] | None:
     """``@name`` / ``name`` / ``attribute::name`` / ``child::name`` →
     (target, name), or ``None``."""
     if (isinstance(expr, ast.AxisStep) and not expr.predicates
@@ -127,14 +127,14 @@ def _position_operand(expr: ast.Expr) -> bool:
             and expr.name in ("position", "fn:position") and not expr.args)
 
 
-def _integer_literal(expr: ast.Expr) -> Optional[int]:
+def _integer_literal(expr: ast.Expr) -> int | None:
     if (isinstance(expr, ast.Literal) and isinstance(expr.value, int)
             and not isinstance(expr.value, bool)):
         return expr.value
     return None
 
 
-def recognize_predicate(expr: ast.Expr) -> Optional[Shape]:
+def recognize_predicate(expr: ast.Expr) -> Shape | None:
     """Classify *expr* into a pushable shape, or ``None`` (fall back)."""
     # [N] — a bare integer literal.
     n = _integer_literal(expr)
@@ -176,7 +176,7 @@ def recognize_predicate(expr: ast.Expr) -> Optional[Shape]:
 # ---------------------------------------------------------------------------
 
 
-def string_values_or_none(values: Iterable) -> Optional[tuple[str, ...]]:
+def string_values_or_none(values: Iterable) -> tuple[str, ...] | None:
     """The values as plain strings, or ``None`` if any is not a string.
 
     Nodes are atomized to their untyped string value; genuine numerics and
@@ -196,7 +196,7 @@ def string_values_or_none(values: Iterable) -> Optional[tuple[str, ...]]:
 
 
 def resolve_rhs(shape: ValueShape,
-                lookup: Callable[[str], Optional[list]]) -> Optional[tuple[str, ...]]:
+                lookup: Callable[[str], list | None]) -> tuple[str, ...] | None:
     """The constant string values of *shape*'s right-hand side.
 
     *lookup* maps a variable name to its bound value sequence (or ``None``
@@ -223,7 +223,7 @@ def resolve_rhs(shape: ValueShape,
 
 
 def _node_passes_naive(node: Node, shape: ValueShape,
-                       values: Optional[frozenset]) -> bool:
+                       values: frozenset | None) -> bool:
     """Per-node value test without the index (small batches, --no-index)."""
     if shape.target == "attr":
         for attribute in node.attribute_axis():
@@ -240,7 +240,7 @@ def _node_passes_naive(node: Node, shape: ValueShape,
 
 def apply_value_shape(items: list, shape: ValueShape, values: tuple[str, ...],
                       use_index: bool = True,
-                      index_set: Optional[IndexSet] = None) -> list:
+                      index_set: IndexSet | None = None) -> list:
     """Filter *items* by a resolved value shape (order-preserving).
 
     ``values`` is ``()`` for existence tests, otherwise the constant
@@ -310,9 +310,9 @@ def positional_filter(items: list, shape: PositionShape) -> list:
 
 
 def apply_shapes(items: list, shapes: Iterable[Shape],
-                 resolved: Iterable[Optional[tuple[str, ...]]],
+                 resolved: Iterable[tuple[str, ...] | None],
                  use_index: bool = True,
-                 index_set: Optional[IndexSet] = None) -> list:
+                 index_set: IndexSet | None = None) -> list:
     """Apply a sequence of shapes (with pre-resolved values) in order."""
     current = list(items)
     for shape, values in zip(shapes, resolved):

@@ -1,0 +1,259 @@
+"""The optimizer rewrite catalog: unit tests per rewrite plus randomized
+property tests checking every rewrite is item-identical across all three
+engines, rewrites on versus off."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import evaluate
+from repro.errors import XQueryError
+from repro.settings import EvalSettings
+from repro.xmlio.parser import parse_xml
+from repro.xmlio.serializer import serialize_sequence
+from repro.xquery import ast
+from repro.xquery.optimizer import optimize, optimize_module
+from repro.xquery.parser import parse_expression, parse_query
+
+ENGINES = ("interpreter", "algebra", "sql")
+
+
+def _opt(expression: str) -> ast.Expr:
+    return optimize(parse_expression(expression))
+
+
+def _literal(expression: str):
+    result = _opt(expression)
+    assert isinstance(result, ast.Literal), f"{expression!r} -> {result!r}"
+    return result.value
+
+
+# ---------------------------------------------------------------------------
+# unit tests, one per catalog entry
+# ---------------------------------------------------------------------------
+
+
+class TestConstantFolding:
+    @pytest.mark.parametrize("expression, expected", [
+        ("1 + 2", 3),
+        ("2 * 3 + 4", 10),
+        ("10 - 2 - 3", 5),
+        ("7 div 2", 3.5),
+        ("10 idiv 3", 3),
+        ("-10 idiv 3", -3),        # truncates toward zero, like the runtime
+        ("10 mod 3", 1),
+        ("-10 mod 3", -1),         # sign follows the dividend
+        ("1.5 + 2.5", 4.0),
+        ("-(2 + 3)", -5),
+    ])
+    def test_arithmetic(self, expression, expected):
+        value = _literal(expression)
+        assert value == expected
+        assert type(value) is type(expected)
+
+    @pytest.mark.parametrize("expression, expected", [
+        ("2 < 3", True),
+        ("2 >= 3", False),
+        ("2 eq 2", True),
+        ("'a' lt 'b'", True),
+        ("'abc' = 'abc'", True),
+        ("1.5 gt 1", True),
+    ])
+    def test_comparisons(self, expression, expected):
+        assert _literal(expression) is expected
+
+    @pytest.mark.parametrize("expression", [
+        "1 div 0",                 # must still raise FOAR0001 at runtime
+        "1 idiv 0",
+        "1 mod 0",
+        "'a' + 1",                 # type error preserved
+        "1 < 'a'",                 # incomparable, preserved
+    ])
+    def test_error_raising_forms_not_folded(self, expression):
+        assert not isinstance(_opt(expression), ast.Literal)
+
+    def test_folds_match_the_evaluator(self):
+        for expression in ("7 div 2", "10 idiv 3", "-10 idiv 3",
+                           "10 mod 3", "-10 mod 3", "-7 idiv 2", "-7 mod 2"):
+            folded = _literal(expression)
+            evaluated = evaluate(expression,
+                                 settings=EvalSettings(optimize=False)).items
+            assert [folded] == evaluated, expression
+
+
+class TestDeadBranchElimination:
+    @pytest.mark.parametrize("expression, expected", [
+        ("if (true()) then 1 else 2", 1),
+        ("if (false()) then 1 else 2", 2),
+        ("if (0) then 1 else 2", 2),
+        ("if (1) then 1 else 2", 1),
+        ("if ('') then 1 else 2", 2),
+        ("if ('x') then 1 else 2", 1),
+    ])
+    def test_literal_conditions(self, expression, expected):
+        assert _literal(expression) == expected
+
+    def test_empty_sequence_condition(self):
+        assert _literal("if (()) then 1 else 2") == 2
+
+    def test_dynamic_condition_kept(self):
+        assert isinstance(_opt("if ($c) then 1 else 2"), ast.IfExpr)
+
+
+class TestUnusedLetPruning:
+    def test_pruned_when_value_is_error_free(self):
+        assert _literal("let $unused := 1 return 2") == 2
+        assert _literal("let $unused := (1, 2, ()) return 3") == 3
+
+    def test_kept_when_value_could_raise(self):
+        # pruning this let would mask the static/dynamic error
+        assert isinstance(_opt("let $unused := $missing return 2"), ast.LetExpr)
+        assert isinstance(_opt("let $unused := 1 div 0 return 2"), ast.LetExpr)
+
+    def test_kept_when_variable_is_used(self):
+        result = _opt("let $v := 1 return $v + $w")
+        assert isinstance(result, ast.LetExpr)
+
+
+class TestDescendantFusion:
+    def test_slash_slash_fused(self):
+        # $d/descendant-or-self::node()/child::item -> $d/descendant::item
+        result = _opt("$d//item")
+        assert isinstance(result, ast.PathExpr)
+        assert isinstance(result.left, ast.VarRef)
+        assert isinstance(result.right, ast.AxisStep)
+        assert result.right.axis == "descendant"
+
+
+class TestUnusedFunctionPruning:
+    def test_unreachable_function_dropped(self):
+        module = optimize_module(parse_query(
+            "declare function local:used() { 1 }; "
+            "declare function local:unused() { local:helper() }; "
+            "declare function local:helper() { 2 }; "
+            "local:used()"))
+        assert [f.name for f in module.functions] == ["local:used"]
+
+    def test_call_graph_reachability_is_transitive(self):
+        module = optimize_module(parse_query(
+            "declare function local:a() { local:b() }; "
+            "declare function local:b() { local:c() }; "
+            "declare function local:c() { 1 }; "
+            "local:a()"))
+        assert len(module.functions) == 3
+
+    def test_functions_reached_from_globals_kept(self):
+        module = optimize_module(parse_query(
+            "declare function local:init() { 7 }; "
+            "declare variable $g := local:init(); $g"))
+        assert [f.name for f in module.functions] == ["local:init"]
+
+    def test_recursive_function_kept(self):
+        module = optimize_module(parse_query(
+            "declare function local:down($n) { "
+            "if ($n <= 0) then () else local:down($n - 1) }; "
+            "local:down(3)"))
+        assert len(module.functions) == 1
+
+
+# ---------------------------------------------------------------------------
+# property tests: rewrites on vs off, three engines, randomized documents
+# ---------------------------------------------------------------------------
+
+
+def _random_document(rng: random.Random) -> str:
+    """A small randomized item tree exercising paths, predicates and ids."""
+    parts = ["<root>"]
+    for index in range(rng.randint(2, 6)):
+        value = rng.randint(0, 9)
+        parts.append(f'<item n="{index}" v="{value}">')
+        for _ in range(rng.randint(0, 3)):
+            parts.append(f"<sub>{rng.randint(0, 99)}</sub>")
+        parts.append(f"{value}</item>")
+    parts.append("</root>")
+    return "".join(parts)
+
+
+#: Each query exercises at least one rewrite (folding, dead branches,
+#: unused lets, descendant fusion, unused functions) against live data, so
+#: an unsound rewrite shows up as an on/off or cross-engine mismatch.
+PROPERTY_QUERIES = (
+    'let $unused := 1 return count(doc("d.xml")//item)',
+    'if (true()) then doc("d.xml")//sub else ()',
+    'if (2 < 3) then count(doc("d.xml")//item) else -1',
+    'for $i in doc("d.xml")//item return 2 + 3',
+    'doc("d.xml")//item[count(sub) >= 1 * 1]/@n',
+    'count(for $i in doc("d.xml")//item return $i) + (2 * 3)',
+    'let $v := (1, 2) let $unused := () return count($v)',
+    'declare function local:unused() { doc("missing.xml")/x }; '
+    'count(doc("d.xml")//item)',
+    'for $i in doc("d.xml")//item '
+    'return if (false()) then $i else string($i/@v)',
+    'doc("d.xml")//item[@v = "3"]',
+    '(if (1) then 10 else 20) + (-(2 + 3))',
+    'for $s in doc("d.xml")//sub return string($s)',
+)
+
+
+def _run(query: str, documents, engine: str, optimized: bool) -> str:
+    settings = EvalSettings(engine=engine, optimize=optimized)
+    result = evaluate(query, documents=documents, settings=settings)
+    return serialize_sequence(result.items)
+
+
+@pytest.mark.parametrize("seed", [7, 23, 91])
+def test_rewrites_item_identical_across_engines(seed):
+    rng = random.Random(seed)
+    for _ in range(2):
+        documents = {"d.xml": parse_xml(_random_document(rng))}
+        for query in PROPERTY_QUERIES:
+            outcomes = {
+                (engine, optimized): _run(query, documents, engine, optimized)
+                for engine in ENGINES
+                for optimized in (True, False)
+            }
+            distinct = set(outcomes.values())
+            assert len(distinct) == 1, (
+                f"seed {seed}, query {query!r}: divergent results {outcomes}")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_errors_survive_optimization(engine):
+    """Rewrites never mask an error the unoptimized query raises."""
+    for query in ("1 div 0", "let $u := $missing return 2"):
+        for optimized in (True, False):
+            with pytest.raises(XQueryError):
+                evaluate(query, settings=EvalSettings(
+                    engine=engine, optimize=optimized))
+    # an unused-but-failing let must behave the same with rewrites on and
+    # off (the optimizer keeps lets whose value could raise; whether the
+    # engine then evaluates them eagerly is the engine's own contract)
+    def raises(optimized: bool) -> bool:
+        try:
+            evaluate("let $u := 1 div 0 return 2",
+                     settings=EvalSettings(engine=engine, optimize=optimized))
+        except XQueryError:
+            return True
+        return False
+
+    assert raises(True) == raises(False)
+
+
+def test_fixpoint_queries_unchanged_by_rewrites(curriculum_resolver,
+                                                curriculum_document):
+    """The tentpole path: rewrites on/off do not perturb IFP results."""
+    query = ('with $x seeded by '
+             'doc("curriculum.xml")/curriculum/course[@code="c1"] '
+             'recurse id($x/prerequisites/pre_code)')
+    outcomes = set()
+    for engine in ENGINES:
+        for optimized in (True, False):
+            settings = EvalSettings(engine=engine, optimize=optimized,
+                                    distributivity_checker="analysis")
+            result = evaluate(query, documents=curriculum_resolver,
+                              context_item=curriculum_document,
+                              settings=settings)
+            outcomes.add(serialize_sequence(result.items))
+    assert len(outcomes) == 1

@@ -48,7 +48,7 @@ class ServiceClient:
 
     def request_full(self, path: str, payload=None):
         """Like :meth:`request` but also returns the response headers."""
-        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        data = None if payload is None else json.dumps(payload).encode()
         request = urllib.request.Request(
             self.base_url + path, data=data,
             headers={"Content-Type": "application/json"} if data else {})
@@ -398,7 +398,7 @@ class TestResourceGovernance:
             payload = json.dumps({
                 "query": ring_query(),
                 "settings": {"ifp_algorithm": "naive"},
-            }).encode("utf-8")
+            }).encode()
             request = (f"POST /query HTTP/1.1\r\nHost: {host}\r\n"
                        f"Content-Type: application/json\r\n"
                        f"Content-Length: {len(payload)}\r\n\r\n"
