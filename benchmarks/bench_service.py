@@ -26,6 +26,13 @@ exponential backoff and the per-cell rejection counts ship in the
 report, keeping the throughput numbers honest about how much admission
 pushback they absorbed.
 
+After the threaded pass the same grid runs again against a **prefork**
+fleet (``--workers``, default 4): the supervised multi-process mode
+where each worker owns a whole CPython interpreter, so the fixpoint
+class can scale past the GIL when the machine has the cores for it.
+The report records ``cpus`` alongside ``prefork_fixpoint_speedup`` —
+on a single-core box the honest answer is ~1x.
+
 Writes the machine-readable ``BENCH_service.json`` report (same envelope
 as the other ``BENCH_*.json`` files) including a final ``/stats`` scrape,
 so cache hit rates ship with the timings.
@@ -82,8 +89,15 @@ def make_curriculum(courses: int) -> str:
 
 
 def start_server(document_path: str,
-                 max_concurrency: int | None = None) -> tuple[subprocess.Popen, str]:
-    """Launch ``repro-serve`` on an ephemeral port; return (process, URL)."""
+                 max_concurrency: int | None = None,
+                 workers: int = 1,
+                 journal_path: str | None = None) -> tuple[subprocess.Popen, str]:
+    """Launch ``repro-serve`` on an ephemeral port; return (process, URL).
+
+    ``workers > 1`` starts the prefork supervisor instead of the
+    in-process daemon (it needs a ``journal_path``); the startup line has
+    the same shape in both modes.
+    """
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     command = [sys.executable, "-c",
@@ -92,14 +106,18 @@ def start_server(document_path: str,
                "--id-attribute", "code", "--sql-store", "wal"]
     if max_concurrency is not None:
         command += ["--max-concurrency", str(max_concurrency)]
+    if workers > 1:
+        command += ["--workers", str(workers), "--journal", journal_path]
     process = subprocess.Popen(command, env=env, stderr=subprocess.PIPE,
                                text=True)
     lines = []
-    for _ in range(10):
+    for _ in range(10 + workers):
         line = process.stderr.readline()
         lines.append(line)
         match = re.search(r"listening on (http://[^\s]+)", line)
         if match:
+            # Keep draining stderr so worker chatter cannot fill the pipe.
+            threading.Thread(target=process.stderr.read, daemon=True).start()
             return process, match.group(1)
         if not line:
             break
@@ -228,6 +246,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="server admission limit; client thread counts "
                              "above it exercise the 503/Retry-After backoff "
                              "path (default 6, 0 disables admission control)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="prefork worker count for the second, "
+                             "multi-process pass (default 4; 0 skips the "
+                             "prefork pass entirely)")
     parser.add_argument("--json-dir", default=str(REPO_ROOT),
                         help="directory for BENCH_service.json")
     arguments = parser.parse_args(argv)
@@ -235,56 +257,93 @@ def main(argv: list[str] | None = None) -> int:
     with tempfile.NamedTemporaryFile("w", suffix=".xml", delete=False) as handle:
         handle.write(make_curriculum(arguments.courses))
         document_path = handle.name
-    process, base_url = start_server(
-        document_path,
-        max_concurrency=arguments.max_concurrency or None)
-    results = []
-    try:
-        for engine in arguments.engines:
-            for label, query in QUERIES:
-                requests = (arguments.requests * 5 if label == "warm-count"
-                            else arguments.requests)
-                baseline = None
-                for threads in arguments.threads:
-                    elapsed, items, rejections = min(
-                        (run_clients(base_url, query, engine, threads, requests)
-                         for _ in range(max(arguments.repeats, 1))),
-                        key=lambda triple: triple[0])
-                    rps = requests / elapsed
-                    baseline = baseline if baseline is not None else rps
-                    results.append({
-                        "query": label,
-                        "engine": engine,
-                        "client_threads": threads,
-                        "requests": requests,
-                        "items": items,
-                        "seconds": round(elapsed, 4),
-                        "requests_per_second": round(rps, 1),
-                        "speedup_vs_1_thread": round(rps / baseline, 2),
-                        "rejections_503": rejections,
-                        "repeats": arguments.repeats,
-                    })
-                    print(f"{engine:<12} {label:<12} "
-                          f"{threads} client thread(s): {rps:8.1f} req/s "
-                          f"({results[-1]['speedup_vs_1_thread']}x vs 1 "
-                          f"thread, {rejections} x 503 retried)")
-        stats = get_json(base_url, "/stats")
-    finally:
-        process.send_signal(signal.SIGTERM)
-        process.wait(timeout=15)
-        os.unlink(document_path)
 
+    modes = [("threaded", 1)]
+    if arguments.workers > 1:
+        modes.append(("prefork", arguments.workers))
+
+    results = []
+    stats_by_mode = {}
+    journal_dir = tempfile.mkdtemp(prefix="repro-bench-journal-")
+    try:
+        for mode, workers in modes:
+            journal_path = os.path.join(journal_dir, f"{mode}.journal")
+            process, base_url = start_server(
+                document_path,
+                max_concurrency=arguments.max_concurrency or None,
+                workers=workers, journal_path=journal_path)
+            try:
+                for engine in arguments.engines:
+                    for label, query in QUERIES:
+                        requests = (arguments.requests * 5
+                                    if label == "warm-count"
+                                    else arguments.requests)
+                        baseline = None
+                        for threads in arguments.threads:
+                            elapsed, items, rejections = min(
+                                (run_clients(base_url, query, engine,
+                                             threads, requests)
+                                 for _ in range(max(arguments.repeats, 1))),
+                                key=lambda triple: triple[0])
+                            rps = requests / elapsed
+                            baseline = baseline if baseline is not None else rps
+                            results.append({
+                                "query": label,
+                                "engine": engine,
+                                "mode": mode,
+                                "workers": workers,
+                                "client_threads": threads,
+                                "requests": requests,
+                                "items": items,
+                                "seconds": round(elapsed, 4),
+                                "requests_per_second": round(rps, 1),
+                                "speedup_vs_1_thread": round(rps / baseline, 2),
+                                "rejections_503": rejections,
+                                "repeats": arguments.repeats,
+                            })
+                            print(f"{mode:<9} {engine:<12} {label:<12} "
+                                  f"{threads} client thread(s): "
+                                  f"{rps:8.1f} req/s "
+                                  f"({results[-1]['speedup_vs_1_thread']}x "
+                                  f"vs 1 thread, {rejections} x 503 retried)")
+                if mode == "threaded":
+                    stats_by_mode[mode] = get_json(base_url, "/stats")
+            finally:
+                process.send_signal(signal.SIGTERM)
+                process.wait(timeout=30)
+    finally:
+        os.unlink(document_path)
+        for name in os.listdir(journal_dir):
+            os.unlink(os.path.join(journal_dir, name))
+        os.rmdir(journal_dir)
+
+    def best_fixpoint_rps(mode: str) -> float | None:
+        cells = [cell["requests_per_second"] for cell in results
+                 if cell["mode"] == mode and cell["query"] == "fixpoint-tc"]
+        return max(cells) if cells else None
+
+    threaded_fixpoint = best_fixpoint_rps("threaded")
+    prefork_fixpoint = best_fixpoint_rps("prefork")
     payload = {
         "schema": "repro-bench-service",
-        "schema_version": 1,
+        "schema_version": 2,
         "label": "service",
         "python": platform.python_version(),
+        # Prefork beats the threaded GIL ceiling only when there are
+        # cores to spread the workers over; ship the cpu count so a
+        # single-core CI result is not misread as a regression.
+        "cpus": os.cpu_count(),
         "courses": arguments.courses,
         "max_concurrency": arguments.max_concurrency or None,
+        "prefork_workers": (arguments.workers
+                            if arguments.workers > 1 else None),
+        "prefork_fixpoint_speedup": (
+            round(prefork_fixpoint / threaded_fixpoint, 2)
+            if threaded_fixpoint and prefork_fixpoint else None),
         "rejections_503_total": sum(cell["rejections_503"]
                                     for cell in results),
         "results": results,
-        "server_stats": stats,
+        "server_stats": stats_by_mode.get("threaded"),
     }
     path = Path(arguments.json_dir) / "BENCH_service.json"
     path.parent.mkdir(parents=True, exist_ok=True)

@@ -160,6 +160,15 @@ def main() -> None:
     #   repro-serve --doc curriculum.xml=data/curriculum.xml --id-attribute code
     #   curl -X POST localhost:8720/query -d '{"query": "...", "engine": "sql"}'
     #   curl localhost:8720/stats
+    #
+    # Scaling past one process (DESIGN.md §12): a supervised prefork
+    # fleet — N workers accept from one shared socket, crashed/hung
+    # workers restart with backoff, and a durable corpus journal keeps
+    # POST /documents item-identical across the fleet (each worker
+    # replays it before serving):
+    #   repro-serve --workers 4 --journal corpus.journal --port 8720
+    #   curl localhost:8721/ready     # control endpoint: fleet readiness
+    #   curl localhost:8721/metrics   # aggregated, worker="N"-labelled
 
     print("\n== Tracing: what did the query spend its time on? (DESIGN.md §9) ==")
     # trace=True returns a span tree on result.trace: parse/compile/execute

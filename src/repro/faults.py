@@ -17,6 +17,15 @@ point               where it fires
                     exercising the store's cleanup/rollback path
 ``index-build``     :func:`repro.xdm.index.index_for`, before a structural
                     index is built — raises, exercising registry hygiene
+``worker-kill``     :meth:`QueryService.handle_query`, before evaluation —
+                    the worker SIGKILLs itself, exercising the
+                    supervisor's crash detection and journal replay
+``worker-hang``     the worker heartbeat loop — sleeps past the
+                    supervisor's heartbeat timeout, exercising hung-worker
+                    reaping (default sleep: 60s)
+``journal-corrupt``  :meth:`CorpusJournal.append`, after the write — flips
+                    bytes in the just-written record, exercising the
+                    reader's CRC check and resynchronization
 ==================  ========================================================
 
 Activation is process-global but explicit: tests use
@@ -49,7 +58,8 @@ from repro.errors import InjectedFault
 
 #: The registry of known points; :func:`inject` validates against it so a
 #: typo'd point name fails the test instead of silently never firing.
-POINTS = ("sqlite-execute", "slow-span", "shredder-load", "index-build")
+POINTS = ("sqlite-execute", "slow-span", "shredder-load", "index-build",
+          "worker-kill", "worker-hang", "journal-corrupt")
 
 
 @dataclass
@@ -137,13 +147,27 @@ _ACTIVE: FaultPlan | None = None
 _ACTIVATION_LOCK = threading.Lock()
 
 
-def trigger(point: str) -> None:
-    """Fire *point* if a matching fault is armed.  Near-free when idle."""
+def firing(point: str) -> FaultSpec | None:
+    """The armed spec for *point* if it should fire now, else ``None``.
+
+    Consumes one firing (counters, probability gate, limit).  For points
+    whose effect is not "sleep or raise" — ``worker-kill`` SIGKILLs the
+    process, ``journal-corrupt`` flips bytes on disk — the call site asks
+    :func:`firing` and implements the effect itself.
+    """
     plan = _ACTIVE
     if plan is None:
-        return
+        return None
     spec = plan.spec_for(point)
     if spec is None or not spec.should_fire():
+        return None
+    return spec
+
+
+def trigger(point: str) -> None:
+    """Fire *point* if a matching fault is armed.  Near-free when idle."""
+    spec = firing(point)
+    if spec is None:
         return
     if spec.sleep_s is not None:
         time.sleep(spec.sleep_s)
@@ -231,5 +255,5 @@ def plan_from_env(environ: dict | None = None) -> FaultPlan | None:
     return parse_plan(text)
 
 
-__all__ = ["POINTS", "FaultSpec", "FaultPlan", "trigger", "activate",
-           "active_plan", "inject", "parse_plan", "plan_from_env"]
+__all__ = ["POINTS", "FaultSpec", "FaultPlan", "trigger", "firing",
+           "activate", "active_plan", "inject", "parse_plan", "plan_from_env"]

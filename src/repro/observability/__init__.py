@@ -23,6 +23,8 @@ from repro.observability.metrics import (
     MetricsRegistry,
     DEFAULT_LATENCY_BUCKETS,
     FIXPOINT_ROUND_BUCKETS,
+    inject_label,
+    merge_expositions,
 )
 from repro.observability.tracing import (
     Span,
@@ -46,6 +48,8 @@ __all__ = [
     "active_trace",
     "current_trace",
     "format_span_tree",
+    "inject_label",
     "maybe_span",
+    "merge_expositions",
     "phase_summary",
 ]

@@ -296,6 +296,68 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n"
 
 
+def inject_label(sample_line: str, name: str, value: str) -> str:
+    """Add ``name="value"`` as the first label of one exposition sample.
+
+    ``repro_requests_total{engine="sql"} 3`` becomes
+    ``repro_requests_total{worker="0",engine="sql"} 3``; unlabeled samples
+    grow a label set.  Comment lines pass through unchanged.
+    """
+    if sample_line.startswith("#") or not sample_line.strip():
+        return sample_line
+    head, _, tail = sample_line.rpartition(" ")
+    label = f'{name}="{_escape_label_value(value)}"'
+    brace = head.find("{")
+    if brace < 0:
+        return f"{head}{{{label}}} {tail}"
+    return f"{head[:brace + 1]}{label},{head[brace + 1:]} {tail}"
+
+
+def merge_expositions(per_source: Mapping[str, str],
+                      label: str = "worker") -> str:
+    """Merge Prometheus text expositions from several sources into one.
+
+    Each source's samples gain a ``label="<source>"`` label so the
+    aggregated scrape stays attributable per worker; ``# HELP``/``# TYPE``
+    headers are emitted once per family (first source wins), with every
+    source's samples grouped under them.  This is how the supervisor's
+    ``GET /metrics`` folds N worker scrapes into one page.
+    """
+    order: list[str] = []
+    headers: dict[str, list[str]] = {}
+    samples: dict[str, list[str]] = {}
+    for source, text in per_source.items():
+        family = None
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("# "):
+                parts = line.split(None, 3)
+                if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                    family = parts[2]
+                    if family not in headers:
+                        order.append(family)
+                        headers[family] = []
+                        samples[family] = []
+                    if len(headers[family]) < 2 and line not in headers[family]:
+                        headers[family].append(line)
+                continue
+            if family is None:
+                # A headerless sample (not produced by our registry, but
+                # tolerated): group it under its own name.
+                family = line.split("{", 1)[0].split(" ", 1)[0]
+                if family not in headers:
+                    order.append(family)
+                    headers[family] = []
+                    samples[family] = []
+            samples[family].append(inject_label(line, label, source))
+    lines: list[str] = []
+    for family in order:
+        lines.extend(headers[family])
+        lines.extend(samples[family])
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 def set_gauges(registry: MetricsRegistry, values: Mapping[str, float],
                help_texts: Mapping[str, str] | None = None) -> None:
     """Bulk-set unlabeled gauges (scrape-time derived metrics)."""
@@ -312,5 +374,7 @@ __all__ = [
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
+    "inject_label",
+    "merge_expositions",
     "set_gauges",
 ]

@@ -2,10 +2,18 @@
 
 ``repro-serve`` turns the library into a long-running server.  See
 :mod:`repro.service.server` for the endpoints (``POST /query``,
-``POST /batch``, ``POST /documents``, ``GET /health``, ``GET /stats``)
-and DESIGN.md §8 for the architecture.
+``POST /batch``, ``POST /documents``, ``GET /health``, ``GET /ready``,
+``GET /stats``) and DESIGN.md §8 for the architecture.
+
+``repro-serve --workers N --journal PATH`` scales past one process: a
+prefork supervisor (:mod:`repro.service.supervisor`) binds the socket
+once and keeps N worker processes (:mod:`repro.service.worker`) alive
+through crashes and hangs, while a durable append-only corpus journal
+(:mod:`repro.service.journal`) keeps ``POST /documents`` consistent
+across the fleet.  See DESIGN.md §12.
 """
 
+from repro.service.journal import CorpusJournal, JournalRecord, JournalTailer
 from repro.service.server import (
     QueryService,
     ServiceError,
@@ -14,4 +22,13 @@ from repro.service.server import (
     serve,
 )
 
-__all__ = ["QueryService", "ServiceError", "create_server", "main", "serve"]
+__all__ = [
+    "CorpusJournal",
+    "JournalRecord",
+    "JournalTailer",
+    "QueryService",
+    "ServiceError",
+    "create_server",
+    "main",
+    "serve",
+]

@@ -1,0 +1,392 @@
+"""The durable corpus journal: crash-safe ``POST /documents`` replication.
+
+Once ``repro-serve`` is N worker *processes* (:mod:`repro.service.supervisor`),
+the corpus mutation path can no longer live in one process's memory: a
+registration that lands on worker 2 must become visible on workers 1 and 3,
+and a worker restarted after a crash must recover the corpus it missed.
+The journal is the single source of truth for that state:
+
+* **append-only** — every ``register``/``replace``/``remove`` is one framed
+  record appended by whichever worker handled the request;
+* **checksummed** — each record is ``MAGIC | length | CRC32(payload) |
+  payload``, so torn writes and bit rot are *detected*, never silently
+  applied;
+* **fsync'd** — :meth:`CorpusJournal.append` returns only after the record
+  is on disk, so an acknowledged registration survives a worker SIGKILL;
+* **crash-tolerant on read** — :meth:`CorpusJournal.scan` stops cleanly at
+  a truncated tail (a writer died mid-frame) and *resyncs* past a corrupt
+  record by searching for the next frame magic, so one bad record never
+  takes the rest of the journal with it.
+
+Cross-process appends are serialized with an OS-level ``flock`` on the
+journal file (CPython may split a large ``write`` into several syscalls,
+so ``O_APPEND`` alone is not enough), and every worker *tails* the file
+(:class:`JournalTailer`): new records are applied through
+:meth:`repro.session.Session.apply_journal_record` — the ordinary
+generation bump — so all workers converge on an identical corpus snapshot
+and answers stay item-identical across the fleet.
+
+Record payload schema (JSON, UTF-8)::
+
+    {"op": "register" | "replace" | "remove",
+     "uri": "<document uri>",
+     "xml": "<document text>",          # register/replace only
+     "id_attributes": ["id", ...],       # optional
+     "ts": <unix seconds, informational>}
+
+``register`` and ``replace`` apply identically (registration *is*
+replacement in :class:`~repro.session.Session`); the distinct op names
+keep the journal readable as an audit log.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro import faults
+
+#: Frame magic: lets the reader resynchronize after a corrupt record by
+#: scanning for the next frame start instead of abandoning the journal.
+MAGIC = b"RPJ1"
+
+#: ``MAGIC | uint32 payload length | uint32 CRC32(payload)``, big-endian.
+_HEADER = struct.Struct(">4sII")
+
+#: A length field above this is treated as corruption, not as a frame —
+#: matches the service's request-body ceiling with headroom.
+MAX_RECORD = 80 * 1024 * 1024
+
+try:  # pragma: no cover - import guard, exercised implicitly on Linux
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback (single-process)
+    fcntl = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded record plus its position in the file."""
+
+    payload: Mapping[str, Any]
+    offset: int        #: byte offset of the frame start
+    end_offset: int    #: byte offset just past the frame
+
+    @property
+    def op(self) -> str:
+        return str(self.payload.get("op", ""))
+
+    @property
+    def uri(self) -> str:
+        return str(self.payload.get("uri", ""))
+
+
+@dataclass
+class ScanResult:
+    """What :meth:`CorpusJournal.scan` recovered from the file.
+
+    ``end_offset`` is where the next scan (or tail poll) should resume:
+    past the last decodable byte, but *at* the start of a truncated tail
+    frame so a still-writing record is picked up once complete.
+    """
+
+    records: list[JournalRecord] = field(default_factory=list)
+    end_offset: int = 0
+    #: Records whose CRC failed (or whose length field was insane); the
+    #: scan skipped past them by searching for the next frame magic.
+    corrupt_records: int = 0
+    #: Garbage bytes skipped while resynchronizing.
+    skipped_bytes: int = 0
+    #: The file ended mid-frame (writer crashed mid-append).
+    truncated_tail: bool = False
+
+
+def encode_record(payload: Mapping[str, Any]) -> bytes:
+    """Frame *payload* as ``MAGIC | length | CRC32 | JSON bytes``."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return _HEADER.pack(MAGIC, len(body), zlib.crc32(body)) + body
+
+
+def make_record(op: str, uri: str, xml: str | None = None,
+                id_attributes: list[str] | tuple[str, ...] | None = None) -> dict:
+    """The canonical payload for one corpus mutation."""
+    payload: dict[str, Any] = {"op": op, "uri": uri, "ts": round(time.time(), 3)}
+    if xml is not None:
+        payload["xml"] = xml
+    if id_attributes is not None:
+        payload["id_attributes"] = list(id_attributes)
+    return payload
+
+
+class CorpusJournal:
+    """The append/scan halves of one on-disk journal file.
+
+    Thread-safe within a process (one lock around appends) and
+    process-safe across workers (``flock`` around the write+fsync).
+    Reading never takes the flock: scans only look at complete frames
+    and stop at the (possibly still-growing) tail.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self._lock = threading.Lock()
+        # Create the file eagerly so tailers can stat/open it immediately.
+        with open(self.path, "ab"):
+            pass
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, payload: Mapping[str, Any]) -> int:
+        """Durably append one record; returns the frame's start offset.
+
+        The record is on disk (``fsync``) before this returns — an
+        acknowledged ``POST /documents`` survives a worker SIGKILL.  The
+        ``journal-corrupt`` fault point fires *after* the write, flipping
+        bytes inside the just-written payload to exercise the reader's
+        resynchronization path.
+        """
+        frame = encode_record(payload)
+        with self._lock, open(self.path, "ab") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                offset = handle.seek(0, io.SEEK_END)
+                handle.write(frame)
+                handle.flush()
+                os.fsync(handle.fileno())
+                if faults.firing("journal-corrupt") is not None:
+                    self._corrupt_frame(offset, len(frame))
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        return offset
+
+    def _corrupt_frame(self, offset: int, length: int) -> None:
+        """Flip bytes in the middle of the frame at *offset* (chaos hook)."""
+        with open(self.path, "r+b") as handle:
+            target = offset + _HEADER.size + max(0, (length - _HEADER.size) // 2)
+            handle.seek(target)
+            byte = handle.read(1) or b"\x00"
+            handle.seek(target)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- reading -------------------------------------------------------------
+
+    def size(self) -> int:
+        try:
+            return os.stat(self.path).st_size
+        except OSError:
+            return 0
+
+    def scan(self, from_offset: int = 0) -> ScanResult:
+        """Decode every complete, intact record from *from_offset* on.
+
+        Tolerates the two crash shapes a durable log must survive:
+
+        * **truncated tail** — the file ends mid-frame (a writer died
+          between ``write`` and completing the frame): the scan stops and
+          reports ``truncated_tail``; ``end_offset`` stays at the frame
+          start so a tailer re-reads once the bytes arrive (a *later*
+          append after the torn frame is recovered by resync instead);
+        * **corrupt record** — CRC mismatch or an implausible length
+          field: the scan searches forward for the next frame magic and
+          continues, counting the casualty.
+        """
+        result = ScanResult(end_offset=from_offset)
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(from_offset)
+                data = handle.read()
+        except OSError:
+            return result
+        position = 0
+
+        def resync(start: int) -> int:
+            """Next plausible frame start at or after *start* (-1: none)."""
+            return data.find(MAGIC, start)
+
+        while position < len(data):
+            if not data.startswith(MAGIC, position):
+                found = resync(position + 1)
+                if found < 0:
+                    result.skipped_bytes += len(data) - position
+                    result.end_offset = from_offset + len(data)
+                    return result
+                result.skipped_bytes += found - position
+                position = found
+                continue
+            if position + _HEADER.size > len(data):
+                result.truncated_tail = True
+                result.end_offset = from_offset + position
+                return result
+            magic, length, crc = _HEADER.unpack_from(data, position)
+            if length > MAX_RECORD:
+                # A corrupt length field, not a record: resync.
+                result.corrupt_records += 1
+                found = resync(position + 1)
+                if found < 0:
+                    result.skipped_bytes += len(data) - position
+                    result.end_offset = from_offset + len(data)
+                    return result
+                result.skipped_bytes += found - position
+                position = found
+                continue
+            body_end = position + _HEADER.size + length
+            if body_end > len(data):
+                result.truncated_tail = True
+                result.end_offset = from_offset + position
+                return result
+            body = data[position + _HEADER.size:body_end]
+            if zlib.crc32(body) != crc:
+                result.corrupt_records += 1
+                found = resync(position + 1)
+                if found < 0:
+                    result.end_offset = from_offset + len(data)
+                    return result
+                position = found
+                continue
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                # CRC held but the content is not a record (should not
+                # happen outside hand-edited files): treat as corrupt.
+                result.corrupt_records += 1
+                position = body_end
+                result.end_offset = from_offset + position
+                continue
+            result.records.append(JournalRecord(
+                payload=payload,
+                offset=from_offset + position,
+                end_offset=from_offset + body_end))
+            position = body_end
+            result.end_offset = from_offset + position
+        return result
+
+
+class JournalTailer:
+    """Applies journal records, in order, exactly once per process.
+
+    One tailer per worker: :meth:`replay` runs the whole journal at
+    startup (before the worker accepts traffic), :meth:`start` keeps a
+    polling thread applying whatever other workers append, and
+    :meth:`catch_up` is the synchronous hook the registration handler
+    calls right after its own append so the handling worker answers from
+    the post-mutation corpus.
+
+    *apply* receives each record's payload mapping; an apply failure is
+    counted and reported through *on_error* (if given) but never stops
+    the tail — one poisoned record must not wedge the fleet.
+    """
+
+    def __init__(self, journal: CorpusJournal,
+                 apply: Callable[[Mapping[str, Any]], Any],
+                 on_applied: Callable[[int], None] | None = None,
+                 on_error: Callable[[Mapping[str, Any], Exception], None] | None = None):
+        self.journal = journal
+        self._apply = apply
+        self._on_applied = on_applied
+        self._on_error = on_error
+        self._lock = threading.Lock()
+        self._offset = 0
+        self._applied = 0
+        self._apply_errors = 0
+        self._corrupt_records = 0
+        self._skipped_bytes = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- applying ------------------------------------------------------------
+
+    def catch_up(self) -> int:
+        """Apply every complete record past the current offset.
+
+        Returns how many records were applied.  Serialized: concurrent
+        callers (the poll thread and a registration handler) cannot
+        double-apply a record.
+        """
+        with self._lock:
+            result = self.journal.scan(self._offset)
+            applied = 0
+            for record in result.records:
+                try:
+                    self._apply(record.payload)
+                    applied += 1
+                    self._applied += 1
+                    if self._on_applied is not None:
+                        self._on_applied(1)
+                except Exception as error:  # noqa: BLE001 - tail must survive
+                    self._apply_errors += 1
+                    if self._on_error is not None:
+                        self._on_error(record.payload, error)
+            self._offset = result.end_offset
+            self._corrupt_records += result.corrupt_records
+            self._skipped_bytes += result.skipped_bytes
+            return applied
+
+    def replay(self) -> int:
+        """Startup replay: alias of :meth:`catch_up`, named for intent."""
+        return self.catch_up()
+
+    # -- polling -------------------------------------------------------------
+
+    def start(self, interval: float = 0.1) -> None:
+        """Poll the journal file and apply new records as they appear."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def tail() -> None:
+            while not self._stop.wait(interval):
+                try:
+                    if self.journal.size() > self.offset:
+                        self.catch_up()
+                except Exception:  # noqa: BLE001 - the tail must survive
+                    # A transient stat/read failure (journal on a flaky
+                    # mount): retry on the next tick.
+                    continue
+
+        self._thread = threading.Thread(target=tail, name="repro-journal-tail",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def offset(self) -> int:
+        with self._lock:
+            return self._offset
+
+    @property
+    def applied(self) -> int:
+        with self._lock:
+            return self._applied
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "offset": self._offset,
+                "applied": self._applied,
+                "apply_errors": self._apply_errors,
+                "corrupt_records": self._corrupt_records,
+                "skipped_bytes": self._skipped_bytes,
+            }
+
+
+__all__ = ["MAGIC", "MAX_RECORD", "CorpusJournal", "JournalRecord",
+           "JournalTailer", "ScanResult", "encode_record", "make_record"]

@@ -75,6 +75,7 @@ import argparse
 import dataclasses
 import json
 import logging
+import os
 import select
 import signal
 import socket
@@ -95,10 +96,11 @@ from repro.errors import (
 )
 from repro.limits import CancelToken, ResourceLimits
 from repro.observability import FIXPOINT_ROUND_BUCKETS, MetricsRegistry
+from repro.service.journal import CorpusJournal, JournalTailer, make_record
 from repro.session import Session
 from repro.settings import EvalSettings, coerce_settings
 from repro.xdm.items import format_atomic, is_node
-from repro.xmlio.parser import parse_xml_file
+from repro.xmlio.parser import parse_xml, parse_xml_file
 from repro.xmlio.serializer import serialize
 
 #: Request and slow-query log lines go through this logger: INFO carries
@@ -229,6 +231,10 @@ class ServiceStats:
             "repro_static_errors_total",
             "Static errors reported by the analyzer (lint and query paths).")
         self._static_errors.inc(0.0)
+        self._journal_records = self.registry.counter(
+            "repro_journal_records_total",
+            "Corpus journal records applied (startup replay and live tail).")
+        self._journal_records.inc(0.0)
 
     @property
     def in_flight(self) -> int:
@@ -280,6 +286,10 @@ class ServiceStats:
         """Record one static error aborting a ``POST /query`` evaluation."""
         self._static_errors.inc()
 
+    def journal_applied(self, count: int = 1) -> None:
+        """Record *count* corpus-journal records applied to the session."""
+        self._journal_records.inc(float(count))
+
     def drained(self) -> bool:
         return self.in_flight == 0
 
@@ -323,11 +333,34 @@ class QueryService:
                  settings: EvalSettings | Mapping[str, Any] | None = None,
                  slow_query_ms: float | None = None,
                  max_concurrency: int | None = None,
-                 max_timeout_s: float | None = None):
+                 max_timeout_s: float | None = None,
+                 journal: CorpusJournal | None = None):
         self.session = session if session is not None else Session()
         if settings is not None:
             self.session.settings = coerce_settings(settings, self.session.settings)
         self.stats = ServiceStats()
+        #: The durable corpus journal (prefork mode, or single-process
+        #: durability): ``POST /documents`` appends here before applying,
+        #: and a tailer replicates other workers' appends into this
+        #: session (see :mod:`repro.service.journal`).
+        self.journal = journal
+        self._tailer: JournalTailer | None = None
+        if journal is not None:
+            self._tailer = JournalTailer(
+                journal,
+                apply=self.session.apply_journal_record,
+                on_applied=self.stats.journal_applied,
+                on_error=self._journal_apply_failed)
+        #: Readiness gate: with a journal attached the worker is not ready
+        #: until the startup replay finished (:meth:`replay_journal`).
+        self.journal_replayed = journal is None
+        #: Graceful drain has started: readiness goes false, liveness stays.
+        self.draining = False
+        #: Fleet status pushed down by the supervisor (prefork mode):
+        #: ``workers_alive`` / ``workers_target`` / ``degraded``.  ``None``
+        #: in single-process mode.
+        self._cluster: dict[str, Any] | None = None
+        self._cluster_lock = threading.Lock()
         #: Queries slower than this (milliseconds) log one JSON-lines
         #: WARNING record; ``None`` disables the slow-query log.
         self.slow_query_ms = slow_query_ms
@@ -346,6 +379,84 @@ class QueryService:
         self._inflight_lock = threading.Lock()
         self._inflight_tokens: dict[int, CancelToken] = {}
         self._inflight_serial = 0
+
+    # -- corpus journal ------------------------------------------------------
+
+    def _journal_apply_failed(self, payload: Mapping[str, Any],
+                              error: Exception) -> None:
+        LOGGER.warning("journal record failed to apply", extra={"fields": {
+            "event": "journal_apply_error",
+            "op": payload.get("op"),
+            "uri": payload.get("uri"),
+            "error": f"{type(error).__name__}: {error}",
+        }})
+
+    def replay_journal(self) -> int:
+        """Apply the whole journal before accepting traffic.
+
+        Returns the number of records applied and flips the readiness
+        gate: a restarted worker replays everything it missed so its
+        corpus snapshot is item-identical to the rest of the fleet.
+        """
+        applied = 0
+        if self._tailer is not None:
+            applied = self._tailer.replay()
+        self.journal_replayed = True
+        return applied
+
+    def start_journal_tailer(self, interval: float = 0.1) -> None:
+        """Poll the journal for records appended by other workers."""
+        if self._tailer is not None:
+            self._tailer.start(interval)
+
+    def stop_journal_tailer(self) -> None:
+        if self._tailer is not None:
+            self._tailer.stop()
+
+    def catch_up_journal(self) -> int:
+        """Synchronously apply any journal records not yet seen."""
+        if self._tailer is None:
+            return 0
+        return self._tailer.catch_up()
+
+    def journal_stats(self) -> dict | None:
+        return self._tailer.stats() if self._tailer is not None else None
+
+    # -- fleet status & readiness --------------------------------------------
+
+    def update_cluster(self, status: Mapping[str, Any]) -> None:
+        """Absorb a supervisor status push (prefork worker heartbeat ack)."""
+        with self._cluster_lock:
+            self._cluster = dict(status)
+
+    def cluster_status(self) -> dict[str, Any] | None:
+        with self._cluster_lock:
+            return dict(self._cluster) if self._cluster is not None else None
+
+    def begin_drain(self) -> None:
+        """Mark the service as draining: readiness false, liveness stays."""
+        self.draining = True
+
+    def ready(self) -> tuple[int, dict]:
+        """The readiness verdict for ``GET /ready``: (status, body).
+
+        Ready means: the corpus journal has been replayed (or there is no
+        journal), graceful drain has not started, and — when a supervisor
+        reports fleet status — at least one worker is alive.
+        """
+        cluster = self.cluster_status()
+        workers_alive = int(cluster.get("workers_alive", 1)) if cluster else 1
+        workers_target = int(cluster.get("workers_target", 1)) if cluster else 1
+        ok = self.journal_replayed and not self.draining and workers_alive >= 1
+        body = {
+            "ready": ok,
+            "journal_replayed": self.journal_replayed,
+            "draining": self.draining,
+            "workers_alive": workers_alive,
+            "workers_target": workers_target,
+            "degraded": bool(cluster.get("degraded", False)) if cluster else False,
+        }
+        return (200 if ok else 503), body
 
     # -- in-flight cancellation ----------------------------------------------
 
@@ -379,6 +490,11 @@ class QueryService:
         disconnect); the service always registers a token so graceful
         drain can cancel whatever is still running.
         """
+        if faults.firing("worker-kill") is not None:
+            # Chaos drill: die the way a segfaulting worker would — no
+            # cleanup, no goodbye — so the supervisor's crash detection,
+            # restart and journal replay are exercised for real.
+            os.kill(os.getpid(), signal.SIGKILL)
         if not isinstance(payload, Mapping):
             raise ServiceError("request body must be a JSON object")
         query = payload.get("query")
@@ -535,7 +651,15 @@ class QueryService:
         return {"ok": True, "analysis": report.to_dict()}
 
     def handle_register(self, payload: Mapping[str, Any]) -> dict:
-        """Register/replace a document — the service's mutation path."""
+        """Register/replace a document — the service's mutation path.
+
+        With a journal attached the mutation is *journaled first*: the
+        record is durably appended (fsync), then applied locally through
+        the tailer so this worker — and, via their tailers, every other
+        worker — converges on the same corpus.  The document is parsed
+        *before* the append: a malformed payload must answer 422 without
+        poisoning the journal for the whole fleet.
+        """
         if not isinstance(payload, Mapping):
             raise ServiceError("request body must be a JSON object")
         uri = payload.get("uri")
@@ -545,20 +669,40 @@ class QueryService:
         if not isinstance(xml, str) or not xml.strip():
             raise ServiceError('"xml" must be a non-empty XML string')
         id_attributes = payload.get("id_attributes")
+        if self.journal is None:
+            try:
+                generation = self.session.register_document(
+                    uri, xml, id_attributes=id_attributes)
+            except ReproError as exc:
+                raise ServiceError(f"{type(exc).__name__}: {exc}", status=422)
+            return {"ok": True, "uri": uri, "generation": generation}
         try:
-            generation = self.session.register_document(
-                uri, xml, id_attributes=id_attributes)
+            parse_xml(xml, id_attributes=tuple(
+                id_attributes or self.session.id_attributes))
         except ReproError as exc:
             raise ServiceError(f"{type(exc).__name__}: {exc}", status=422)
-        return {"ok": True, "uri": uri, "generation": generation}
+        op = "replace" if uri in self.session.document_uris() else "register"
+        offset = self.journal.append(make_record(op, uri, xml, id_attributes))
+        self.catch_up_journal()
+        return {"ok": True, "uri": uri, "generation": self.session.generation,
+                "op": op, "journal_offset": offset}
 
     def health(self) -> dict:
-        return {
+        """Liveness: the process is up and answering.  Fleet context (when
+        a supervisor reports it) rides along, but never flips the status —
+        readiness lives at ``GET /ready``."""
+        cluster = self.cluster_status()
+        payload = {
             "status": "ok",
             "generation": self.session.generation,
             "documents": self.session.document_uris(),
             "in_flight": self.stats.snapshot()["in_flight"],
+            "degraded": bool(cluster.get("degraded", False)) if cluster else False,
         }
+        if cluster is not None:
+            payload["workers_alive"] = cluster.get("workers_alive")
+            payload["workers_target"] = cluster.get("workers_target")
+        return payload
 
     def stats_report(self) -> dict:
         return {"service": self.stats.snapshot(), "session": self.session.stats()}
@@ -600,6 +744,18 @@ class QueryService:
             lookups = cache["hits"] + cache["misses"]
             ratio.labels(cache=name).set(cache["hits"] / lookups if lookups else 0.0)
             size.labels(cache=name).set(cache["size"])
+
+        journal_stats = self.journal_stats()
+        if journal_stats is not None:
+            registry.gauge("repro_journal_offset_bytes",
+                           "Byte offset this worker's tailer has applied to.").set(
+                journal_stats["offset"])
+            registry.gauge("repro_journal_corrupt_records",
+                           "Corrupt journal records skipped by this worker.").set(
+                journal_stats["corrupt_records"])
+            registry.gauge("repro_journal_apply_errors",
+                           "Journal records that failed to apply.").set(
+                journal_stats["apply_errors"])
 
         pool = session_stats["sql_pool"]
         registry.gauge("repro_sql_pool_live_stores",
@@ -720,6 +876,9 @@ class _Handler(BaseHTTPRequestHandler):
         status = 200
         if self.path == "/health":
             self._respond(200, self.service.health())
+        elif self.path == "/ready":
+            status, body = self.service.ready()
+            self._respond(status, body)
         elif self.path == "/stats":
             self._respond(200, self.service.stats_report())
         elif self.path == "/metrics":
@@ -821,11 +980,34 @@ class QueryServer(ThreadingHTTPServer):
     DRAIN_CANCEL_GRACE_S = 2.0
 
     def __init__(self, address, service: QueryService, verbose: bool = False,
-                 drain_timeout: float = 10.0):
-        super().__init__(address, _Handler)
+                 drain_timeout: float = 10.0, bind_and_activate: bool = True):
+        super().__init__(address, _Handler, bind_and_activate=bind_and_activate)
         self.service = service
         self.verbose = verbose
         self.drain_timeout = drain_timeout
+
+    @classmethod
+    def from_socket(cls, listen_socket: socket.socket, service: QueryService,
+                    verbose: bool = False,
+                    drain_timeout: float = 10.0) -> "QueryServer":
+        """Serve on an already-bound, already-listening socket.
+
+        The prefork path: the supervisor binds the address once and every
+        worker adopts the shared socket (inherited across ``exec``), so
+        the kernel load-balances accepts over the fleet.  A short accept
+        timeout makes stolen wakeups (another worker accepted first)
+        harmless instead of blocking the serve loop.
+        """
+        server = cls(listen_socket.getsockname()[:2], service, verbose=verbose,
+                     drain_timeout=drain_timeout, bind_and_activate=False)
+        server.socket.close()
+        listen_socket.settimeout(0.5)
+        server.socket = listen_socket
+        server.server_address = listen_socket.getsockname()[:2]
+        host, port = server.server_address
+        server.server_name = host
+        server.server_port = port
+        return server
 
     def graceful_shutdown(self, timeout: float | None = None) -> bool:
         """Stop accepting, drain in-flight requests, close sockets.
@@ -839,6 +1021,7 @@ class QueryServer(ThreadingHTTPServer):
         """
         if timeout is None:
             timeout = self.drain_timeout
+        self.service.begin_drain()  # readiness goes false before the drain
         self.shutdown()            # stops the accept loop (thread-safe)
         deadline = time.monotonic() + timeout
         drained = self.service.stats.drained()
@@ -876,12 +1059,10 @@ def serve(server: QueryServer) -> threading.Thread:
     return thread
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-serve",
-        description="Serve XQuery evaluation over HTTP "
-                    "(POST /query, POST /batch, GET /health, GET /stats)",
-    )
+def add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    """The flags every serving process understands — shared between the
+    single-process daemon, the supervisor (which forwards them) and the
+    worker entrypoint (:mod:`repro.service.worker`)."""
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8720)
     parser.add_argument("--doc", action="append", default=[], metavar="URI=PATH",
@@ -897,6 +1078,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sql-store-dir", default=None,
                         help="directory for WAL store files "
                              "(default: a private tempdir)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="durable corpus journal: POST /documents appends "
+                             "here (fsync'd, CRC-framed) and is replayed on "
+                             "restart; required for --workers > 1 "
+                             "(default: none in single-process mode)")
     parser.add_argument("--verbose", action="store_true",
                         help="log one structured record per request to stderr")
     parser.add_argument("--log-json", action="store_true",
@@ -915,10 +1101,102 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--drain-timeout", type=float, default=10.0, metavar="SECONDS",
                         help="how long graceful shutdown waits for in-flight "
                              "queries before cancelling them (default: 10)")
+
+
+def add_supervision_arguments(parser: argparse.ArgumentParser) -> None:
+    """Prefork/supervision flags (see :mod:`repro.service.supervisor`)."""
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="number of worker processes; N > 1 runs the "
+                             "prefork supervisor (default: 1, in-process)")
+    parser.add_argument("--control-port", type=int, default=None, metavar="PORT",
+                        help="supervisor control endpoint (/ready, aggregated "
+                             "/metrics); default: the service port + 1, or "
+                             "ephemeral when --port 0")
+    parser.add_argument("--heartbeat-interval", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="worker heartbeat period (default: 0.5)")
+    parser.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="a worker silent this long is declared hung and "
+                             "killed (default: 5)")
+    parser.add_argument("--restart-backoff", type=float, default=0.2,
+                        metavar="SECONDS",
+                        help="base delay before restarting a crashed worker; "
+                             "doubles per consecutive failure (default: 0.2)")
+    parser.add_argument("--restart-backoff-max", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="cap on the exponential restart backoff "
+                             "(default: 10)")
+    parser.add_argument("--breaker-threshold", type=int, default=5, metavar="N",
+                        help="worker crashes within --breaker-window that trip "
+                             "the crash-loop breaker (default: 5)")
+    parser.add_argument("--breaker-window", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="sliding window for the crash-loop breaker "
+                             "(default: 30)")
+    parser.add_argument("--breaker-cooldown", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="after tripping, wait this long before allowing "
+                             "restarts again, half-open (default: 30)")
+    parser.add_argument("--stable-after", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="a worker alive this long counts as stable: its "
+                             "failure streak resets (default: 5)")
+
+
+def build_session(arguments: argparse.Namespace) -> Session:
+    """The serving session of one process, per the parsed CLI flags."""
+    session = Session(settings=EvalSettings(engine=arguments.engine),
+                      id_attributes=tuple(arguments.id_attribute),
+                      sql_store=arguments.sql_store,
+                      sql_store_dir=arguments.sql_store_dir)
+    for spec in arguments.doc:
+        if "=" not in spec:
+            raise ValueError("--doc expects URI=PATH")
+        uri, path = spec.split("=", 1)
+        session.register_document(
+            uri, parse_xml_file(path, id_attributes=tuple(arguments.id_attribute)))
+    return session
+
+
+def build_service(arguments: argparse.Namespace,
+                  session: Session | None = None) -> QueryService:
+    """A :class:`QueryService` (journal attached if configured)."""
+    if session is None:
+        session = build_session(arguments)
+    journal = CorpusJournal(arguments.journal) if arguments.journal else None
+    return QueryService(session=session,
+                        slow_query_ms=arguments.slow_query_ms,
+                        max_concurrency=arguments.max_concurrency,
+                        max_timeout_s=arguments.max_timeout,
+                        journal=journal)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve XQuery evaluation over HTTP "
+                    "(POST /query, POST /batch, GET /health, GET /ready, "
+                    "GET /stats; --workers N runs a supervised prefork fleet)",
+    )
+    add_service_arguments(parser)
+    add_supervision_arguments(parser)
     arguments = parser.parse_args(argv)
     configure_logging(verbose=arguments.verbose, log_json=arguments.log_json)
     if arguments.max_concurrency is not None and arguments.max_concurrency < 1:
         parser.error("--max-concurrency must be at least 1")
+    if arguments.workers < 1:
+        parser.error("--workers must be at least 1")
+    if arguments.workers > 1:
+        # The prefork path: bind once, fork N workers, supervise.  The
+        # import is deferred so the single-process daemon stays free of
+        # the supervisor's subprocess machinery.
+        from repro.service.supervisor import run_supervisor
+
+        if not arguments.journal:
+            parser.error("--workers > 1 requires --journal PATH "
+                         "(cross-worker corpus consistency)")
+        return run_supervisor(arguments)
 
     fault_plan = faults.plan_from_env()
     if fault_plan is not None:
@@ -927,21 +1205,17 @@ def main(argv: list[str] | None = None) -> int:
         print("repro-serve: fault injection armed from REPRO_FAULTS",
               file=sys.stderr)
 
-    session = Session(settings=EvalSettings(engine=arguments.engine),
-                      id_attributes=tuple(arguments.id_attribute),
-                      sql_store=arguments.sql_store,
-                      sql_store_dir=arguments.sql_store_dir)
-    for spec in arguments.doc:
-        if "=" not in spec:
-            parser.error("--doc expects URI=PATH")
-        uri, path = spec.split("=", 1)
-        session.register_document(
-            uri, parse_xml_file(path, id_attributes=tuple(arguments.id_attribute)))
-
-    service = QueryService(session=session,
-                           slow_query_ms=arguments.slow_query_ms,
-                           max_concurrency=arguments.max_concurrency,
-                           max_timeout_s=arguments.max_timeout)
+    try:
+        session = build_session(arguments)
+    except ValueError as error:
+        parser.error(str(error))
+    service = build_service(arguments, session)
+    if service.journal is not None:
+        replayed = service.replay_journal()
+        service.start_journal_tailer()
+        if replayed:
+            print(f"repro-serve: replayed {replayed} journal record(s) from "
+                  f"{arguments.journal}", file=sys.stderr)
     server = create_server(service, host=arguments.host, port=arguments.port,
                            verbose=arguments.verbose,
                            drain_timeout=arguments.drain_timeout)
@@ -967,6 +1241,7 @@ def main(argv: list[str] | None = None) -> int:
         # graceful_shutdown is an immediate no-op; what remains is the
         # bounded drain, the cancel-stragglers pass and the close.
         server.graceful_shutdown(arguments.drain_timeout)
+        service.stop_journal_tailer()
         session.close()
         final = service.stats.snapshot()
         print(f"repro-serve: stopped "

@@ -1,0 +1,168 @@
+"""Prefork worker entrypoint: ``python -m repro.service.worker``.
+
+Spawned by :mod:`repro.service.supervisor`, never run by hand.  The
+worker inherits two file descriptors from the supervisor:
+
+``--listen-fd``
+    The already-bound, already-listening service socket.  Every worker
+    accepts from the same socket (classic prefork), so the kernel load
+    balances connections across the fleet with no proxy in front.
+``--control-fd``
+    One end of a ``socketpair``.  The worker writes JSON-line
+    heartbeats up (pid, slot, readiness, direct port, in-flight count)
+    and reads fleet-status pushes down (``workers_alive``,
+    ``workers_target``, ``degraded``), which it folds into its own
+    ``GET /health`` / ``GET /ready`` responses via
+    :meth:`QueryService.update_cluster`.
+
+Startup order matters for correctness: the corpus journal is fully
+replayed *before* the accept loops start, so a freshly restarted worker
+answers queries item-identically to its siblings from the first
+request.  After replay a background tailer keeps applying records that
+other workers append via ``POST /documents``.
+
+Besides the shared service socket, each worker binds a private
+ephemeral port on 127.0.0.1 serving the same :class:`QueryService`.
+The supervisor learns it from heartbeats and uses it for per-worker
+``/metrics`` scrapes (aggregated with ``worker="<slot>"`` labels) and
+for tests that must target one specific worker.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import select
+import signal
+import socket
+import sys
+import threading
+import time
+
+from repro import faults
+from repro.service.server import (
+    QueryServer,
+    add_service_arguments,
+    build_service,
+    configure_logging,
+    create_server,
+)
+
+
+def _heartbeat_payload(service, slot: int, direct_port: int) -> dict:
+    status, body = service.ready()
+    return {
+        "type": "heartbeat",
+        "pid": os.getpid(),
+        "slot": slot,
+        "ready": status == 200 and bool(body.get("ready")),
+        "direct_port": direct_port,
+        "in_flight": service.stats.in_flight,
+    }
+
+
+def run_worker(arguments: argparse.Namespace) -> int:
+    configure_logging(verbose=arguments.verbose, log_json=arguments.log_json)
+    fault_plan = faults.plan_from_env()
+    if fault_plan is not None:
+        faults.activate(fault_plan)
+
+    service = build_service(arguments)
+    replayed = service.replay_journal()
+    service.start_journal_tailer()
+
+    listen_socket = socket.socket(fileno=arguments.listen_fd)
+    server = QueryServer.from_socket(listen_socket, service,
+                                     verbose=arguments.verbose,
+                                     drain_timeout=arguments.drain_timeout)
+    # The private per-worker endpoint (same service, own socket).
+    direct_server = create_server(service, host="127.0.0.1", port=0,
+                                  verbose=arguments.verbose,
+                                  drain_timeout=arguments.drain_timeout)
+    direct_port = direct_server.server_address[1]
+
+    for srv in (server, direct_server):
+        thread = threading.Thread(target=srv.serve_forever,
+                                  name=f"serve-{srv.server_port}", daemon=True)
+        thread.start()
+
+    print(f"repro-serve-worker[{arguments.slot}]: pid {os.getpid()} serving "
+          f"(direct http://127.0.0.1:{direct_port}, "
+          f"journal records replayed: {replayed})", file=sys.stderr)
+
+    stop = threading.Event()
+
+    def request_shutdown(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, request_shutdown)
+    signal.signal(signal.SIGINT, request_shutdown)
+
+    control = socket.socket(fileno=arguments.control_fd)
+    buffer = b""
+    try:
+        while not stop.is_set():
+            hang = faults.firing("worker-hang")
+            if hang is not None:
+                # Chaos drill: stop heartbeating long enough for the
+                # supervisor to declare us hung and SIGKILL us.
+                time.sleep(hang.sleep_s if hang.sleep_s is not None else 60.0)
+            beat = _heartbeat_payload(service, arguments.slot, direct_port)
+            try:
+                control.sendall(json.dumps(beat).encode("utf-8") + b"\n")
+            except OSError:
+                break  # supervisor is gone; shut down
+            readable, _, _ = select.select(
+                [control], [], [], arguments.heartbeat_interval)
+            if not readable:
+                continue
+            try:
+                chunk = control.recv(65536)
+            except OSError:
+                break
+            if not chunk:
+                break  # supervisor closed its end
+            buffer += chunk
+            while b"\n" in buffer:
+                line, _, buffer = buffer.partition(b"\n")
+                if not line.strip():
+                    continue
+                try:
+                    message = json.loads(line)
+                except ValueError:
+                    continue
+                if message.get("type") == "status":
+                    service.update_cluster(message)
+    finally:
+        server.graceful_shutdown(arguments.drain_timeout)
+        direct_server.shutdown()
+        direct_server.server_close()
+        service.stop_journal_tailer()
+        service.session.close()
+        control.close()
+        final = service.stats.snapshot()
+        print(f"repro-serve-worker[{arguments.slot}]: stopped "
+              f"({final['requests']} requests, {final['errors']} errors)",
+              file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-worker",
+        description="Internal prefork worker (spawned by repro-serve "
+                    "--workers N; not meant to be run directly)")
+    add_service_arguments(parser)
+    parser.add_argument("--listen-fd", type=int, required=True,
+                        help="inherited fd of the bound+listening socket")
+    parser.add_argument("--control-fd", type=int, required=True,
+                        help="inherited fd of the supervisor socketpair")
+    parser.add_argument("--slot", type=int, default=0,
+                        help="worker slot index (labels logs and metrics)")
+    parser.add_argument("--heartbeat-interval", type=float, default=0.5)
+    return run_worker(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

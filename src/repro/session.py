@@ -208,6 +208,30 @@ class Session:
             self._sql_pool.invalidate()
             return self._generation
 
+    def apply_journal_record(self, record: Mapping[str, Any]) -> int:
+        """Apply one corpus-journal record (see :mod:`repro.service.journal`).
+
+        The journal-driven registration hook of the prefork service: every
+        worker's tailer funnels ``register``/``replace``/``remove`` records
+        through here, so a replicated mutation takes exactly the same path
+        — generation bump, plan-cache invalidation, SQL-pool invalidation —
+        as a direct :meth:`register_document` call, and all workers
+        converge on an identical corpus snapshot.  Returns the new
+        generation.
+        """
+        op = record.get("op")
+        if op in ("register", "replace"):
+            xml = record.get("xml")
+            if not isinstance(xml, str):
+                raise ValueError(f"journal {op} record for {record.get('uri')!r} "
+                                 f"carries no xml text")
+            return self.register_document(
+                str(record["uri"]), xml,
+                id_attributes=record.get("id_attributes"))
+        if op == "remove":
+            return self.remove_document(str(record["uri"]))
+        raise ValueError(f"unknown journal op {op!r}")
+
     def remove_document(self, uri: str) -> int:
         """Remove *uri* from the corpus; returns the new generation."""
         with self._lock:

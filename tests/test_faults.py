@@ -166,3 +166,31 @@ class TestInjectionPoints:
                 pytest.fail(f"fault did not surface on {engine}")
         result = session.evaluate(CHAIN_QUERY, engine=engine)
         assert course_codes(result.items) == CHAIN_CODES
+
+
+class TestFiringApi:
+    """:func:`faults.firing` — the hook for points whose effect is not
+    "sleep or raise" (SIGKILL yourself, corrupt bytes on disk)."""
+
+    def test_firing_returns_the_spec_and_consumes_a_firing(self):
+        with faults.inject(FaultSpec("worker-kill", limit=1)) as plan:
+            spec = faults.firing("worker-kill")
+            assert spec is not None and spec.point == "worker-kill"
+            assert faults.firing("worker-kill") is None  # limit exhausted
+            assert plan.fired("worker-kill") == 1
+
+    def test_firing_respects_after_gate(self):
+        with faults.inject(FaultSpec("journal-corrupt", after=2)):
+            assert faults.firing("journal-corrupt") is None
+            assert faults.firing("journal-corrupt") is None
+            assert faults.firing("journal-corrupt") is not None
+
+    def test_firing_is_inert_without_a_plan(self):
+        assert faults.active_plan() is None
+        assert faults.firing("worker-kill") is None
+
+    def test_supervision_points_are_registered(self):
+        for point in ("worker-kill", "worker-hang", "journal-corrupt"):
+            assert point in faults.POINTS
+        with pytest.raises(ValueError):
+            FaultPlan([FaultSpec("worker-implode")])

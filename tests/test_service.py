@@ -21,6 +21,7 @@ import pytest
 
 from repro import faults
 from repro.service import QueryService, ServiceError, create_server, serve
+from repro.service.journal import CorpusJournal, make_record
 from repro.service.server import serialize_items
 from repro.session import Session
 from tests.conftest import CURRICULUM_XML
@@ -420,3 +421,103 @@ class TestResourceGovernance:
             assert service.stats.in_flight == 0
         finally:
             server.graceful_shutdown(timeout=5)
+
+
+class TestReadinessAndJournal:
+    """The liveness/readiness split and journal-backed registration."""
+
+    def test_ready_endpoint_reports_single_process_defaults(self, client):
+        status, body = client.request("/ready")
+        assert status == 200 and body["ready"] is True
+        assert body["journal_replayed"] is True
+        assert body["draining"] is False
+        assert body["workers_alive"] == 1 and body["workers_target"] == 1
+        assert body["degraded"] is False
+
+    def test_drain_flips_ready_but_not_health(self, service_session):
+        service = QueryService(session=service_session)
+        server = create_server(service)
+        serve(server)
+        host, port = server.server_address[:2]
+        probe = ServiceClient(f"http://{host}:{port}")
+        try:
+            service.begin_drain()
+            status, health = probe.request("/health")
+            assert status == 200 and health["status"] == "ok"
+            status, body = probe.request("/ready")
+            assert status == 503 and body["draining"] is True
+        finally:
+            server.graceful_shutdown(timeout=5)
+
+    def test_cluster_status_surfaces_in_health_and_ready(self, service_session):
+        service = QueryService(session=service_session)
+        service.update_cluster({"workers_alive": 1, "workers_target": 4,
+                                "degraded": True})
+        health = service.health()
+        assert health["status"] == "ok"  # liveness never flips on fleet state
+        assert health["degraded"] is True
+        status, body = service.ready()
+        assert status == 200  # one worker alive is still serving
+        assert body["workers_alive"] == 1 and body["workers_target"] == 4
+        assert body["degraded"] is True
+
+    def test_journal_gates_readiness_until_replayed(self, tmp_path):
+        journal = CorpusJournal(tmp_path / "corpus.journal")
+        journal.append(make_record("register", "seed.xml", "<r><a/></r>"))
+        with Session() as session:
+            service = QueryService(session=session, journal=journal)
+            status, body = service.ready()
+            assert status == 503 and body["journal_replayed"] is False
+            assert service.replay_journal() == 1
+            status, body = service.ready()
+            assert status == 200 and body["journal_replayed"] is True
+            assert session.document_uris() == ["seed.xml"]
+
+    def test_two_services_one_journal_converge(self, tmp_path):
+        journal_path = tmp_path / "corpus.journal"
+        with Session() as session_a, Session() as session_b:
+            service_a = QueryService(session=session_a,
+                                     journal=CorpusJournal(journal_path))
+            service_b = QueryService(session=session_b,
+                                     journal=CorpusJournal(journal_path))
+            service_a.replay_journal()
+            service_b.replay_journal()
+
+            body = service_a.handle_register(
+                {"uri": "d.xml", "xml": "<r><a id='1'/><a id='2'/></r>"})
+            assert body["ok"] is True and body["op"] == "register"
+
+            applied = service_b.catch_up_journal()
+            assert applied == 1
+            result = service_b.handle_query(
+                {"query": 'count(doc("d.xml")//a)'})
+            assert result["items"] == ["2"]
+
+            # Replacement flows through too, tagged as such.
+            body = service_a.handle_register(
+                {"uri": "d.xml", "xml": "<r><a id='1'/></r>"})
+            assert body["op"] == "replace"
+            service_b.catch_up_journal()
+            result = service_b.handle_query(
+                {"query": 'count(doc("d.xml")//a)'})
+            assert result["items"] == ["1"]
+
+    def test_invalid_xml_is_rejected_before_touching_the_journal(self, tmp_path):
+        journal = CorpusJournal(tmp_path / "corpus.journal")
+        with Session() as session:
+            service = QueryService(session=session, journal=journal)
+            service.replay_journal()
+            with pytest.raises(ServiceError) as excinfo:
+                service.handle_register({"uri": "bad.xml", "xml": "<r><un"})
+            assert excinfo.value.status == 422
+            assert journal.size() == 0  # nothing was appended
+
+    def test_journal_metrics_appear_when_attached(self, tmp_path):
+        journal = CorpusJournal(tmp_path / "corpus.journal")
+        with Session() as session:
+            service = QueryService(session=session, journal=journal)
+            service.replay_journal()
+            service.handle_register({"uri": "d.xml", "xml": "<r/>"})
+            text = service.metrics_text()
+            assert "repro_journal_records_total 1" in text
+            assert "repro_journal_offset_bytes" in text
